@@ -1,0 +1,28 @@
+//! # glap-baselines — the comparison algorithms of the GLAP evaluation
+//!
+//! Re-implementations of the three consolidation algorithms the paper
+//! compares against (§V-A), plus the offline packing baseline of Figure 6:
+//!
+//! * [`grmp`] — GRMP (Wuhib et al.): aggressive gossip packing with a
+//!   static 0.8 threshold;
+//! * [`ecocloud`] — EcoCloud (Mastroianni et al.): gradual probabilistic
+//!   Bernoulli-trial consolidation with T1 = 0.3 / T2 = 0.8 and a
+//!   broadcast coordinator;
+//! * [`pabfd`] — PABFD (Beloglazov & Buyya): centralized MAD-threshold
+//!   detection with power-aware best-fit-decreasing re-placement;
+//! * [`bfd`] — offline best-fit-decreasing: the fewest PMs an omniscient
+//!   packer needs with zero overload.
+//!
+//! All three online policies implement
+//! [`glap_dcsim::ConsolidationPolicy`], so they run under the identical
+//! engine, trace, placement and accounting as GLAP itself.
+
+pub mod bfd;
+pub mod ecocloud;
+pub mod grmp;
+pub mod pabfd;
+
+pub use bfd::{bfd_baseline, bfd_pack};
+pub use ecocloud::{EcoCloudConfig, EcoCloudPolicy};
+pub use grmp::{GrmpConfig, GrmpPolicy};
+pub use pabfd::{PabfdConfig, PabfdPolicy, ThresholdMethod};

@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the cost
+//! of each GLAP component (in-veto lookups, average-demand bookkeeping,
+//! shared vs per-PM tables) and of the two training phases, measured on
+//! identical worlds so differences are attributable to the ablated piece.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glap::{train, unified_table, GlapConfig, GlapPolicy, TableStore};
+use glap_dcsim::run_simulation;
+use glap_experiments::{build_world, Algorithm, Scenario};
+use glap_workload::OffsetTrace;
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    Scenario {
+        n_pms: 60,
+        ratio: 3,
+        rep: 0,
+        algorithm: Algorithm::Glap,
+        rounds: 60,
+        glap: GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() },
+        trace_cfg: Default::default(),
+        vm_mix: Default::default(),
+    }
+}
+
+/// Consolidation-day cost under each GLAP variant.
+fn policy_variants(c: &mut Criterion) {
+    let sc = scenario();
+    let (dc0, trace) = build_world(&sc);
+    let mut train_dc = dc0.clone();
+    let mut train_trace = trace.clone();
+    let (tables, _) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let unified = unified_table(&tables);
+
+    let mut g = c.benchmark_group("glap_variants");
+    g.sample_size(20);
+    let mut bench_variant = |name: &str, make: &dyn Fn() -> GlapPolicy| {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dc = dc0.clone();
+                let mut policy = make();
+                let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+                run_simulation(&mut dc, &mut day, &mut policy, &mut [], sc.rounds, sc.policy_seed());
+                black_box(dc.active_pm_count())
+            })
+        });
+    };
+    let uni = unified.clone();
+    bench_variant("full", &move || GlapPolicy::with_shared_table(sc.glap, uni.clone()));
+    let uni = unified.clone();
+    bench_variant("no_in_veto", &move || {
+        let mut p = GlapPolicy::with_shared_table(sc.glap, uni.clone());
+        p.disable_in_veto = true;
+        p
+    });
+    let uni = unified.clone();
+    bench_variant("current_state_only", &move || {
+        let mut p = GlapPolicy::with_shared_table(sc.glap, uni.clone());
+        p.current_state_only = true;
+        p
+    });
+    let per_pm = tables.clone();
+    bench_variant("per_pm_tables", &move || {
+        GlapPolicy::new(sc.glap, TableStore::PerPm(per_pm.clone()))
+    });
+    g.finish();
+}
+
+/// Cost split of the two training phases.
+fn training_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("learning_only", |b| {
+        let glap = GlapConfig { learning_rounds: 15, aggregation_rounds: 0, ..Default::default() };
+        let sc = Scenario { glap, ..scenario() };
+        b.iter(|| {
+            let (mut dc, mut trace) = build_world(&sc);
+            black_box(train(&mut dc, &mut trace, &glap, sc.policy_seed(), false))
+        })
+    });
+    g.bench_function("learning_plus_aggregation", |b| {
+        let glap = GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() };
+        let sc = Scenario { glap, ..scenario() };
+        b.iter(|| {
+            let (mut dc, mut trace) = build_world(&sc);
+            black_box(train(&mut dc, &mut trace, &glap, sc.policy_seed(), false))
+        })
+    });
+    g.finish();
+}
+
+/// The price of recording Figure 5's similarity series during training.
+fn similarity_recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity_recording");
+    g.sample_size(10);
+    for (name, record) in [("off", false), ("on", true)] {
+        g.bench_function(name, |b| {
+            let sc = scenario();
+            b.iter(|| {
+                let (mut dc, mut trace) = build_world(&sc);
+                black_box(train(&mut dc, &mut trace, &sc.glap, sc.policy_seed(), record))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, policy_variants, training_phases, similarity_recording);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! One Criterion bench per paper figure/table: each benchmark runs the
+//! same code path the corresponding experiment binary uses, at a reduced
+//! scale so `cargo bench` completes quickly. The full-scale regenerators
+//! are the binaries in `glap-experiments` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glap::GlapConfig;
+use glap_experiments::{
+    ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
+    fig8_migrations, fig9_cumulative, run_grid, table1_sla, Algorithm, Grid,
+};
+use std::hint::black_box;
+
+fn bench_grid() -> Grid {
+    Grid {
+        sizes: vec![30],
+        ratios: vec![3],
+        reps: 1,
+        rounds: 60,
+        glap: GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() },
+        trace_cfg: Default::default(),
+    }
+}
+
+fn bench_glap_cfg() -> GlapConfig {
+    GlapConfig { learning_rounds: 10, aggregation_rounds: 6, ..Default::default() }
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("convergence_40pms", |b| {
+        b.iter(|| black_box(fig5_convergence(40, &[2], bench_glap_cfg(), 0)))
+    });
+    g.finish();
+}
+
+fn grid_figures(c: &mut Criterion) {
+    let grid = bench_grid();
+    // The sweep itself (shared by figures 6-10 and Table I).
+    let mut g = c.benchmark_group("grid");
+    g.sample_size(10);
+    g.bench_function("run_grid_paper_set_30pms", |b| {
+        b.iter(|| black_box(run_grid(&grid, &Algorithm::PAPER_SET, Some(1), false)))
+    });
+    g.finish();
+
+    // Aggregations over a pre-computed result set (the per-figure cost).
+    let results = run_grid(&grid, &Algorithm::PAPER_SET, Some(1), false);
+    c.bench_function("fig6_packing_aggregate", |b| {
+        b.iter(|| black_box(fig6_packing(&results)))
+    });
+    c.bench_function("fig7_overloaded_aggregate", |b| {
+        b.iter(|| black_box(fig7_overloaded(&results)))
+    });
+    c.bench_function("fig8_migrations_aggregate", |b| {
+        b.iter(|| black_box(fig8_migrations(&results)))
+    });
+    c.bench_function("fig9_cumulative_aggregate", |b| {
+        b.iter(|| black_box(fig9_cumulative(&results, 30, 5)))
+    });
+    c.bench_function("fig10_energy_aggregate", |b| {
+        b.iter(|| black_box(fig10_energy(&results)))
+    });
+    c.bench_function("table1_sla_aggregate", |b| {
+        b.iter(|| black_box(table1_sla(&results)))
+    });
+}
+
+fn ablation_figure(c: &mut Criterion) {
+    let grid = bench_grid();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("run_grid_ablation_set_30pms", |b| {
+        b.iter(|| {
+            let results = run_grid(&grid, &Algorithm::ABLATION_SET, Some(1), false);
+            black_box(ablation_summary(&results))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5, grid_figures, ablation_figure);
+criterion_main!(benches);

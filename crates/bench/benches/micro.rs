@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the hot paths every simulated round exercises:
+//! state calibration, Bellman updates, table merging and similarity,
+//! Cyclon shuffling, trace synthesis, demand stepping and BFD packing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use glap_baselines::bfd_pack;
+use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
+use glap_cyclon::CyclonOverlay;
+use glap_dcsim::{stream_rng, Stream};
+use glap_qlearn::{PmState, QParams, QTables, VmAction};
+use glap_workload::GoogleLikeTraceGen;
+use rand::Rng;
+use std::hint::black_box;
+
+fn calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pm_state_from_utilization", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.0137) % 1.0;
+            black_box(PmState::from_utilization(Resources::new(x, 1.0 - x)))
+        })
+    });
+    g.finish();
+}
+
+fn qlearning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qlearn");
+    g.bench_function("bellman_update", |b| {
+        let mut q = QTables::new(QParams::default());
+        let s = PmState::from_utilization(Resources::new(0.75, 0.5));
+        let a = VmAction::from_demand(Resources::new(0.15, 0.1));
+        let s_next = PmState::from_utilization(Resources::new(0.45, 0.3));
+        b.iter(|| {
+            q.train_out(black_box(s), black_box(a), black_box(s_next));
+            q.train_in(black_box(s), black_box(a), black_box(s_next));
+        })
+    });
+
+    let mut rng = stream_rng(1, Stream::Custom(1));
+    let dense = |rng: &mut glap_dcsim::SimRng| {
+        let mut t = QTables::new(QParams::default());
+        for s in PmState::all() {
+            for a in VmAction::all() {
+                t.out.set(s, a, rng.gen::<f64>());
+                t.r#in.set(s, a, rng.gen::<f64>() - 0.5);
+            }
+        }
+        t
+    };
+    let t1 = dense(&mut rng);
+    let t2 = dense(&mut rng);
+    g.bench_function("merge_dense_tables", |b| {
+        b.iter_batched(
+            || t1.clone(),
+            |mut t| {
+                t.merge(&t2);
+                black_box(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cosine_similarity_dense", |b| {
+        b.iter(|| black_box(t1.cosine_similarity(&t2)))
+    });
+    g.finish();
+}
+
+fn cyclon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cyclon");
+    for &n in &[100usize, 1000] {
+        g.bench_function(format!("overlay_round_{n}"), |b| {
+            let mut rng = stream_rng(2, Stream::Overlay);
+            let mut o = CyclonOverlay::new(n, 8, 4);
+            o.bootstrap_random(&mut rng);
+            b.iter(|| {
+                o.run_round(&mut rng);
+                black_box(o.node(0).view_size())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(100 * 720));
+    g.bench_function("google_trace_100vms_720rounds", |b| {
+        let gen = GoogleLikeTraceGen::default_stats();
+        let mut rng = stream_rng(3, Stream::Trace);
+        b.iter(|| black_box(gen.generate(100, 720, &mut rng)))
+    });
+    g.finish();
+}
+
+fn datacenter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datacenter");
+    let build = |n_pms: usize, ratio: usize| {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        for _ in 0..n_pms * ratio {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        dc.random_placement(&mut stream_rng(4, Stream::Placement));
+        dc
+    };
+    for &n in &[500usize, 2000] {
+        g.bench_function(format!("step_{n}pms_ratio3"), |b| {
+            let mut dc = build(n, 3);
+            let mut src = |vm: VmId, r: u64| {
+                Resources::splat(((vm.0 as u64 + r) % 100) as f64 / 100.0)
+            };
+            b.iter(|| {
+                dc.step(&mut src);
+                black_box(dc.round())
+            })
+        });
+    }
+    g.bench_function("migrate_roundtrip", |b| {
+        let mut dc = build(2, 1);
+        let mut src = |_: VmId, _: u64| Resources::splat(0.5);
+        dc.step(&mut src);
+        // Bounce the VM between the two PMs, starting opposite its
+        // (random) initial host.
+        let mut to = dc.vm(VmId(0)).host.expect("placed").0 ^ 1;
+        b.iter(|| {
+            let rec = dc.migrate(VmId(0), glap_cluster::PmId(to)).unwrap();
+            to ^= 1;
+            black_box(rec)
+        })
+    });
+    g.finish();
+}
+
+fn packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfd");
+    let mut rng = stream_rng(5, Stream::Custom(2));
+    for &n in &[1000usize, 4000] {
+        let demands: Vec<Resources> = (0..n)
+            .map(|_| Resources::new(rng.gen::<f64>() * 0.2, rng.gen::<f64>() * 0.15))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("pack_{n}_vms"), |b| {
+            b.iter(|| black_box(bfd_pack(&demands)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, calibration, qlearning, cyclon, workload, datacenter, packing);
+criterion_main!(benches);

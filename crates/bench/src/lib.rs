@@ -1,0 +1,12 @@
+//! # glap-bench — benchmark harness
+//!
+//! This crate carries the Criterion benchmark targets:
+//!
+//! * `figures` — one benchmark per paper figure/table, running the same
+//!   code paths as the full-scale experiment binaries at reduced scale;
+//! * `micro` — hot-path micro-benchmarks (calibration, Bellman updates,
+//!   table merges, Cyclon rounds, trace synthesis, demand stepping, BFD);
+//! * `ablations` — runtime cost of each GLAP design choice on identical
+//!   worlds.
+//!
+//! Run with `cargo bench -p glap-bench` (or `cargo bench --workspace`).

@@ -1,0 +1,603 @@
+//! The data-center state: PM and VM tables, demand stepping, placement and
+//! live migration.
+//!
+//! `DataCenter` is the single mutable world-state that every consolidation
+//! policy (GLAP and the baselines) operates on through the same interface,
+//! which guarantees the comparison uses identical mechanics: demands come
+//! from a [`DemandSource`] (a workload trace), migrations are accounted with
+//! the same duration/energy/degradation model, and SLA counters advance the
+//! same way for all policies.
+
+use crate::ids::{PmId, VmId};
+use crate::pm::{Pm, PmSpec, PowerState};
+use crate::topology::Topology;
+use crate::power::{MigrationModel, PowerModel};
+use crate::resources::Resources;
+use crate::vm::{Vm, VmSpec};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Supplies per-VM utilization observations, one per simulated round.
+///
+/// Values are the fraction of the VM's *nominal* allocation in use per
+/// resource, each component in `[0, 1]`. Implemented by the trace types in
+/// the `glap-workload` crate.
+pub trait DemandSource {
+    /// Utilization-of-nominal for `vm` at `round`.
+    fn demand(&mut self, vm: VmId, round: u64) -> Resources;
+}
+
+/// Blanket impl so closures can act as demand sources in tests.
+impl<F> DemandSource for F
+where
+    F: FnMut(VmId, u64) -> Resources,
+{
+    fn demand(&mut self, vm: VmId, round: u64) -> Resources {
+        self(vm, round)
+    }
+}
+
+/// Static configuration of a simulated data center.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataCenterConfig {
+    /// Number of physical machines.
+    pub n_pms: usize,
+    /// Hardware model of every (homogeneous) PM.
+    pub pm_spec: PmSpec,
+    /// Wall-clock seconds one simulated round represents (the paper: 120 s).
+    pub round_seconds: f64,
+    /// Live-migration cost model.
+    pub migration: MigrationModel,
+    /// Optional rack topology. When present, inter-rack migrations get a
+    /// reduced bandwidth share (longer, costlier transfers) and switch
+    /// power can be accounted per rack.
+    pub topology: Option<Topology>,
+}
+
+impl DataCenterConfig {
+    /// The paper's configuration for a given cluster size: ML110 G5
+    /// servers, 2-minute rounds.
+    pub fn paper(n_pms: usize) -> Self {
+        DataCenterConfig {
+            n_pms,
+            pm_spec: PmSpec::HP_PROLIANT_ML110_G5,
+            round_seconds: 120.0,
+            migration: MigrationModel::default(),
+            topology: None,
+        }
+    }
+
+    /// Same, with a rack topology (the future-work extension).
+    pub fn paper_with_topology(n_pms: usize, topology: Topology) -> Self {
+        DataCenterConfig { topology: Some(topology), ..Self::paper(n_pms) }
+    }
+}
+
+/// One completed live migration, with its full cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Round in which the migration happened.
+    pub round: u64,
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Source PM.
+    pub from: PmId,
+    /// Destination PM.
+    pub to: PmId,
+    /// Transfer duration in seconds.
+    pub tau_s: f64,
+    /// Energy overhead in joules (paper Eq. 3).
+    pub energy_j: f64,
+}
+
+/// Why a migration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationError {
+    /// The VM is not currently placed on any PM.
+    VmNotPlaced,
+    /// Source and destination are the same PM.
+    SamePm,
+    /// The destination PM is sleeping.
+    DestinationSleeping,
+}
+
+/// The full mutable simulation state.
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    cfg: DataCenterConfig,
+    power: PowerModel,
+    pms: Vec<Pm>,
+    vms: Vec<Vm>,
+    round: u64,
+    /// Migrations performed since the last [`DataCenter::take_migrations`].
+    pending_migrations: Vec<MigrationRecord>,
+    /// Lifetime migration counter.
+    total_migrations: u64,
+    /// Lifetime migration energy in joules.
+    total_migration_energy_j: f64,
+}
+
+impl DataCenter {
+    /// Creates a data center with `cfg.n_pms` active, empty PMs and no VMs.
+    pub fn new(cfg: DataCenterConfig) -> Self {
+        let pms = (0..cfg.n_pms).map(|i| Pm::new(PmId(i as u32))).collect();
+        DataCenter {
+            power: PowerModel::from_spec(&cfg.pm_spec),
+            cfg,
+            pms,
+            vms: Vec::new(),
+            round: 0,
+            pending_migrations: Vec::new(),
+            total_migrations: 0,
+            total_migration_energy_j: 0.0,
+        }
+    }
+
+    /// The static configuration.
+    #[inline]
+    pub fn config(&self) -> &DataCenterConfig {
+        &self.cfg
+    }
+
+    /// The power model of the (homogeneous) PMs.
+    #[inline]
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Current round number (count of completed [`DataCenter::step`]s).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Registers a new, unplaced VM and returns its id.
+    pub fn add_vm(&mut self, spec: VmSpec) -> VmId {
+        let id = VmId(self.vms.len() as u32);
+        self.vms.push(Vm::new(id, spec, self.cfg.pm_spec.capacity()));
+        id
+    }
+
+    /// Number of PMs.
+    #[inline]
+    pub fn n_pms(&self) -> usize {
+        self.pms.len()
+    }
+
+    /// Number of VMs.
+    #[inline]
+    pub fn n_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Immutable PM access.
+    #[inline]
+    pub fn pm(&self, id: PmId) -> &Pm {
+        &self.pms[id.index()]
+    }
+
+    /// Immutable VM access.
+    #[inline]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.index()]
+    }
+
+    /// Iterates over all PMs.
+    pub fn pms(&self) -> impl Iterator<Item = &Pm> {
+        self.pms.iter()
+    }
+
+    /// Iterates over all VMs.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.iter()
+    }
+
+    /// Ids of all active PMs.
+    pub fn active_pm_ids(&self) -> impl Iterator<Item = PmId> + '_ {
+        self.pms.iter().filter(|p| p.is_active()).map(|p| p.id)
+    }
+
+    /// Count of active PMs.
+    pub fn active_pm_count(&self) -> usize {
+        self.pms.iter().filter(|p| p.is_active()).count()
+    }
+
+    /// Count of overloaded PMs (aggregate demand at/over capacity in at
+    /// least one resource).
+    pub fn overloaded_pm_count(&self) -> usize {
+        self.pms.iter().filter(|p| p.is_active() && p.is_overloaded()).count()
+    }
+
+    /// Remaining capacity of a PM as a fraction vector (zero floor).
+    pub fn free_capacity(&self, pm: PmId) -> Resources {
+        (Resources::FULL - self.pm(pm).demand()).max(Resources::ZERO)
+    }
+
+    /// Removes a VM from the system (departure). Its slot is retained for
+    /// stable ids and final SLA accounting. Returns `false` if the VM had
+    /// already departed.
+    pub fn remove_vm(&mut self, vm_id: VmId) -> bool {
+        if self.vms[vm_id.index()].departed {
+            return false;
+        }
+        if let Some(host) = self.vms[vm_id.index()].host {
+            let (current, avg) = {
+                let vm = &self.vms[vm_id.index()];
+                (vm.current, vm.avg.value())
+            };
+            self.pms[host.index()].detach(vm_id, current, avg);
+        }
+        let vm = &mut self.vms[vm_id.index()];
+        vm.host = None;
+        vm.departed = true;
+        vm.current = Resources::ZERO;
+        true
+    }
+
+    /// Places an unplaced VM on an active PM (initial allocation). Panics
+    /// if the VM is already placed, departed, or the PM is sleeping —
+    /// placement bugs should fail loudly.
+    pub fn place(&mut self, vm_id: VmId, pm_id: PmId) {
+        assert!(!self.vms[vm_id.index()].departed, "placing a departed VM");
+        assert!(self.vms[vm_id.index()].host.is_none(), "VM already placed");
+        assert!(self.pms[pm_id.index()].is_active(), "placing on sleeping PM");
+        let (current, avg) = {
+            let vm = &self.vms[vm_id.index()];
+            (vm.current, vm.avg.value())
+        };
+        self.pms[pm_id.index()].attach(vm_id, current, avg);
+        self.vms[vm_id.index()].host = Some(pm_id);
+    }
+
+    /// Uniform-random initial placement of all unplaced VMs over all PMs —
+    /// the paper's starting condition ("at the beginning, the VMs are
+    /// randomly allocated to the PMs"). The same RNG seed reproduces the
+    /// same mapping, which the paper requires to be identical across the
+    /// compared algorithms.
+    pub fn random_placement<R: Rng>(&mut self, rng: &mut R) {
+        let unplaced: Vec<VmId> =
+            self.vms.iter().filter(|v| v.host.is_none() && !v.departed).map(|v| v.id).collect();
+        let active: Vec<PmId> = self.active_pm_ids().collect();
+        assert!(!active.is_empty(), "no active PM to place on");
+        for vm in unplaced {
+            let pm = *active.choose(rng).expect("non-empty");
+            self.place(vm, pm);
+        }
+    }
+
+    /// Advances one simulated round: pulls a fresh demand observation for
+    /// every placed VM, recomputes PM aggregates exactly (no incremental
+    /// drift), and advances SLA accounting.
+    pub fn step<D: DemandSource + ?Sized>(&mut self, source: &mut D) {
+        let round = self.round;
+        let secs = self.cfg.round_seconds;
+        for vm in &mut self.vms {
+            if vm.host.is_some() {
+                let u = source.demand(vm.id, round);
+                vm.observe(u, secs);
+            }
+        }
+        // Exact aggregate recomputation once per round.
+        let mut current = vec![Resources::ZERO; self.pms.len()];
+        let mut avg = vec![Resources::ZERO; self.pms.len()];
+        for vm in &self.vms {
+            if let Some(host) = vm.host {
+                current[host.index()] += vm.current;
+                avg[host.index()] += vm.avg.value();
+            }
+        }
+        for (pm, (c, a)) in self.pms.iter_mut().zip(current.into_iter().zip(avg)) {
+            pm.set_aggregates(c, a);
+            pm.tick_sla();
+        }
+        self.round += 1;
+    }
+
+    /// Live-migrates `vm` to `to`, accounting duration, energy (Eq. 3) and
+    /// the 10% CPU degradation on the VM (SLALM). Capacity is *not*
+    /// enforced here — admission control is the consolidation policy's
+    /// decision (GLAP's `in`-table veto, GRMP's threshold, …), and letting
+    /// a policy overload a PM is exactly what the paper measures.
+    pub fn migrate(&mut self, vm_id: VmId, to: PmId) -> Result<MigrationRecord, MigrationError> {
+        let from = self.vms[vm_id.index()].host.ok_or(MigrationError::VmNotPlaced)?;
+        if from == to {
+            return Err(MigrationError::SamePm);
+        }
+        if !self.pms[to.index()].is_active() {
+            return Err(MigrationError::DestinationSleeping);
+        }
+
+        let (current, avg_v, mem_mb, cpu_util_of_nominal) = {
+            let vm = &self.vms[vm_id.index()];
+            let cpu_of_nominal = if vm.nominal_frac.cpu() > 0.0 {
+                vm.current.cpu() / vm.nominal_frac.cpu()
+            } else {
+                0.0
+            };
+            (vm.current, vm.avg.value(), vm.mem_demand_mb(), cpu_of_nominal)
+        };
+
+        // Inter-rack transfers cross the oversubscribed aggregation layer.
+        let bw_factor = self.cfg.topology.map_or(1.0, |t| t.bandwidth_factor(from, to));
+        let tau_s =
+            self.cfg.migration.duration_s(mem_mb, self.cfg.pm_spec.net_mbps * bw_factor);
+        let src_util = self.pms[from.index()].utilization().cpu();
+        let dst_util = self.pms[to.index()].utilization().cpu();
+        let energy_j = self.cfg.migration.energy_j(&self.power, src_util, dst_util, tau_s);
+
+        self.pms[from.index()].detach(vm_id, current, avg_v);
+        self.pms[to.index()].attach(vm_id, current, avg_v);
+        self.vms[vm_id.index()].host = Some(to);
+        self.vms[vm_id.index()].record_migration(cpu_util_of_nominal, tau_s);
+
+        let rec = MigrationRecord { round: self.round, vm: vm_id, from, to, tau_s, energy_j };
+        self.pending_migrations.push(rec);
+        self.total_migrations += 1;
+        self.total_migration_energy_j += energy_j;
+        Ok(rec)
+    }
+
+    /// Switches an *empty* PM to sleep. Returns `false` (and does nothing)
+    /// if the PM still hosts VMs or is already sleeping.
+    pub fn sleep_if_empty(&mut self, pm: PmId) -> bool {
+        let p = &mut self.pms[pm.index()];
+        if p.is_active() && p.is_empty() {
+            p.power = PowerState::Sleeping;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wakes a sleeping PM. Returns `false` if it was already active.
+    pub fn wake(&mut self, pm: PmId) -> bool {
+        let p = &mut self.pms[pm.index()];
+        if p.is_active() {
+            false
+        } else {
+            p.power = PowerState::Active;
+            true
+        }
+    }
+
+    /// Drains the migrations performed since the previous call (used by
+    /// per-round metric collectors).
+    pub fn take_migrations(&mut self) -> Vec<MigrationRecord> {
+        std::mem::take(&mut self.pending_migrations)
+    }
+
+    /// Lifetime migration count.
+    #[inline]
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Lifetime migration energy overhead in joules.
+    #[inline]
+    pub fn total_migration_energy_j(&self) -> f64 {
+        self.total_migration_energy_j
+    }
+
+    /// Debug-time invariant check: every placed VM appears on exactly its
+    /// host's list, aggregates match, sleeping PMs are empty. Used by tests
+    /// and `debug_assert!`s in the harness.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for pm in &self.pms {
+            if !pm.is_active() && !pm.is_empty() {
+                return Err(format!("{} sleeps but hosts {} VMs", pm.id, pm.vm_count()));
+            }
+            let mut sum = Resources::ZERO;
+            for &vm in &pm.vms {
+                let v = &self.vms[vm.index()];
+                if v.host != Some(pm.id) {
+                    return Err(format!("{vm} listed on {} but hosted on {:?}", pm.id, v.host));
+                }
+                sum += v.current;
+            }
+            if (sum.cpu() - pm.demand().cpu()).abs() > 1e-6
+                || (sum.mem() - pm.demand().mem()).abs() > 1e-6
+            {
+                return Err(format!("{} aggregate drift", pm.id));
+            }
+        }
+        for vm in &self.vms {
+            if let Some(host) = vm.host {
+                if !self.pms[host.index()].vms.contains(&vm.id) {
+                    return Err(format!("{} claims host {host} which does not list it", vm.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_dc(n_pms: usize, n_vms: usize) -> DataCenter {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        for _ in 0..n_vms {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        dc
+    }
+
+    #[test]
+    fn construction_counts() {
+        let dc = small_dc(4, 8);
+        assert_eq!(dc.n_pms(), 4);
+        assert_eq!(dc.n_vms(), 8);
+        assert_eq!(dc.active_pm_count(), 4);
+        assert_eq!(dc.overloaded_pm_count(), 0);
+    }
+
+    #[test]
+    fn random_placement_places_everything() {
+        let mut dc = small_dc(4, 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        dc.random_placement(&mut rng);
+        assert!(dc.vms().all(|v| v.host.is_some()));
+        assert_eq!(dc.pms().map(|p| p.vm_count()).sum::<usize>(), 8);
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_placement_is_seed_deterministic() {
+        let mut a = small_dc(8, 16);
+        let mut b = small_dc(8, 16);
+        a.random_placement(&mut SmallRng::seed_from_u64(7));
+        b.random_placement(&mut SmallRng::seed_from_u64(7));
+        for (va, vb) in a.vms().zip(b.vms()) {
+            assert_eq!(va.host, vb.host);
+        }
+    }
+
+    #[test]
+    fn step_updates_demands_and_round() {
+        let mut dc = small_dc(2, 2);
+        dc.place(VmId(0), PmId(0));
+        dc.place(VmId(1), PmId(0));
+        let mut src = |_vm: VmId, _round: u64| Resources::new(1.0, 1.0);
+        dc.step(&mut src);
+        assert_eq!(dc.round(), 1);
+        let expect = dc.vm(VmId(0)).nominal_frac * 2.0;
+        assert!((dc.pm(PmId(0)).demand().cpu() - expect.cpu()).abs() < 1e-12);
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_moves_vm_and_records_costs() {
+        let mut dc = small_dc(2, 1);
+        dc.place(VmId(0), PmId(0));
+        let mut src = |_: VmId, _: u64| Resources::new(0.5, 0.5);
+        dc.step(&mut src);
+        let rec = dc.migrate(VmId(0), PmId(1)).unwrap();
+        assert_eq!(rec.from, PmId(0));
+        assert_eq!(rec.to, PmId(1));
+        assert!(rec.tau_s > 0.0);
+        assert!(rec.energy_j > 0.0);
+        assert_eq!(dc.vm(VmId(0)).host, Some(PmId(1)));
+        assert_eq!(dc.pm(PmId(0)).vm_count(), 0);
+        assert_eq!(dc.pm(PmId(1)).vm_count(), 1);
+        assert_eq!(dc.total_migrations(), 1);
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_rejects_unplaced_same_pm_and_sleeping() {
+        let mut dc = small_dc(2, 2);
+        assert_eq!(dc.migrate(VmId(0), PmId(1)), Err(MigrationError::VmNotPlaced));
+        dc.place(VmId(0), PmId(0));
+        assert_eq!(dc.migrate(VmId(0), PmId(0)), Err(MigrationError::SamePm));
+        assert!(dc.sleep_if_empty(PmId(1)));
+        assert_eq!(dc.migrate(VmId(0), PmId(1)), Err(MigrationError::DestinationSleeping));
+    }
+
+    #[test]
+    fn sleep_only_when_empty_wake_roundtrip() {
+        let mut dc = small_dc(2, 1);
+        dc.place(VmId(0), PmId(0));
+        assert!(!dc.sleep_if_empty(PmId(0)));
+        assert!(dc.sleep_if_empty(PmId(1)));
+        assert!(!dc.sleep_if_empty(PmId(1)));
+        assert_eq!(dc.active_pm_count(), 1);
+        assert!(dc.wake(PmId(1)));
+        assert!(!dc.wake(PmId(1)));
+        assert_eq!(dc.active_pm_count(), 2);
+    }
+
+    #[test]
+    fn take_migrations_drains() {
+        let mut dc = small_dc(2, 1);
+        dc.place(VmId(0), PmId(0));
+        let mut src = |_: VmId, _: u64| Resources::new(0.5, 0.5);
+        dc.step(&mut src);
+        dc.migrate(VmId(0), PmId(1)).unwrap();
+        assert_eq!(dc.take_migrations().len(), 1);
+        assert!(dc.take_migrations().is_empty());
+        assert_eq!(dc.total_migrations(), 1);
+    }
+
+    #[test]
+    fn overload_detection_via_step() {
+        let mut dc = small_dc(1, 8);
+        for i in 0..8 {
+            dc.place(VmId(i), PmId(0));
+        }
+        // 8 VMs at full demand: CPU 8*500/2660 > 1 → overloaded.
+        let mut src = |_: VmId, _: u64| Resources::new(1.0, 1.0);
+        dc.step(&mut src);
+        assert_eq!(dc.overloaded_pm_count(), 1);
+        assert!(dc.pm(PmId(0)).cpu_saturated());
+        assert_eq!(dc.pm(PmId(0)).saturated_rounds, 1);
+    }
+
+    #[test]
+    fn free_capacity_has_zero_floor() {
+        let mut dc = small_dc(1, 8);
+        for i in 0..8 {
+            dc.place(VmId(i), PmId(0));
+        }
+        let mut src = |_: VmId, _: u64| Resources::new(1.0, 1.0);
+        dc.step(&mut src);
+        let free = dc.free_capacity(PmId(0));
+        assert_eq!(free.cpu(), 0.0);
+    }
+
+    #[test]
+    fn inter_rack_migration_is_slower_and_costlier() {
+        use crate::topology::Topology;
+        let topo = Topology { pms_per_rack: 2, inter_rack_bw_factor: 0.25, switch_watts: 150.0 };
+        let mut dc = DataCenter::new(DataCenterConfig::paper_with_topology(4, topo));
+        dc.add_vm(VmSpec::EC2_MICRO);
+        dc.place(VmId(0), PmId(0));
+        let mut src = |_: VmId, _: u64| Resources::splat(0.5);
+        dc.step(&mut src);
+        let intra = dc.migrate(VmId(0), PmId(1)).unwrap(); // same rack
+        let inter = dc.migrate(VmId(0), PmId(2)).unwrap(); // crosses racks
+        assert!((inter.tau_s - 4.0 * intra.tau_s).abs() < 1e-9);
+        assert!(inter.energy_j > intra.energy_j);
+    }
+
+    #[test]
+    fn remove_vm_detaches_and_marks_departed() {
+        let mut dc = small_dc(2, 2);
+        dc.place(VmId(0), PmId(0));
+        let mut src = |_: VmId, _: u64| Resources::splat(0.5);
+        dc.step(&mut src);
+        assert!(dc.remove_vm(VmId(0)));
+        assert!(!dc.remove_vm(VmId(0)), "double removal must be a no-op");
+        assert_eq!(dc.pm(PmId(0)).vm_count(), 0);
+        assert!(dc.vm(VmId(0)).departed);
+        assert_eq!(dc.vm(VmId(0)).host, None);
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "placing a departed VM")]
+    fn departed_vm_cannot_be_placed() {
+        let mut dc = small_dc(2, 1);
+        dc.remove_vm(VmId(0));
+        dc.place(VmId(0), PmId(0));
+    }
+
+    #[test]
+    fn random_placement_skips_departed() {
+        let mut dc = small_dc(2, 4);
+        dc.remove_vm(VmId(3));
+        let mut rng = SmallRng::seed_from_u64(2);
+        dc.random_placement(&mut rng);
+        assert_eq!(dc.pms().map(|p| p.vm_count()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn invariant_checker_catches_drift() {
+        let mut dc = small_dc(2, 1);
+        dc.place(VmId(0), PmId(0));
+        assert!(dc.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,57 @@
+//! # glap-cluster — cloud data-center substrate
+//!
+//! The physical substrate every consolidation algorithm in this workspace
+//! runs on: resource vectors, VM/PM models, demand stepping, live migration
+//! with energy/degradation accounting, and power models — the parts of the
+//! GLAP paper's evaluation environment that PeerSim did not provide and the
+//! authors had to add.
+//!
+//! Hardware defaults match §V-A of the paper: HP ProLiant ML110 G5 servers
+//! (2660 MIPS, 4 GB, 10 Gb/s) hosting EC2-micro-sized VMs (500 MIPS,
+//! 613 MB), 2-minute rounds.
+//!
+//! ```
+//! use glap_cluster::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut dc = DataCenter::new(DataCenterConfig::paper(10));
+//! for _ in 0..20 {
+//!     dc.add_vm(VmSpec::EC2_MICRO);
+//! }
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! dc.random_placement(&mut rng);
+//!
+//! // Drive one round at 50% demand everywhere.
+//! let mut trace = |_vm: VmId, _round: u64| Resources::splat(0.5);
+//! dc.step(&mut trace);
+//! assert_eq!(dc.round(), 1);
+//! ```
+
+pub mod datacenter;
+pub mod ids;
+pub mod pm;
+pub mod power;
+pub mod resources;
+pub mod topology;
+pub mod vm;
+
+pub use datacenter::{DataCenter, DataCenterConfig, DemandSource, MigrationError, MigrationRecord};
+pub use ids::{PmId, VmId};
+pub use pm::{Pm, PmSpec, PowerState};
+pub use power::{MigrationModel, PowerModel};
+pub use resources::{Resource, Resources, RunningAvg, NUM_RESOURCES};
+pub use topology::{RackId, Topology};
+pub use vm::{Vm, VmProfile, VmSpec};
+
+/// Convenient glob import of the crate's main types.
+pub mod prelude {
+    pub use crate::datacenter::{
+        DataCenter, DataCenterConfig, DemandSource, MigrationError, MigrationRecord,
+    };
+    pub use crate::ids::{PmId, VmId};
+    pub use crate::pm::{Pm, PmSpec, PowerState};
+    pub use crate::power::{MigrationModel, PowerModel};
+    pub use crate::resources::{Resource, Resources, RunningAvg};
+    pub use crate::topology::{RackId, Topology};
+    pub use crate::vm::{Vm, VmProfile, VmSpec};
+}

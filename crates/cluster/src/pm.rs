@@ -1,0 +1,266 @@
+//! Physical machine model.
+//!
+//! PMs are homogeneous HP ProLiant ML110 G5 servers in the paper's
+//! evaluation (2660 MIPS CPU, 4 GB memory, 10 Gb/s network). A PM is either
+//! `Active` or `Sleeping`; sleeping PMs host no VMs and leave the gossip
+//! overlay. Per-PM aggregates of current and average VM demand are cached
+//! and maintained incrementally so the per-round hot path never rescans VM
+//! lists.
+
+use crate::ids::{PmId, VmId};
+use crate::resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a PM model in absolute units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmSpec {
+    /// CPU capacity in MIPS.
+    pub cpu_mips: f64,
+    /// Memory capacity in MB.
+    pub mem_mb: f64,
+    /// Network bandwidth in Mbit/s.
+    pub net_mbps: f64,
+    /// Idle power draw in watts.
+    pub idle_watts: f64,
+    /// Full-load power draw in watts.
+    pub max_watts: f64,
+}
+
+impl PmSpec {
+    /// HP ProLiant ML110 G5 as configured in §V-A, with SPECpower-derived
+    /// power figures (idle 93.7 W, full load 135 W) as used by the paper's
+    /// reference \[10\].
+    pub const HP_PROLIANT_ML110_G5: PmSpec = PmSpec {
+        cpu_mips: 2660.0,
+        mem_mb: 4096.0,
+        net_mbps: 10_000.0,
+        idle_watts: 93.7,
+        max_watts: 135.0,
+    };
+
+    /// Capacity as a resource vector in absolute units.
+    #[inline]
+    pub fn capacity(&self) -> Resources {
+        Resources::new(self.cpu_mips, self.mem_mb)
+    }
+}
+
+/// Power state of a PM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Serving VMs (or idling while switched on).
+    Active,
+    /// Switched off / suspended; consumes no power and hosts no VMs.
+    Sleeping,
+}
+
+/// A physical machine: hosted VM set plus cached demand aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pm {
+    /// This PM's identifier.
+    pub id: PmId,
+    /// Power state.
+    pub power: PowerState,
+    /// Hosted VMs. Order is not meaningful.
+    pub vms: Vec<VmId>,
+    /// Sum of hosted VMs' *current* demand (fraction of capacity).
+    used_current: Resources,
+    /// Sum of hosted VMs' *average* demand (fraction of capacity).
+    used_avg: Resources,
+    /// Rounds spent active (denominator `T_a` of SLAVO).
+    pub active_rounds: u64,
+    /// Rounds spent with CPU at 100% while active (numerator `T_s`).
+    pub saturated_rounds: u64,
+}
+
+impl Pm {
+    /// Creates an active, empty PM.
+    pub fn new(id: PmId) -> Self {
+        Pm {
+            id,
+            power: PowerState::Active,
+            vms: Vec::new(),
+            used_current: Resources::ZERO,
+            used_avg: Resources::ZERO,
+            active_rounds: 0,
+            saturated_rounds: 0,
+        }
+    }
+
+    /// `true` when the PM is switched on.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.power == PowerState::Active
+    }
+
+    /// Current utilization per resource, as a fraction of capacity, capped
+    /// at 1.0 (a PM cannot deliver more than its capacity; excess demand is
+    /// what SLA violations measure).
+    #[inline]
+    pub fn utilization(&self) -> Resources {
+        self.used_current.clamp(0.0, 1.0)
+    }
+
+    /// Raw aggregate of current VM demand; may exceed 1.0 when overloaded.
+    #[inline]
+    pub fn demand(&self) -> Resources {
+        self.used_current
+    }
+
+    /// Aggregate of hosted VMs' running-average demand, capped at 1.0 —
+    /// this is the PM-state input of the paper's calibration ("the state of
+    /// a PM before performing an action \[is\] calculated according to the
+    /// average VMs demand").
+    #[inline]
+    pub fn avg_utilization(&self) -> Resources {
+        self.used_avg.clamp(0.0, 1.0)
+    }
+
+    /// Raw aggregate of average demand (may exceed 1.0).
+    #[inline]
+    pub fn avg_demand(&self) -> Resources {
+        self.used_avg
+    }
+
+    /// `true` when aggregate current demand reaches capacity in at least
+    /// one resource — the paper's overload condition (`x = 1`).
+    #[inline]
+    pub fn is_overloaded(&self) -> bool {
+        self.used_current.any_reaches(Resources::FULL)
+    }
+
+    /// `true` when the CPU specifically is saturated (SLAVO condition).
+    #[inline]
+    pub fn cpu_saturated(&self) -> bool {
+        self.used_current.cpu() >= 1.0 - 1e-9
+    }
+
+    /// Number of hosted VMs.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// `true` when the PM hosts no VMs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Registers a VM with the given demand aggregates (placement or
+    /// migration in).
+    pub(crate) fn attach(&mut self, vm: VmId, current: Resources, avg: Resources) {
+        debug_assert!(self.is_active(), "cannot attach a VM to a sleeping PM");
+        debug_assert!(!self.vms.contains(&vm));
+        self.vms.push(vm);
+        self.used_current += current;
+        self.used_avg += avg;
+    }
+
+    /// Removes a VM with the given demand aggregates (migration out).
+    pub(crate) fn detach(&mut self, vm: VmId, current: Resources, avg: Resources) {
+        let pos = self.vms.iter().position(|&v| v == vm).expect("detach of non-hosted VM");
+        self.vms.swap_remove(pos);
+        self.used_current -= current;
+        self.used_avg -= avg;
+        if self.vms.is_empty() {
+            // Kill accumulated floating-point drift when the PM empties.
+            self.used_current = Resources::ZERO;
+            self.used_avg = Resources::ZERO;
+        }
+    }
+
+    /// Replaces the cached aggregates (called once per round after demand
+    /// stepping recomputes them exactly).
+    pub(crate) fn set_aggregates(&mut self, current: Resources, avg: Resources) {
+        self.used_current = current;
+        self.used_avg = avg;
+    }
+
+    /// Advances the SLAVO accounting by one round.
+    pub(crate) fn tick_sla(&mut self) {
+        if self.is_active() {
+            self.active_rounds += 1;
+            if self.cpu_saturated() {
+                self.saturated_rounds += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pm_is_active_and_empty() {
+        let pm = Pm::new(PmId(0));
+        assert!(pm.is_active());
+        assert!(pm.is_empty());
+        assert_eq!(pm.utilization(), Resources::ZERO);
+        assert!(!pm.is_overloaded());
+    }
+
+    #[test]
+    fn attach_detach_maintain_aggregates() {
+        let mut pm = Pm::new(PmId(0));
+        pm.attach(VmId(1), Resources::new(0.3, 0.2), Resources::new(0.25, 0.15));
+        pm.attach(VmId(2), Resources::new(0.4, 0.1), Resources::new(0.35, 0.05));
+        assert_eq!(pm.vm_count(), 2);
+        assert!((pm.demand().cpu() - 0.7).abs() < 1e-12);
+        assert!((pm.avg_demand().cpu() - 0.6).abs() < 1e-12);
+        pm.detach(VmId(1), Resources::new(0.3, 0.2), Resources::new(0.25, 0.15));
+        assert_eq!(pm.vm_count(), 1);
+        assert!((pm.demand().cpu() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detach_last_vm_zeroes_aggregates() {
+        let mut pm = Pm::new(PmId(0));
+        pm.attach(VmId(1), Resources::new(0.1, 0.1), Resources::new(0.1, 0.1));
+        pm.detach(VmId(1), Resources::new(0.1, 0.1), Resources::new(0.1, 0.1));
+        assert_eq!(pm.demand(), Resources::ZERO);
+        assert_eq!(pm.avg_demand(), Resources::ZERO);
+    }
+
+    #[test]
+    fn overload_on_any_resource() {
+        let mut pm = Pm::new(PmId(0));
+        pm.attach(VmId(1), Resources::new(0.5, 1.0), Resources::ZERO);
+        assert!(pm.is_overloaded());
+        assert!(!pm.cpu_saturated());
+    }
+
+    #[test]
+    fn utilization_is_capped_but_demand_is_not() {
+        let mut pm = Pm::new(PmId(0));
+        pm.attach(VmId(1), Resources::new(1.4, 0.5), Resources::ZERO);
+        assert_eq!(pm.utilization().cpu(), 1.0);
+        assert!((pm.demand().cpu() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sla_ticks_count_saturation_only_when_active() {
+        let mut pm = Pm::new(PmId(0));
+        pm.attach(VmId(1), Resources::new(1.0, 0.2), Resources::ZERO);
+        pm.tick_sla();
+        assert_eq!(pm.active_rounds, 1);
+        assert_eq!(pm.saturated_rounds, 1);
+        pm.power = PowerState::Sleeping;
+        pm.tick_sla();
+        assert_eq!(pm.active_rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "detach of non-hosted VM")]
+    fn detach_unknown_vm_panics() {
+        let mut pm = Pm::new(PmId(0));
+        pm.detach(VmId(5), Resources::ZERO, Resources::ZERO);
+    }
+
+    #[test]
+    fn spec_capacity_vector() {
+        let cap = PmSpec::HP_PROLIANT_ML110_G5.capacity();
+        assert_eq!(cap, Resources::new(2660.0, 4096.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the data-center substrate: invariants must hold
+//! under arbitrary sequences of demand updates, migrations and sleep/wake
+//! operations.
+
+use glap_cluster::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One scripted operation against the data center.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Step one round with a uniform demand level.
+    Step(f64),
+    /// Attempt migrating VM (index mod n_vms) to PM (index mod n_pms).
+    Migrate(u8, u8),
+    /// Attempt to sleep a PM.
+    Sleep(u8),
+    /// Attempt to wake a PM.
+    Wake(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(Op::Step),
+        (any::<u8>(), any::<u8>()).prop_map(|(v, p)| Op::Migrate(v, p)),
+        any::<u8>().prop_map(Op::Sleep),
+        any::<u8>().prop_map(Op::Wake),
+    ]
+}
+
+fn build_dc(n_pms: usize, n_vms: usize, seed: u64) -> DataCenter {
+    let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+    for _ in 0..n_vms {
+        dc.add_vm(VmSpec::EC2_MICRO);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    dc.random_placement(&mut rng);
+    dc
+}
+
+proptest! {
+    /// After any operation sequence, structural invariants hold: placement
+    /// maps are mutually consistent, aggregates match VM sums, sleeping PMs
+    /// are empty.
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let n_pms = 6;
+        let n_vms = 14;
+        let mut dc = build_dc(n_pms, n_vms, seed);
+        for op in ops {
+            match op {
+                Op::Step(level) => {
+                    let mut src = move |_: VmId, _: u64| Resources::splat(level);
+                    dc.step(&mut src);
+                }
+                Op::Migrate(v, p) => {
+                    let vm = VmId(u32::from(v) % n_vms as u32);
+                    let pm = PmId(u32::from(p) % n_pms as u32);
+                    let _ = dc.migrate(vm, pm);
+                }
+                Op::Sleep(p) => {
+                    let _ = dc.sleep_if_empty(PmId(u32::from(p) % n_pms as u32));
+                }
+                Op::Wake(p) => {
+                    let _ = dc.wake(PmId(u32::from(p) % n_pms as u32));
+                }
+            }
+            prop_assert!(dc.check_invariants().is_ok(), "{:?}", dc.check_invariants());
+        }
+        // VM conservation: every VM still placed exactly once.
+        let hosted: usize = dc.pms().map(|p| p.vm_count()).sum();
+        prop_assert_eq!(hosted, n_vms);
+    }
+
+    /// Migration accounting: total count equals sum of per-VM counters and
+    /// energy is non-negative and additive.
+    #[test]
+    fn migration_accounting_is_consistent(
+        moves in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        level in 0.05f64..1.0,
+    ) {
+        let n_pms = 5;
+        let n_vms = 10;
+        let mut dc = build_dc(n_pms, n_vms, 3);
+        let mut src = move |_: VmId, _: u64| Resources::splat(level);
+        dc.step(&mut src);
+        let mut expected_energy = 0.0;
+        let mut succeeded = 0u64;
+        for (v, p) in moves {
+            let vm = VmId(u32::from(v) % n_vms as u32);
+            let pm = PmId(u32::from(p) % n_pms as u32);
+            if let Ok(rec) = dc.migrate(vm, pm) {
+                prop_assert!(rec.energy_j >= 0.0);
+                prop_assert!(rec.tau_s > 0.0);
+                expected_energy += rec.energy_j;
+                succeeded += 1;
+            }
+        }
+        prop_assert_eq!(dc.total_migrations(), succeeded);
+        let per_vm: u64 = dc.vms().map(|v| u64::from(v.migrations)).sum();
+        prop_assert_eq!(per_vm, succeeded);
+        prop_assert!((dc.total_migration_energy_j() - expected_energy).abs() < 1e-9);
+    }
+
+    /// The running average after n identical observations equals the
+    /// observation.
+    #[test]
+    fn running_average_of_constant_demand_is_constant(
+        level in 0.0f64..=1.0,
+        rounds in 1u32..50,
+    ) {
+        let mut dc = build_dc(2, 2, 9);
+        let mut src = move |_: VmId, _: u64| Resources::splat(level);
+        for _ in 0..rounds {
+            dc.step(&mut src);
+        }
+        for vm in dc.vms() {
+            let want = vm.nominal_frac * level;
+            prop_assert!((vm.avg.value().cpu() - want.cpu()).abs() < 1e-9);
+            prop_assert!((vm.avg.value().mem() - want.mem()).abs() < 1e-9);
+        }
+    }
+
+    /// PM demand never goes negative and utilization stays in [0, 1]
+    /// regardless of migration churn.
+    #[test]
+    fn utilization_bounds(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..50),
+    ) {
+        let mut dc = build_dc(4, 12, 11);
+        let mut src = |_: VmId, _: u64| Resources::splat(0.6);
+        dc.step(&mut src);
+        for (v, p) in ops {
+            let _ = dc.migrate(VmId(u32::from(v) % 12), PmId(u32::from(p) % 4));
+            for pm in dc.pms() {
+                let u = pm.utilization();
+                prop_assert!(u.cpu() >= 0.0 && u.cpu() <= 1.0);
+                prop_assert!(u.mem() >= 0.0 && u.mem() <= 1.0);
+                prop_assert!(pm.demand().cpu() >= -1e-9);
+                prop_assert!(pm.demand().mem() >= -1e-9);
+            }
+        }
+    }
+
+    /// SLAVO accounting: saturated rounds never exceed active rounds.
+    #[test]
+    fn sla_counters_are_ordered(levels in proptest::collection::vec(0.0f64..=1.0, 1..40)) {
+        let mut dc = build_dc(3, 12, 13);
+        for level in levels {
+            let mut src = move |_: VmId, _: u64| Resources::splat(level);
+            dc.step(&mut src);
+        }
+        for pm in dc.pms() {
+            prop_assert!(pm.saturated_rounds <= pm.active_rounds);
+        }
+    }
+}

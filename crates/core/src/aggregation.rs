@@ -1,0 +1,220 @@
+//! The aggregation phase (Algorithm 2).
+//!
+//! After local training, PMs hold *different* Q-tables (and PMs that were
+//! too loaded to train hold none). A push–pull gossip unifies them: each
+//! round, every PM exchanges its `φ^io = φ^in ∪ φ^out` with one random
+//! neighbour and both apply `UPDATE` — average the values of pairs present
+//! on both sides, adopt the pairs present on only one. §IV-C proves the
+//! per-pair value converges (to a normal distribution around the mean of
+//! the contributions); Figure 5 measures convergence as cosine similarity.
+
+use glap_cyclon::CyclonOverlay;
+use glap_qlearn::QTables;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One synchronous aggregation gossip round over all alive PMs.
+///
+/// For each alive node (random activation order) a random alive peer is
+/// drawn from its Cyclon view and the two run the symmetric `UPDATE` of
+/// Algorithm 2, after which both hold the identical merged table.
+pub fn aggregation_round<R: Rng>(
+    tables: &mut [QTables],
+    overlay: &mut CyclonOverlay,
+    rng: &mut R,
+) {
+    let n = tables.len();
+    let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
+    order.shuffle(rng);
+    for p in order {
+        let Some(q) = overlay.random_alive_peer(p, rng) else { continue };
+        if p == q {
+            continue;
+        }
+        merge_pair(tables, p as usize, q as usize);
+    }
+}
+
+/// Symmetric push–pull merge of two PMs' tables: both end with the
+/// identical union/average result.
+pub fn merge_pair(tables: &mut [QTables], p: usize, q: usize) {
+    assert_ne!(p, q);
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let (head, tail) = tables.split_at_mut(hi);
+    let a = &mut head[lo];
+    let b = &mut tail[0];
+    // merge_average computes exactly the union-with-averages, which is the
+    // same from both sides; compute once and copy.
+    a.merge(b);
+    b.clone_from(a);
+}
+
+/// Mean pairwise cosine similarity across alive PMs' tables — the Figure 5
+/// metric. Exact all-pairs is O(n²·|table|); `sample_pairs` random pairs
+/// give an unbiased estimate (pass `usize::MAX` to force exact).
+pub fn mean_pairwise_similarity<R: Rng>(
+    tables: &[QTables],
+    overlay: &CyclonOverlay,
+    sample_pairs: usize,
+    rng: &mut R,
+) -> f64 {
+    let alive: Vec<usize> =
+        (0..tables.len()).filter(|&i| overlay.is_alive(i as u32)).collect();
+    if alive.len() < 2 {
+        return 1.0;
+    }
+    let total_pairs = alive.len() * (alive.len() - 1) / 2;
+    if sample_pairs >= total_pairs {
+        // Exact.
+        let mut sum = 0.0;
+        for i in 0..alive.len() {
+            for j in i + 1..alive.len() {
+                sum += tables[alive[i]].cosine_similarity(&tables[alive[j]]);
+            }
+        }
+        return sum / total_pairs as f64;
+    }
+    let mut sum = 0.0;
+    for _ in 0..sample_pairs {
+        let i = alive[rng.gen_range(0..alive.len())];
+        let j = loop {
+            let j = alive[rng.gen_range(0..alive.len())];
+            if j != i {
+                break j;
+            }
+        };
+        sum += tables[i].cosine_similarity(&tables[j]);
+    }
+    sum / sample_pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::Resources;
+    use glap_qlearn::{PmState, QParams, VmAction};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seeded_tables(n: usize, seed_values: bool) -> Vec<QTables> {
+        let mut tables: Vec<QTables> = (0..n).map(|_| QTables::new(QParams::default())).collect();
+        if seed_values {
+            for (i, t) in tables.iter_mut().enumerate() {
+                let s = PmState::from_utilization(Resources::splat(0.5));
+                let a = VmAction::from_demand(Resources::splat(0.3));
+                t.out.set(s, a, i as f64);
+                t.r#in.set(s, a, -(i as f64));
+            }
+        }
+        tables
+    }
+
+    fn overlay(n: usize, rng: &mut SmallRng) -> CyclonOverlay {
+        let mut o = CyclonOverlay::new(n, 6, 3);
+        o.bootstrap_random(rng);
+        o
+    }
+
+    #[test]
+    fn merge_pair_makes_both_identical() {
+        let mut tables = seeded_tables(2, true);
+        merge_pair(&mut tables, 0, 1);
+        assert!((tables[0].cosine_similarity(&tables[1]) - 1.0).abs() < 1e-12);
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        assert_eq!(tables[0].out.get(s, a), 0.5);
+        assert_eq!(tables[1].out.get(s, a), 0.5);
+    }
+
+    #[test]
+    fn aggregation_converges_to_high_similarity() {
+        let n = 40;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let before = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        for _ in 0..15 {
+            o.run_round(&mut rng);
+            aggregation_round(&mut tables, &mut o, &mut rng);
+        }
+        let after = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        assert!(after > before, "similarity should improve: {before} → {after}");
+        assert!(after > 0.999, "similarity after aggregation: {after}");
+    }
+
+    #[test]
+    fn aggregation_preserves_global_mean_approximately() {
+        // Gossip averaging conserves the mean of each pair across the
+        // population (symmetric exchanges).
+        let n = 16;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        let mean_before: f64 =
+            tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
+        for _ in 0..20 {
+            o.run_round(&mut rng);
+            aggregation_round(&mut tables, &mut o, &mut rng);
+        }
+        let mean_after: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
+        assert!(
+            (mean_after - mean_before).abs() < 1.0,
+            "mean drifted: {mean_before} → {mean_after}"
+        );
+        // And individual values are close to the mean now.
+        for t in &tables {
+            assert!((t.out.get(s, a) - mean_after).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn untrained_pms_adopt_knowledge() {
+        let n = 10;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, false);
+        // Only PM 0 trained anything.
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        tables[0].out.set(s, a, 42.0);
+        for _ in 0..15 {
+            o.run_round(&mut rng);
+            aggregation_round(&mut tables, &mut o, &mut rng);
+        }
+        for t in &tables {
+            assert_eq!(t.out.get(s, a), 42.0);
+            assert!(t.out.is_visited(s, a));
+        }
+    }
+
+    #[test]
+    fn similarity_sampling_approximates_exact() {
+        let n = 20;
+        let mut rng = SmallRng::seed_from_u64(13);
+        let o = overlay(n, &mut rng);
+        let tables = seeded_tables(n, true);
+        let exact = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        let sampled = mean_pairwise_similarity(&tables, &o, 400, &mut rng);
+        assert!((exact - sampled).abs() < 0.2, "exact {exact} sampled {sampled}");
+    }
+
+    #[test]
+    fn dead_nodes_are_excluded_from_similarity() {
+        let n = 5;
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, false);
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        // Node 4 diverges wildly but is dead.
+        tables[4].out.set(s, a, 1e9);
+        o.set_dead(4);
+        for t in tables.iter_mut().take(4) {
+            t.out.set(s, a, 1.0);
+        }
+        let sim = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        assert!((sim - 1.0).abs() < 1e-12);
+    }
+}

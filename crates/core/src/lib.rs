@@ -1,0 +1,59 @@
+//! # glap — Gossip Learning Resource Allocation Protocol
+//!
+//! A full reproduction of **GLAP** (Khelghatdoust, Gramoli & Sun, IEEE
+//! CLUSTER 2016): the first fully distributed, threshold-free dynamic VM
+//! consolidation algorithm that accounts for time-varying VM demand.
+//!
+//! GLAP composes three per-PM components (Figure 2 of the paper):
+//!
+//! 1. **Cyclon** peer sampling ([`glap_cyclon`]) — a churn-tolerant random
+//!    overlay;
+//! 2. **Gossip learning** ([`learning`], [`aggregation`], [`trainer`]) — a
+//!    two-phase protocol where PMs first *locally* train Q-tables by
+//!    simulating migrations over VM demand profiles (Algorithm 1), then
+//!    *unify* them via push–pull gossip merging (Algorithm 2), provably
+//!    converging (§IV-C);
+//! 3. **Gossip consolidation** ([`policy`]) — the migration protocol
+//!    (Algorithm 3): overloaded PMs evict; otherwise the less-utilized
+//!    partner empties itself toward switch-off, with every migration gated
+//!    by the learned `φ_out` (what to move) and `φ_in` (what the target can
+//!    safely absorb, now *and in the near future*).
+//!
+//! ```
+//! use glap::prelude::*;
+//! use glap_cluster::prelude::*;
+//! use glap_dcsim::{run_simulation, stream_rng, Stream};
+//!
+//! // Build a small data center: 10 PMs, 20 VMs.
+//! let mut dc = DataCenter::new(DataCenterConfig::paper(10));
+//! for _ in 0..20 { dc.add_vm(VmSpec::EC2_MICRO); }
+//! dc.random_placement(&mut stream_rng(1, Stream::Placement));
+//!
+//! // Train the two-phase gossip learner, then consolidate for a day.
+//! let cfg = GlapConfig { learning_rounds: 20, aggregation_rounds: 10, ..Default::default() };
+//! let mut trace = |vm: VmId, r: u64| Resources::splat(0.25 + 0.05 * ((vm.0 + r as u32) % 3) as f64);
+//! let (tables, _report) = train(&mut dc, &mut trace, &cfg, 42, false);
+//! let mut policy = GlapPolicy::with_shared_table(cfg, unified_table(&tables));
+//! run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 50, 42);
+//! assert!(dc.active_pm_count() <= 10);
+//! ```
+
+pub mod aggregation;
+pub mod config;
+pub mod learning;
+pub mod policy;
+pub mod trainer;
+
+pub use aggregation::{aggregation_round, mean_pairwise_similarity, merge_pair};
+pub use config::GlapConfig;
+pub use learning::{duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication};
+pub use policy::{synthetic_table, GlapPolicy, RetrainConfig, StopReason, TableStore};
+pub use trainer::{retrain_in_place, train, train_unified, unified_table, TrainPhase, TrainReport};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::aggregation::{aggregation_round, mean_pairwise_similarity};
+    pub use crate::config::GlapConfig;
+    pub use crate::policy::{GlapPolicy, RetrainConfig, TableStore};
+    pub use crate::trainer::{train, train_unified, unified_table, TrainPhase, TrainReport};
+}

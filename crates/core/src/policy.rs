@@ -1,0 +1,572 @@
+//! The gossip workload-consolidation component (Algorithm 3).
+//!
+//! Each round every active PM push–pulls state with one random Cyclon
+//! neighbour. If either side is overloaded it evicts VMs until it no longer
+//! is; otherwise the PM with the lower total current utilization becomes
+//! the *sender* and tries to empty itself to switch off. Every candidate
+//! migration runs through the learned knowledge:
+//!
+//! * `π_out` picks the eviction action with the greatest `φ_out` value for
+//!   the sender's (average-demand) state; among VMs matching the action,
+//!   the cheapest to move (least memory) is chosen;
+//! * `π_in` vetoes the migration if `φ_in(s_q, a) < 0` — the sender decides
+//!   *on behalf of the target* because all PMs own identical Q-values,
+//!   which is what eliminates an extra round trip;
+//! * a capacity check ensures the target can host the VM's current demand.
+//!
+//! Emptied PMs go to sleep and leave the overlay.
+
+use crate::aggregation::aggregation_round;
+use crate::config::GlapConfig;
+use crate::learning::{duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication};
+use glap_cluster::{DataCenter, PmId, Resources, VmId};
+use glap_cyclon::CyclonOverlay;
+use glap_dcsim::{ConsolidationPolicy, SimRng};
+use glap_qlearn::{PmState, QTables, VmAction};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Where a PM finds its Q-tables.
+#[derive(Debug, Clone)]
+pub enum TableStore {
+    /// All PMs share one unified table — the normal post-convergence mode.
+    Shared(Box<QTables>),
+    /// Each PM uses its own table (the "no aggregation" ablation).
+    PerPm(Vec<QTables>),
+}
+
+impl TableStore {
+    /// The table PM `pm` consults.
+    #[inline]
+    pub fn for_pm(&self, pm: PmId) -> &QTables {
+        match self {
+            TableStore::Shared(t) => t,
+            TableStore::PerPm(v) => &v[pm.index()],
+        }
+    }
+}
+
+/// Why an eviction loop stopped (exposed for tests and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The loop's goal was reached (no longer overloaded / PM empty).
+    GoalReached,
+    /// `π_out` had no trained action among the available VMs.
+    NoAction,
+    /// `π_in` vetoed the migration (`φ_in < 0`).
+    InVeto,
+    /// The target lacked capacity for the VM's current demand.
+    NoCapacity,
+}
+
+/// When and how the learning component re-runs during live operation
+/// (§IV-B's "predefined policy"). A trigger opens a *learning window*:
+/// for `learning_window` rounds every eligible PM trains on that round's
+/// live profiles (fresh demand observations each round, so the learner
+/// sees real variance, exactly like the initial training), then the
+/// aggregation gossip unifies the new tables and they are merged into the
+/// consolidation component's knowledge — "the consolidation component can
+/// be configured to either continue using the previous Q-values or pause
+/// for a while and resume by using new Q-values".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainConfig {
+    /// Re-train once this many VM arrival/departure events accumulated
+    /// since the last training.
+    pub churn_threshold: usize,
+    /// Also re-train on a fixed round interval, if set.
+    pub interval: Option<u64>,
+    /// Length of the online learning window, in rounds.
+    pub learning_window: usize,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig { churn_threshold: 50, interval: None, learning_window: 30 }
+    }
+}
+
+/// In-flight online learning state (one re-training window).
+#[derive(Debug, Clone)]
+struct OnlineLearning {
+    tables: Vec<QTables>,
+    rounds_left: usize,
+}
+
+/// GLAP's consolidation policy, pluggable into the cycle-driven engine.
+#[derive(Debug, Clone)]
+pub struct GlapPolicy {
+    cfg: GlapConfig,
+    store: TableStore,
+    overlay: CyclonOverlay,
+    /// Ablation: accept every capacity-feasible VM (disables the learned
+    /// admission control).
+    pub disable_in_veto: bool,
+    /// Ablation: use current-demand states everywhere (disables the
+    /// average-demand piggyback signal).
+    pub current_state_only: bool,
+    /// Running count of vetoed migrations (diagnostics).
+    pub vetoes: u64,
+    /// Optional learning re-trigger policy.
+    pub retrain: Option<RetrainConfig>,
+    /// Churn events since the last (re-)training.
+    churn_since_training: usize,
+    /// Rounds since the last (re-)training.
+    rounds_since_training: u64,
+    /// How many times the learning component re-ran (diagnostics).
+    pub retrainings: u64,
+    /// An open learning window, if any.
+    online: Option<OnlineLearning>,
+    /// Extension (paper future work): topology awareness. When the data
+    /// center has a rack topology, racks are ranked (lowest index first)
+    /// and consolidation flows *down* the ranking from the first round:
+    /// gossip partners are preferred in lower-ranked racks and the PM in
+    /// the higher-ranked rack acts as sender. Survivor PMs therefore
+    /// concentrate in a prefix of the racks and the remaining racks —
+    /// and their ToR switches — power down entirely.
+    pub rack_aware: bool,
+    /// Cached per-rack active-PM counts, refreshed each round.
+    rack_occupancy: Vec<usize>,
+}
+
+impl GlapPolicy {
+    /// Builds the policy from a table store and configuration.
+    pub fn new(cfg: GlapConfig, store: TableStore) -> Self {
+        let overlay = CyclonOverlay::new(0, cfg.cyclon_cache, cfg.cyclon_shuffle);
+        GlapPolicy {
+            cfg,
+            store,
+            overlay,
+            disable_in_veto: false,
+            current_state_only: false,
+            vetoes: 0,
+            retrain: None,
+            churn_since_training: 0,
+            rounds_since_training: 0,
+            retrainings: 0,
+            online: None,
+            rack_aware: false,
+            rack_occupancy: Vec::new(),
+        }
+    }
+
+    /// Builds the usual shared-table policy.
+    pub fn with_shared_table(cfg: GlapConfig, table: QTables) -> Self {
+        Self::new(cfg, TableStore::Shared(Box::new(table)))
+    }
+
+    /// The state a PM presents: from average demands (the paper's scheme)
+    /// or from current demands under the ablation.
+    fn pm_state(&self, dc: &DataCenter, pm: PmId) -> PmState {
+        let u = if self.current_state_only {
+            dc.pm(pm).utilization()
+        } else {
+            dc.pm(pm).avg_utilization()
+        };
+        PmState::from_utilization(u)
+    }
+
+    /// The action label of a VM: from its average demand (or current under
+    /// the ablation).
+    fn vm_action(&self, dc: &DataCenter, vm: VmId) -> VmAction {
+        let d = if self.current_state_only {
+            dc.vm(vm).current
+        } else {
+            dc.vm(vm).avg.value()
+        };
+        VmAction::from_demand(d)
+    }
+
+    /// One `MIGRATE()` attempt from `src` to `dst`. Returns the migrated VM
+    /// or the reason nothing moved.
+    fn try_migrate(&mut self, dc: &mut DataCenter, src: PmId, dst: PmId) -> Result<VmId, StopReason> {
+        let s_src = self.pm_state(dc, src);
+        let tables = self.store.for_pm(src);
+
+        // findVM(s_p): best action among available VMs; among the VMs
+        // matching it, least migration cost (memory footprint).
+        let vms = &dc.pm(src).vms;
+        let best = tables
+            .pi_out(s_src, vms.iter().map(|&vm| self.vm_action(dc, vm)))
+            .map(|(a, _)| a);
+        let Some(action) = best else {
+            return Err(StopReason::NoAction);
+        };
+        let vm = vms
+            .iter()
+            .copied()
+            .filter(|&vm| self.vm_action(dc, vm) == action)
+            .min_by(|&a, &b| {
+                dc.vm(a)
+                    .mem_demand_mb()
+                    .partial_cmp(&dc.vm(b).mem_demand_mb())
+                    .expect("finite memory demands")
+            })
+            .expect("an available VM matches the chosen action");
+
+        // π_in on behalf of the target.
+        if !self.disable_in_veto {
+            let s_dst = self.pm_state(dc, dst);
+            if !self.store.for_pm(src).pi_in(s_dst, action) {
+                self.vetoes += 1;
+                return Err(StopReason::InVeto);
+            }
+        }
+
+        // Capacity check on current demands.
+        let needed = dc.pm(dst).demand() + dc.vm(vm).current;
+        if !needed.fits_within(Resources::FULL) {
+            return Err(StopReason::NoCapacity);
+        }
+
+        dc.migrate(vm, dst).expect("migration preconditions verified");
+        Ok(vm)
+    }
+
+    /// `UPDATESTATE()` for an initiator/partner pair: overload relief
+    /// first, otherwise the less-utilized side empties itself toward
+    /// switch-off.
+    fn exchange(&mut self, dc: &mut DataCenter, p: PmId, q: PmId) {
+        // Overload relief: "call MIGRATE() as long as p is overloaded".
+        for (over, other) in [(p, q), (q, p)] {
+            while dc.pm(over).is_overloaded() {
+                if self.try_migrate(dc, over, other).is_err() {
+                    break;
+                }
+            }
+        }
+        if dc.pm(p).is_overloaded() || dc.pm(q).is_overloaded() {
+            return;
+        }
+
+        // Consolidation: sender = arg min of total current utilization.
+        let (mut sender, mut receiver) =
+            if dc.pm(p).demand().total() <= dc.pm(q).demand().total() {
+                (p, q)
+            } else {
+                (q, p)
+            };
+        // Rack awareness: consolidation flows toward lower-ranked racks,
+        // so the PM in the higher-ranked rack sends regardless of which
+        // of the two is individually lighter.
+        if self.rack_aware {
+            if let Some(topo) = dc.config().topology {
+                if topo.rack_of(sender) < topo.rack_of(receiver) {
+                    std::mem::swap(&mut sender, &mut receiver);
+                }
+            }
+        }
+        // "call MIGRATE() as long as [we can] switch off p".
+        while !dc.pm(sender).is_empty() {
+            if self.try_migrate(dc, sender, receiver).is_err() {
+                break;
+            }
+        }
+        if dc.sleep_if_empty(sender) {
+            self.overlay.set_dead(sender.0);
+        }
+    }
+}
+
+impl ConsolidationPolicy for GlapPolicy {
+    fn name(&self) -> &'static str {
+        "glap"
+    }
+
+    fn init(&mut self, dc: &mut DataCenter, rng: &mut SimRng) {
+        self.overlay =
+            CyclonOverlay::new(dc.n_pms(), self.cfg.cyclon_cache, self.cfg.cyclon_shuffle);
+        self.overlay.bootstrap_random(rng);
+        for pm in dc.pms() {
+            if !pm.is_active() {
+                self.overlay.set_dead(pm.id.0);
+            }
+        }
+    }
+
+    fn round(&mut self, _round: u64, dc: &mut DataCenter, rng: &mut SimRng) {
+        // Learning re-trigger (§IV-B): by churn volume or fixed interval.
+        if let Some(rt) = self.retrain {
+            self.rounds_since_training += 1;
+            if self.online.is_none() {
+                let by_churn = self.churn_since_training >= rt.churn_threshold;
+                let by_time = rt.interval.is_some_and(|iv| self.rounds_since_training >= iv);
+                if by_churn || by_time {
+                    self.online = Some(OnlineLearning {
+                        tables: (0..dc.n_pms()).map(|_| QTables::new(self.cfg.qparams)).collect(),
+                        rounds_left: rt.learning_window.max(1),
+                    });
+                }
+            }
+        }
+
+        // Cyclon runs continuously underneath (Figure 2).
+        self.overlay.run_round(rng);
+
+        // One round of the open learning window, if any: every eligible
+        // PM trains on this round's live profiles, so the learner sees
+        // the same demand variance the initial training did.
+        if let Some(mut online) = self.online.take() {
+            for i in 0..dc.n_pms() {
+                let pm = PmId(i as u32);
+                if !is_eligible(dc, pm, &self.cfg) {
+                    continue;
+                }
+                let neighbor = self.overlay.random_alive_peer(i as u32, rng).map(PmId);
+                let base = gather_profiles(dc, pm, neighbor, 1);
+                let dup = required_duplication(&base, self.cfg.profile_duplication);
+                let profiles = duplicate_profiles(base, dup);
+                local_train(&mut online.tables[i], &profiles, self.cfg.learning_iterations, rng);
+            }
+            online.rounds_left -= 1;
+            if online.rounds_left == 0 {
+                // Aggregation phase, then merge the unified result into
+                // the consolidation component's knowledge.
+                for _ in 0..self.cfg.aggregation_rounds {
+                    self.overlay.run_round(rng);
+                    aggregation_round(&mut online.tables, &mut self.overlay, rng);
+                }
+                let mut table = crate::trainer::unified_table(&online.tables);
+                if let TableStore::Shared(old) = &self.store {
+                    table.merge(old);
+                }
+                self.store = TableStore::Shared(Box::new(table));
+                self.churn_since_training = 0;
+                self.rounds_since_training = 0;
+                self.retrainings += 1;
+            } else {
+                self.online = Some(online);
+            }
+        }
+
+        if self.rack_aware {
+            if let Some(topo) = dc.config().topology {
+                self.rack_occupancy = topo.rack_occupancy(dc);
+            }
+        }
+
+        let mut order: Vec<PmId> = dc.active_pm_ids().collect();
+        order.shuffle(rng);
+        for p in order {
+            if !dc.pm(p).is_active() {
+                continue; // went to sleep earlier this round
+            }
+            // Peer selection: rack-aware GLAP gossips, half the time,
+            // with the alive neighbour in the lowest-ranked rack (random
+            // among ties) so VMs flow down the rack ranking — and
+            // otherwise uniformly, so ordinary local consolidation keeps
+            // happening everywhere.
+            let q = if self.rack_aware && rng.gen_bool(0.5) {
+                dc.config()
+                    .topology
+                    .and_then(|topo| {
+                        let alive: Vec<u32> = self
+                            .overlay
+                            .node(p.0)
+                            .neighbors()
+                            .filter(|&nb| dc.pm(PmId(nb)).is_active())
+                            .collect();
+                        let best_rack =
+                            alive.iter().map(|&nb| topo.rack_of(PmId(nb))).min()?;
+                        let candidates: Vec<u32> = alive
+                            .into_iter()
+                            .filter(|&nb| topo.rack_of(PmId(nb)) == best_rack)
+                            .collect();
+                        candidates.choose(rng).copied()
+                    })
+                    .or_else(|| self.overlay.random_alive_peer(p.0, rng))
+            } else {
+                self.overlay.random_alive_peer(p.0, rng)
+            };
+            let Some(q) = q else { continue };
+            let q = PmId(q);
+            if !dc.pm(q).is_active() {
+                // Stale view entry: drop and skip this round.
+                self.overlay.node_mut(p.0).remove(q.0);
+                continue;
+            }
+            self.exchange(dc, p, q);
+        }
+    }
+
+    fn note_churn(&mut self, events: usize) {
+        self.churn_since_training += events;
+    }
+}
+
+/// Builds a fully random dummy-trained table for tests/examples that need
+/// *some* plausible knowledge without running the trainer: every
+/// (state, action) pair gets out-values preferring big evictions and
+/// in-values that are negative whenever the combined load would overload.
+pub fn synthetic_table(rng: &mut impl Rng) -> QTables {
+    let mut q = QTables::new(Default::default());
+    for s in PmState::all() {
+        for a in VmAction::all() {
+            let s_u = (s.cpu.representative() + s.mem.representative()) / 2.0;
+            let a_u = (a.cpu.representative() + a.mem.representative()) / 2.0;
+            // Evicting bigger VMs from fuller PMs is better.
+            q.out.set(s, a, 100.0 * a_u + 10.0 * s_u + rng.gen::<f64>());
+            // Accepting overflows is bad.
+            let combined_cpu = s.cpu.representative() + a.cpu.representative();
+            let combined_mem = s.mem.representative() + a.mem.representative();
+            let v = if combined_cpu >= 1.0 || combined_mem >= 1.0 {
+                -500.0
+            } else {
+                50.0 * (combined_cpu + combined_mem) + rng.gen::<f64>()
+            };
+            q.r#in.set(s, a, v);
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::{DataCenterConfig, VmSpec};
+    use glap_dcsim::{run_simulation, stream_rng, Stream};
+
+    fn setup(n_pms: usize, ratio: usize, seed: u64) -> DataCenter {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        for _ in 0..n_pms * ratio {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        let mut rng = stream_rng(seed, Stream::Placement);
+        dc.random_placement(&mut rng);
+        dc
+    }
+
+    fn trained_policy(seed: u64) -> GlapPolicy {
+        let mut rng = stream_rng(seed, Stream::Custom(99));
+        GlapPolicy::with_shared_table(GlapConfig::default(), synthetic_table(&mut rng))
+    }
+
+    #[test]
+    fn consolidation_reduces_active_pms_under_light_load() {
+        let mut dc = setup(20, 2, 1);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.3);
+        let mut policy = trained_policy(1);
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 30, 1);
+        // 40 VMs at 30% of nominal ≈ 0.056 CPU each → a PM fits many.
+        assert!(
+            dc.active_pm_count() < 20,
+            "no consolidation happened: {} PMs active",
+            dc.active_pm_count()
+        );
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sleeping_pms_leave_overlay() {
+        let mut dc = setup(12, 2, 3);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.2);
+        let mut policy = trained_policy(3);
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 25, 3);
+        for pm in dc.pms() {
+            if !pm.is_active() {
+                assert!(!policy.overlay.is_alive(pm.id.0));
+            }
+        }
+    }
+
+    #[test]
+    fn in_veto_prevents_overload_migrations() {
+        // Two PMs, one nearly full: the veto must stop cramming.
+        let mut dc = setup(6, 4, 5);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.85);
+        let mut policy = trained_policy(5);
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 20, 5);
+        // High demand: consolidation must be cautious. Overloads can still
+        // happen from load *growth*, but the veto count must be active.
+        dc.check_invariants().unwrap();
+        // The synthetic in-table rejects overload-bound transitions, so at
+        // high demand some vetoes should have fired.
+        assert!(policy.vetoes > 0, "no vetoes at high load");
+    }
+
+    #[test]
+    fn ablation_without_veto_overloads_more() {
+        let run = |disable_veto: bool| {
+            let mut dc = setup(16, 4, 7);
+            let mut trace = |vm: VmId, r: u64| {
+                // Varying loads: average ~0.5, swings to ~0.9.
+                let x = 0.5 + 0.4 * ((r as f64 / 5.0) + f64::from(vm.0)).sin();
+                Resources::splat(x.clamp(0.0, 1.0))
+            };
+            let mut policy = trained_policy(7);
+            policy.disable_in_veto = disable_veto;
+            let mut overloads = 0usize;
+            struct Counter<'a>(&'a mut usize);
+            impl glap_dcsim::Observer for Counter<'_> {
+                fn on_round_end(&mut self, _r: u64, dc: &mut DataCenter) {
+                    *self.0 += dc.overloaded_pm_count();
+                }
+            }
+            let mut obs = Counter(&mut overloads);
+            run_simulation(&mut dc, &mut trace, &mut policy, &mut [&mut obs], 40, 7);
+            overloads
+        };
+        let with_veto = run(false);
+        let without_veto = run(true);
+        assert!(
+            without_veto >= with_veto,
+            "veto should not increase overloads: with {with_veto}, without {without_veto}"
+        );
+    }
+
+    #[test]
+    fn overloaded_pm_attempts_relief() {
+        let mut dc = setup(4, 8, 9);
+        // Saturate everything, then drop: overloaded PMs must evict.
+        let mut trace = |_: VmId, r: u64| {
+            if r < 2 {
+                Resources::splat(1.0)
+            } else {
+                Resources::splat(0.2)
+            }
+        };
+        let mut policy = trained_policy(9);
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, 9);
+        dc.check_invariants().unwrap();
+        // After load drops, overloads should clear.
+        assert_eq!(dc.overloaded_pm_count(), 0);
+    }
+
+    #[test]
+    fn untrained_tables_never_migrate() {
+        let mut dc = setup(10, 2, 11);
+        let before: Vec<_> = dc.vms().map(|v| v.host).collect();
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.3);
+        let mut policy =
+            GlapPolicy::with_shared_table(GlapConfig::default(), QTables::default());
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, 11);
+        let after: Vec<_> = dc.vms().map(|v| v.host).collect();
+        assert_eq!(before, after, "π_out with no knowledge must do nothing");
+    }
+
+    #[test]
+    fn per_pm_store_routes_to_own_table() {
+        let mut rng = stream_rng(13, Stream::Custom(1));
+        let tables = vec![QTables::default(), synthetic_table(&mut rng)];
+        let store = TableStore::PerPm(tables);
+        assert_eq!(store.for_pm(PmId(0)).trained_pairs(), 0);
+        assert!(store.for_pm(PmId(1)).trained_pairs() > 0);
+    }
+
+    #[test]
+    fn policy_runs_are_deterministic() {
+        let run = || {
+            let mut dc = setup(15, 3, 17);
+            let mut trace = |vm: VmId, r: u64| {
+                Resources::splat((0.2 + 0.1 * ((vm.0 + r as u32) % 5) as f64).min(1.0))
+            };
+            let mut policy = trained_policy(17);
+            run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 20, 17);
+            (
+                dc.active_pm_count(),
+                dc.total_migrations(),
+                dc.vms().map(|v| v.host).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

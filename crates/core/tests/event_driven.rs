@@ -1,0 +1,122 @@
+//! GLAP's aggregation phase under *asynchronous* message delivery.
+//!
+//! The paper specifies Algorithm 2 as an active/passive thread pair
+//! exchanging Q-tables over a network; the cycle-driven experiments
+//! idealize that as synchronous rounds. This test runs the same merge
+//! logic over the event-driven engine — random link latencies, interleaved
+//! deliveries, push–pull via real messages — and checks that the protocol
+//! still unifies all PMs' tables.
+
+use glap_dcsim::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel, SimRng};
+use glap_qlearn::{PmState, QParams, QTables, VmAction};
+use glap_cluster::Resources;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Messages of the asynchronous aggregation protocol.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// Active push: the initiator's full table.
+    Push(Box<QTables>),
+    /// Passive reply: the responder's table *before* merging.
+    Reply(Box<QTables>),
+}
+
+/// One PM running Algorithm 2 asynchronously.
+struct AggNode {
+    tables: QTables,
+    peers: Vec<EdNodeId>,
+    rng: SimRng,
+}
+
+impl EdNode<Msg> for AggNode {
+    fn on_event(&mut self, ev: EdEvent<Msg>, ctx: &mut EdContext<Msg>) {
+        match ev {
+            EdEvent::Timer { .. } => {
+                // Active thread: selectPeer(); send(q, φ_p).
+                let peer = self.peers[self.rng.gen_range(0..self.peers.len())];
+                ctx.send(peer, Msg::Push(Box::new(self.tables.clone())));
+                ctx.set_timer(25, 0);
+            }
+            EdEvent::Message { from, payload: Msg::Push(theirs) } => {
+                // Passive thread: reply with our pre-merge table, then
+                // UPDATE(φ_p, φ_q).
+                ctx.send(from, Msg::Reply(Box::new(self.tables.clone())));
+                self.tables.merge(&theirs);
+            }
+            EdEvent::Message { payload: Msg::Reply(theirs), .. } => {
+                self.tables.merge(&theirs);
+            }
+        }
+    }
+}
+
+fn seeded_node(id: u64, n: usize, value: f64) -> AggNode {
+    let mut tables = QTables::new(QParams::default());
+    let s = PmState::from_utilization(Resources::splat(0.5));
+    let a = VmAction::from_demand(Resources::splat(0.1));
+    tables.out.set(s, a, value);
+    // Every node also knows one private pair nobody else has.
+    let private = PmState::from_index(id as usize % 81);
+    tables.r#in.set(private, a, -(id as f64));
+    AggNode {
+        tables,
+        peers: (0..n as EdNodeId).filter(|&p| u64::from(p) != id).collect(),
+        rng: SimRng::seed_from_u64(5000 + id),
+    }
+}
+
+#[test]
+fn asynchronous_aggregation_converges_like_the_synchronous_one() {
+    let n = 24;
+    let nodes: Vec<AggNode> = (0..n as u64).map(|i| seeded_node(i, n, i as f64)).collect();
+    let mut eng = EventEngine::new(nodes, LatencyModel { min_ticks: 1, max_ticks: 15 }, 42);
+    for i in 0..n as EdNodeId {
+        eng.schedule_timer(i, u64::from(i) % 7, 0);
+    }
+    eng.run_until(4000);
+
+    // All tables highly similar…
+    let reference = &eng.node(0).tables;
+    for i in 1..n as EdNodeId {
+        let sim = reference.cosine_similarity(&eng.node(i).tables);
+        assert!(sim > 0.999, "node {i} diverged: similarity {sim}");
+    }
+    // …the shared pair's values concentrated near the initial mean…
+    let s = PmState::from_utilization(Resources::splat(0.5));
+    let a = VmAction::from_demand(Resources::splat(0.1));
+    let mean_init = (n as f64 - 1.0) / 2.0;
+    for i in 0..n as EdNodeId {
+        let v = eng.node(i).tables.out.get(s, a);
+        assert!(
+            (v - mean_init).abs() < mean_init * 0.5,
+            "node {i} value {v} far from mean {mean_init}"
+        );
+    }
+    // …and every private pair has spread to every node.
+    for i in 0..n as EdNodeId {
+        let pairs = eng.node(i).tables.trained_pairs();
+        assert!(
+            pairs >= n,
+            "node {i} holds only {pairs} pairs; knowledge did not spread"
+        );
+    }
+}
+
+#[test]
+fn aggregation_tolerates_extreme_latency_skew() {
+    // Some links 100× slower than others: convergence is slower but not
+    // broken.
+    let n = 12;
+    let nodes: Vec<AggNode> = (0..n as u64).map(|i| seeded_node(i, n, i as f64)).collect();
+    let mut eng = EventEngine::new(nodes, LatencyModel { min_ticks: 1, max_ticks: 300 }, 7);
+    for i in 0..n as EdNodeId {
+        eng.schedule_timer(i, u64::from(i), 0);
+    }
+    eng.run_until(20_000);
+    let reference = &eng.node(0).tables;
+    for i in 1..n as EdNodeId {
+        let sim = reference.cosine_similarity(&eng.node(i).tables);
+        assert!(sim > 0.99, "node {i} similarity {sim}");
+    }
+}

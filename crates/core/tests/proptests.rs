@@ -1,0 +1,129 @@
+//! Property-based tests of the GLAP protocol layers: the learning phase
+//! never poisons safe states, the aggregation phase conserves knowledge,
+//! and the consolidation policy never breaks world invariants.
+
+use glap::{aggregation_round, local_train, synthetic_table, unified_table, GlapConfig, GlapPolicy};
+use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmProfile, VmSpec};
+use glap_cyclon::CyclonOverlay;
+use glap_dcsim::{run_simulation, stream_rng, Stream};
+use glap_qlearn::{QParams, QTables};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Training over arbitrary light profiles (no subset can overload)
+    /// never produces a veto entry.
+    #[test]
+    fn light_profiles_never_learn_vetoes(
+        profiles in proptest::collection::vec((0.0f64..0.05, 0.0f64..0.05), 2..12),
+        iterations in 10usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut q = QTables::new(QParams::default());
+        let profs: Vec<VmProfile> = profiles
+            .iter()
+            .map(|&(c, m)| VmProfile::from_fractions(Resources::new(c, m), Resources::new(c, m)))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        local_train(&mut q, &profs, iterations, &mut rng);
+        for (_, _, v) in q.r#in.iter_visited() {
+            prop_assert!(v >= 0.0, "light-profile training produced veto value {v}");
+        }
+    }
+
+    /// Aggregation never loses knowledge: the union of visited pairs
+    /// across all PMs is invariant under gossip rounds.
+    #[test]
+    fn aggregation_conserves_knowledge(
+        seeds in proptest::collection::vec(0u64..1000, 4..12),
+        rounds in 1usize..10,
+    ) {
+        let n = seeds.len();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut tables: Vec<QTables> = seeds
+            .iter()
+            .map(|&s| {
+                let mut r = SmallRng::seed_from_u64(s);
+                // A few random entries per PM.
+                let mut t = QTables::new(QParams::default());
+                let profs: Vec<VmProfile> = (0..6)
+                    .map(|i| {
+                        let c = 0.05 + 0.03 * i as f64;
+                        VmProfile::from_fractions(Resources::splat(c), Resources::splat(c))
+                    })
+                    .collect();
+                local_train(&mut t, &profs, 30, &mut r);
+                t
+            })
+            .collect();
+        let union_before = unified_table(&tables).trained_pairs();
+        let mut overlay = CyclonOverlay::new(n, 4, 2);
+        overlay.bootstrap_random(&mut rng);
+        for _ in 0..rounds {
+            overlay.run_round(&mut rng);
+            aggregation_round(&mut tables, &mut overlay, &mut rng);
+        }
+        let union_after = unified_table(&tables).trained_pairs();
+        prop_assert_eq!(union_before, union_after);
+        // And no individual PM knows more than the union.
+        for t in &tables {
+            prop_assert!(t.trained_pairs() <= union_after);
+        }
+    }
+
+    /// The consolidation policy preserves world invariants and VM
+    /// conservation for arbitrary (seeded) worlds and demand levels.
+    #[test]
+    fn policy_preserves_world_invariants(
+        seed in 0u64..300,
+        level_centi in 5u32..95,
+        n_pms in 5usize..20,
+        ratio in 1usize..5,
+    ) {
+        let level = f64::from(level_centi) / 100.0;
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        let n_vms = n_pms * ratio;
+        for _ in 0..n_vms {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        dc.random_placement(&mut stream_rng(seed, Stream::Placement));
+        let mut trace = move |vm: VmId, r: u64| {
+            let x = level + 0.2 * ((r as f64 / 5.0) + f64::from(vm.0)).sin();
+            Resources::splat(x.clamp(0.0, 1.0))
+        };
+        let mut policy = GlapPolicy::with_shared_table(
+            GlapConfig::default(),
+            synthetic_table(&mut stream_rng(seed, Stream::Custom(5))),
+        );
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 25, seed);
+        prop_assert!(dc.check_invariants().is_ok(), "{:?}", dc.check_invariants());
+        let hosted: usize = dc.pms().map(|p| p.vm_count()).sum();
+        prop_assert_eq!(hosted, n_vms);
+        prop_assert!(dc.active_pm_count() >= 1);
+    }
+
+    /// Disabling the veto can only consolidate at least as aggressively
+    /// (monotonicity of the ablation) on identical worlds.
+    #[test]
+    fn veto_ablation_is_monotone_in_packing(seed in 0u64..100) {
+        let run = |disable: bool| {
+            let mut dc = DataCenter::new(DataCenterConfig::paper(12));
+            for _ in 0..36 {
+                dc.add_vm(VmSpec::EC2_MICRO);
+            }
+            dc.random_placement(&mut stream_rng(seed, Stream::Placement));
+            let mut trace = |_: VmId, _: u64| Resources::splat(0.55);
+            let mut policy = GlapPolicy::with_shared_table(
+                GlapConfig::default(),
+                synthetic_table(&mut stream_rng(seed, Stream::Custom(6))),
+            );
+            policy.disable_in_veto = disable;
+            run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 20, seed);
+            dc.active_pm_count()
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+}

@@ -1,0 +1,38 @@
+//! Node descriptors — the currency of Cyclon shuffles.
+
+/// Identifier of an overlay node. In this workspace overlay nodes are
+/// physical machines, and the id equals the PM index.
+pub type NodeId = u32;
+
+/// A pointer to a node plus its gossip age.
+///
+/// Age counts the shuffle rounds since the descriptor was created by its
+/// subject; Cyclon shuffles always target the oldest descriptor in the
+/// cache, which is what gives the protocol its self-healing property
+/// (descriptors of dead nodes age out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// The node this descriptor points at.
+    pub node: NodeId,
+    /// Rounds since the subject node minted this descriptor.
+    pub age: u32,
+}
+
+impl Descriptor {
+    /// A freshly minted descriptor (age 0).
+    pub const fn fresh(node: NodeId) -> Self {
+        Descriptor { node, age: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_has_age_zero() {
+        let d = Descriptor::fresh(7);
+        assert_eq!(d.node, 7);
+        assert_eq!(d.age, 0);
+    }
+}

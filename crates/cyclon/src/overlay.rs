@@ -1,0 +1,299 @@
+//! A whole-overlay driver: owns every node's Cyclon state and runs
+//! synchronous shuffle rounds, mirroring how PeerSim schedules a
+//! cycle-driven protocol.
+//!
+//! Nodes can be marked dead (a PM going to sleep leaves the overlay); their
+//! descriptors age out of the live nodes' caches and contacts to them fail
+//! gracefully, which is Cyclon's designed behaviour under churn.
+
+use crate::descriptor::NodeId;
+use crate::node::CyclonNode;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// All Cyclon state for an `n`-node overlay.
+#[derive(Debug, Clone)]
+pub struct CyclonOverlay {
+    nodes: Vec<CyclonNode>,
+    alive: Vec<bool>,
+}
+
+impl CyclonOverlay {
+    /// Creates an overlay of `n` nodes with the given per-node parameters.
+    /// Views start empty; call a bootstrap method before running rounds.
+    pub fn new(n: usize, cache_size: usize, shuffle_len: usize) -> Self {
+        let nodes =
+            (0..n).map(|i| CyclonNode::new(i as NodeId, cache_size, shuffle_len)).collect();
+        CyclonOverlay { nodes, alive: vec![true; n] }
+    }
+
+    /// Number of nodes (alive or dead).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the overlay has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Seeds every node's cache with uniformly random alive peers.
+    pub fn bootstrap_random<R: Rng>(&mut self, rng: &mut R) {
+        let n = self.nodes.len();
+        let alive_ids: Vec<NodeId> =
+            (0..n as NodeId).filter(|&i| self.alive[i as usize]).collect();
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let want = self.nodes[i].cache_size();
+            let mut pool = alive_ids.clone();
+            pool.retain(|&x| x != i as NodeId);
+            pool.shuffle(rng);
+            pool.truncate(want);
+            self.nodes[i].bootstrap(pool);
+        }
+    }
+
+    /// Seeds a deterministic ring + chords bootstrap (used by tests that
+    /// need reproducible topology without an RNG).
+    pub fn bootstrap_ring(&mut self) {
+        let n = self.nodes.len() as NodeId;
+        for i in 0..self.nodes.len() {
+            let id = i as NodeId;
+            let want = self.nodes[i].cache_size();
+            let peers = (1..=want as NodeId).map(|k| (id + k) % n);
+            self.nodes[i].bootstrap(peers);
+        }
+    }
+
+    /// Marks a node dead (e.g. PM went to sleep). Dead nodes stop
+    /// shuffling, refuse contacts and are dropped from callers' views on
+    /// failed contact.
+    pub fn set_dead(&mut self, node: NodeId) {
+        self.alive[node as usize] = false;
+    }
+
+    /// Marks a node alive again.
+    pub fn set_alive(&mut self, node: NodeId) {
+        self.alive[node as usize] = true;
+    }
+
+    /// Liveness of a node.
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node as usize]
+    }
+
+    /// Immutable access to a node's Cyclon state.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &CyclonNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable access to a node's Cyclon state.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut CyclonNode {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Picks a uniformly random *alive* peer from `node`'s view, pruning
+    /// dead entries as they are discovered (the failed-contact path).
+    /// Returns `None` if the view holds no alive peer.
+    pub fn random_alive_peer<R: Rng>(&mut self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        loop {
+            let peer = self.nodes[node as usize].random_peer(rng)?;
+            if self.alive[peer as usize] {
+                return Some(peer);
+            }
+            self.nodes[node as usize].remove(peer);
+        }
+    }
+
+    /// Runs one synchronous shuffle round: every alive node, in a random
+    /// activation order, performs one active shuffle against the oldest
+    /// entry of its view.
+    pub fn run_round<R: Rng>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
+        order.shuffle(rng);
+        for i in order {
+            let Some(pending) = self.nodes[i].start_shuffle(rng) else { continue };
+            let target = pending.target as usize;
+            if !self.alive[target] {
+                // Contact failure: descriptor already dropped by
+                // start_shuffle, nothing else to do.
+                self.nodes[i].abort_shuffle(&pending);
+                continue;
+            }
+            let reply = self.nodes[target].handle_shuffle(&pending.sent, rng);
+            self.nodes[i].complete_shuffle(&pending, &reply);
+        }
+    }
+
+    /// In-degree of every node (how many alive views contain it) — used to
+    /// validate the uniformity of the sampling service.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            for nb in node.neighbors() {
+                deg[nb as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// `true` when the directed union graph over alive nodes is weakly
+    /// connected (every alive node reachable from the first alive node,
+    /// treating view edges as undirected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.nodes.len();
+        let alive_count = self.alive.iter().filter(|&&a| a).count();
+        if alive_count <= 1 {
+            return true;
+        }
+        // Build undirected adjacency over alive nodes.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            for nb in node.neighbors() {
+                let j = nb as usize;
+                if self.alive[j] {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        let start = (0..n).find(|&i| self.alive[i]).expect("alive node exists");
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut visited = 0usize;
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == alive_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn overlay(n: usize) -> (CyclonOverlay, SmallRng) {
+        let mut o = CyclonOverlay::new(n, 8, 4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        o.bootstrap_random(&mut rng);
+        (o, rng)
+    }
+
+    #[test]
+    fn bootstrap_fills_views() {
+        let (o, _) = overlay(50);
+        for i in 0..50 {
+            assert_eq!(o.node(i).view_size(), 8);
+        }
+    }
+
+    #[test]
+    fn rounds_keep_overlay_connected() {
+        let (mut o, mut rng) = overlay(100);
+        for _ in 0..30 {
+            o.run_round(&mut rng);
+            assert!(o.is_connected());
+        }
+    }
+
+    #[test]
+    fn in_degree_concentrates_around_cache_size() {
+        let (mut o, mut rng) = overlay(200);
+        for _ in 0..50 {
+            o.run_round(&mut rng);
+        }
+        let deg = o.in_degrees();
+        let mean: f64 = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
+        // Total out-degree ≈ n * cache_size, so mean in-degree ≈ cache size.
+        assert!((mean - 8.0).abs() < 1.0, "mean in-degree {mean}");
+        // No pathological hub: Cyclon keeps the max in-degree within a
+        // small factor of the mean.
+        let max = *deg.iter().max().unwrap();
+        assert!(max < 8 * 4, "max in-degree {max}");
+    }
+
+    #[test]
+    fn dead_nodes_age_out_of_views() {
+        let (mut o, mut rng) = overlay(60);
+        for d in 0..10u32 {
+            o.set_dead(d);
+        }
+        for _ in 0..40 {
+            o.run_round(&mut rng);
+        }
+        for i in 10..60u32 {
+            for nb in o.node(i).neighbors().collect::<Vec<_>>() {
+                assert!(nb >= 10, "node {i} still references dead node {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_alive_peer_prunes_dead() {
+        let (mut o, mut rng) = overlay(20);
+        // Kill everything except nodes 0 and 1.
+        for d in 2..20u32 {
+            o.set_dead(d);
+        }
+        for _ in 0..50 {
+            if let Some(p) = o.random_alive_peer(0, &mut rng) {
+                assert_eq!(p, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bootstrap_is_deterministic_and_connected() {
+        let mut o = CyclonOverlay::new(30, 5, 3);
+        o.bootstrap_ring();
+        assert!(o.is_connected());
+        let view: Vec<NodeId> = o.node(0).neighbors().collect();
+        assert_eq!(view, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn revived_node_rejoins_via_bootstrap() {
+        let (mut o, mut rng) = overlay(30);
+        o.set_dead(3);
+        for _ in 0..20 {
+            o.run_round(&mut rng);
+        }
+        o.set_alive(3);
+        o.node_mut(3).bootstrap([0, 1, 2]);
+        for _ in 0..10 {
+            o.run_round(&mut rng);
+        }
+        assert!(o.is_connected());
+        // Node 3 should be referenced again by someone.
+        assert!(o.in_degrees()[3] > 0);
+    }
+
+    #[test]
+    fn single_node_overlay_is_trivially_connected() {
+        let o = CyclonOverlay::new(1, 4, 2);
+        assert!(o.is_connected());
+    }
+}

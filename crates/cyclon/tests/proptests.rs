@@ -1,0 +1,67 @@
+//! Property-based tests for the Cyclon peer-sampling service.
+
+use glap_cyclon::{CyclonOverlay, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Views never exceed capacity and never contain self-pointers,
+    /// regardless of rounds run and nodes killed.
+    #[test]
+    fn view_invariants_under_churn(
+        seed in 0u64..500,
+        rounds in 1usize..25,
+        kills in proptest::collection::vec(0u32..40, 0..10),
+    ) {
+        let n = 40;
+        let mut o = CyclonOverlay::new(n, 6, 3);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        o.bootstrap_random(&mut rng);
+        for k in kills {
+            o.set_dead(k);
+        }
+        for _ in 0..rounds {
+            o.run_round(&mut rng);
+            for i in 0..n as NodeId {
+                let view: Vec<NodeId> = o.node(i).neighbors().collect();
+                prop_assert!(view.len() <= 6);
+                prop_assert!(!view.contains(&i), "self-pointer at node {i}");
+                // No duplicates.
+                let mut sorted = view.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), view.len());
+            }
+        }
+    }
+
+    /// With no churn the overlay stays connected through shuffling.
+    #[test]
+    fn connectivity_is_preserved(seed in 0u64..200, rounds in 1usize..30) {
+        let mut o = CyclonOverlay::new(64, 8, 4);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        o.bootstrap_random(&mut rng);
+        for _ in 0..rounds {
+            o.run_round(&mut rng);
+        }
+        prop_assert!(o.is_connected());
+    }
+
+    /// Total descriptor mass is conserved modulo drops: the sum of view
+    /// sizes never grows beyond n * cache_size.
+    #[test]
+    fn descriptor_mass_bounded(seed in 0u64..200, rounds in 1usize..20) {
+        let n = 30;
+        let mut o = CyclonOverlay::new(n, 5, 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        o.bootstrap_random(&mut rng);
+        for _ in 0..rounds {
+            o.run_round(&mut rng);
+            let mass: usize = (0..n as NodeId).map(|i| o.node(i).view_size()).sum();
+            prop_assert!(mass <= n * 5);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cycle-driven simulation engine.
+//!
+//! Mirrors PeerSim's `CDSimulator`: time advances in discrete rounds; each
+//! round the engine (1) steps the workload (every VM gets a fresh demand
+//! observation), (2) hands control to the consolidation policy, and (3)
+//! notifies observers, which sample metrics. All the paper's experiments
+//! run on this engine with 720 rounds of 2 simulated minutes.
+
+use crate::rng::{stream_rng, SimRng, Stream};
+use glap_cluster::{DataCenter, DemandSource};
+
+/// A consolidation algorithm under test (GLAP or a baseline).
+///
+/// The policy owns all its protocol state (overlays, Q-tables, thresholds,
+/// history windows, …); the engine owns the world state and the clock.
+pub trait ConsolidationPolicy {
+    /// Short machine-readable name, used in result files.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first round, after initial placement.
+    fn init(&mut self, dc: &mut DataCenter, rng: &mut SimRng) {
+        let _ = (dc, rng);
+    }
+
+    /// One simulated round. Demands for `round` have already been stepped.
+    fn round(&mut self, round: u64, dc: &mut DataCenter, rng: &mut SimRng);
+
+    /// Informs the policy that `events` VM arrivals/departures happened
+    /// this round. Policies that adapt to churn (GLAP's learning
+    /// re-trigger) override this; the default ignores it.
+    fn note_churn(&mut self, events: usize) {
+        let _ = events;
+    }
+}
+
+/// A metrics consumer notified at the end of every round.
+pub trait Observer {
+    /// Called after the policy's round completed. `dc` is mutable so the
+    /// observer can drain per-round migration records.
+    fn on_round_end(&mut self, round: u64, dc: &mut DataCenter);
+}
+
+/// Runs `rounds` simulated rounds of `policy` over `dc` driven by `trace`.
+///
+/// Randomness for the policy comes from the master seed's `Policy` stream,
+/// so two policies run from the same seed see identical traces and initial
+/// placements but independent protocol randomness.
+pub fn run_simulation<D, P>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    policy: &mut P,
+    observers: &mut [&mut dyn Observer],
+    rounds: u64,
+    master_seed: u64,
+) where
+    D: DemandSource + ?Sized,
+    P: ConsolidationPolicy + ?Sized,
+{
+    let mut rng = stream_rng(master_seed, Stream::Policy);
+    policy.init(dc, &mut rng);
+    for _ in 0..rounds {
+        let round = dc.round();
+        dc.step(trace);
+        policy.round(round, dc, &mut rng);
+        debug_assert!(dc.check_invariants().is_ok());
+        for obs in observers.iter_mut() {
+            obs.on_round_end(round, dc);
+        }
+    }
+}
+
+/// A policy that does nothing — the "no consolidation" control.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopPolicy;
+
+impl ConsolidationPolicy for NoopPolicy {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+
+    fn round(&mut self, _round: u64, _dc: &mut DataCenter, _rng: &mut SimRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::{DataCenterConfig, Resources, VmId, VmSpec};
+
+    struct CountingObserver {
+        rounds_seen: Vec<u64>,
+        migrations: usize,
+    }
+
+    impl Observer for CountingObserver {
+        fn on_round_end(&mut self, round: u64, dc: &mut DataCenter) {
+            self.rounds_seen.push(round);
+            self.migrations += dc.take_migrations().len();
+        }
+    }
+
+    struct MigrateOncePolicy {
+        done: bool,
+    }
+
+    impl ConsolidationPolicy for MigrateOncePolicy {
+        fn name(&self) -> &'static str {
+            "migrate-once"
+        }
+
+        fn round(&mut self, _round: u64, dc: &mut DataCenter, _rng: &mut SimRng) {
+            if !self.done {
+                let vm = VmId(0);
+                let to = dc
+                    .active_pm_ids()
+                    .find(|&p| Some(p) != dc.vm(vm).host)
+                    .expect("a second PM");
+                dc.migrate(vm, to).unwrap();
+                self.done = true;
+            }
+        }
+    }
+
+    fn dc_with_vms(n_pms: usize, n_vms: usize) -> DataCenter {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        for _ in 0..n_vms {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        let mut rng = stream_rng(1, Stream::Placement);
+        dc.random_placement(&mut rng);
+        dc
+    }
+
+    #[test]
+    fn run_advances_rounds_and_notifies_observers() {
+        let mut dc = dc_with_vms(3, 6);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.4);
+        let mut policy = NoopPolicy;
+        let mut obs = CountingObserver { rounds_seen: Vec::new(), migrations: 0 };
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [&mut obs], 5, 99);
+        assert_eq!(dc.round(), 5);
+        assert_eq!(obs.rounds_seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(obs.migrations, 0);
+    }
+
+    #[test]
+    fn policy_migrations_are_visible_to_observers() {
+        let mut dc = dc_with_vms(3, 6);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.4);
+        let mut policy = MigrateOncePolicy { done: false };
+        let mut obs = CountingObserver { rounds_seen: Vec::new(), migrations: 0 };
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [&mut obs], 3, 99);
+        assert_eq!(obs.migrations, 1);
+    }
+
+    #[test]
+    fn identical_seed_identical_world() {
+        let run = |seed: u64| {
+            let mut dc = dc_with_vms(4, 8);
+            let mut trace = |vm: VmId, r: u64| {
+                Resources::splat(((vm.0 as f64 + r as f64) % 10.0) / 10.0)
+            };
+            let mut policy = NoopPolicy;
+            run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, seed);
+            dc.pms().map(|p| p.demand().cpu()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,369 @@
+//! Event-driven simulation engine.
+//!
+//! The counterpart of PeerSim's `EDSimulator`: a future-event list
+//! (binary heap keyed on delivery time, FIFO tie-break), per-message random
+//! link latency, and node timers. The paper's experiments are round-based,
+//! but gossip protocols are specified asynchronously; this engine lets the
+//! test suite validate that GLAP's aggregation behaves the same when
+//! message delivery is asynchronous and jittered.
+
+use crate::rng::SimRng;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Node identifier within the event-driven engine.
+pub type EdNodeId = u32;
+
+/// Something delivered to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdEvent<M> {
+    /// A message from another node.
+    Message {
+        /// The sender.
+        from: EdNodeId,
+        /// The payload.
+        payload: M,
+    },
+    /// A timer the node armed earlier.
+    Timer {
+        /// The tag passed to [`EdContext::set_timer`].
+        tag: u64,
+    },
+}
+
+/// Per-delivery side-effect collector handed to node callbacks.
+pub struct EdContext<M> {
+    /// Current simulated time (engine ticks).
+    pub now: u64,
+    /// The node the event is being delivered to.
+    pub self_id: EdNodeId,
+    sends: Vec<(EdNodeId, M)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl<M> EdContext<M> {
+    /// Sends `payload` to `to`; the engine assigns a random link latency.
+    pub fn send(&mut self, to: EdNodeId, payload: M) {
+        self.sends.push((to, payload));
+    }
+
+    /// Arms a timer firing `delay` ticks from now, delivered as
+    /// [`EdEvent::Timer`] with the given tag.
+    pub fn set_timer(&mut self, delay: u64, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+}
+
+/// Behaviour of one node under the event-driven engine.
+pub trait EdNode<M> {
+    /// Handles a delivered event; outgoing messages and timers go through
+    /// the context.
+    fn on_event(&mut self, ev: EdEvent<M>, ctx: &mut EdContext<M>);
+}
+
+/// Uniform random link-latency model in `[min_ticks, max_ticks]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Minimum one-way latency in ticks.
+    pub min_ticks: u64,
+    /// Maximum one-way latency in ticks (inclusive).
+    pub max_ticks: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { min_ticks: 1, max_ticks: 10 }
+    }
+}
+
+impl LatencyModel {
+    fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.min_ticks >= self.max_ticks {
+            self.min_ticks
+        } else {
+            rng.gen_range(self.min_ticks..=self.max_ticks)
+        }
+    }
+}
+
+struct Scheduled<M> {
+    time: u64,
+    seq: u64,
+    target: EdNodeId,
+    event: EdEvent<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-driven engine: owns the nodes and the future-event list.
+pub struct EventEngine<M, N: EdNode<M>> {
+    nodes: Vec<N>,
+    queue: BinaryHeap<Scheduled<M>>,
+    now: u64,
+    seq: u64,
+    latency: LatencyModel,
+    rng: SimRng,
+    delivered: u64,
+}
+
+impl<M, N: EdNode<M>> EventEngine<M, N> {
+    /// Creates an engine over the given nodes.
+    pub fn new(nodes: Vec<N>, latency: LatencyModel, seed: u64) -> Self {
+        EventEngine {
+            nodes,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            latency,
+            rng: SimRng::seed_from_u64(seed),
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: EdNodeId) -> &N {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Arms an initial timer on `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, node: EdNodeId, at: u64, tag: u64) {
+        let seq = self.bump_seq();
+        self.queue.push(Scheduled { time: at, seq, target: node, event: EdEvent::Timer { tag } });
+    }
+
+    /// Injects a message from the outside world.
+    pub fn inject_message(&mut self, from: EdNodeId, to: EdNodeId, at: u64, payload: M) {
+        let seq = self.bump_seq();
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            target: to,
+            event: EdEvent::Message { from, payload },
+        });
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Delivers the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        self.now = ev.time;
+        self.delivered += 1;
+        let target = ev.target;
+        let mut ctx =
+            EdContext { now: self.now, self_id: target, sends: Vec::new(), timers: Vec::new() };
+        self.nodes[target as usize].on_event(ev.event, &mut ctx);
+        for (to, payload) in ctx.sends {
+            let lat = self.latency.sample(&mut self.rng);
+            let seq = self.bump_seq();
+            self.queue.push(Scheduled {
+                time: self.now + lat,
+                seq,
+                target: to,
+                event: EdEvent::Message { from: target, payload },
+            });
+        }
+        for (delay, tag) in ctx.timers {
+            let seq = self.bump_seq();
+            self.queue.push(Scheduled {
+                time: self.now + delay,
+                seq,
+                target,
+                event: EdEvent::Timer { tag },
+            });
+        }
+        true
+    }
+
+    /// Runs until the clock passes `t_end` or the queue drains. Returns the
+    /// number of events delivered.
+    pub fn run_until(&mut self, t_end: u64) -> u64 {
+        let mut count = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.time > t_end {
+                break;
+            }
+            self.step();
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Push-pull averaging: the classic gossip aggregation kernel. Each
+    /// node holds a value; on its timer it pushes the value to a random
+    /// neighbour; the receiver replies; both set value = mean. Values must
+    /// converge to the global mean — same math as GLAP's Q-value
+    /// aggregation phase (Theorem 1).
+    #[derive(Debug)]
+    struct AvgNode {
+        value: f64,
+        peers: Vec<EdNodeId>,
+        rng: SimRng,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Push(f64),
+        Reply(f64),
+    }
+
+    impl EdNode<Msg> for AvgNode {
+        fn on_event(&mut self, ev: EdEvent<Msg>, ctx: &mut EdContext<Msg>) {
+            match ev {
+                EdEvent::Timer { .. } => {
+                    let peer = self.peers[self.rng.gen_range(0..self.peers.len())];
+                    ctx.send(peer, Msg::Push(self.value));
+                    ctx.set_timer(20, 0);
+                }
+                EdEvent::Message { from, payload: Msg::Push(v) } => {
+                    ctx.send(from, Msg::Reply(self.value));
+                    self.value = (self.value + v) / 2.0;
+                }
+                EdEvent::Message { payload: Msg::Reply(v), .. } => {
+                    self.value = (self.value + v) / 2.0;
+                }
+            }
+        }
+    }
+
+    fn build(n: usize) -> EventEngine<Msg, AvgNode> {
+        let nodes: Vec<AvgNode> = (0..n)
+            .map(|i| AvgNode {
+                value: i as f64,
+                peers: (0..n as EdNodeId).filter(|&p| p != i as EdNodeId).collect(),
+                rng: SimRng::seed_from_u64(1000 + i as u64),
+            })
+            .collect();
+        let mut eng = EventEngine::new(nodes, LatencyModel::default(), 7);
+        for i in 0..n as EdNodeId {
+            eng.schedule_timer(i, u64::from(i) % 5, 0);
+        }
+        eng
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut eng = build(4);
+        let mut last = 0;
+        for _ in 0..200 {
+            assert!(eng.step());
+            assert!(eng.now() >= last);
+            last = eng.now();
+        }
+    }
+
+    #[test]
+    fn push_pull_averaging_converges_to_mean() {
+        let n = 32;
+        let mut eng = build(n);
+        eng.run_until(3000);
+        let mean = (n as f64 - 1.0) / 2.0;
+        for node in eng.nodes() {
+            assert!(
+                (node.value - mean).abs() < 0.5,
+                "value {} far from mean {mean}",
+                node.value
+            );
+        }
+    }
+
+    #[test]
+    fn averaging_conserves_mass_approximately() {
+        // Push-pull with latency can be momentarily inconsistent, but the
+        // protocol above applies symmetric updates, so total mass drifts
+        // only through in-flight replies; at quiescence of a bounded run
+        // it stays near the initial total.
+        let n = 16;
+        let mut eng = build(n);
+        eng.run_until(2000);
+        let total: f64 = eng.nodes().iter().map(|nd| nd.value).sum();
+        let expect = (0..n).map(|i| i as f64).sum::<f64>();
+        assert!((total - expect).abs() / expect < 0.2, "total {total} vs {expect}");
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let mut eng = build(8);
+        eng.run_until(100);
+        assert!(eng.now() <= 100);
+    }
+
+    #[test]
+    fn empty_queue_stops() {
+        let nodes: Vec<AvgNode> = vec![];
+        let mut eng: EventEngine<Msg, AvgNode> = EventEngine::new(nodes, LatencyModel::default(), 1);
+        assert!(!eng.step());
+        assert_eq!(eng.run_until(1000), 0);
+    }
+
+    #[test]
+    fn injected_message_is_delivered() {
+        let mut eng = build(2);
+        // Drain pre-armed timers first few steps, then inject.
+        eng.inject_message(0, 1, 0, Msg::Push(5.0));
+        assert!(eng.step());
+        assert!(eng.delivered() >= 1);
+    }
+
+    #[test]
+    fn fifo_tie_break_is_stable() {
+        let mut eng = build(3);
+        eng.inject_message(0, 1, 50, Msg::Push(1.0));
+        eng.inject_message(0, 1, 50, Msg::Push(2.0));
+        // Both at t=50: earlier-enqueued must deliver first. We can't see
+        // payload order directly from outside, but determinism is covered:
+        // two identical engines deliver identical sequences.
+        let mut eng2 = build(3);
+        eng2.inject_message(0, 1, 50, Msg::Push(1.0));
+        eng2.inject_message(0, 1, 50, Msg::Push(2.0));
+        eng.run_until(500);
+        eng2.run_until(500);
+        let v1: Vec<f64> = eng.nodes().iter().map(|n| n.value).collect();
+        let v2: Vec<f64> = eng2.nodes().iter().map(|n| n.value).collect();
+        assert_eq!(v1, v2);
+    }
+}

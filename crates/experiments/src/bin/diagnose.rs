@@ -1,0 +1,80 @@
+//! Diagnostic tool: runs one GLAP scenario and dumps protocol internals
+//! (trained-table coverage, veto counts, per-phase migration activity) —
+//! useful when tuning trace dynamics or reward shapes.
+
+use glap::{train, unified_table, GlapPolicy, TableStore};
+use glap_dcsim::run_simulation;
+use glap_experiments::{build_world, parse_or_exit, Algorithm, Scenario};
+use glap_metrics::MetricsCollector;
+use glap_qlearn::{Level, PmState, VmAction};
+use glap_workload::OffsetTrace;
+
+fn main() {
+    let cli = parse_or_exit();
+    let sc = Scenario {
+        n_pms: cli.grid.sizes[0],
+        ratio: cli.grid.ratios[0],
+        rep: 0,
+        algorithm: Algorithm::Glap,
+        rounds: cli.grid.rounds,
+        glap: cli.grid.glap,
+        trace_cfg: cli.grid.trace_cfg,
+        vm_mix: Default::default(),
+    };
+    let (mut dc, trace) = build_world(&sc);
+
+    let mut train_dc = dc.clone();
+    let mut train_trace = trace.clone();
+    let (tables, report) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let uni = unified_table(&tables);
+    println!(
+        "training: {} PMs trained, {} updates, unified pairs out={} in={}",
+        report.pms_trained,
+        report.updates,
+        uni.out.visited_count(),
+        uni.r#in.visited_count()
+    );
+
+    // Out-table coverage by state CPU level.
+    println!("\nout-table coverage by sender state (rows with any visited action):");
+    for cpu in Level::ALL {
+        let mut covered = 0;
+        let mut total = 0;
+        for s in PmState::all().filter(|s| s.cpu == cpu) {
+            total += 1;
+            if VmAction::all().any(|a| uni.out.is_visited(s, a)) {
+                covered += 1;
+            }
+        }
+        println!("  cpu={cpu:?}: {covered}/{total}");
+    }
+    let neg_in = uni.r#in.iter_visited().filter(|&(_, _, v)| v < 0.0).count();
+    println!("in-table: {} visited, {} negative (veto) entries", uni.r#in.visited_count(), neg_in);
+    println!("\nin-table entries (state, action, value):");
+    let mut entries: Vec<_> = uni.r#in.iter_visited().collect();
+    entries.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    for (s, a, v) in &entries {
+        println!("  {s} {a} {v:.1}");
+    }
+
+    let mut policy = GlapPolicy::new(sc.glap, TableStore::Shared(Box::new(uni)));
+    let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+    let mut collector = MetricsCollector::new();
+    run_simulation(&mut dc, &mut day, &mut policy, &mut [&mut collector], sc.rounds, sc.policy_seed());
+
+    println!(
+        "\nday: {} migrations, {} vetoes, final active {}/{} PMs, overloaded fraction {:.4}",
+        collector.total_migrations(),
+        policy.vetoes,
+        dc.active_pm_count(),
+        dc.n_pms(),
+        collector.mean_overloaded_fraction()
+    );
+    // Utilization histogram of active PMs at the end.
+    let mut hist = [0usize; 10];
+    for pm in dc.pms().filter(|p| p.is_active()) {
+        let u = pm.utilization().cpu().min(0.999);
+        hist[(u * 10.0) as usize] += 1;
+    }
+    println!("final active-PM CPU histogram (0.0-1.0 in tenths): {hist:?}");
+}

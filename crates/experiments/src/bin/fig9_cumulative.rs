@@ -1,0 +1,33 @@
+//! Regenerates Figure 9: cumulative number of migrations over the day for
+//! one cluster size and all ratios.
+
+use glap_experiments::{
+    downsample, fig9_cumulative, parse_or_exit, run_grid, sparkline, Algorithm,
+};
+
+fn main() {
+    let cli = parse_or_exit();
+    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let size = cli.grid.sizes.first().copied().unwrap_or(1000);
+    let stride = (cli.grid.rounds as usize / 36).max(1);
+    let out = fig9_cumulative(&results, size, stride);
+    print!("{}", out.render());
+
+    // Inline curve shapes (one rep per algorithm, first listed ratio).
+    let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
+    println!("
+cumulative-migration curve shapes ({size} PMs, ratio {ratio}):");
+    for algo in Algorithm::PAPER_SET {
+        if let Some((_, r)) = results
+            .iter()
+            .find(|(sc, _)| sc.algorithm == algo && sc.n_pms == size && sc.ratio == ratio)
+        {
+            let series: Vec<f64> =
+                r.collector.cumulative_migrations().iter().map(|&x| x as f64).collect();
+            println!("  {:<9} {}", algo.label(), sparkline(&downsample(&series, 60)));
+        }
+    }
+    let path = cli.out_dir.join("fig9_cumulative.csv");
+    out.table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! Scalability study: GLAP's core claim is that it consolidates "without
+//! sacrificing scalability" — per-PM work is constant per round (one
+//! gossip exchange, O(view) peer sampling, O(|VMs|) decision making), so
+//! total simulation cost should grow linearly with the cluster while a
+//! centralized algorithm like PABFD (global scans per round) grows
+//! super-linearly. This binary measures wall-clock per simulated round
+//! across cluster sizes for GLAP and PABFD.
+
+use glap_experiments::{fnum, parse_or_exit, run_scenario, Algorithm, Scenario, TextTable};
+use std::time::Instant;
+
+fn main() {
+    let cli = parse_or_exit();
+    let sizes = if cli.grid.sizes.len() > 1 {
+        cli.grid.sizes.clone()
+    } else {
+        vec![250, 500, 1000, 2000]
+    };
+    let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
+    let rounds = cli.grid.rounds.min(240); // wall-clock study, not SLA study
+
+    let mut table = TextTable::new([
+        "size",
+        "algorithm",
+        "total_s",
+        "ms_per_round",
+        "us_per_pm_round",
+        "migrations",
+    ]);
+    for &size in &sizes {
+        for algorithm in [Algorithm::Glap, Algorithm::Pabfd] {
+            let sc = Scenario {
+                rounds,
+                glap: cli.grid.glap,
+                ..Scenario::paper(size, ratio, 0, algorithm)
+            };
+            let start = Instant::now();
+            let r = run_scenario(&sc);
+            let elapsed = start.elapsed().as_secs_f64();
+            let ms_per_round = elapsed * 1000.0 / rounds as f64;
+            table.row([
+                size.to_string(),
+                algorithm.label().to_string(),
+                fnum(elapsed),
+                fnum(ms_per_round),
+                fnum(ms_per_round * 1000.0 / size as f64),
+                r.collector.total_migrations().to_string(),
+            ]);
+            if cli.verbose {
+                eprintln!("{} at {size} PMs: {elapsed:.1}s", algorithm.label());
+            }
+        }
+    }
+
+    println!("== Scalability ({rounds} rounds, ratio {ratio}; includes GLAP training) ==\n");
+    print!("{}", table.render());
+    println!(
+        "\nnote: the per-PM-per-round cost column is the scalability claim — flat for \
+         GLAP (constant gossip work per PM), growing with size for the centralized \
+         PABFD (its placement scans all hosts for every migrating VM)."
+    );
+    let path = cli.out_dir.join("scalability_eval.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,75 @@
+//! Hyperparameter sweep: how GLAP's end-to-end quality depends on the
+//! Q-learning rate α and discount factor γ of Eq. (1) — the ablation
+//! DESIGN.md §6 calls out. Each (α, γ) cell trains and runs a full
+//! consolidation day on the identical world.
+
+use glap_experiments::{fnum, parse_or_exit, run_scenario, Algorithm, Scenario, TextTable};
+use glap_qlearn::QParams;
+
+fn main() {
+    let cli = parse_or_exit();
+    let alphas = [0.1, 0.3, 0.5, 0.9];
+    let gammas = [0.0, 0.4, 0.8, 0.95];
+
+    let mut table = TextTable::new([
+        "alpha",
+        "gamma",
+        "overloaded_fraction",
+        "total_migrations",
+        "mean_active",
+        "slav",
+    ]);
+    let size = cli.grid.sizes.first().copied().unwrap_or(200);
+    let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
+
+    for &alpha in &alphas {
+        for &gamma in &gammas {
+            let mut glap = cli.grid.glap;
+            glap.qparams = QParams { alpha, gamma };
+            let mut frac = 0.0;
+            let mut migs = 0.0;
+            let mut active = 0.0;
+            let mut slav = 0.0;
+            for rep in 0..cli.grid.reps {
+                let sc = Scenario {
+                    n_pms: size,
+                    ratio,
+                    rep,
+                    algorithm: Algorithm::Glap,
+                    rounds: cli.grid.rounds,
+                    glap,
+                    trace_cfg: cli.grid.trace_cfg,
+        vm_mix: Default::default(),
+                };
+                let r = run_scenario(&sc);
+                frac += r.collector.mean_overloaded_fraction();
+                migs += r.collector.total_migrations() as f64;
+                active += r.collector.mean_active_pms();
+                slav += r.sla.slav;
+            }
+            let n = cli.grid.reps as f64;
+            table.row([
+                format!("{alpha}"),
+                format!("{gamma}"),
+                fnum(frac / n),
+                fnum(migs / n),
+                fnum(active / n),
+                fnum(slav / n),
+            ]);
+            if cli.verbose {
+                eprintln!("alpha={alpha} gamma={gamma} done");
+            }
+        }
+    }
+
+    println!("== GLAP hyperparameter sweep ({size} PMs, ratio {ratio}) ==\n");
+    print!("{}", table.render());
+    println!(
+        "\nnote: γ = 0 makes the learner myopic (the paper: 'a factor of zero causes the \
+         agent to only consider the current rewards'); large α makes Q-values chase the \
+         latest episode ('deterministic action')."
+    );
+    let path = cli.out_dir.join("sweep_params.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

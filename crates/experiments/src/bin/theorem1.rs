@@ -1,0 +1,77 @@
+//! Empirical check of Theorem 1 (§IV-C): under repeated gossip
+//! aggregation, the cross-PM distribution of a Q-value converges toward a
+//! normal distribution (and, as rounds continue, concentrates on the
+//! mean). Prints skewness, excess kurtosis, the Jarque–Bera statistic and
+//! the population mean/σ per aggregation round, starting from a heavily
+//! skewed initial distribution.
+
+use glap::aggregation_round;
+use glap_cluster::Resources;
+use glap_cyclon::CyclonOverlay;
+use glap_dcsim::{stream_rng, Stream};
+use glap_experiments::{fnum, parse_or_exit, TextTable};
+use glap_metrics::{excess_kurtosis, jarque_bera, mean, skewness, std_dev};
+use glap_qlearn::{PmState, QParams, QTables, VmAction};
+use rand::Rng;
+
+fn main() {
+    let cli = parse_or_exit();
+    let n = cli.grid.sizes.first().copied().unwrap_or(500);
+    let rounds = 12usize;
+    let mut rng = stream_rng(13, Stream::Custom(7));
+
+    let s = PmState::from_utilization(Resources::splat(0.5));
+    let a = VmAction::from_demand(Resources::splat(0.1));
+
+    // Exponential initial values: strongly right-skewed, the adversarial
+    // case for the theorem's normality claim.
+    let mut tables: Vec<QTables> = (0..n)
+        .map(|_| {
+            let mut t = QTables::new(QParams::default());
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t.out.set(s, a, -u.ln() * 10.0);
+            t
+        })
+        .collect();
+
+    let mut overlay = CyclonOverlay::new(n, 8, 4);
+    overlay.bootstrap_random(&mut rng);
+
+    let mut table =
+        TextTable::new(["round", "mean", "std_dev", "skewness", "excess_kurtosis", "jarque_bera"]);
+    let snapshot = |tables: &[QTables]| -> Vec<f64> {
+        tables.iter().map(|t| t.out.get(s, a)).collect()
+    };
+    let record = |round: usize, tables: &[QTables], table: &mut TextTable| {
+        let xs = snapshot(tables);
+        table.row([
+            round.to_string(),
+            fnum(mean(&xs)),
+            fnum(std_dev(&xs)),
+            fnum(skewness(&xs)),
+            fnum(excess_kurtosis(&xs)),
+            fnum(jarque_bera(&xs)),
+        ]);
+    };
+
+    record(0, &tables, &mut table);
+    for round in 1..=rounds {
+        overlay.run_round(&mut rng);
+        aggregation_round(&mut tables, &mut overlay, &mut rng);
+        record(round, &tables, &mut table);
+    }
+
+    println!("== Theorem 1 — gossip-aggregated Q-values converge to a normal ==\n");
+    println!("{n} PMs; initial values ~ Exponential(mean 10), one (state, action) pair\n");
+    print!("{}", table.render());
+    println!(
+        "\nnote: exponential data starts with skewness 2 and excess kurtosis 6 \
+         (Jarque–Bera ≫ χ²₂ critical value ≈ 6); after a couple of gossip rounds \
+         both moments collapse toward 0 while the mean is preserved, and further \
+         rounds shrink σ — 'we can optimally decide how many rounds are needed … \
+         to assure a satisfying convergence' (§IV-C)."
+    );
+    let path = cli.out_dir.join("theorem1.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,153 @@
+//! A small argument parser shared by the experiment binaries (kept
+//! in-repo — the approved dependency list has no CLI crate).
+
+use crate::scenario::Grid;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The experiment grid to run.
+    pub grid: Grid,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Worker threads (None = available parallelism).
+    pub threads: Option<usize>,
+    /// Per-scenario progress logging.
+    pub verbose: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            grid: Grid::reduced(),
+            out_dir: PathBuf::from("results"),
+            threads: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Usage text shared by all binaries.
+pub const USAGE: &str = "options:
+  --quick             smoke-test grid (100 PMs, 120 rounds, 2 reps)
+  --full              the paper's full grid (500/1000/2000 PMs, 20 reps) — hours of CPU
+  --sizes a,b,c       cluster sizes                      (default 500)
+  --ratios a,b,c      VM:PM ratios                       (default 2,3,4)
+  --reps n            repetitions per cell               (default 5)
+  --rounds n          measured rounds                    (default 720)
+  --train n           GLAP learning rounds               (default 100)
+  --agg n             GLAP aggregation rounds            (default 30)
+  --threads n         worker threads                     (default: all cores)
+  --out dir           CSV output directory               (default results/)
+  --verbose           log each finished scenario
+";
+
+fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad number: {p}")))
+        .collect()
+}
+
+/// Parses options from an iterator of arguments (without the program
+/// name). Unknown options produce an error string suitable for printing
+/// with [`USAGE`].
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cli.grid = Grid::quick(),
+            "--full" => cli.grid = Grid::paper(),
+            "--sizes" => cli.grid.sizes = parse_list(&need(&mut it, "--sizes")?)?,
+            "--ratios" => cli.grid.ratios = parse_list(&need(&mut it, "--ratios")?)?,
+            "--reps" => {
+                cli.grid.reps =
+                    need(&mut it, "--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--rounds" => {
+                cli.grid.rounds =
+                    need(&mut it, "--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--train" => {
+                cli.grid.glap.learning_rounds =
+                    need(&mut it, "--train")?.parse().map_err(|e| format!("--train: {e}"))?;
+            }
+            "--agg" => {
+                cli.grid.glap.aggregation_rounds =
+                    need(&mut it, "--agg")?.parse().map_err(|e| format!("--agg: {e}"))?;
+            }
+            "--threads" => {
+                cli.threads = Some(
+                    need(&mut it, "--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--out" => cli.out_dir = PathBuf::from(need(&mut it, "--out")?),
+            "--verbose" => cli.verbose = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses from the process arguments, exiting with usage on error.
+pub fn parse_or_exit() -> Cli {
+    match parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_are_reduced_grid() {
+        let cli = parse(args("")).unwrap();
+        assert_eq!(cli.grid.sizes, vec![500]);
+        assert_eq!(cli.grid.reps, 5);
+    }
+
+    #[test]
+    fn full_and_quick_presets() {
+        assert_eq!(parse(args("--full")).unwrap().grid.reps, 20);
+        assert_eq!(parse(args("--quick")).unwrap().grid.rounds, 120);
+    }
+
+    #[test]
+    fn lists_and_values() {
+        let cli =
+            parse(args("--sizes 100,200 --ratios 2 --reps 7 --rounds 99 --threads 3")).unwrap();
+        assert_eq!(cli.grid.sizes, vec![100, 200]);
+        assert_eq!(cli.grid.ratios, vec![2]);
+        assert_eq!(cli.grid.reps, 7);
+        assert_eq!(cli.grid.rounds, 99);
+        assert_eq!(cli.threads, Some(3));
+    }
+
+    #[test]
+    fn glap_training_knobs() {
+        let cli = parse(args("--train 42 --agg 17")).unwrap();
+        assert_eq!(cli.grid.glap.learning_rounds, 42);
+        assert_eq!(cli.grid.glap.aggregation_rounds, 17);
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        assert!(parse(args("--nope")).is_err());
+        assert!(parse(args("--sizes")).is_err());
+        assert!(parse(args("--sizes abc")).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # glap-experiments — the evaluation harness
+//!
+//! Regenerates every figure and table of the GLAP paper's evaluation
+//! (§V): scenario grids ([`scenario`]), end-to-end single runs
+//! ([`runner`]), a parallel sweep pool ([`pool`]), per-figure aggregation
+//! ([`figures`]), and text/CSV reporting ([`report`]).
+//!
+//! One binary per experiment lives in `src/bin/`:
+//! `fig5_convergence`, `fig6_packing`, `fig7_overloaded`,
+//! `fig8_migrations`, `fig9_cumulative`, `fig10_energy`, `table1_sla`,
+//! `ablations`, and `all_experiments` (runs the grid once and emits
+//! everything). All accept `--quick` / `--full` / explicit grid options
+//! (see [`cli::USAGE`]).
+
+pub mod churn;
+pub mod cli;
+pub mod figures;
+pub mod pool;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use churn::{build_churn_world, run_churn_scenario, ChurnConfig};
+pub use cli::{parse_or_exit, Cli};
+pub use figures::{
+    ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
+    fig8_migrations, fig9_cumulative, run_grid, table1_sla, FigureOutput,
+};
+pub use pool::parallel_map;
+pub use report::{downsample, fnum, sparkline, TextTable};
+pub use runner::{build_policy, build_world, run_scenario};
+pub use scenario::{Algorithm, Grid, Scenario, VmMix};

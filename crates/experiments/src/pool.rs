@@ -1,0 +1,96 @@
+//! A small scoped worker pool for running scenarios in parallel.
+//!
+//! Individual simulation runs are strictly single-threaded and
+//! deterministic; the grid of (size × ratio × rep × algorithm) runs is
+//! embarrassingly parallel. A crossbeam injector queue feeds worker
+//! threads; results return in input order so downstream aggregation is
+//! deterministic regardless of thread count.
+
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+
+/// Maps `f` over `items` using up to `threads` workers (defaults to the
+/// available parallelism), preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+        .clamp(1, n);
+
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let injector: Injector<(usize, &T)> = Injector::new();
+    for (i, item) in items.iter().enumerate() {
+        injector.push((i, item));
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                match injector.steal() {
+                    Steal::Success((i, item)) => {
+                        let r = f(item);
+                        results.lock()[i] = Some(r);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results.into_inner().into_iter().map(|r| r.expect("every item processed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items.clone(), Some(4), |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], Some(1), |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), None, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![7], Some(16), |&x| x);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn results_match_sequential_regardless_of_threads() {
+        let items: Vec<u64> = (0..50).collect();
+        let seq = parallel_map(items.clone(), Some(1), |&x| x * x % 97);
+        let par = parallel_map(items, Some(8), |&x| x * x % 97);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,233 @@
+//! Result reporting: aligned text tables for stdout and CSV files for
+//! post-processing, written without external dependencies.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given header.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<w$}", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn save_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline (▁▂▃▄▅▆▇█), scaled to
+/// the series' own min/max — used by binaries to show round series inline
+/// (cumulative migrations, overload counts, similarity curves).
+pub fn sparkline(xs: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if xs.is_empty() {
+        return String::new();
+    }
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    xs.iter()
+        .map(|&x| {
+            let idx = (((x - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by averaging buckets —
+/// pair with [`sparkline`] for long round series.
+pub fn downsample(xs: &[f64], width: usize) -> Vec<f64> {
+    if xs.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if xs.len() <= width {
+        return xs.to_vec();
+    }
+    let bucket = xs.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(xs.len()).max(lo + 1);
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Formats a float compactly for tables (scientific for very small
+/// non-zero values, fixed otherwise).
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 0.001 {
+        format!("{x:.2e}")
+    } else if x.abs() < 10.0 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["algo", "value"]);
+        t.row(["GLAP", "1"]);
+        t.row(["EcoCloud", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        // Columns aligned: "value" column starts at same offset.
+        let off0 = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][off0 - 2..off0], "  ");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn save_csv_roundtrips() {
+        let mut t = TextTable::new(["k", "v"]);
+        t.row(["a", "1"]);
+        let mut path = std::env::temp_dir();
+        path.push(format!("glap_report_test_{}.csv", std::process::id()));
+        t.save_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(body, "k,v\na,1\n");
+    }
+
+    #[test]
+    fn sparkline_scales_to_extremes() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[3.0, 3.0, 3.0]);
+        assert!(flat.chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        // Bucket means are increasing.
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        // Short series pass through unchanged.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+        assert!(downsample(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert!(fnum(0.00017).contains('e'));
+        assert_eq!(fnum(0.27), "0.2700");
+        assert_eq!(fnum(123.456), "123.5");
+    }
+}

@@ -1,0 +1,164 @@
+//! Executes one scenario end-to-end: trace synthesis, identical initial
+//! placement, GLAP pre-training where applicable, the measured day, and
+//! metric collection.
+
+use crate::scenario::{Algorithm, Scenario};
+use glap::{train, unified_table, GlapPolicy, TableStore};
+use glap_baselines::{bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy};
+use glap_cluster::{DataCenter, DataCenterConfig};
+use glap_dcsim::{run_simulation, stream_rng, ConsolidationPolicy, Stream};
+use glap_metrics::{MetricsCollector, RunResult};
+use glap_workload::{GoogleLikeTraceGen, MaterializedTrace, OffsetTrace};
+
+/// Builds the data center of a scenario with its seed-determined initial
+/// placement (identical for every algorithm within a repetition).
+pub fn build_world(sc: &Scenario) -> (DataCenter, MaterializedTrace) {
+    let mut dc = DataCenter::new(DataCenterConfig::paper(sc.n_pms));
+    for i in 0..sc.n_vms() {
+        dc.add_vm(sc.vm_mix.spec(i));
+    }
+    let mut placement_rng = stream_rng(sc.world_seed(), Stream::Placement);
+    dc.random_placement(&mut placement_rng);
+
+    // Trace covers the GLAP pre-training rounds plus the measured day.
+    let total_rounds = sc.glap.learning_rounds + sc.rounds as usize;
+    let gen = GoogleLikeTraceGen::new(sc.trace_cfg);
+    let mut trace_rng = stream_rng(sc.world_seed(), Stream::Trace);
+    let trace = gen.generate(sc.n_vms(), total_rounds, &mut trace_rng);
+    (dc, trace)
+}
+
+/// Builds the policy for a scenario, pre-training GLAP variants on a
+/// throwaway copy of the world (the paper's "700 more rounds to calculate
+/// Q-values beforehand").
+pub fn build_policy(
+    sc: &Scenario,
+    dc: &DataCenter,
+    trace: &MaterializedTrace,
+) -> Box<dyn ConsolidationPolicy> {
+    match sc.algorithm {
+        Algorithm::Grmp => Box::new(GrmpPolicy::new(GrmpConfig::default())),
+        Algorithm::EcoCloud => Box::new(EcoCloudPolicy::new(EcoCloudConfig::default())),
+        Algorithm::Pabfd => Box::new(PabfdPolicy::new(PabfdConfig::default())),
+        Algorithm::Glap
+        | Algorithm::GlapNoVeto
+        | Algorithm::GlapCurrentOnly
+        | Algorithm::GlapNoAggregation => {
+            let mut cfg = sc.glap;
+            if sc.algorithm == Algorithm::GlapNoAggregation {
+                cfg.aggregation_rounds = 0;
+            }
+            let mut train_dc = dc.clone();
+            let mut train_trace = trace.clone();
+            let (tables, _report) =
+                train(&mut train_dc, &mut train_trace, &cfg, sc.policy_seed(), false);
+            let store = if sc.algorithm == Algorithm::GlapNoAggregation {
+                TableStore::PerPm(tables)
+            } else {
+                TableStore::Shared(Box::new(unified_table(&tables)))
+            };
+            let mut policy = GlapPolicy::new(cfg, store);
+            policy.disable_in_veto = sc.algorithm == Algorithm::GlapNoVeto;
+            policy.current_state_only = sc.algorithm == Algorithm::GlapCurrentOnly;
+            Box::new(policy)
+        }
+    }
+}
+
+/// Runs a scenario and returns its result bundle.
+pub fn run_scenario(sc: &Scenario) -> RunResult {
+    let (mut dc, trace) = build_world(sc);
+    let mut policy = build_policy(sc, &dc, &trace);
+
+    // Every algorithm replays the *same* measured day: the trace rounds
+    // after GLAP's training prefix.
+    let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+    let mut collector = MetricsCollector::new();
+    run_simulation(
+        &mut dc,
+        &mut day,
+        policy.as_mut(),
+        &mut [&mut collector],
+        sc.rounds,
+        sc.policy_seed(),
+    );
+
+    let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
+    result.bfd_bins = bfd_baseline(&dc);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap::GlapConfig;
+
+    fn quick_scenario(algorithm: Algorithm) -> Scenario {
+        Scenario {
+            n_pms: 40,
+            ratio: 3,
+            rep: 0,
+            algorithm,
+            rounds: 60,
+            glap: GlapConfig {
+                learning_rounds: 20,
+                aggregation_rounds: 10,
+                ..GlapConfig::default()
+            },
+            trace_cfg: Default::default(),
+        vm_mix: Default::default(),
+        }
+    }
+
+    #[test]
+    fn world_is_identical_across_algorithms() {
+        let a = quick_scenario(Algorithm::Glap);
+        let b = quick_scenario(Algorithm::Pabfd);
+        let (dc_a, tr_a) = build_world(&a);
+        let (dc_b, tr_b) = build_world(&b);
+        assert_eq!(tr_a, tr_b);
+        let hosts_a: Vec<_> = dc_a.vms().map(|v| v.host).collect();
+        let hosts_b: Vec<_> = dc_b.vms().map(|v| v.host).collect();
+        assert_eq!(hosts_a, hosts_b);
+    }
+
+    #[test]
+    fn all_algorithms_run_to_completion() {
+        for algo in [Algorithm::Glap, Algorithm::Grmp, Algorithm::EcoCloud, Algorithm::Pabfd] {
+            let sc = quick_scenario(algo);
+            let result = run_scenario(&sc);
+            assert_eq!(result.collector.samples.len(), 60, "{}", algo.label());
+            assert!(result.bfd_bins > 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let sc = quick_scenario(Algorithm::Glap);
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.collector.samples, b.collector.samples);
+        assert_eq!(a.sla, b.sla);
+    }
+
+    #[test]
+    fn glap_consolidates_in_the_quick_world() {
+        let sc = quick_scenario(Algorithm::Glap);
+        let result = run_scenario(&sc);
+        let final_active = result.collector.samples.last().unwrap().active_pms;
+        assert!(final_active < 40, "no consolidation: {final_active} active");
+    }
+
+    #[test]
+    fn ablation_variants_run() {
+        for algo in [
+            Algorithm::GlapNoVeto,
+            Algorithm::GlapCurrentOnly,
+            Algorithm::GlapNoAggregation,
+        ] {
+            let sc = quick_scenario(algo);
+            let result = run_scenario(&sc);
+            assert_eq!(result.collector.samples.len(), 60);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-round metric collection.
+//!
+//! `MetricsCollector` implements the engine's [`glap_dcsim::Observer`] and
+//! samples, at the end of every round, exactly the series the paper's
+//! figures plot: active PMs, overloaded PMs, migrations and their energy
+//! overhead. Summaries expose the paper's (p10, median, p90) statistics.
+
+use crate::sla::{sla_metrics, SlaMetrics};
+use crate::stats::p10_median_p90;
+use glap_cluster::DataCenter;
+use glap_dcsim::Observer;
+use serde::{Deserialize, Serialize};
+
+/// One round's sampled values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundSample {
+    /// Round index.
+    pub round: u64,
+    /// Active (switched-on) PMs.
+    pub active_pms: usize,
+    /// Active PMs with demand at/over capacity in some resource.
+    pub overloaded_pms: usize,
+    /// Migrations performed during this round.
+    pub migrations: usize,
+    /// Energy overhead of this round's migrations, joules.
+    pub migration_energy_j: f64,
+}
+
+/// Collects per-round series over a full simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsCollector {
+    /// All sampled rounds, in order.
+    pub samples: Vec<RoundSample>,
+}
+
+impl MetricsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-round overloaded-PM counts as `f64` (for order statistics).
+    pub fn overloaded_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.overloaded_pms as f64).collect()
+    }
+
+    /// Per-round migration counts.
+    pub fn migration_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.migrations as f64).collect()
+    }
+
+    /// Per-round active-PM counts.
+    pub fn active_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.active_pms as f64).collect()
+    }
+
+    /// Cumulative migrations after each round (Figure 9's series).
+    pub fn cumulative_migrations(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.samples
+            .iter()
+            .map(|s| {
+                total += s.migrations as u64;
+                total
+            })
+            .collect()
+    }
+
+    /// Total migrations over the run.
+    pub fn total_migrations(&self) -> u64 {
+        self.samples.iter().map(|s| s.migrations as u64).sum()
+    }
+
+    /// Total migration energy overhead over the run, joules.
+    pub fn total_migration_energy_j(&self) -> f64 {
+        self.samples.iter().map(|s| s.migration_energy_j).sum()
+    }
+
+    /// `(p10, median, p90)` of the per-round overloaded-PM counts —
+    /// Figure 7's bars.
+    pub fn overloaded_summary(&self) -> (f64, f64, f64) {
+        p10_median_p90(&self.overloaded_series())
+    }
+
+    /// `(p10, median, p90)` of the per-round migration counts — Figure 8.
+    pub fn migration_summary(&self) -> (f64, f64, f64) {
+        p10_median_p90(&self.migration_series())
+    }
+
+    /// Mean fraction of overloaded over active PMs (Figure 6's ratio).
+    pub fn mean_overloaded_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let fr: f64 = self
+            .samples
+            .iter()
+            .map(|s| {
+                if s.active_pms == 0 {
+                    0.0
+                } else {
+                    s.overloaded_pms as f64 / s.active_pms as f64
+                }
+            })
+            .sum();
+        fr / self.samples.len() as f64
+    }
+
+    /// Mean active-PM count over the run.
+    pub fn mean_active_pms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.active_pms as f64).sum::<f64>()
+            / self.samples.len() as f64
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn on_round_end(&mut self, round: u64, dc: &mut DataCenter) {
+        let migrations = dc.take_migrations();
+        self.samples.push(RoundSample {
+            round,
+            active_pms: dc.active_pm_count(),
+            overloaded_pms: dc.overloaded_pm_count(),
+            migrations: migrations.len(),
+            migration_energy_j: migrations.iter().map(|m| m.energy_j).sum(),
+        });
+    }
+}
+
+/// End-of-run result bundle: the collector series plus final SLA metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Algorithm name as reported by the policy.
+    pub algorithm: String,
+    /// Per-round series.
+    pub collector: MetricsCollector,
+    /// Final SLA metrics.
+    pub sla: SlaMetrics,
+    /// Offline BFD baseline over the final round's demands (Figure 6's
+    /// reference line), filled by the harness.
+    pub bfd_bins: usize,
+}
+
+impl RunResult {
+    /// Assembles a result from a finished run.
+    pub fn from_run(algorithm: &str, collector: MetricsCollector, dc: &DataCenter) -> Self {
+        RunResult {
+            algorithm: algorithm.to_string(),
+            collector,
+            sla: sla_metrics(dc),
+            bfd_bins: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::{DataCenterConfig, PmId, Resources, VmId, VmSpec};
+
+    fn sample(round: u64, active: usize, over: usize, mig: usize, e: f64) -> RoundSample {
+        RoundSample {
+            round,
+            active_pms: active,
+            overloaded_pms: over,
+            migrations: mig,
+            migration_energy_j: e,
+        }
+    }
+
+    #[test]
+    fn series_and_totals() {
+        let mut c = MetricsCollector::new();
+        c.samples.push(sample(0, 10, 2, 3, 5.0));
+        c.samples.push(sample(1, 8, 1, 2, 3.0));
+        c.samples.push(sample(2, 8, 0, 0, 0.0));
+        assert_eq!(c.overloaded_series(), vec![2.0, 1.0, 0.0]);
+        assert_eq!(c.cumulative_migrations(), vec![3, 5, 5]);
+        assert_eq!(c.total_migrations(), 5);
+        assert!((c.total_migration_energy_j() - 8.0).abs() < 1e-12);
+        assert!((c.mean_active_pms() - 26.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_fraction_handles_zero_active() {
+        let mut c = MetricsCollector::new();
+        c.samples.push(sample(0, 0, 0, 0, 0.0));
+        c.samples.push(sample(1, 10, 5, 0, 0.0));
+        assert!((c.mean_overloaded_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observer_samples_from_datacenter() {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(2));
+        for _ in 0..2 {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        dc.place(VmId(0), PmId(0));
+        dc.place(VmId(1), PmId(0));
+        let mut src = |_: VmId, _: u64| Resources::splat(0.5);
+        dc.step(&mut src);
+        dc.migrate(VmId(0), PmId(1)).unwrap();
+        let mut c = MetricsCollector::new();
+        c.on_round_end(0, &mut dc);
+        assert_eq!(c.samples.len(), 1);
+        assert_eq!(c.samples[0].active_pms, 2);
+        assert_eq!(c.samples[0].migrations, 1);
+        assert!(c.samples[0].migration_energy_j > 0.0);
+        // Drained: a second observation sees no migrations.
+        c.on_round_end(1, &mut dc);
+        assert_eq!(c.samples[1].migrations, 0);
+    }
+
+    #[test]
+    fn summaries_report_order_statistics() {
+        let mut c = MetricsCollector::new();
+        for (i, &over) in [5usize, 1, 3, 2, 4].iter().enumerate() {
+            c.samples.push(sample(i as u64, 10, over, over * 2, 0.0));
+        }
+        let (p10, med, p90) = c.overloaded_summary();
+        assert_eq!(med, 3.0);
+        assert!(p10 >= 1.0 && p90 <= 5.0);
+        let (_, med_m, _) = c.migration_summary();
+        assert_eq!(med_m, 6.0);
+    }
+
+    #[test]
+    fn empty_collector_is_all_zero() {
+        let c = MetricsCollector::new();
+        assert_eq!(c.total_migrations(), 0);
+        assert_eq!(c.mean_overloaded_fraction(), 0.0);
+        assert_eq!(c.mean_active_pms(), 0.0);
+        assert!(c.cumulative_migrations().is_empty());
+    }
+}

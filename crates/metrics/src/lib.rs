@@ -1,0 +1,23 @@
+//! # glap-metrics — evaluation metrics of the GLAP paper
+//!
+//! Everything §V-B measures:
+//!
+//! * [`sla`] — SLAVO (time at 100% CPU), SLALM (migration degradation) and
+//!   the combined SLAV of Table I;
+//! * [`collector`] — the per-round series behind Figures 6–10 (active PMs,
+//!   overloaded PMs, migrations, migration energy), sampled through the
+//!   engine's observer hook;
+//! * [`stats`] — order statistics (the paper reports median/p10/p90),
+//!   cosine similarity, and the skewness/kurtosis/Jarque–Bera diagnostics
+//!   used to verify Theorem 1's convergence-to-normal claim.
+
+pub mod collector;
+pub mod sla;
+pub mod stats;
+
+pub use collector::{MetricsCollector, RoundSample, RunResult};
+pub use sla::{sla_metrics, SlaMetrics};
+pub use stats::{
+    cosine_similarity, excess_kurtosis, jarque_bera, mean, median, p10_median_p90, quantile,
+    skewness, std_dev, variance,
+};

@@ -1,0 +1,197 @@
+//! Statistics helpers: order statistics for the paper's median/p10/p90
+//! reporting, moments, cosine similarity, and the normality diagnostics
+//! used to check Theorem 1 (the gossip-aggregated Q-values tend to a
+//! normal distribution).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+/// statistics. Returns 0 for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The paper's standard summary: `(p10, median, p90)`.
+pub fn p10_median_p90(xs: &[f64]) -> (f64, f64, f64) {
+    (quantile(xs, 0.1), median(xs), quantile(xs, 0.9))
+}
+
+/// Cosine similarity of two equal-length vectors. Both-zero → 1, one-zero
+/// → 0.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for i in 0..a.len() {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if na == 0.0 && nb == 0.0 {
+        1.0
+    } else if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Sample skewness (third standardized moment).
+pub fn skewness(xs: &[f64]) -> f64 {
+    let s = std_dev(xs);
+    if xs.len() < 3 || s == 0.0 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / xs.len() as f64
+}
+
+/// Excess kurtosis (fourth standardized moment minus 3; 0 for a normal).
+pub fn excess_kurtosis(xs: &[f64]) -> f64 {
+    let s = std_dev(xs);
+    if xs.len() < 4 || s == 0.0 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| ((x - m) / s).powi(4)).sum::<f64>() / xs.len() as f64 - 3.0
+}
+
+/// The Jarque–Bera statistic: `n/6 · (skew² + kurt²/4)`. Under normality
+/// it is χ²(2)-distributed; small values (≲ 6 for the 5% level) are
+/// consistent with a normal distribution. Used to verify Theorem 1
+/// empirically.
+pub fn jarque_bera(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let s = skewness(xs);
+    let k = excess_kurtosis(xs);
+    n / 6.0 * (s * s + k * k / 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        let (p10, med, p90) = p10_median_p90(&xs);
+        assert!(p10 < med && med < p90);
+    }
+
+    #[test]
+    fn quantile_is_order_independent() {
+        let a = [5.0, 1.0, 3.0];
+        let b = [1.0, 3.0, 5.0];
+        assert_eq!(median(&a), median(&b));
+    }
+
+    #[test]
+    fn cosine_basic_cases() {
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]), -1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tail_has_positive_skew() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs) > 1.0);
+    }
+
+    #[test]
+    fn uniform_has_negative_excess_kurtosis() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        // Uniform distribution: excess kurtosis = -1.2.
+        assert!((excess_kurtosis(&xs) + 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn jarque_bera_small_for_normal_like_large_for_skewed() {
+        // A discrete approximation of a normal via the CLT: sums of
+        // uniforms (Irwin–Hall with n=12, standardized).
+        let mut xs = Vec::new();
+        let mut state = 88172645463325252u64;
+        let mut next = || {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..2000 {
+            let s: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0;
+            xs.push(s);
+        }
+        let jb_normal = jarque_bera(&xs);
+        let skewed: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        let jb_skewed = jarque_bera(&skewed);
+        assert!(jb_normal < 15.0, "JB for normal-ish data: {jb_normal}");
+        assert!(jb_skewed > 100.0, "JB for lognormal data: {jb_skewed}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for statistics and metric aggregation.
+
+use glap_metrics::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles are monotone in q and bounded by the sample extremes.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// p10 ≤ median ≤ p90 always.
+    #[test]
+    fn order_statistics_are_ordered(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let (p10, med, p90) = p10_median_p90(&xs);
+        prop_assert!(p10 <= med && med <= p90);
+    }
+
+    /// Mean and variance satisfy the shift/scale laws.
+    #[test]
+    fn mean_variance_affine_laws(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+        shift in -50.0f64..50.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        prop_assert!((mean(&shifted) - (mean(&xs) * scale + shift)).abs() < 1e-6);
+        prop_assert!((variance(&shifted) - variance(&xs) * scale * scale).abs() < 1e-4);
+    }
+
+    /// Cosine similarity is scale-invariant for positive scales.
+    #[test]
+    fn cosine_is_scale_invariant(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let sim = cosine_similarity(&xs, &scaled);
+        if xs.iter().any(|&x| x != 0.0) {
+            prop_assert!((sim - 1.0).abs() < 1e-9, "sim {sim}");
+        } else {
+            prop_assert_eq!(sim, 1.0);
+        }
+    }
+
+    /// Skewness is antisymmetric under negation; kurtosis is symmetric.
+    #[test]
+    fn moment_symmetries(xs in proptest::collection::vec(-100.0f64..100.0, 4..100)) {
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        prop_assert!((skewness(&xs) + skewness(&neg)).abs() < 1e-6);
+        prop_assert!((excess_kurtosis(&xs) - excess_kurtosis(&neg)).abs() < 1e-6);
+    }
+
+    /// Jarque–Bera is non-negative.
+    #[test]
+    fn jarque_bera_non_negative(xs in proptest::collection::vec(-100.0f64..100.0, 4..100)) {
+        prop_assert!(jarque_bera(&xs) >= 0.0);
+    }
+
+    /// Collector aggregates agree with direct recomputation from samples.
+    #[test]
+    fn collector_aggregates_match_series(
+        rows in proptest::collection::vec((0usize..50, 0usize..50, 0usize..20, 0.0f64..100.0), 1..60),
+    ) {
+        let mut c = MetricsCollector::new();
+        for (i, &(active, over_raw, mig, e)) in rows.iter().enumerate() {
+            let over = over_raw.min(active);
+            c.samples.push(RoundSample {
+                round: i as u64,
+                active_pms: active,
+                overloaded_pms: over,
+                migrations: mig,
+                migration_energy_j: e,
+            });
+        }
+        let total: u64 = rows.iter().map(|r| r.2 as u64).sum();
+        prop_assert_eq!(c.total_migrations(), total);
+        let cum = c.cumulative_migrations();
+        prop_assert_eq!(*cum.last().unwrap(), total);
+        // Cumulative series is non-decreasing.
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        // Overloaded fraction within [0, 1].
+        let f = c.mean_overloaded_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

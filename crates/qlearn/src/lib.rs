@@ -1,0 +1,41 @@
+//! # glap-qlearn — tabular Q-learning substrate
+//!
+//! The model-free reinforcement-learning machinery of the GLAP paper
+//! (§IV-A): the nine-level calibration of utilization, PM states and VM
+//! actions over (CPU, MEM), the two reward systems (`out` for emptying
+//! PMs, `in` for admission control), dense Q-tables with the Bellman
+//! update of Eq. (1), the gossip merge of Algorithm 2 and the cosine
+//! similarity convergence measure of Figure 5.
+//!
+//! ```
+//! use glap_qlearn::prelude::*;
+//! use glap_cluster::Resources;
+//!
+//! let mut q = QTables::new(QParams::default());
+//! let s = PmState::from_utilization(Resources::new(0.79, 0.40)); // (3xHigh, Medium)
+//! let a = VmAction::from_demand(Resources::new(0.41, 0.10));     // (High, Low)
+//! let s_next = PmState::from_utilization(Resources::new(0.50, 0.30));
+//! q.train_out(s, a, s_next); // Figure 3's update, in code
+//! assert!(q.out.get(s, a) > 0.0);
+//! ```
+
+pub mod level;
+pub mod reward;
+pub mod state;
+pub mod table;
+pub mod tables;
+
+pub use level::{Level, NUM_LEVELS};
+pub use reward::{RewardIn, RewardOut};
+pub use state::{PmState, VmAction, NUM_STATES};
+pub use table::{QParams, QTable};
+pub use tables::QTables;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::level::Level;
+    pub use crate::reward::{RewardIn, RewardOut};
+    pub use crate::state::{PmState, VmAction};
+    pub use crate::table::{QParams, QTable};
+    pub use crate::tables::QTables;
+}

@@ -1,0 +1,353 @@
+//! Dense tabular Q-values.
+//!
+//! With 81 states × 81 actions, a Q-table is a 6561-entry `f64` array plus
+//! a `visited` bitmap. The bitmap distinguishes "never trained" from
+//! "trained to value 0", which the gossip merge of Algorithm 2 needs: a
+//! (state, action) pair present in both peers is averaged, a pair present
+//! in only one is adopted by the other.
+
+use crate::state::{PmState, VmAction, NUM_STATES};
+use serde::{Deserialize, Serialize};
+
+/// Q-learning hyperparameters of Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QParams {
+    /// Learning rate α ∈ (0, 1].
+    pub alpha: f64,
+    /// Discount factor γ ∈ [0, 1).
+    pub gamma: f64,
+}
+
+impl Default for QParams {
+    fn default() -> Self {
+        QParams { alpha: 0.3, gamma: 0.8 }
+    }
+}
+
+/// One dense Q-table over (PM state, VM action).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    values: Vec<f64>,
+    visited: Vec<bool>,
+    n_visited: usize,
+}
+
+impl Default for QTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QTable {
+    /// An empty (fully unvisited) table.
+    pub fn new() -> Self {
+        QTable {
+            values: vec![0.0; NUM_STATES * NUM_STATES],
+            visited: vec![false; NUM_STATES * NUM_STATES],
+            n_visited: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(s: PmState, a: VmAction) -> usize {
+        s.index() * NUM_STATES + a.index()
+    }
+
+    /// Q(s, a); 0 for unvisited pairs.
+    #[inline]
+    pub fn get(&self, s: PmState, a: VmAction) -> f64 {
+        self.values[Self::idx(s, a)]
+    }
+
+    /// Whether (s, a) has ever been trained or merged in.
+    #[inline]
+    pub fn is_visited(&self, s: PmState, a: VmAction) -> bool {
+        self.visited[Self::idx(s, a)]
+    }
+
+    /// Number of visited pairs.
+    #[inline]
+    pub fn visited_count(&self) -> usize {
+        self.n_visited
+    }
+
+    /// Directly sets Q(s, a), marking it visited.
+    pub fn set(&mut self, s: PmState, a: VmAction, value: f64) {
+        let i = Self::idx(s, a);
+        if !self.visited[i] {
+            self.visited[i] = true;
+            self.n_visited += 1;
+        }
+        self.values[i] = value;
+    }
+
+    /// The greedy bootstrap term `max_a' Q(s', a')` over *visited* actions
+    /// of `s'`; 0 when the row is untrained (optimistic-neutral init).
+    pub fn max_over_actions(&self, s: PmState) -> f64 {
+        let base = s.index() * NUM_STATES;
+        let mut best = f64::NEG_INFINITY;
+        let mut any = false;
+        for i in base..base + NUM_STATES {
+            if self.visited[i] {
+                any = true;
+                if self.values[i] > best {
+                    best = self.values[i];
+                }
+            }
+        }
+        if any {
+            best
+        } else {
+            0.0
+        }
+    }
+
+    /// One Bellman update (the paper's Eq. (1)):
+    /// `Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_a' Q(s', a'))`.
+    pub fn bellman_update(
+        &mut self,
+        s: PmState,
+        a: VmAction,
+        s_next: PmState,
+        reward: f64,
+        params: QParams,
+    ) {
+        let future = self.max_over_actions(s_next);
+        self.update_toward(s, a, reward + params.gamma * future, params.alpha);
+    }
+
+    /// Exponential-moving-average update toward an externally computed
+    /// target: `Q(s,a) ← (1−α)·Q(s,a) + α·target`. This is Eq. (1) with
+    /// the caller supplying `target = R + γ·future`; the GLAP reward
+    /// systems use it to apply their own continuation semantics (terminal
+    /// overload states, the recipient's option to reject).
+    pub fn update_toward(&mut self, s: PmState, a: VmAction, target: f64, alpha: f64) {
+        let i = Self::idx(s, a);
+        let old = self.values[i];
+        let new = (1.0 - alpha) * old + alpha * target;
+        if !self.visited[i] {
+            self.visited[i] = true;
+            self.n_visited += 1;
+        }
+        self.values[i] = new;
+    }
+
+    /// `π_out`-style arg-max: the best action for `s` among `available`,
+    /// considering only visited pairs. Returns the action and its Q-value.
+    pub fn best_action_among<I>(&self, s: PmState, available: I) -> Option<(VmAction, f64)>
+    where
+        I: IntoIterator<Item = VmAction>,
+    {
+        let base = s.index() * NUM_STATES;
+        let mut best: Option<(VmAction, f64)> = None;
+        for a in available {
+            let i = base + a.index();
+            if !self.visited[i] {
+                continue;
+            }
+            let q = self.values[i];
+            match best {
+                Some((_, bq)) if bq >= q => {}
+                _ => best = Some((a, q)),
+            }
+        }
+        best
+    }
+
+    /// Algorithm 2's merge: average pairs present in both tables, adopt
+    /// pairs present only in `other`.
+    pub fn merge_average(&mut self, other: &QTable) {
+        for i in 0..self.values.len() {
+            match (self.visited[i], other.visited[i]) {
+                (true, true) => self.values[i] = (self.values[i] + other.values[i]) / 2.0,
+                (false, true) => {
+                    self.values[i] = other.values[i];
+                    self.visited[i] = true;
+                    self.n_visited += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Cosine similarity with `other` over the union of visited entries
+    /// (unvisited = 0). Two empty tables are fully similar (1.0); an empty
+    /// vs non-empty pair scores 0.
+    pub fn cosine_similarity(&self, other: &QTable) -> f64 {
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for i in 0..self.values.len() {
+            let a = if self.visited[i] { self.values[i] } else { 0.0 };
+            let b = if other.visited[i] { other.values[i] } else { 0.0 };
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        if na == 0.0 && nb == 0.0 {
+            1.0
+        } else if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+
+    /// Iterates over visited entries as `(state, action, value)`.
+    pub fn iter_visited(&self) -> impl Iterator<Item = (PmState, VmAction, f64)> + '_ {
+        self.visited.iter().enumerate().filter(|(_, &v)| v).map(move |(i, _)| {
+            (
+                PmState::from_index(i / NUM_STATES),
+                VmAction::from_index(i % NUM_STATES),
+                self.values[i],
+            )
+        })
+    }
+
+    /// Flat read-only view of the value array (benchmarks, similarity
+    /// computations over many tables).
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::Resources;
+
+    fn s(cpu: f64, mem: f64) -> PmState {
+        PmState::from_utilization(Resources::new(cpu, mem))
+    }
+
+    fn a(cpu: f64, mem: f64) -> VmAction {
+        VmAction::from_demand(Resources::new(cpu, mem))
+    }
+
+    #[test]
+    fn new_table_is_unvisited_zero() {
+        let t = QTable::new();
+        assert_eq!(t.get(s(0.5, 0.5), a(0.1, 0.1)), 0.0);
+        assert!(!t.is_visited(s(0.5, 0.5), a(0.1, 0.1)));
+        assert_eq!(t.visited_count(), 0);
+    }
+
+    #[test]
+    fn set_marks_visited_once() {
+        let mut t = QTable::new();
+        t.set(s(0.5, 0.5), a(0.1, 0.1), 7.0);
+        t.set(s(0.5, 0.5), a(0.1, 0.1), 9.0);
+        assert_eq!(t.visited_count(), 1);
+        assert_eq!(t.get(s(0.5, 0.5), a(0.1, 0.1)), 9.0);
+    }
+
+    #[test]
+    fn bellman_matches_formula() {
+        let mut t = QTable::new();
+        let params = QParams { alpha: 0.5, gamma: 0.8 };
+        let s0 = s(0.75, 0.75);
+        let s1 = s(0.45, 0.45);
+        let act = a(0.3, 0.3);
+        // Pre-seed the next state's row.
+        t.set(s1, a(0.1, 0.1), 10.0);
+        t.set(s0, act, 4.0);
+        t.bellman_update(s0, act, s1, 100.0, params);
+        // (1-0.5)*4 + 0.5*(100 + 0.8*10) = 2 + 54 = 56
+        assert!((t.get(s0, act) - 56.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bellman_on_untrained_next_state_uses_zero_bootstrap() {
+        let mut t = QTable::new();
+        let params = QParams { alpha: 1.0, gamma: 0.9 };
+        t.bellman_update(s(0.3, 0.3), a(0.1, 0.1), s(0.1, 0.1), 50.0, params);
+        assert!((t.get(s(0.3, 0.3), a(0.1, 0.1)) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_over_actions_ignores_unvisited() {
+        let mut t = QTable::new();
+        let st = s(0.5, 0.5);
+        assert_eq!(t.max_over_actions(st), 0.0);
+        t.set(st, a(0.1, 0.1), -5.0);
+        assert_eq!(t.max_over_actions(st), -5.0);
+        t.set(st, a(0.3, 0.3), 2.0);
+        assert_eq!(t.max_over_actions(st), 2.0);
+    }
+
+    #[test]
+    fn best_action_among_respects_availability() {
+        let mut t = QTable::new();
+        let st = s(0.5, 0.5);
+        let a1 = a(0.1, 0.1);
+        let a2 = a(0.3, 0.3);
+        let a3 = a(0.45, 0.45);
+        t.set(st, a1, 10.0);
+        t.set(st, a2, 20.0);
+        t.set(st, a3, 30.0);
+        // a3 not available → a2 wins.
+        let best = t.best_action_among(st, [a1, a2]).unwrap();
+        assert_eq!(best.0, a2);
+        assert_eq!(best.1, 20.0);
+        // No visited available → None.
+        assert!(t.best_action_among(st, [a(0.85, 0.85)]).is_none());
+    }
+
+    #[test]
+    fn merge_averages_shared_and_adopts_missing() {
+        let mut p = QTable::new();
+        let mut q = QTable::new();
+        let st = s(0.5, 0.5);
+        let shared = a(0.1, 0.1);
+        let only_q = a(0.3, 0.3);
+        let only_p = a(0.45, 0.45);
+        p.set(st, shared, 10.0);
+        q.set(st, shared, 20.0);
+        q.set(st, only_q, 7.0);
+        p.set(st, only_p, 3.0);
+        p.merge_average(&q);
+        assert_eq!(p.get(st, shared), 15.0);
+        assert_eq!(p.get(st, only_q), 7.0);
+        assert!(p.is_visited(st, only_q));
+        assert_eq!(p.get(st, only_p), 3.0);
+    }
+
+    #[test]
+    fn symmetric_merge_converges_to_common_average() {
+        let mut p = QTable::new();
+        let mut q = QTable::new();
+        let st = s(0.5, 0.5);
+        let act = a(0.1, 0.1);
+        p.set(st, act, 0.0);
+        q.set(st, act, 100.0);
+        let p0 = p.clone();
+        p.merge_average(&q);
+        q.merge_average(&p0);
+        assert_eq!(p.get(st, act), 50.0);
+        assert_eq!(q.get(st, act), 50.0);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_identity() {
+        let mut p = QTable::new();
+        let mut q = QTable::new();
+        assert_eq!(p.cosine_similarity(&q), 1.0);
+        p.set(s(0.5, 0.5), a(0.1, 0.1), 5.0);
+        assert_eq!(p.cosine_similarity(&q), 0.0);
+        q.set(s(0.5, 0.5), a(0.1, 0.1), 10.0);
+        assert!((p.cosine_similarity(&q) - 1.0).abs() < 1e-12);
+        q.set(s(0.3, 0.3), a(0.1, 0.1), -10.0);
+        let c = p.cosine_similarity(&q);
+        assert!(c > 0.0 && c < 1.0);
+    }
+
+    #[test]
+    fn iter_visited_yields_only_trained_pairs() {
+        let mut t = QTable::new();
+        t.set(s(0.5, 0.5), a(0.1, 0.1), 1.0);
+        t.set(s(0.75, 0.3), a(0.3, 0.45), 2.0);
+        let got: Vec<_> = t.iter_visited().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|&(_, _, v)| v == 1.0 || v == 2.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Materialized workload traces.
+//!
+//! A trace is a dense `(vm, round) → utilization-of-nominal` table. The
+//! simulator pulls one column per round through the
+//! [`glap_cluster::DemandSource`] trait. Keeping traces materialized (rather
+//! than sampled on the fly) is what lets the harness drive *different
+//! algorithms with the identical workload*, which the paper's methodology
+//! requires.
+
+use glap_cluster::{DemandSource, Resources, VmId};
+
+/// A fully materialized utilization trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedTrace {
+    n_vms: usize,
+    rounds: usize,
+    /// Row-major: `data[vm * rounds + round]`.
+    data: Vec<Resources>,
+}
+
+impl MaterializedTrace {
+    /// Allocates an all-zero trace.
+    pub fn zeroed(n_vms: usize, rounds: usize) -> Self {
+        MaterializedTrace { n_vms, rounds, data: vec![Resources::ZERO; n_vms * rounds] }
+    }
+
+    /// Builds a trace from a generator function.
+    pub fn from_fn<F: FnMut(usize, usize) -> Resources>(
+        n_vms: usize,
+        rounds: usize,
+        mut f: F,
+    ) -> Self {
+        let mut t = MaterializedTrace::zeroed(n_vms, rounds);
+        for vm in 0..n_vms {
+            for round in 0..rounds {
+                t.set(vm, round, f(vm, round));
+            }
+        }
+        t
+    }
+
+    /// Number of VMs covered.
+    #[inline]
+    pub fn n_vms(&self) -> usize {
+        self.n_vms
+    }
+
+    /// Number of rounds covered.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Utilization of `vm` at `round`. Rounds beyond the trace length wrap
+    /// around (so warm-up phases can precede the measured day without
+    /// requiring a longer trace).
+    #[inline]
+    pub fn get(&self, vm: usize, round: usize) -> Resources {
+        debug_assert!(vm < self.n_vms);
+        self.data[vm * self.rounds + round % self.rounds]
+    }
+
+    /// Sets one cell (values are clamped to `[0, 1]`).
+    #[inline]
+    pub fn set(&mut self, vm: usize, round: usize, value: Resources) {
+        debug_assert!(vm < self.n_vms && round < self.rounds);
+        self.data[vm * self.rounds + round] = value.clamp(0.0, 1.0);
+    }
+
+    /// The full series of one VM.
+    pub fn series(&self, vm: usize) -> &[Resources] {
+        &self.data[vm * self.rounds..(vm + 1) * self.rounds]
+    }
+
+    /// Appends all of `other`'s VM series after this trace's VMs. Both
+    /// traces must cover the same number of rounds. Used to stitch a
+    /// differently-distributed arrival population onto a base trace
+    /// (workload distribution shift under churn).
+    pub fn append_vms(&mut self, other: &MaterializedTrace) {
+        assert_eq!(self.rounds, other.rounds, "round-count mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.n_vms += other.n_vms;
+    }
+
+    /// Mean CPU utilization over all cells.
+    pub fn mean_cpu(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|r| r.cpu()).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Mean memory utilization over all cells.
+    pub fn mean_mem(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|r| r.mem()).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Lag-1 autocorrelation of one VM's CPU series — used to validate the
+    /// generator's temporal structure.
+    pub fn cpu_lag1_autocorr(&self, vm: usize) -> f64 {
+        let s = self.series(vm);
+        if s.len() < 3 {
+            return 0.0;
+        }
+        let n = s.len();
+        let mean = s.iter().map(|r| r.cpu()).sum::<f64>() / n as f64;
+        let var: f64 = s.iter().map(|r| (r.cpu() - mean).powi(2)).sum();
+        if var < 1e-12 {
+            return 0.0;
+        }
+        let cov: f64 =
+            (1..n).map(|t| (s[t].cpu() - mean) * (s[t - 1].cpu() - mean)).sum();
+        cov / var
+    }
+}
+
+impl DemandSource for MaterializedTrace {
+    fn demand(&mut self, vm: VmId, round: u64) -> Resources {
+        self.get(vm.index(), round as usize)
+    }
+}
+
+/// A trace that offsets rounds into an inner trace — used to pre-train GLAP
+/// on 700 warm-up rounds and then replay the measured day from round 0 for
+/// every algorithm identically.
+#[derive(Debug, Clone)]
+pub struct OffsetTrace<'a> {
+    inner: &'a MaterializedTrace,
+    offset: u64,
+}
+
+impl<'a> OffsetTrace<'a> {
+    /// Wraps `inner`, shifting every queried round by `offset`.
+    pub fn new(inner: &'a MaterializedTrace, offset: u64) -> Self {
+        OffsetTrace { inner, offset }
+    }
+}
+
+impl DemandSource for OffsetTrace<'_> {
+    fn demand(&mut self, vm: VmId, round: u64) -> Resources {
+        self.inner.get(vm.index(), (round + self.offset) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_cells() {
+        let t = MaterializedTrace::from_fn(2, 3, |vm, r| {
+            Resources::splat((vm as f64 + r as f64) / 10.0)
+        });
+        assert_eq!(t.get(1, 2), Resources::splat(0.3));
+        assert_eq!(t.series(0).len(), 3);
+    }
+
+    #[test]
+    fn set_clamps_values() {
+        let mut t = MaterializedTrace::zeroed(1, 1);
+        t.set(0, 0, Resources::new(2.0, -1.0));
+        assert_eq!(t.get(0, 0), Resources::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn rounds_wrap_around() {
+        let t = MaterializedTrace::from_fn(1, 4, |_, r| Resources::splat(r as f64 / 10.0));
+        assert_eq!(t.get(0, 5), t.get(0, 1));
+    }
+
+    #[test]
+    fn demand_source_impl_reads_cells() {
+        let mut t = MaterializedTrace::from_fn(2, 2, |vm, _| Resources::splat(vm as f64 / 2.0));
+        assert_eq!(t.demand(VmId(1), 0), Resources::splat(0.5));
+    }
+
+    #[test]
+    fn offset_trace_shifts_rounds() {
+        let t = MaterializedTrace::from_fn(1, 10, |_, r| Resources::splat(r as f64 / 10.0));
+        let mut o = OffsetTrace::new(&t, 3);
+        assert_eq!(o.demand(VmId(0), 0), Resources::splat(0.3));
+        assert_eq!(o.demand(VmId(0), 6), Resources::splat(0.9));
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let t = MaterializedTrace::from_fn(2, 2, |_, _| Resources::new(0.25, 0.75));
+        assert!((t.mean_cpu() - 0.25).abs() < 1e-12);
+        assert!((t.mean_mem() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_vms_stitches_series() {
+        let mut a = MaterializedTrace::from_fn(2, 3, |_, _| Resources::splat(0.1));
+        let b = MaterializedTrace::from_fn(1, 3, |_, _| Resources::splat(0.9));
+        a.append_vms(&b);
+        assert_eq!(a.n_vms(), 3);
+        assert_eq!(a.get(0, 0), Resources::splat(0.1));
+        assert_eq!(a.get(2, 1), Resources::splat(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "round-count mismatch")]
+    fn append_vms_rejects_mismatched_rounds() {
+        let mut a = MaterializedTrace::zeroed(1, 3);
+        let b = MaterializedTrace::zeroed(1, 4);
+        a.append_vms(&b);
+    }
+
+    #[test]
+    fn autocorr_of_constant_series_is_zero() {
+        let t = MaterializedTrace::from_fn(1, 50, |_, _| Resources::splat(0.5));
+        assert_eq!(t.cpu_lag1_autocorr(0), 0.0);
+    }
+
+    #[test]
+    fn autocorr_of_smooth_series_is_high() {
+        let t = MaterializedTrace::from_fn(1, 200, |_, r| {
+            Resources::splat(0.5 + 0.4 * (r as f64 / 20.0).sin())
+        });
+        assert!(t.cpu_lag1_autocorr(0) > 0.9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-algorithm behavioural contracts: fairness of the comparison
+//! methodology and the qualitative traits the paper attributes to each
+//! algorithm.
+
+use glap::GlapConfig;
+use glap_experiments::{build_world, run_scenario, Algorithm, Scenario};
+
+fn scenario(algorithm: Algorithm, rounds: u64) -> Scenario {
+    Scenario {
+        n_pms: 50,
+        ratio: 3,
+        rep: 1,
+        algorithm,
+        rounds,
+        glap: GlapConfig { learning_rounds: 30, aggregation_rounds: 12, ..Default::default() },
+        trace_cfg: Default::default(),
+        vm_mix: Default::default(),
+    }
+}
+
+#[test]
+fn identical_world_across_algorithms() {
+    // The paper: "such VM-PM mapping is used identically for all different
+    // algorithms in each experiment" — and so is the trace.
+    let worlds: Vec<_> = Algorithm::PAPER_SET
+        .iter()
+        .map(|&a| build_world(&scenario(a, 100)))
+        .collect();
+    let (dc0, trace0) = &worlds[0];
+    let hosts0: Vec<_> = dc0.vms().map(|v| v.host).collect();
+    for (dc, trace) in &worlds[1..] {
+        assert_eq!(trace, trace0);
+        let hosts: Vec<_> = dc.vms().map(|v| v.host).collect();
+        assert_eq!(hosts, hosts0);
+    }
+}
+
+#[test]
+fn different_reps_use_different_worlds() {
+    let a = build_world(&scenario(Algorithm::Glap, 50));
+    let b = build_world(&Scenario { rep: 2, ..scenario(Algorithm::Glap, 50) });
+    assert_ne!(a.1, b.1, "traces should differ across repetitions");
+}
+
+#[test]
+fn pabfd_migrates_most_and_keeps_migrating() {
+    // Figure 9's story: the centralized heuristic migrates near-linearly
+    // while the gossip protocols front-load.
+    let pabfd = run_scenario(&scenario(Algorithm::Pabfd, 240));
+    let glap = run_scenario(&scenario(Algorithm::Glap, 240));
+    assert!(
+        pabfd.collector.total_migrations() > glap.collector.total_migrations(),
+        "PABFD {} vs GLAP {}",
+        pabfd.collector.total_migrations(),
+        glap.collector.total_migrations()
+    );
+    // PABFD's second-half migration volume stays substantial (near-linear
+    // cumulative curve).
+    let cum = pabfd.collector.cumulative_migrations();
+    let half = cum[cum.len() / 2];
+    let total = *cum.last().unwrap();
+    assert!(
+        total - half > total / 10,
+        "PABFD stopped migrating: {half} by half-day, {total} total"
+    );
+}
+
+#[test]
+fn distributed_protocols_front_load_migrations() {
+    for algorithm in [Algorithm::Glap, Algorithm::Grmp] {
+        let r = run_scenario(&scenario(algorithm, 240));
+        let cum = r.collector.cumulative_migrations();
+        let half = cum[cum.len() / 2] as f64;
+        let total = *cum.last().unwrap() as f64;
+        assert!(
+            half >= total * 0.5,
+            "{} did only {half}/{total} migrations by half-day",
+            algorithm.label()
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_correlates_with_migrations() {
+    // More migrations of the same VM population should cost more energy
+    // in aggregate (Figure 10's broad trend).
+    let glap = run_scenario(&scenario(Algorithm::Glap, 240));
+    let pabfd = run_scenario(&scenario(Algorithm::Pabfd, 240));
+    assert!(glap.collector.total_migrations() < pabfd.collector.total_migrations());
+    assert!(
+        glap.collector.total_migration_energy_j() < pabfd.collector.total_migration_energy_j()
+    );
+}
+
+#[test]
+fn ablations_are_distinguishable_from_the_full_protocol() {
+    let full = run_scenario(&scenario(Algorithm::Glap, 240));
+    let noveto = run_scenario(&scenario(Algorithm::GlapNoVeto, 240));
+    // Without admission control the protocol consolidates at least as
+    // hard (fewer or equal active PMs)…
+    assert!(
+        noveto.collector.mean_active_pms() <= full.collector.mean_active_pms() + 0.5,
+        "no-veto {} vs full {}",
+        noveto.collector.mean_active_pms(),
+        full.collector.mean_active_pms()
+    );
+    // …and cannot overload less in aggregate.
+    let overloads =
+        |r: &glap_metrics::RunResult| -> f64 { r.collector.overloaded_series().iter().sum() };
+    assert!(overloads(&noveto) >= overloads(&full));
+}

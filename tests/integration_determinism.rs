@@ -1,0 +1,82 @@
+//! Reproducibility contracts: every run is a pure function of its
+//! scenario (seed included), and the world invariants hold throughout.
+
+use glap::GlapConfig;
+use glap_experiments::{build_policy, build_world, run_scenario, Algorithm, Scenario};
+use glap_dcsim::run_simulation;
+use glap_metrics::MetricsCollector;
+use glap_workload::OffsetTrace;
+
+fn scenario(algorithm: Algorithm) -> Scenario {
+    Scenario {
+        n_pms: 40,
+        ratio: 2,
+        rep: 3,
+        algorithm,
+        rounds: 120,
+        glap: GlapConfig { learning_rounds: 20, aggregation_rounds: 10, ..Default::default() },
+        trace_cfg: Default::default(),
+        vm_mix: Default::default(),
+    }
+}
+
+#[test]
+fn runs_are_bit_reproducible_for_every_algorithm() {
+    for algorithm in Algorithm::PAPER_SET {
+        let sc = scenario(algorithm);
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.collector.samples, b.collector.samples, "{}", algorithm.label());
+        assert_eq!(a.sla, b.sla);
+        assert_eq!(a.bfd_bins, b.bfd_bins);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = run_scenario(&scenario(Algorithm::Glap));
+    let b = run_scenario(&Scenario { rep: 4, ..scenario(Algorithm::Glap) });
+    assert_ne!(a.collector.samples, b.collector.samples);
+}
+
+#[test]
+fn datacenter_invariants_hold_every_round() {
+    struct InvariantChecker;
+    impl glap_dcsim::Observer for InvariantChecker {
+        fn on_round_end(&mut self, round: u64, dc: &mut glap_cluster::DataCenter) {
+            dc.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: invariant violated: {e}"));
+        }
+    }
+    for algorithm in Algorithm::PAPER_SET {
+        let sc = scenario(algorithm);
+        let (mut dc, trace) = build_world(&sc);
+        let mut policy = build_policy(&sc, &dc, &trace);
+        let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+        let mut checker = InvariantChecker;
+        let mut metrics = MetricsCollector::new();
+        run_simulation(
+            &mut dc,
+            &mut day,
+            policy.as_mut(),
+            &mut [&mut checker, &mut metrics],
+            sc.rounds,
+            sc.policy_seed(),
+        );
+    }
+}
+
+#[test]
+fn vm_conservation_across_the_day() {
+    // No VM is ever lost or duplicated by any algorithm.
+    for algorithm in Algorithm::PAPER_SET {
+        let sc = scenario(algorithm);
+        let (mut dc, trace) = build_world(&sc);
+        let mut policy = build_policy(&sc, &dc, &trace);
+        let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+        run_simulation(&mut dc, &mut day, policy.as_mut(), &mut [], sc.rounds, sc.policy_seed());
+        let hosted: usize = dc.pms().map(|p| p.vm_count()).sum();
+        assert_eq!(hosted, sc.n_vms(), "{}", algorithm.label());
+        assert!(dc.vms().all(|v| v.host.is_some()));
+    }
+}
