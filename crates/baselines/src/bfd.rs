@@ -37,8 +37,11 @@ pub fn bfd_pack(demands: &[Resources]) -> usize {
 /// The paper's baseline: BFD over the current demands of all placed VMs in
 /// a data center.
 pub fn bfd_baseline(dc: &DataCenter) -> usize {
-    let demands: Vec<Resources> =
-        dc.vms().filter(|v| v.host.is_some()).map(|v| v.current).collect();
+    let demands: Vec<Resources> = dc
+        .vms()
+        .filter(|v| v.host.is_some())
+        .map(|v| v.current)
+        .collect();
     bfd_pack(&demands)
 }
 

@@ -18,7 +18,7 @@
 //! gradual consolidation with static thresholds and no load prediction.
 
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
-use glap_dcsim::{ConsolidationPolicy, SimRng};
+use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -45,7 +45,13 @@ impl Default for EcoCloudConfig {
         // relief — an overloaded PM whose broadcast finds no acceptor
         // simply stays overloaded (the behaviour the GLAP paper's
         // comparison exercises).
-        EcoCloudConfig { t1: 0.3, t2: 0.8, alpha: 2.0, beta: 0.5, wake_on_pressure: false }
+        EcoCloudConfig {
+            t1: 0.3,
+            t2: 0.8,
+            alpha: 2.0,
+            beta: 0.5,
+            wake_on_pressure: false,
+        }
     }
 }
 
@@ -81,9 +87,14 @@ impl EcoCloudPolicy {
 
     /// Broadcast placement: find an acceptor for `vm` among active PMs
     /// other than `src`. Capacity is checked against T2 (gradual rule).
+    /// Each probe of the broadcast is one message on the management
+    /// network: a PM whose probe is lost (or who crashed) never answers
+    /// the assignment trial, and the final transfer needs a successful
+    /// request/reply handshake with the chosen acceptor.
     fn place(
         &self,
         dc: &mut DataCenter,
+        net: &mut NetworkModel,
         src: PmId,
         vm: VmId,
         rng: &mut SimRng,
@@ -99,19 +110,28 @@ impl EcoCloudPolicy {
             if !after.fits_within(cap) {
                 continue;
             }
+            if !net.send(src.0, pm.0).is_ok() {
+                continue; // probe lost or target crashed: no answer
+            }
             let u = dc.pm(pm).utilization().cpu();
             if rng.gen::<f64>() < self.accept_prob(u) {
                 acceptors.push(pm);
             }
         }
         if let Some(&dst) = acceptors.choose(rng) {
+            if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+                return false; // acceptor unreachable at transfer time
+            }
             dc.migrate(vm, dst).expect("acceptor is active");
             return true;
         }
-        // Overload pressure with no acceptor: wake a sleeping server.
+        // Overload pressure with no acceptor: wake a sleeping server
+        // (one whose management interface is reachable).
         if relief && self.cfg.wake_on_pressure {
-            let sleeping: Option<PmId> =
-                dc.pms().find(|p| !p.is_active()).map(|p| p.id);
+            let sleeping: Option<PmId> = dc
+                .pms()
+                .find(|p| !p.is_active() && net.is_up(p.id.0))
+                .map(|p| p.id);
             if let Some(dst) = sleeping {
                 dc.wake(dst);
                 dc.migrate(vm, dst).expect("freshly woken PM is active");
@@ -127,10 +147,16 @@ impl ConsolidationPolicy for EcoCloudPolicy {
         "ecocloud"
     }
 
-    fn round(&mut self, _round: u64, dc: &mut DataCenter, rng: &mut SimRng) {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let dc = &mut *ctx.dc;
+        let rng = &mut *ctx.rng;
+        let net = &mut *ctx.net;
         let mut order: Vec<PmId> = dc.active_pm_ids().collect();
         order.shuffle(rng);
         for p in order {
+            if !net.is_up(p.0) {
+                continue; // crashed coordinators sit the round out
+            }
             if !dc.pm(p).is_active() || dc.pm(p).is_empty() {
                 dc.sleep_if_empty(p);
                 continue;
@@ -140,34 +166,33 @@ impl ConsolidationPolicy for EcoCloudPolicy {
             if dc.pm(p).is_overloaded() || u_cpu > self.cfg.t2 {
                 // High-threshold migration: move the smallest VM that
                 // helps until at or below T2 (one per round — gradual).
-                let vm = dc
-                    .pm(p)
-                    .vms
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        dc.vm(a)
-                            .current
-                            .total()
-                            .partial_cmp(&dc.vm(b).current.total())
-                            .expect("finite")
-                    });
+                let vm = dc.pm(p).vms.iter().copied().min_by(|&a, &b| {
+                    dc.vm(a)
+                        .current
+                        .total()
+                        .partial_cmp(&dc.vm(b).current.total())
+                        .expect("finite")
+                });
                 if let Some(vm) = vm {
-                    self.place(dc, p, vm, rng, true);
+                    self.place(dc, net, p, vm, rng, true);
                 }
             } else if u_cpu < self.cfg.t1 && rng.gen::<f64>() < self.migrate_low_prob(u_cpu) {
                 // Low-threshold migration: evacuate one random VM.
                 let vms = &dc.pm(p).vms;
                 let vm = vms[rng.gen_range(0..vms.len())];
-                self.place(dc, p, vm, rng, false);
+                self.place(dc, net, p, vm, rng, false);
                 if dc.sleep_if_empty(p) {
                     continue;
                 }
             }
         }
-        // Switch off anything that drained empty this round.
-        let empties: Vec<PmId> =
-            dc.pms().filter(|p| p.is_active() && p.is_empty()).map(|p| p.id).collect();
+        // Switch off anything that drained empty this round (a crashed
+        // PM's management agent cannot take that decision).
+        let empties: Vec<PmId> = dc
+            .pms()
+            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id.0))
+            .map(|p| p.id)
+            .collect();
         for p in empties {
             dc.sleep_if_empty(p);
         }
@@ -235,7 +260,10 @@ mod tests {
                 Resources::splat(0.95)
             }
         };
-        let cfg = EcoCloudConfig { wake_on_pressure: true, ..EcoCloudConfig::default() };
+        let cfg = EcoCloudConfig {
+            wake_on_pressure: true,
+            ..EcoCloudConfig::default()
+        };
         let mut policy = EcoCloudPolicy::new(cfg);
         run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 40, 3);
         dc.check_invariants().unwrap();

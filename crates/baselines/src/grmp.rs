@@ -12,7 +12,7 @@
 
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{ConsolidationPolicy, SimRng};
+use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use rand::seq::SliceRandom;
 
 /// Configuration of the GRMP baseline.
@@ -28,7 +28,11 @@ pub struct GrmpConfig {
 
 impl Default for GrmpConfig {
     fn default() -> Self {
-        GrmpConfig { threshold: 0.8, cyclon_cache: 8, cyclon_shuffle: 4 }
+        GrmpConfig {
+            threshold: 0.8,
+            cyclon_cache: 8,
+            cyclon_shuffle: 4,
+        }
     }
 }
 
@@ -42,12 +46,23 @@ pub struct GrmpPolicy {
 impl GrmpPolicy {
     /// Builds the policy.
     pub fn new(cfg: GrmpConfig) -> Self {
-        GrmpPolicy { cfg, overlay: CyclonOverlay::new(0, cfg.cyclon_cache, cfg.cyclon_shuffle) }
+        GrmpPolicy {
+            cfg,
+            overlay: CyclonOverlay::new(0, cfg.cyclon_cache, cfg.cyclon_shuffle),
+        }
     }
 
     /// Moves VMs from `src` to `dst`, largest current demand first, while
-    /// `dst` stays within the threshold. Returns the number migrated.
-    fn drain(&mut self, dc: &mut DataCenter, src: PmId, dst: PmId) -> usize {
+    /// `dst` stays within the threshold. Every transfer is a handshake
+    /// over the management network; the drain aborts if `dst` crashes or
+    /// the handshake is lost mid-stream. Returns the number migrated.
+    fn drain(
+        &mut self,
+        dc: &mut DataCenter,
+        net: &mut NetworkModel,
+        src: PmId,
+        dst: PmId,
+    ) -> usize {
         let cap = Resources::splat(self.cfg.threshold);
         let mut vms: Vec<VmId> = dc.pm(src).vms.clone();
         // Largest total demand first — aggressive packing.
@@ -62,6 +77,9 @@ impl GrmpPolicy {
         for vm in vms {
             let after = dc.pm(dst).demand() + dc.vm(vm).current;
             if after.fits_within(cap) {
+                if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+                    break;
+                }
                 dc.migrate(vm, dst).expect("destination is active");
                 moved += 1;
             }
@@ -69,11 +87,11 @@ impl GrmpPolicy {
         moved
     }
 
-    fn exchange(&mut self, dc: &mut DataCenter, p: PmId, q: PmId) {
+    fn exchange(&mut self, dc: &mut DataCenter, net: &mut NetworkModel, p: PmId, q: PmId) {
         // Overload relief first: an overloaded PM pushes load out.
         for (over, other) in [(p, q), (q, p)] {
             if dc.pm(over).is_overloaded() {
-                self.drain(dc, over, other);
+                self.drain(dc, net, over, other);
             }
         }
         if dc.pm(p).is_overloaded() || dc.pm(q).is_overloaded() {
@@ -85,7 +103,7 @@ impl GrmpPolicy {
         } else {
             (q, p)
         };
-        self.drain(dc, sender, receiver);
+        self.drain(dc, net, sender, receiver);
         if dc.sleep_if_empty(sender) {
             self.overlay.set_dead(sender.0);
         }
@@ -108,21 +126,30 @@ impl ConsolidationPolicy for GrmpPolicy {
         }
     }
 
-    fn round(&mut self, _round: u64, dc: &mut DataCenter, rng: &mut SimRng) {
-        self.overlay.run_round(rng);
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let dc = &mut *ctx.dc;
+        let rng = &mut *ctx.rng;
+        let net = &mut *ctx.net;
+        self.overlay
+            .run_round_with(rng, |a, b| net.request(a, b).is_ok());
         let mut order: Vec<PmId> = dc.active_pm_ids().collect();
         order.shuffle(rng);
         for p in order {
-            if !dc.pm(p).is_active() {
+            if !dc.pm(p).is_active() || !net.is_up(p.0) {
                 continue;
             }
-            let Some(q) = self.overlay.random_alive_peer(p.0, rng) else { continue };
+            let Some(q) = self.overlay.random_alive_peer(p.0, rng) else {
+                continue;
+            };
             let q = PmId(q);
-            if !dc.pm(q).is_active() {
+            if !dc.pm(q).is_active() || !net.is_up(q.0) {
                 self.overlay.node_mut(p.0).remove(q.0);
                 continue;
             }
-            self.exchange(dc, p, q);
+            if !net.request(p.0, q.0).is_ok() {
+                continue;
+            }
+            self.exchange(dc, net, p, q);
         }
     }
 }
@@ -194,7 +221,11 @@ mod tests {
         run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 40, 4);
         // 32 VMs at 25%: each ~0.047 CPU / 0.037 MEM → all fit in 1-2 PMs
         // under the 0.8 cap.
-        assert!(dc.active_pm_count() <= 4, "active: {}", dc.active_pm_count());
+        assert!(
+            dc.active_pm_count() <= 4,
+            "active: {}",
+            dc.active_pm_count()
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! upper threshold value"), which is the default here.
 
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
-use glap_dcsim::{ConsolidationPolicy, SimRng};
+use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 
 /// How the dynamic upper threshold is estimated from the CPU history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,7 +144,10 @@ fn trend_slope(xs: &[f64]) -> f64 {
 impl PabfdPolicy {
     /// Builds the policy.
     pub fn new(cfg: PabfdConfig) -> Self {
-        PabfdPolicy { cfg, history: Vec::new() }
+        PabfdPolicy {
+            cfg,
+            history: Vec::new(),
+        }
     }
 
     /// The dynamic upper threshold of one host.
@@ -167,15 +170,22 @@ impl PabfdPolicy {
 
     /// Power-aware best-fit-decreasing placement of `vms`. Returns VMs that
     /// could not be placed (after considering waking sleeping hosts).
+    /// Hosts the central controller cannot reach (`net` says down) are
+    /// invisible: neither placement candidates nor wake targets.
     fn place_all(
         &self,
         dc: &mut DataCenter,
+        net: &NetworkModel,
         mut vms: Vec<VmId>,
         exclude: &[PmId],
     ) -> Vec<VmId> {
         // Sort by CPU demand decreasing (the "BFD" part).
         vms.sort_by(|&a, &b| {
-            dc.vm(b).current.cpu().partial_cmp(&dc.vm(a).current.cpu()).expect("finite")
+            dc.vm(b)
+                .current
+                .cpu()
+                .partial_cmp(&dc.vm(a).current.cpu())
+                .expect("finite")
         });
         let mut unplaced = Vec::new();
         for vm in vms {
@@ -183,7 +193,7 @@ impl PabfdPolicy {
             let src = dc.vm(vm).host;
             let mut best: Option<(PmId, f64, f64)> = None; // (pm, power_inc, free_after)
             for pm in dc.active_pm_ids().collect::<Vec<_>>() {
-                if Some(pm) == src || exclude.contains(&pm) {
+                if Some(pm) == src || exclude.contains(&pm) || !net.is_up(pm.0) {
                     continue;
                 }
                 let after = dc.pm(pm).demand() + demand;
@@ -192,8 +202,8 @@ impl PabfdPolicy {
                     continue;
                 }
                 let u = dc.pm(pm).utilization().cpu();
-                let power_inc = dc.power_model().watts((u + demand.cpu()).min(1.0))
-                    - dc.power_model().watts(u);
+                let power_inc =
+                    dc.power_model().watts((u + demand.cpu()).min(1.0)) - dc.power_model().watts(u);
                 let free_after = (Resources::FULL - after).total();
                 let better = match best {
                     None => true,
@@ -211,8 +221,11 @@ impl PabfdPolicy {
                     dc.migrate(vm, pm).expect("chosen host is active");
                 }
                 None => {
-                    // Wake a sleeping host if any.
-                    let sleeping = dc.pms().find(|p| !p.is_active()).map(|p| p.id);
+                    // Wake a sleeping (and reachable) host if any.
+                    let sleeping = dc
+                        .pms()
+                        .find(|p| !p.is_active() && net.is_up(p.id.0))
+                        .map(|p| p.id);
                     if let Some(pm) = sleeping {
                         dc.wake(pm);
                         dc.migrate(vm, pm).expect("woken host is active");
@@ -235,10 +248,13 @@ impl ConsolidationPolicy for PabfdPolicy {
         self.history = vec![Vec::with_capacity(self.cfg.history); dc.n_pms()];
     }
 
-    fn round(&mut self, _round: u64, dc: &mut DataCenter, _rng: &mut SimRng) {
-        // 1. Record CPU history of active hosts (the central monitor).
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let dc = &mut *ctx.dc;
+        let net = &*ctx.net;
+        // 1. Record CPU history of active hosts (the central monitor;
+        //    unreachable hosts report nothing this round).
         for pm in dc.pms() {
-            if pm.is_active() {
+            if pm.is_active() && net.is_up(pm.id.0) {
                 let h = &mut self.history[pm.id.index()];
                 if h.len() == self.cfg.history {
                     h.remove(0);
@@ -251,6 +267,9 @@ impl ConsolidationPolicy for PabfdPolicy {
         //    memory) until below the dynamic threshold.
         let mut to_place: Vec<VmId> = Vec::new();
         for pm in dc.active_pm_ids().collect::<Vec<_>>() {
+            if !net.is_up(pm.0) {
+                continue; // the controller cannot command a crashed host
+            }
             let t_u = self.upper_threshold(pm);
             let mut projected = dc.pm(pm).demand().cpu();
             if projected <= t_u {
@@ -272,7 +291,7 @@ impl ConsolidationPolicy for PabfdPolicy {
                 to_place.push(vm);
             }
         }
-        let unplaced = self.place_all(dc, to_place, &[]);
+        let unplaced = self.place_all(dc, net, to_place, &[]);
         debug_assert!(unplaced.iter().all(|vm| dc.vm(*vm).host.is_some()));
 
         // 3. Under-utilized hosts: try to evacuate entirely. Hosts are
@@ -281,7 +300,9 @@ impl ConsolidationPolicy for PabfdPolicy {
         let mut under: Vec<PmId> = dc
             .active_pm_ids()
             .filter(|&pm| {
-                !dc.pm(pm).is_empty() && dc.pm(pm).utilization().cpu() < self.cfg.lower
+                net.is_up(pm.0)
+                    && !dc.pm(pm).is_empty()
+                    && dc.pm(pm).utilization().cpu() < self.cfg.lower
             })
             .collect();
         under.sort_by(|&a, &b| {
@@ -293,16 +314,19 @@ impl ConsolidationPolicy for PabfdPolicy {
         });
         for pm in under.clone() {
             let vms: Vec<VmId> = dc.pm(pm).vms.clone();
-            let failed = self.place_all(dc, vms, &under);
+            let failed = self.place_all(dc, net, vms, &under);
             // If anything failed, those VMs stayed put (place_all does not
             // move what it cannot place) and the host stays on.
             let _ = failed;
             dc.sleep_if_empty(pm);
         }
 
-        // 4. Switch off emptied hosts.
-        let empties: Vec<PmId> =
-            dc.pms().filter(|p| p.is_active() && p.is_empty()).map(|p| p.id).collect();
+        // 4. Switch off emptied (and reachable) hosts.
+        let empties: Vec<PmId> = dc
+            .pms()
+            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id.0))
+            .map(|p| p.id)
+            .collect();
         for pm in empties {
             dc.sleep_if_empty(pm);
         }
@@ -352,10 +376,15 @@ mod tests {
 
     #[test]
     fn estimators_rank_thresholds_sensibly() {
-        let noisy: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect();
+        let noisy: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
         let rising: Vec<f64> = (0..30).map(|i| 0.2 + 0.02 * i as f64).collect();
         let build = |method: ThresholdMethod, hist: &[f64]| {
-            let mut p = PabfdPolicy::new(PabfdConfig { method, ..PabfdConfig::default() });
+            let mut p = PabfdPolicy::new(PabfdConfig {
+                method,
+                ..PabfdConfig::default()
+            });
             p.history = vec![hist.to_vec()];
             p.upper_threshold(PmId(0))
         };
@@ -379,8 +408,9 @@ mod tests {
     fn stable_history_gives_high_threshold_noisy_gives_low() {
         let mut p = PabfdPolicy::new(PabfdConfig::default());
         let stable: Vec<f64> = (0..30).map(|_| 0.5).collect();
-        let noisy: Vec<f64> =
-            (0..30).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect();
+        let noisy: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
         p.history = vec![stable, noisy];
         let t_stable = p.upper_threshold(PmId(0));
         let t_noisy = p.upper_threshold(PmId(1));

@@ -17,9 +17,14 @@ fn scenario() -> Scenario {
         rep: 0,
         algorithm: Algorithm::Glap,
         rounds: 60,
-        glap: GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() },
+        glap: GlapConfig {
+            learning_rounds: 15,
+            aggregation_rounds: 8,
+            ..Default::default()
+        },
         trace_cfg: Default::default(),
         vm_mix: Default::default(),
+        fault: Default::default(),
     }
 }
 
@@ -29,7 +34,13 @@ fn policy_variants(c: &mut Criterion) {
     let (dc0, trace) = build_world(&sc);
     let mut train_dc = dc0.clone();
     let mut train_trace = trace.clone();
-    let (tables, _) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let (tables, _) = train(
+        &mut train_dc,
+        &mut train_trace,
+        &sc.glap,
+        sc.policy_seed(),
+        false,
+    );
     let unified = unified_table(&tables);
 
     let mut g = c.benchmark_group("glap_variants");
@@ -40,13 +51,22 @@ fn policy_variants(c: &mut Criterion) {
                 let mut dc = dc0.clone();
                 let mut policy = make();
                 let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
-                run_simulation(&mut dc, &mut day, &mut policy, &mut [], sc.rounds, sc.policy_seed());
+                run_simulation(
+                    &mut dc,
+                    &mut day,
+                    &mut policy,
+                    &mut [],
+                    sc.rounds,
+                    sc.policy_seed(),
+                );
                 black_box(dc.active_pm_count())
             })
         });
     };
     let uni = unified.clone();
-    bench_variant("full", &move || GlapPolicy::with_shared_table(sc.glap, uni.clone()));
+    bench_variant("full", &move || {
+        GlapPolicy::with_shared_table(sc.glap, uni.clone())
+    });
     let uni = unified.clone();
     bench_variant("no_in_veto", &move || {
         let mut p = GlapPolicy::with_shared_table(sc.glap, uni.clone());
@@ -71,7 +91,11 @@ fn training_phases(c: &mut Criterion) {
     let mut g = c.benchmark_group("training");
     g.sample_size(10);
     g.bench_function("learning_only", |b| {
-        let glap = GlapConfig { learning_rounds: 15, aggregation_rounds: 0, ..Default::default() };
+        let glap = GlapConfig {
+            learning_rounds: 15,
+            aggregation_rounds: 0,
+            ..Default::default()
+        };
         let sc = Scenario { glap, ..scenario() };
         b.iter(|| {
             let (mut dc, mut trace) = build_world(&sc);
@@ -79,7 +103,11 @@ fn training_phases(c: &mut Criterion) {
         })
     });
     g.bench_function("learning_plus_aggregation", |b| {
-        let glap = GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() };
+        let glap = GlapConfig {
+            learning_rounds: 15,
+            aggregation_rounds: 8,
+            ..Default::default()
+        };
         let sc = Scenario { glap, ..scenario() };
         b.iter(|| {
             let (mut dc, mut trace) = build_world(&sc);
@@ -98,12 +126,23 @@ fn similarity_recording(c: &mut Criterion) {
             let sc = scenario();
             b.iter(|| {
                 let (mut dc, mut trace) = build_world(&sc);
-                black_box(train(&mut dc, &mut trace, &sc.glap, sc.policy_seed(), record))
+                black_box(train(
+                    &mut dc,
+                    &mut trace,
+                    &sc.glap,
+                    sc.policy_seed(),
+                    record,
+                ))
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, policy_variants, training_phases, similarity_recording);
+criterion_group!(
+    benches,
+    policy_variants,
+    training_phases,
+    similarity_recording
+);
 criterion_main!(benches);

@@ -17,13 +17,21 @@ fn bench_grid() -> Grid {
         ratios: vec![3],
         reps: 1,
         rounds: 60,
-        glap: GlapConfig { learning_rounds: 15, aggregation_rounds: 8, ..Default::default() },
+        glap: GlapConfig {
+            learning_rounds: 15,
+            aggregation_rounds: 8,
+            ..Default::default()
+        },
         trace_cfg: Default::default(),
     }
 }
 
 fn bench_glap_cfg() -> GlapConfig {
-    GlapConfig { learning_rounds: 10, aggregation_rounds: 6, ..Default::default() }
+    GlapConfig {
+        learning_rounds: 10,
+        aggregation_rounds: 6,
+        ..Default::default()
+    }
 }
 
 fn fig5(c: &mut Criterion) {

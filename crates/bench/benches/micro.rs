@@ -7,7 +7,7 @@ use glap_baselines::bfd_pack;
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{stream_rng, Stream};
-use glap_qlearn::{PmState, QParams, QTables, VmAction};
+use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
 use glap_workload::GoogleLikeTraceGen;
 use rand::Rng;
 use std::hint::black_box;
@@ -28,7 +28,7 @@ fn calibration(c: &mut Criterion) {
 fn qlearning(c: &mut Criterion) {
     let mut g = c.benchmark_group("qlearn");
     g.bench_function("bellman_update", |b| {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         let s = PmState::from_utilization(Resources::new(0.75, 0.5));
         let a = VmAction::from_demand(Resources::new(0.15, 0.1));
         let s_next = PmState::from_utilization(Resources::new(0.45, 0.3));
@@ -40,7 +40,7 @@ fn qlearning(c: &mut Criterion) {
 
     let mut rng = stream_rng(1, Stream::Custom(1));
     let dense = |rng: &mut glap_dcsim::SimRng| {
-        let mut t = QTables::new(QParams::default());
+        let mut t = QTablePair::new(QParams::default());
         for s in PmState::all() {
             for a in VmAction::all() {
                 t.out.set(s, a, rng.gen::<f64>());
@@ -108,9 +108,8 @@ fn datacenter(c: &mut Criterion) {
     for &n in &[500usize, 2000] {
         g.bench_function(format!("step_{n}pms_ratio3"), |b| {
             let mut dc = build(n, 3);
-            let mut src = |vm: VmId, r: u64| {
-                Resources::splat(((vm.0 as u64 + r) % 100) as f64 / 100.0)
-            };
+            let mut src =
+                |vm: VmId, r: u64| Resources::splat(((vm.0 as u64 + r) % 100) as f64 / 100.0);
             b.iter(|| {
                 dc.step(&mut src);
                 black_box(dc.round())
@@ -148,5 +147,13 @@ fn packing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, calibration, qlearning, cyclon, workload, datacenter, packing);
+criterion_group!(
+    benches,
+    calibration,
+    qlearning,
+    cyclon,
+    workload,
+    datacenter,
+    packing
+);
 criterion_main!(benches);

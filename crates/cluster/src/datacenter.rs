@@ -10,9 +10,9 @@
 
 use crate::ids::{PmId, VmId};
 use crate::pm::{Pm, PmSpec, PowerState};
-use crate::topology::Topology;
 use crate::power::{MigrationModel, PowerModel};
 use crate::resources::Resources;
+use crate::topology::Topology;
 use crate::vm::{Vm, VmSpec};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -70,7 +70,10 @@ impl DataCenterConfig {
 
     /// Same, with a rack topology (the future-work extension).
     pub fn paper_with_topology(n_pms: usize, topology: Topology) -> Self {
-        DataCenterConfig { topology: Some(topology), ..Self::paper(n_pms) }
+        DataCenterConfig {
+            topology: Some(topology),
+            ..Self::paper(n_pms)
+        }
     }
 }
 
@@ -155,7 +158,8 @@ impl DataCenter {
     /// Registers a new, unplaced VM and returns its id.
     pub fn add_vm(&mut self, spec: VmSpec) -> VmId {
         let id = VmId(self.vms.len() as u32);
-        self.vms.push(Vm::new(id, spec, self.cfg.pm_spec.capacity()));
+        self.vms
+            .push(Vm::new(id, spec, self.cfg.pm_spec.capacity()));
         id
     }
 
@@ -206,7 +210,10 @@ impl DataCenter {
     /// Count of overloaded PMs (aggregate demand at/over capacity in at
     /// least one resource).
     pub fn overloaded_pm_count(&self) -> usize {
-        self.pms.iter().filter(|p| p.is_active() && p.is_overloaded()).count()
+        self.pms
+            .iter()
+            .filter(|p| p.is_active() && p.is_overloaded())
+            .count()
     }
 
     /// Remaining capacity of a PM as a fraction vector (zero floor).
@@ -241,7 +248,10 @@ impl DataCenter {
     pub fn place(&mut self, vm_id: VmId, pm_id: PmId) {
         assert!(!self.vms[vm_id.index()].departed, "placing a departed VM");
         assert!(self.vms[vm_id.index()].host.is_none(), "VM already placed");
-        assert!(self.pms[pm_id.index()].is_active(), "placing on sleeping PM");
+        assert!(
+            self.pms[pm_id.index()].is_active(),
+            "placing on sleeping PM"
+        );
         let (current, avg) = {
             let vm = &self.vms[vm_id.index()];
             (vm.current, vm.avg.value())
@@ -256,8 +266,12 @@ impl DataCenter {
     /// same mapping, which the paper requires to be identical across the
     /// compared algorithms.
     pub fn random_placement<R: Rng>(&mut self, rng: &mut R) {
-        let unplaced: Vec<VmId> =
-            self.vms.iter().filter(|v| v.host.is_none() && !v.departed).map(|v| v.id).collect();
+        let unplaced: Vec<VmId> = self
+            .vms
+            .iter()
+            .filter(|v| v.host.is_none() && !v.departed)
+            .map(|v| v.id)
+            .collect();
         let active: Vec<PmId> = self.active_pm_ids().collect();
         assert!(!active.is_empty(), "no active PM to place on");
         for vm in unplaced {
@@ -300,7 +314,9 @@ impl DataCenter {
     /// decision (GLAP's `in`-table veto, GRMP's threshold, …), and letting
     /// a policy overload a PM is exactly what the paper measures.
     pub fn migrate(&mut self, vm_id: VmId, to: PmId) -> Result<MigrationRecord, MigrationError> {
-        let from = self.vms[vm_id.index()].host.ok_or(MigrationError::VmNotPlaced)?;
+        let from = self.vms[vm_id.index()]
+            .host
+            .ok_or(MigrationError::VmNotPlaced)?;
         if from == to {
             return Err(MigrationError::SamePm);
         }
@@ -315,23 +331,43 @@ impl DataCenter {
             } else {
                 0.0
             };
-            (vm.current, vm.avg.value(), vm.mem_demand_mb(), cpu_of_nominal)
+            (
+                vm.current,
+                vm.avg.value(),
+                vm.mem_demand_mb(),
+                cpu_of_nominal,
+            )
         };
 
         // Inter-rack transfers cross the oversubscribed aggregation layer.
-        let bw_factor = self.cfg.topology.map_or(1.0, |t| t.bandwidth_factor(from, to));
-        let tau_s =
-            self.cfg.migration.duration_s(mem_mb, self.cfg.pm_spec.net_mbps * bw_factor);
+        let bw_factor = self
+            .cfg
+            .topology
+            .map_or(1.0, |t| t.bandwidth_factor(from, to));
+        let tau_s = self
+            .cfg
+            .migration
+            .duration_s(mem_mb, self.cfg.pm_spec.net_mbps * bw_factor);
         let src_util = self.pms[from.index()].utilization().cpu();
         let dst_util = self.pms[to.index()].utilization().cpu();
-        let energy_j = self.cfg.migration.energy_j(&self.power, src_util, dst_util, tau_s);
+        let energy_j = self
+            .cfg
+            .migration
+            .energy_j(&self.power, src_util, dst_util, tau_s);
 
         self.pms[from.index()].detach(vm_id, current, avg_v);
         self.pms[to.index()].attach(vm_id, current, avg_v);
         self.vms[vm_id.index()].host = Some(to);
         self.vms[vm_id.index()].record_migration(cpu_util_of_nominal, tau_s);
 
-        let rec = MigrationRecord { round: self.round, vm: vm_id, from, to, tau_s, energy_j };
+        let rec = MigrationRecord {
+            round: self.round,
+            vm: vm_id,
+            from,
+            to,
+            tau_s,
+            energy_j,
+        };
         self.pending_migrations.push(rec);
         self.total_migrations += 1;
         self.total_migration_energy_j += energy_j;
@@ -391,7 +427,10 @@ impl DataCenter {
             for &vm in &pm.vms {
                 let v = &self.vms[vm.index()];
                 if v.host != Some(pm.id) {
-                    return Err(format!("{vm} listed on {} but hosted on {:?}", pm.id, v.host));
+                    return Err(format!(
+                        "{vm} listed on {} but hosted on {:?}",
+                        pm.id, v.host
+                    ));
                 }
                 sum += v.current;
             }
@@ -404,7 +443,10 @@ impl DataCenter {
         for vm in &self.vms {
             if let Some(host) = vm.host {
                 if !self.pms[host.index()].vms.contains(&vm.id) {
-                    return Err(format!("{} claims host {host} which does not list it", vm.id));
+                    return Err(format!(
+                        "{} claims host {host} which does not list it",
+                        vm.id
+                    ));
                 }
             }
         }
@@ -490,11 +532,17 @@ mod tests {
     #[test]
     fn migrate_rejects_unplaced_same_pm_and_sleeping() {
         let mut dc = small_dc(2, 2);
-        assert_eq!(dc.migrate(VmId(0), PmId(1)), Err(MigrationError::VmNotPlaced));
+        assert_eq!(
+            dc.migrate(VmId(0), PmId(1)),
+            Err(MigrationError::VmNotPlaced)
+        );
         dc.place(VmId(0), PmId(0));
         assert_eq!(dc.migrate(VmId(0), PmId(0)), Err(MigrationError::SamePm));
         assert!(dc.sleep_if_empty(PmId(1)));
-        assert_eq!(dc.migrate(VmId(0), PmId(1)), Err(MigrationError::DestinationSleeping));
+        assert_eq!(
+            dc.migrate(VmId(0), PmId(1)),
+            Err(MigrationError::DestinationSleeping)
+        );
     }
 
     #[test]
@@ -551,7 +599,11 @@ mod tests {
     #[test]
     fn inter_rack_migration_is_slower_and_costlier() {
         use crate::topology::Topology;
-        let topo = Topology { pms_per_rack: 2, inter_rack_bw_factor: 0.25, switch_watts: 150.0 };
+        let topo = Topology {
+            pms_per_rack: 2,
+            inter_rack_bw_factor: 0.25,
+            switch_watts: 150.0,
+        };
         let mut dc = DataCenter::new(DataCenterConfig::paper_with_topology(4, topo));
         dc.add_vm(VmSpec::EC2_MICRO);
         dc.place(VmId(0), PmId(0));

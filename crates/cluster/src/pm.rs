@@ -159,7 +159,11 @@ impl Pm {
 
     /// Removes a VM with the given demand aggregates (migration out).
     pub(crate) fn detach(&mut self, vm: VmId, current: Resources, avg: Resources) {
-        let pos = self.vms.iter().position(|&v| v == vm).expect("detach of non-hosted VM");
+        let pos = self
+            .vms
+            .iter()
+            .position(|&v| v == vm)
+            .expect("detach of non-hosted VM");
         self.vms.swap_remove(pos);
         self.used_current -= current;
         self.used_avg -= avg;
@@ -204,12 +208,24 @@ mod tests {
     #[test]
     fn attach_detach_maintain_aggregates() {
         let mut pm = Pm::new(PmId(0));
-        pm.attach(VmId(1), Resources::new(0.3, 0.2), Resources::new(0.25, 0.15));
-        pm.attach(VmId(2), Resources::new(0.4, 0.1), Resources::new(0.35, 0.05));
+        pm.attach(
+            VmId(1),
+            Resources::new(0.3, 0.2),
+            Resources::new(0.25, 0.15),
+        );
+        pm.attach(
+            VmId(2),
+            Resources::new(0.4, 0.1),
+            Resources::new(0.35, 0.05),
+        );
         assert_eq!(pm.vm_count(), 2);
         assert!((pm.demand().cpu() - 0.7).abs() < 1e-12);
         assert!((pm.avg_demand().cpu() - 0.6).abs() < 1e-12);
-        pm.detach(VmId(1), Resources::new(0.3, 0.2), Resources::new(0.25, 0.15));
+        pm.detach(
+            VmId(1),
+            Resources::new(0.3, 0.2),
+            Resources::new(0.25, 0.15),
+        );
         assert_eq!(pm.vm_count(), 1);
         assert!((pm.demand().cpu() - 0.4).abs() < 1e-12);
     }

@@ -27,7 +27,10 @@ pub struct PowerModel {
 impl PowerModel {
     /// Builds the model from a PM spec.
     pub fn from_spec(spec: &PmSpec) -> Self {
-        PowerModel { idle_watts: spec.idle_watts, max_watts: spec.max_watts }
+        PowerModel {
+            idle_watts: spec.idle_watts,
+            max_watts: spec.max_watts,
+        }
     }
 
     /// Instantaneous power at the given CPU utilization fraction.
@@ -58,7 +61,10 @@ impl Default for MigrationModel {
     fn default() -> Self {
         // Half the 10 Gb/s link usable, 10% CPU overhead on both ends —
         // consistent with the measurements in the paper's reference [2].
-        MigrationModel { bandwidth_share: 0.5, cpu_overhead: 0.1 }
+        MigrationModel {
+            bandwidth_share: 0.5,
+            cpu_overhead: 0.1,
+        }
     }
 }
 

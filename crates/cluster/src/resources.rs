@@ -50,10 +50,14 @@ pub struct Resources {
 
 impl Resources {
     /// Zero in every dimension.
-    pub const ZERO: Resources = Resources { values: [0.0; NUM_RESOURCES] };
+    pub const ZERO: Resources = Resources {
+        values: [0.0; NUM_RESOURCES],
+    };
 
     /// One (full capacity) in every dimension.
-    pub const FULL: Resources = Resources { values: [1.0; NUM_RESOURCES] };
+    pub const FULL: Resources = Resources {
+        values: [1.0; NUM_RESOURCES],
+    };
 
     /// Builds a vector from explicit CPU and memory components.
     #[inline]
@@ -64,7 +68,9 @@ impl Resources {
     /// Builds a vector with the same value in every dimension.
     #[inline]
     pub const fn splat(v: f64) -> Self {
-        Resources { values: [v; NUM_RESOURCES] }
+        Resources {
+            values: [v; NUM_RESOURCES],
+        }
     }
 
     /// CPU component.
@@ -101,7 +107,10 @@ impl Resources {
     #[inline]
     pub fn min(&self, other: Resources) -> Resources {
         Resources {
-            values: [self.values[0].min(other.values[0]), self.values[1].min(other.values[1])],
+            values: [
+                self.values[0].min(other.values[0]),
+                self.values[1].min(other.values[1]),
+            ],
         }
     }
 
@@ -109,14 +118,19 @@ impl Resources {
     #[inline]
     pub fn max(&self, other: Resources) -> Resources {
         Resources {
-            values: [self.values[0].max(other.values[0]), self.values[1].max(other.values[1])],
+            values: [
+                self.values[0].max(other.values[0]),
+                self.values[1].max(other.values[1]),
+            ],
         }
     }
 
     /// Clamps every component to `[lo, hi]`.
     #[inline]
     pub fn clamp(&self, lo: f64, hi: f64) -> Resources {
-        Resources { values: [self.values[0].clamp(lo, hi), self.values[1].clamp(lo, hi)] }
+        Resources {
+            values: [self.values[0].clamp(lo, hi), self.values[1].clamp(lo, hi)],
+        }
     }
 
     /// Largest component.
@@ -149,7 +163,12 @@ impl Resources {
     /// Element-wise multiplication.
     #[inline]
     pub fn mul_elem(&self, other: Resources) -> Resources {
-        Resources { values: [self.values[0] * other.values[0], self.values[1] * other.values[1]] }
+        Resources {
+            values: [
+                self.values[0] * other.values[0],
+                self.values[1] * other.values[1],
+            ],
+        }
     }
 
     /// Element-wise division. Caller must ensure `other` has no zero
@@ -157,7 +176,12 @@ impl Resources {
     #[inline]
     pub fn div_elem(&self, other: Resources) -> Resources {
         debug_assert!(other.values.iter().all(|&v| v != 0.0));
-        Resources { values: [self.values[0] / other.values[0], self.values[1] / other.values[1]] }
+        Resources {
+            values: [
+                self.values[0] / other.values[0],
+                self.values[1] / other.values[1],
+            ],
+        }
     }
 
     /// `true` when every component of `self` is `<=` the matching component
@@ -197,7 +221,12 @@ impl Add for Resources {
 
     #[inline]
     fn add(self, rhs: Resources) -> Resources {
-        Resources { values: [self.values[0] + rhs.values[0], self.values[1] + rhs.values[1]] }
+        Resources {
+            values: [
+                self.values[0] + rhs.values[0],
+                self.values[1] + rhs.values[1],
+            ],
+        }
     }
 }
 
@@ -214,7 +243,12 @@ impl Sub for Resources {
 
     #[inline]
     fn sub(self, rhs: Resources) -> Resources {
-        Resources { values: [self.values[0] - rhs.values[0], self.values[1] - rhs.values[1]] }
+        Resources {
+            values: [
+                self.values[0] - rhs.values[0],
+                self.values[1] - rhs.values[1],
+            ],
+        }
     }
 }
 
@@ -231,7 +265,9 @@ impl Mul<f64> for Resources {
 
     #[inline]
     fn mul(self, rhs: f64) -> Resources {
-        Resources { values: [self.values[0] * rhs, self.values[1] * rhs] }
+        Resources {
+            values: [self.values[0] * rhs, self.values[1] * rhs],
+        }
     }
 }
 
@@ -240,7 +276,9 @@ impl Div<f64> for Resources {
 
     #[inline]
     fn div(self, rhs: f64) -> Resources {
-        Resources { values: [self.values[0] / rhs, self.values[1] / rhs] }
+        Resources {
+            values: [self.values[0] / rhs, self.values[1] / rhs],
+        }
     }
 }
 
@@ -264,7 +302,10 @@ pub struct RunningAvg {
 impl RunningAvg {
     /// A fresh average with no observations.
     pub const fn new() -> Self {
-        RunningAvg { count: 0, value: Resources::ZERO }
+        RunningAvg {
+            count: 0,
+            value: Resources::ZERO,
+        }
     }
 
     /// Starts from a known prior observation count and value (used when
@@ -366,8 +407,9 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: Resources =
-            [Resources::new(0.1, 0.2), Resources::new(0.3, 0.4)].into_iter().sum();
+        let total: Resources = [Resources::new(0.1, 0.2), Resources::new(0.3, 0.4)]
+            .into_iter()
+            .sum();
         assert!((total.cpu() - 0.4).abs() < 1e-12);
         assert!((total.mem() - 0.6).abs() < 1e-12);
     }

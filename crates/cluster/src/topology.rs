@@ -37,7 +37,11 @@ impl Default for Topology {
         // 40 servers behind a ToR switch, 4:1 oversubscription to the
         // aggregation layer, ~150 W per switch — typical published
         // figures for the era's data centers.
-        Topology { pms_per_rack: 40, inter_rack_bw_factor: 0.25, switch_watts: 150.0 }
+        Topology {
+            pms_per_rack: 40,
+            inter_rack_bw_factor: 0.25,
+            switch_watts: 150.0,
+        }
     }
 }
 
@@ -113,12 +117,16 @@ impl Topology {
 mod tests {
     use super::*;
     use crate::datacenter::DataCenterConfig;
-    use crate::vm::VmSpec;
     use crate::ids::VmId;
     use crate::resources::Resources;
+    use crate::vm::VmSpec;
 
     fn topo() -> Topology {
-        Topology { pms_per_rack: 4, inter_rack_bw_factor: 0.25, switch_watts: 150.0 }
+        Topology {
+            pms_per_rack: 4,
+            inter_rack_bw_factor: 0.25,
+            switch_watts: 150.0,
+        }
     }
 
     #[test]

@@ -21,16 +21,25 @@ pub struct VmSpec {
 impl VmSpec {
     /// Amazon EC2 micro instance, the VM type used in the paper's
     /// evaluation (§V-A).
-    pub const EC2_MICRO: VmSpec = VmSpec { cpu_mips: 500.0, mem_mb: 613.0 };
+    pub const EC2_MICRO: VmSpec = VmSpec {
+        cpu_mips: 500.0,
+        mem_mb: 613.0,
+    };
 
     /// EC2 m1.small — extension beyond the paper's micro-only fleet; a
     /// heterogeneous mix exercises the full calibrated action space (the
     /// paper's own worked examples use VM actions like (4xHigh, xHigh),
     /// which only large VMs can produce).
-    pub const M1_SMALL: VmSpec = VmSpec { cpu_mips: 1000.0, mem_mb: 1740.0 };
+    pub const M1_SMALL: VmSpec = VmSpec {
+        cpu_mips: 1000.0,
+        mem_mb: 1740.0,
+    };
 
     /// EC2 m1.medium (see [`VmSpec::M1_SMALL`] on why mixes matter).
-    pub const M1_MEDIUM: VmSpec = VmSpec { cpu_mips: 2000.0, mem_mb: 3480.0 };
+    pub const M1_MEDIUM: VmSpec = VmSpec {
+        cpu_mips: 2000.0,
+        mem_mb: 3480.0,
+    };
 
     /// Nominal size as a resource vector in absolute units.
     #[inline]
@@ -123,7 +132,10 @@ impl Vm {
     /// phase: current demand plus the running-average piggyback.
     #[inline]
     pub fn profile(&self) -> VmProfile {
-        VmProfile { current: self.current, avg: self.avg }
+        VmProfile {
+            current: self.current,
+            avg: self.avg,
+        }
     }
 }
 
@@ -141,7 +153,10 @@ impl VmProfile {
     /// Builds a profile directly from fractions (used by tests and the
     /// learning phase's profile duplication).
     pub fn from_fractions(current: Resources, avg: Resources) -> Self {
-        VmProfile { current, avg: RunningAvg::from_parts(1, avg) }
+        VmProfile {
+            current,
+            avg: RunningAvg::from_parts(1, avg),
+        }
     }
 
     /// Average demand vector.

@@ -9,9 +9,27 @@
 //! the contributions); Figure 5 measures convergence as cosine similarity.
 
 use glap_cyclon::CyclonOverlay;
-use glap_qlearn::QTables;
+use glap_dcsim::NetworkModel;
+use glap_qlearn::QTablePair;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// How often one node re-sends its table push within a round before
+/// backing off to the next gossip round (the overlay refreshes views in
+/// between, so the retry pool improves round over round).
+pub const AGGREGATION_MAX_ATTEMPTS: usize = 3;
+
+/// What happened during one net-aware aggregation round (diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationRoundStats {
+    /// Successful symmetric merges.
+    pub merges: u64,
+    /// Exchanges lost to message drops or timeouts (re-sent up to the
+    /// attempt cap).
+    pub dropped: u64,
+    /// Partner picks that landed on a crashed PM (pruned and re-picked).
+    pub skipped_down: u64,
+}
 
 /// One synchronous aggregation gossip round over all alive PMs.
 ///
@@ -19,7 +37,7 @@ use rand::Rng;
 /// drawn from its Cyclon view and the two run the symmetric `UPDATE` of
 /// Algorithm 2, after which both hold the identical merged table.
 pub fn aggregation_round<R: Rng>(
-    tables: &mut [QTables],
+    tables: &mut [QTablePair],
     overlay: &mut CyclonOverlay,
     rng: &mut R,
 ) {
@@ -27,7 +45,9 @@ pub fn aggregation_round<R: Rng>(
     let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
     order.shuffle(rng);
     for p in order {
-        let Some(q) = overlay.random_alive_peer(p, rng) else { continue };
+        let Some(q) = overlay.random_alive_peer(p, rng) else {
+            continue;
+        };
         if p == q {
             continue;
         }
@@ -35,9 +55,66 @@ pub fn aggregation_round<R: Rng>(
     }
 }
 
+/// [`aggregation_round`] over a lossy network: each push–pull exchange is
+/// a request/reply round trip that can be dropped, time out, or land on a
+/// crashed partner. A node whose exchange fails re-sends — re-picking its
+/// partner, since the original may be the problem — up to
+/// [`AGGREGATION_MAX_ATTEMPTS`] times, then backs off until the next
+/// aggregation round. Crashed partners are pruned from the view exactly
+/// like dead ones (Cyclon's failed-contact rule). Crashed *initiators*
+/// sit the round out.
+///
+/// Over an ideal network this draws the same RNG sequence and performs
+/// the same merges as [`aggregation_round`] — the byte-identity contract
+/// of the fault layer.
+pub fn aggregation_round_net<R: Rng>(
+    tables: &mut [QTablePair],
+    overlay: &mut CyclonOverlay,
+    rng: &mut R,
+    net: &mut NetworkModel,
+) -> AggregationRoundStats {
+    let n = tables.len();
+    let mut stats = AggregationRoundStats::default();
+    let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
+    order.shuffle(rng);
+    for p in order {
+        if !net.is_up(p) {
+            continue;
+        }
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let Some(q) = overlay.random_alive_peer(p, rng) else {
+                break;
+            };
+            if p == q {
+                break;
+            }
+            if !net.is_up(q) {
+                stats.skipped_down += 1;
+                overlay.node_mut(p).remove(q);
+                if attempts >= AGGREGATION_MAX_ATTEMPTS {
+                    break;
+                }
+                continue;
+            }
+            if net.request(p, q).is_ok() {
+                merge_pair(tables, p as usize, q as usize);
+                stats.merges += 1;
+                break;
+            }
+            stats.dropped += 1;
+            if attempts >= AGGREGATION_MAX_ATTEMPTS {
+                break;
+            }
+        }
+    }
+    stats
+}
+
 /// Symmetric push–pull merge of two PMs' tables: both end with the
 /// identical union/average result.
-pub fn merge_pair(tables: &mut [QTables], p: usize, q: usize) {
+pub fn merge_pair(tables: &mut [QTablePair], p: usize, q: usize) {
     assert_ne!(p, q);
     let (lo, hi) = if p < q { (p, q) } else { (q, p) };
     let (head, tail) = tables.split_at_mut(hi);
@@ -53,13 +130,14 @@ pub fn merge_pair(tables: &mut [QTables], p: usize, q: usize) {
 /// metric. Exact all-pairs is O(n²·|table|); `sample_pairs` random pairs
 /// give an unbiased estimate (pass `usize::MAX` to force exact).
 pub fn mean_pairwise_similarity<R: Rng>(
-    tables: &[QTables],
+    tables: &[QTablePair],
     overlay: &CyclonOverlay,
     sample_pairs: usize,
     rng: &mut R,
 ) -> f64 {
-    let alive: Vec<usize> =
-        (0..tables.len()).filter(|&i| overlay.is_alive(i as u32)).collect();
+    let alive: Vec<usize> = (0..tables.len())
+        .filter(|&i| overlay.is_alive(i as u32))
+        .collect();
     if alive.len() < 2 {
         return 1.0;
     }
@@ -96,8 +174,10 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn seeded_tables(n: usize, seed_values: bool) -> Vec<QTables> {
-        let mut tables: Vec<QTables> = (0..n).map(|_| QTables::new(QParams::default())).collect();
+    fn seeded_tables(n: usize, seed_values: bool) -> Vec<QTablePair> {
+        let mut tables: Vec<QTablePair> = (0..n)
+            .map(|_| QTablePair::new(QParams::default()))
+            .collect();
         if seed_values {
             for (i, t) in tables.iter_mut().enumerate() {
                 let s = PmState::from_utilization(Resources::splat(0.5));
@@ -138,7 +218,10 @@ mod tests {
             aggregation_round(&mut tables, &mut o, &mut rng);
         }
         let after = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
-        assert!(after > before, "similarity should improve: {before} → {after}");
+        assert!(
+            after > before,
+            "similarity should improve: {before} → {after}"
+        );
         assert!(after > 0.999, "similarity after aggregation: {after}");
     }
 
@@ -152,8 +235,7 @@ mod tests {
         let mut tables = seeded_tables(n, true);
         let s = PmState::from_utilization(Resources::splat(0.5));
         let a = VmAction::from_demand(Resources::splat(0.3));
-        let mean_before: f64 =
-            tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
+        let mean_before: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
         for _ in 0..20 {
             o.run_round(&mut rng);
             aggregation_round(&mut tables, &mut o, &mut rng);
@@ -197,7 +279,10 @@ mod tests {
         let tables = seeded_tables(n, true);
         let exact = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
         let sampled = mean_pairwise_similarity(&tables, &o, 400, &mut rng);
-        assert!((exact - sampled).abs() < 0.2, "exact {exact} sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.2,
+            "exact {exact} sampled {sampled}"
+        );
     }
 
     #[test]

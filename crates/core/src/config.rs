@@ -49,7 +49,10 @@ impl GlapConfig {
     /// Sanity-checks the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.learning_threshold) {
-            return Err(format!("learning_threshold {} outside [0,1]", self.learning_threshold));
+            return Err(format!(
+                "learning_threshold {} outside [0,1]",
+                self.learning_threshold
+            ));
         }
         if !(0.0..=1.0).contains(&self.qparams.alpha) || self.qparams.alpha == 0.0 {
             return Err(format!("alpha {} outside (0,1]", self.qparams.alpha));
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn invalid_threshold_rejected() {
-        let cfg = GlapConfig { learning_threshold: 1.5, ..Default::default() };
+        let cfg = GlapConfig {
+            learning_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -97,7 +103,10 @@ mod tests {
 
     #[test]
     fn zero_iterations_rejected() {
-        let cfg = GlapConfig { learning_iterations: 0, ..Default::default() };
+        let cfg = GlapConfig {
+            learning_iterations: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

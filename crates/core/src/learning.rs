@@ -16,7 +16,7 @@
 
 use crate::config::GlapConfig;
 use glap_cluster::{DataCenter, PmId, Resources, VmProfile};
-use glap_qlearn::{PmState, QTables, VmAction};
+use glap_qlearn::{PmState, QTablePair, VmAction};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -33,7 +33,7 @@ fn sum_current(profiles: &[VmProfile], idxs: &[usize]) -> Resources {
 /// Runs `iterations` simulated migration steps over `profiles`, updating
 /// `tables` in place. This is the inner loop of Algorithm 1 (lines 7–13).
 pub fn local_train<R: Rng + ?Sized>(
-    tables: &mut QTables,
+    tables: &mut QTablePair,
     profiles: &[VmProfile],
     iterations: usize,
     rng: &mut R,
@@ -147,9 +147,10 @@ mod tests {
 
     #[test]
     fn training_visits_states_and_actions() {
-        let mut q = QTables::new(QParams::default());
-        let profiles: Vec<VmProfile> =
-            (0..8).map(|i| profile(0.05 + 0.02 * i as f64, 0.06 + 0.02 * i as f64)).collect();
+        let mut q = QTablePair::new(QParams::default());
+        let profiles: Vec<VmProfile> = (0..8)
+            .map(|i| profile(0.05 + 0.02 * i as f64, 0.06 + 0.02 * i as f64))
+            .collect();
         let mut rng = SmallRng::seed_from_u64(3);
         local_train(&mut q, &profiles, 200, &mut rng);
         assert!(q.out.visited_count() > 0);
@@ -158,7 +159,7 @@ mod tests {
 
     #[test]
     fn training_with_too_few_profiles_is_noop() {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         let mut rng = SmallRng::seed_from_u64(3);
         local_train(&mut q, &[profile(0.5, 0.5)], 50, &mut rng);
         assert_eq!(q.trained_pairs(), 0);
@@ -166,7 +167,7 @@ mod tests {
 
     #[test]
     fn overloading_acceptances_learn_negative_values() {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         // Heavy profiles: any subset of 3+ overloads a simulated target.
         let profiles: Vec<VmProfile> = (0..10).map(|_| profile(0.4, 0.4)).collect();
         let mut rng = SmallRng::seed_from_u64(5);
@@ -178,7 +179,7 @@ mod tests {
 
     #[test]
     fn light_profiles_learn_positive_in_values() {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         let profiles: Vec<VmProfile> = (0..6).map(|_| profile(0.05, 0.05)).collect();
         let mut rng = SmallRng::seed_from_u64(7);
         local_train(&mut q, &profiles, 500, &mut rng);
@@ -224,16 +225,20 @@ mod tests {
         // 3 VMs at 50% of nominal: cpu = 3*0.5*500/2660 ≈ 0.28 ≤ 0.5.
         let cfg = GlapConfig::default();
         assert!(is_eligible(&dc, PmId(0), &cfg));
-        let strict = GlapConfig { learning_threshold: 0.1, ..cfg };
+        let strict = GlapConfig {
+            learning_threshold: 0.1,
+            ..cfg
+        };
         assert!(!is_eligible(&dc, PmId(0), &strict));
     }
 
     #[test]
     fn training_is_deterministic_per_seed() {
-        let profiles: Vec<VmProfile> =
-            (0..8).map(|i| profile(0.1 + 0.03 * i as f64, 0.1)).collect();
+        let profiles: Vec<VmProfile> = (0..8)
+            .map(|i| profile(0.1 + 0.03 * i as f64, 0.1))
+            .collect();
         let run = |seed: u64| {
-            let mut q = QTables::new(QParams::default());
+            let mut q = QTablePair::new(QParams::default());
             let mut rng = SmallRng::seed_from_u64(seed);
             local_train(&mut q, &profiles, 100, &mut rng);
             q

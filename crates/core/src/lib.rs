@@ -44,15 +44,22 @@ pub mod learning;
 pub mod policy;
 pub mod trainer;
 
-pub use aggregation::{aggregation_round, mean_pairwise_similarity, merge_pair};
+pub use aggregation::{
+    aggregation_round, aggregation_round_net, mean_pairwise_similarity, merge_pair,
+    AggregationRoundStats, AGGREGATION_MAX_ATTEMPTS,
+};
 pub use config::GlapConfig;
-pub use learning::{duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication};
+pub use learning::{
+    duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
+};
 pub use policy::{synthetic_table, GlapPolicy, RetrainConfig, StopReason, TableStore};
 pub use trainer::{retrain_in_place, train, train_unified, unified_table, TrainPhase, TrainReport};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::aggregation::{aggregation_round, mean_pairwise_similarity};
+    pub use crate::aggregation::{
+        aggregation_round, aggregation_round_net, mean_pairwise_similarity,
+    };
     pub use crate::config::GlapConfig;
     pub use crate::policy::{GlapPolicy, RetrainConfig, TableStore};
     pub use crate::trainer::{train, train_unified, unified_table, TrainPhase, TrainReport};

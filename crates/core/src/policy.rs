@@ -16,13 +16,15 @@
 //!
 //! Emptied PMs go to sleep and leave the overlay.
 
-use crate::aggregation::aggregation_round;
+use crate::aggregation::aggregation_round_net;
 use crate::config::GlapConfig;
-use crate::learning::{duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication};
+use crate::learning::{
+    duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
+};
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{ConsolidationPolicy, SimRng};
-use glap_qlearn::{PmState, QTables, VmAction};
+use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
+use glap_qlearn::{PmState, QTablePair, VmAction};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -30,15 +32,15 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub enum TableStore {
     /// All PMs share one unified table — the normal post-convergence mode.
-    Shared(Box<QTables>),
+    Shared(Box<QTablePair>),
     /// Each PM uses its own table (the "no aggregation" ablation).
-    PerPm(Vec<QTables>),
+    PerPm(Vec<QTablePair>),
 }
 
 impl TableStore {
     /// The table PM `pm` consults.
     #[inline]
-    pub fn for_pm(&self, pm: PmId) -> &QTables {
+    pub fn for_pm(&self, pm: PmId) -> &QTablePair {
         match self {
             TableStore::Shared(t) => t,
             TableStore::PerPm(v) => &v[pm.index()],
@@ -57,6 +59,9 @@ pub enum StopReason {
     InVeto,
     /// The target lacked capacity for the VM's current demand.
     NoCapacity,
+    /// The transfer handshake failed: the target crashed or the
+    /// request/reply was lost on the management network.
+    Unreachable,
 }
 
 /// When and how the learning component re-runs during live operation
@@ -81,14 +86,18 @@ pub struct RetrainConfig {
 
 impl Default for RetrainConfig {
     fn default() -> Self {
-        RetrainConfig { churn_threshold: 50, interval: None, learning_window: 30 }
+        RetrainConfig {
+            churn_threshold: 50,
+            interval: None,
+            learning_window: 30,
+        }
     }
 }
 
 /// In-flight online learning state (one re-training window).
 #[derive(Debug, Clone)]
 struct OnlineLearning {
-    tables: Vec<QTables>,
+    tables: Vec<QTablePair>,
     rounds_left: usize,
 }
 
@@ -126,6 +135,9 @@ pub struct GlapPolicy {
     pub rack_aware: bool,
     /// Cached per-rack active-PM counts, refreshed each round.
     rack_occupancy: Vec<usize>,
+    /// Which PMs this policy currently believes crashed (management
+    /// network down). Only maintained under a faulty network model.
+    crashed: Vec<bool>,
 }
 
 impl GlapPolicy {
@@ -146,11 +158,12 @@ impl GlapPolicy {
             online: None,
             rack_aware: false,
             rack_occupancy: Vec::new(),
+            crashed: Vec::new(),
         }
     }
 
     /// Builds the usual shared-table policy.
-    pub fn with_shared_table(cfg: GlapConfig, table: QTables) -> Self {
+    pub fn with_shared_table(cfg: GlapConfig, table: QTablePair) -> Self {
         Self::new(cfg, TableStore::Shared(Box::new(table)))
     }
 
@@ -178,7 +191,13 @@ impl GlapPolicy {
 
     /// One `MIGRATE()` attempt from `src` to `dst`. Returns the migrated VM
     /// or the reason nothing moved.
-    fn try_migrate(&mut self, dc: &mut DataCenter, src: PmId, dst: PmId) -> Result<VmId, StopReason> {
+    fn try_migrate(
+        &mut self,
+        dc: &mut DataCenter,
+        net: &mut NetworkModel,
+        src: PmId,
+        dst: PmId,
+    ) -> Result<VmId, StopReason> {
         let s_src = self.pm_state(dc, src);
         let tables = self.store.for_pm(src);
 
@@ -218,18 +237,27 @@ impl GlapPolicy {
             return Err(StopReason::NoCapacity);
         }
 
-        dc.migrate(vm, dst).expect("migration preconditions verified");
+        // Per-VM transfer handshake: the target must acknowledge before
+        // the state copy starts. If it crashed since the exchange opened
+        // (or the handshake is lost), the transfer — and the surrounding
+        // eviction loop — aborts cleanly, leaving the VM on `src`.
+        if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+            return Err(StopReason::Unreachable);
+        }
+
+        dc.migrate(vm, dst)
+            .expect("migration preconditions verified");
         Ok(vm)
     }
 
     /// `UPDATESTATE()` for an initiator/partner pair: overload relief
     /// first, otherwise the less-utilized side empties itself toward
     /// switch-off.
-    fn exchange(&mut self, dc: &mut DataCenter, p: PmId, q: PmId) {
+    fn exchange(&mut self, dc: &mut DataCenter, net: &mut NetworkModel, p: PmId, q: PmId) {
         // Overload relief: "call MIGRATE() as long as p is overloaded".
         for (over, other) in [(p, q), (q, p)] {
             while dc.pm(over).is_overloaded() {
-                if self.try_migrate(dc, over, other).is_err() {
+                if self.try_migrate(dc, net, over, other).is_err() {
                     break;
                 }
             }
@@ -239,12 +267,11 @@ impl GlapPolicy {
         }
 
         // Consolidation: sender = arg min of total current utilization.
-        let (mut sender, mut receiver) =
-            if dc.pm(p).demand().total() <= dc.pm(q).demand().total() {
-                (p, q)
-            } else {
-                (q, p)
-            };
+        let (mut sender, mut receiver) = if dc.pm(p).demand().total() <= dc.pm(q).demand().total() {
+            (p, q)
+        } else {
+            (q, p)
+        };
         // Rack awareness: consolidation flows toward lower-ranked racks,
         // so the PM in the higher-ranked rack sends regardless of which
         // of the two is individually lighter.
@@ -257,7 +284,7 @@ impl GlapPolicy {
         }
         // "call MIGRATE() as long as [we can] switch off p".
         while !dc.pm(sender).is_empty() {
-            if self.try_migrate(dc, sender, receiver).is_err() {
+            if self.try_migrate(dc, net, sender, receiver).is_err() {
                 break;
             }
         }
@@ -276,6 +303,7 @@ impl ConsolidationPolicy for GlapPolicy {
         self.overlay =
             CyclonOverlay::new(dc.n_pms(), self.cfg.cyclon_cache, self.cfg.cyclon_shuffle);
         self.overlay.bootstrap_random(rng);
+        self.crashed = vec![false; dc.n_pms()];
         for pm in dc.pms() {
             if !pm.is_active() {
                 self.overlay.set_dead(pm.id.0);
@@ -283,24 +311,67 @@ impl ConsolidationPolicy for GlapPolicy {
         }
     }
 
-    fn round(&mut self, _round: u64, dc: &mut DataCenter, rng: &mut SimRng) {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        self.churn_since_training += ctx.churn_events;
+        let dc = &mut *ctx.dc;
+        let rng = &mut *ctx.rng;
+        let net = &mut *ctx.net;
+
+        // Crash/recovery bookkeeping (faulty networks only; the ideal
+        // path never crashes anyone, and this block must not touch the
+        // policy RNG in that case). A crashed PM leaves the overlay like
+        // a sleeping one — its VMs keep running, it just answers no
+        // gossip. A recovered, still-active PM rejoins by bootstrapping
+        // its view from a few random alive peers.
+        if !net.is_ideal() {
+            if self.crashed.len() != dc.n_pms() {
+                self.crashed = vec![false; dc.n_pms()];
+            }
+            for i in 0..dc.n_pms() as u32 {
+                let up = net.is_up(i);
+                if !up && !self.crashed[i as usize] {
+                    self.crashed[i as usize] = true;
+                    self.overlay.set_dead(i);
+                } else if up && self.crashed[i as usize] {
+                    self.crashed[i as usize] = false;
+                    if dc.pm(PmId(i)).is_active() {
+                        self.overlay.set_alive(i);
+                        let mut pool: Vec<u32> = (0..dc.n_pms() as u32)
+                            .filter(|&j| j != i && self.overlay.is_alive(j) && net.is_up(j))
+                            .collect();
+                        pool.shuffle(rng);
+                        pool.truncate(self.cfg.cyclon_cache);
+                        self.overlay.node_mut(i).bootstrap(pool);
+                    }
+                }
+            }
+        }
+
         // Learning re-trigger (§IV-B): by churn volume or fixed interval.
         if let Some(rt) = self.retrain {
             self.rounds_since_training += 1;
             if self.online.is_none() {
                 let by_churn = self.churn_since_training >= rt.churn_threshold;
-                let by_time = rt.interval.is_some_and(|iv| self.rounds_since_training >= iv);
+                let by_time = rt
+                    .interval
+                    .is_some_and(|iv| self.rounds_since_training >= iv);
                 if by_churn || by_time {
                     self.online = Some(OnlineLearning {
-                        tables: (0..dc.n_pms()).map(|_| QTables::new(self.cfg.qparams)).collect(),
+                        tables: (0..dc.n_pms())
+                            .map(|_| QTablePair::new(self.cfg.qparams))
+                            .collect(),
                         rounds_left: rt.learning_window.max(1),
                     });
                 }
             }
         }
 
-        // Cyclon runs continuously underneath (Figure 2).
-        self.overlay.run_round(rng);
+        // Cyclon runs continuously underneath (Figure 2), every shuffle a
+        // request/reply over the message bus. A non-response (drop,
+        // timeout, crashed target) leaves the target's descriptor evicted
+        // — Cyclon's own churn rule, at no extra cost.
+        self.overlay
+            .run_round_with(rng, |a, b| net.request(a, b).is_ok());
 
         // One round of the open learning window, if any: every eligible
         // PM trains on this round's live profiles, so the learner sees
@@ -308,6 +379,9 @@ impl ConsolidationPolicy for GlapPolicy {
         if let Some(mut online) = self.online.take() {
             for i in 0..dc.n_pms() {
                 let pm = PmId(i as u32);
+                if !net.is_up(i as u32) {
+                    continue; // crashed PMs train nothing this round
+                }
                 if !is_eligible(dc, pm, &self.cfg) {
                     continue;
                 }
@@ -315,15 +389,21 @@ impl ConsolidationPolicy for GlapPolicy {
                 let base = gather_profiles(dc, pm, neighbor, 1);
                 let dup = required_duplication(&base, self.cfg.profile_duplication);
                 let profiles = duplicate_profiles(base, dup);
-                local_train(&mut online.tables[i], &profiles, self.cfg.learning_iterations, rng);
+                local_train(
+                    &mut online.tables[i],
+                    &profiles,
+                    self.cfg.learning_iterations,
+                    rng,
+                );
             }
             online.rounds_left -= 1;
             if online.rounds_left == 0 {
                 // Aggregation phase, then merge the unified result into
                 // the consolidation component's knowledge.
                 for _ in 0..self.cfg.aggregation_rounds {
-                    self.overlay.run_round(rng);
-                    aggregation_round(&mut online.tables, &mut self.overlay, rng);
+                    self.overlay
+                        .run_round_with(rng, |a, b| net.request(a, b).is_ok());
+                    aggregation_round_net(&mut online.tables, &mut self.overlay, rng, net);
                 }
                 let mut table = crate::trainer::unified_table(&online.tables);
                 if let TableStore::Shared(old) = &self.store {
@@ -350,6 +430,9 @@ impl ConsolidationPolicy for GlapPolicy {
             if !dc.pm(p).is_active() {
                 continue; // went to sleep earlier this round
             }
+            if !net.is_up(p.0) {
+                continue; // crashed PMs initiate nothing
+            }
             // Peer selection: rack-aware GLAP gossips, half the time,
             // with the alive neighbour in the lowest-ranked rack (random
             // among ties) so VMs flow down the rack ranking — and
@@ -365,8 +448,7 @@ impl ConsolidationPolicy for GlapPolicy {
                             .neighbors()
                             .filter(|&nb| dc.pm(PmId(nb)).is_active())
                             .collect();
-                        let best_rack =
-                            alive.iter().map(|&nb| topo.rack_of(PmId(nb))).min()?;
+                        let best_rack = alive.iter().map(|&nb| topo.rack_of(PmId(nb))).min()?;
                         let candidates: Vec<u32> = alive
                             .into_iter()
                             .filter(|&nb| topo.rack_of(PmId(nb)) == best_rack)
@@ -379,17 +461,18 @@ impl ConsolidationPolicy for GlapPolicy {
             };
             let Some(q) = q else { continue };
             let q = PmId(q);
-            if !dc.pm(q).is_active() {
-                // Stale view entry: drop and skip this round.
+            if !dc.pm(q).is_active() || !net.is_up(q.0) {
+                // Stale view entry (asleep or crashed): drop and skip.
                 self.overlay.node_mut(p.0).remove(q.0);
                 continue;
             }
-            self.exchange(dc, p, q);
+            // Open the push–pull exchange with one request/reply; a lost
+            // or timed-out opening skips the pairing this round.
+            if !net.request(p.0, q.0).is_ok() {
+                continue;
+            }
+            self.exchange(dc, net, p, q);
         }
-    }
-
-    fn note_churn(&mut self, events: usize) {
-        self.churn_since_training += events;
     }
 }
 
@@ -397,8 +480,8 @@ impl ConsolidationPolicy for GlapPolicy {
 /// *some* plausible knowledge without running the trainer: every
 /// (state, action) pair gets out-values preferring big evictions and
 /// in-values that are negative whenever the combined load would overload.
-pub fn synthetic_table(rng: &mut impl Rng) -> QTables {
-    let mut q = QTables::new(Default::default());
+pub fn synthetic_table(rng: &mut impl Rng) -> QTablePair {
+    let mut q = QTablePair::new(Default::default());
     for s in PmState::all() {
         for a in VmAction::all() {
             let s_u = (s.cpu.representative() + s.mem.representative()) / 2.0;
@@ -537,7 +620,7 @@ mod tests {
         let before: Vec<_> = dc.vms().map(|v| v.host).collect();
         let mut trace = |_: VmId, _: u64| Resources::splat(0.3);
         let mut policy =
-            GlapPolicy::with_shared_table(GlapConfig::default(), QTables::default());
+            GlapPolicy::with_shared_table(GlapConfig::default(), QTablePair::default());
         run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, 11);
         let after: Vec<_> = dc.vms().map(|v| v.host).collect();
         assert_eq!(before, after, "π_out with no knowledge must do nothing");
@@ -546,7 +629,7 @@ mod tests {
     #[test]
     fn per_pm_store_routes_to_own_table() {
         let mut rng = stream_rng(13, Stream::Custom(1));
-        let tables = vec![QTables::default(), synthetic_table(&mut rng)];
+        let tables = vec![QTablePair::default(), synthetic_table(&mut rng)];
         let store = TableStore::PerPm(tables);
         assert_eq!(store.for_pm(PmId(0)).trained_pairs(), 0);
         assert!(store.for_pm(PmId(1)).trained_pairs() > 0);

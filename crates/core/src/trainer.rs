@@ -14,7 +14,7 @@ use crate::learning::{
 use glap_cluster::{DataCenter, DemandSource, PmId};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{stream_rng, Stream};
-use glap_qlearn::QTables;
+use glap_qlearn::QTablePair;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -56,10 +56,10 @@ pub fn train<D: DemandSource + ?Sized>(
     cfg: &GlapConfig,
     master_seed: u64,
     record_similarity: bool,
-) -> (Vec<QTables>, TrainReport) {
+) -> (Vec<QTablePair>, TrainReport) {
     cfg.validate().expect("invalid GLAP config");
     let n = dc.n_pms();
-    let mut tables: Vec<QTables> = (0..n).map(|_| QTables::new(cfg.qparams)).collect();
+    let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
     let mut overlay = CyclonOverlay::new(n, cfg.cyclon_cache, cfg.cyclon_shuffle);
     let mut overlay_rng = stream_rng(master_seed, Stream::Overlay);
     let mut learn_rng = stream_rng(master_seed, Stream::Learning);
@@ -86,7 +86,12 @@ pub fn train<D: DemandSource + ?Sized>(
                 .random_alive_peer(i as u32, &mut learn_rng)
                 .map(PmId);
             let profiles = gather_profiles(dc, pm, neighbor, cfg.profile_duplication);
-            local_train(&mut tables[i], &profiles, cfg.learning_iterations, &mut learn_rng);
+            local_train(
+                &mut tables[i],
+                &profiles,
+                cfg.learning_iterations,
+                &mut learn_rng,
+            );
             trained[i] = true;
             report.updates += 2 * cfg.learning_iterations as u64;
         }
@@ -112,7 +117,9 @@ pub fn train<D: DemandSource + ?Sized>(
                 SIMILARITY_SAMPLE_PAIRS,
                 &mut learn_rng,
             );
-            report.similarity.push((TrainPhase::Aggregation, round, sim));
+            report
+                .similarity
+                .push((TrainPhase::Aggregation, round, sim));
         }
     }
 
@@ -124,7 +131,7 @@ pub fn train<D: DemandSource + ?Sized>(
 /// the fixed point the gossip converges to (union of keys, averaged
 /// values). Used to hand one shared table to the consolidation component
 /// after convergence.
-pub fn unified_table(tables: &[QTables]) -> QTables {
+pub fn unified_table(tables: &[QTablePair]) -> QTablePair {
     let mut unified = tables.first().cloned().unwrap_or_default();
     for t in &tables[1..] {
         unified.merge(t);
@@ -147,9 +154,9 @@ pub fn retrain_in_place<R: Rng>(
     cfg: &GlapConfig,
     passes: usize,
     rng: &mut R,
-) -> QTables {
+) -> QTablePair {
     let n = dc.n_pms();
-    let mut tables: Vec<QTables> = (0..n).map(|_| QTables::new(cfg.qparams)).collect();
+    let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
     let mut overlay = CyclonOverlay::new(n, cfg.cyclon_cache, cfg.cyclon_shuffle);
     // Bootstrap with the live membership: sleeping PMs are out.
     overlay.bootstrap_random(rng);
@@ -189,7 +196,7 @@ pub fn train_unified<D: DemandSource + ?Sized, R: Rng>(
     cfg: &GlapConfig,
     master_seed: u64,
     _rng: &mut R,
-) -> QTables {
+) -> QTablePair {
     let (tables, _) = train(dc, trace, cfg, master_seed, false);
     unified_table(&tables)
 }
@@ -251,7 +258,10 @@ mod tests {
         assert!(final_sim > 0.99, "final similarity {final_sim}");
         // And learning alone plateaus lower than the aggregated result.
         let final_learn = *learn_sims.last().unwrap();
-        assert!(final_learn < final_sim, "WOG {final_learn} vs WG {final_sim}");
+        assert!(
+            final_learn < final_sim,
+            "WOG {final_learn} vs WG {final_sim}"
+        );
     }
 
     #[test]
@@ -278,8 +288,7 @@ mod tests {
         let mut dc = setup(10, 2);
         // Empty PM 0 by construction is unlikely; force-sleep an empty one
         // if any, otherwise skip.
-        let empty: Vec<PmId> =
-            dc.pms().filter(|p| p.is_empty()).map(|p| p.id).collect();
+        let empty: Vec<PmId> = dc.pms().filter(|p| p.is_empty()).map(|p| p.id).collect();
         for pm in &empty {
             dc.sleep_if_empty(*pm);
         }

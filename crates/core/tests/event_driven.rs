@@ -7,9 +7,9 @@
 //! deliveries, push–pull via real messages — and checks that the protocol
 //! still unifies all PMs' tables.
 
-use glap_dcsim::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel, SimRng};
-use glap_qlearn::{PmState, QParams, QTables, VmAction};
 use glap_cluster::Resources;
+use glap_dcsim::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel, SimRng};
+use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 
@@ -17,14 +17,14 @@ use rand_chacha::rand_core::SeedableRng;
 #[derive(Debug, Clone)]
 enum Msg {
     /// Active push: the initiator's full table.
-    Push(Box<QTables>),
+    Push(Box<QTablePair>),
     /// Passive reply: the responder's table *before* merging.
-    Reply(Box<QTables>),
+    Reply(Box<QTablePair>),
 }
 
 /// One PM running Algorithm 2 asynchronously.
 struct AggNode {
-    tables: QTables,
+    tables: QTablePair,
     peers: Vec<EdNodeId>,
     rng: SimRng,
 }
@@ -38,13 +38,19 @@ impl EdNode<Msg> for AggNode {
                 ctx.send(peer, Msg::Push(Box::new(self.tables.clone())));
                 ctx.set_timer(25, 0);
             }
-            EdEvent::Message { from, payload: Msg::Push(theirs) } => {
+            EdEvent::Message {
+                from,
+                payload: Msg::Push(theirs),
+            } => {
                 // Passive thread: reply with our pre-merge table, then
                 // UPDATE(φ_p, φ_q).
                 ctx.send(from, Msg::Reply(Box::new(self.tables.clone())));
                 self.tables.merge(&theirs);
             }
-            EdEvent::Message { payload: Msg::Reply(theirs), .. } => {
+            EdEvent::Message {
+                payload: Msg::Reply(theirs),
+                ..
+            } => {
                 self.tables.merge(&theirs);
             }
         }
@@ -52,7 +58,7 @@ impl EdNode<Msg> for AggNode {
 }
 
 fn seeded_node(id: u64, n: usize, value: f64) -> AggNode {
-    let mut tables = QTables::new(QParams::default());
+    let mut tables = QTablePair::new(QParams::default());
     let s = PmState::from_utilization(Resources::splat(0.5));
     let a = VmAction::from_demand(Resources::splat(0.1));
     tables.out.set(s, a, value);
@@ -70,7 +76,14 @@ fn seeded_node(id: u64, n: usize, value: f64) -> AggNode {
 fn asynchronous_aggregation_converges_like_the_synchronous_one() {
     let n = 24;
     let nodes: Vec<AggNode> = (0..n as u64).map(|i| seeded_node(i, n, i as f64)).collect();
-    let mut eng = EventEngine::new(nodes, LatencyModel { min_ticks: 1, max_ticks: 15 }, 42);
+    let mut eng = EventEngine::new(
+        nodes,
+        LatencyModel {
+            min_ticks: 1,
+            max_ticks: 15,
+        },
+        42,
+    );
     for i in 0..n as EdNodeId {
         eng.schedule_timer(i, u64::from(i) % 7, 0);
     }
@@ -109,7 +122,14 @@ fn aggregation_tolerates_extreme_latency_skew() {
     // broken.
     let n = 12;
     let nodes: Vec<AggNode> = (0..n as u64).map(|i| seeded_node(i, n, i as f64)).collect();
-    let mut eng = EventEngine::new(nodes, LatencyModel { min_ticks: 1, max_ticks: 300 }, 7);
+    let mut eng = EventEngine::new(
+        nodes,
+        LatencyModel {
+            min_ticks: 1,
+            max_ticks: 300,
+        },
+        7,
+    );
     for i in 0..n as EdNodeId {
         eng.schedule_timer(i, u64::from(i), 0);
     }

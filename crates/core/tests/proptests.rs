@@ -2,11 +2,13 @@
 //! never poisons safe states, the aggregation phase conserves knowledge,
 //! and the consolidation policy never breaks world invariants.
 
-use glap::{aggregation_round, local_train, synthetic_table, unified_table, GlapConfig, GlapPolicy};
+use glap::{
+    aggregation_round, local_train, synthetic_table, unified_table, GlapConfig, GlapPolicy,
+};
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmProfile, VmSpec};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{run_simulation, stream_rng, Stream};
-use glap_qlearn::{QParams, QTables};
+use glap_qlearn::{QParams, QTablePair};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -22,7 +24,7 @@ proptest! {
         iterations in 10usize..200,
         seed in 0u64..500,
     ) {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         let profs: Vec<VmProfile> = profiles
             .iter()
             .map(|&(c, m)| VmProfile::from_fractions(Resources::new(c, m), Resources::new(c, m)))
@@ -43,12 +45,12 @@ proptest! {
     ) {
         let n = seeds.len();
         let mut rng = SmallRng::seed_from_u64(7);
-        let mut tables: Vec<QTables> = seeds
+        let mut tables: Vec<QTablePair> = seeds
             .iter()
             .map(|&s| {
                 let mut r = SmallRng::seed_from_u64(s);
                 // A few random entries per PM.
-                let mut t = QTables::new(QParams::default());
+                let mut t = QTablePair::new(QParams::default());
                 let profs: Vec<VmProfile> = (0..6)
                     .map(|i| {
                         let c = 0.05 + 0.03 * i as f64;

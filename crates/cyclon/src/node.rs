@@ -38,7 +38,12 @@ impl CyclonNode {
     /// `shuffle_len` is clamped to `cache_size`.
     pub fn new(id: NodeId, cache_size: usize, shuffle_len: usize) -> Self {
         assert!(cache_size > 0, "cache size must be positive");
-        CyclonNode { id, cache_size, shuffle_len: shuffle_len.min(cache_size), cache: Vec::new() }
+        CyclonNode {
+            id,
+            cache_size,
+            shuffle_len: shuffle_len.min(cache_size),
+            cache: Vec::new(),
+        }
     }
 
     /// This node's id.
@@ -168,11 +173,11 @@ impl CyclonNode {
                 continue;
             }
             // Cache full: replace one of the descriptors we sent away.
-            if let Some(pos) = self
-                .cache
-                .iter()
-                .position(|e| sent_away.iter().any(|s| s.node == e.node && e.node != d.node))
-            {
+            if let Some(pos) = self.cache.iter().position(|e| {
+                sent_away
+                    .iter()
+                    .any(|s| s.node == e.node && e.node != d.node)
+            }) {
                 self.cache[pos] = d;
             }
             // Otherwise drop the received descriptor (cache stays full).

@@ -22,9 +22,13 @@ impl CyclonOverlay {
     /// Creates an overlay of `n` nodes with the given per-node parameters.
     /// Views start empty; call a bootstrap method before running rounds.
     pub fn new(n: usize, cache_size: usize, shuffle_len: usize) -> Self {
-        let nodes =
-            (0..n).map(|i| CyclonNode::new(i as NodeId, cache_size, shuffle_len)).collect();
-        CyclonOverlay { nodes, alive: vec![true; n] }
+        let nodes = (0..n)
+            .map(|i| CyclonNode::new(i as NodeId, cache_size, shuffle_len))
+            .collect();
+        CyclonOverlay {
+            nodes,
+            alive: vec![true; n],
+        }
     }
 
     /// Number of nodes (alive or dead).
@@ -42,8 +46,9 @@ impl CyclonOverlay {
     /// Seeds every node's cache with uniformly random alive peers.
     pub fn bootstrap_random<R: Rng>(&mut self, rng: &mut R) {
         let n = self.nodes.len();
-        let alive_ids: Vec<NodeId> =
-            (0..n as NodeId).filter(|&i| self.alive[i as usize]).collect();
+        let alive_ids: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&i| self.alive[i as usize])
+            .collect();
         for i in 0..n {
             if !self.alive[i] {
                 continue;
@@ -116,15 +121,37 @@ impl CyclonOverlay {
     /// activation order, performs one active shuffle against the oldest
     /// entry of its view.
     pub fn run_round<R: Rng>(&mut self, rng: &mut R) {
-        let mut order: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
+        self.run_round_with(rng, |_, _| true);
+    }
+
+    /// Like [`run_round`](Self::run_round), but every shuffle is a
+    /// request/reply over a caller-provided transport: `contact(from, to)`
+    /// returns whether the round trip completed in time. A failed contact
+    /// (message dropped, reply past the timeout, target crashed) behaves
+    /// exactly like contacting a dead node: the initiator gives up and the
+    /// target's descriptor — already removed by `start_shuffle`, which
+    /// always evicts the oldest entry — stays evicted. That *is* Cyclon's
+    /// neighbour-eviction-on-non-response rule, so no extra bookkeeping is
+    /// needed.
+    ///
+    /// With an always-true `contact` this is byte-identical to
+    /// [`run_round`](Self::run_round): same draws from `rng`, same view
+    /// mutations.
+    pub fn run_round_with<R, F>(&mut self, rng: &mut R, mut contact: F)
+    where
+        R: Rng,
+        F: FnMut(NodeId, NodeId) -> bool,
+    {
+        let mut order: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
         order.shuffle(rng);
         for i in order {
-            let Some(pending) = self.nodes[i].start_shuffle(rng) else { continue };
+            let Some(pending) = self.nodes[i].start_shuffle(rng) else {
+                continue;
+            };
             let target = pending.target as usize;
-            if !self.alive[target] {
-                // Contact failure: descriptor already dropped by
-                // start_shuffle, nothing else to do.
+            if !self.alive[target] || !contact(i as NodeId, pending.target) {
+                // Contact failure (dead, crashed or timed out): descriptor
+                // already dropped by start_shuffle, nothing else to do.
                 self.nodes[i].abort_shuffle(&pending);
                 continue;
             }
@@ -294,6 +321,50 @@ mod tests {
     #[test]
     fn single_node_overlay_is_trivially_connected() {
         let o = CyclonOverlay::new(1, 4, 2);
+        assert!(o.is_connected());
+    }
+
+    #[test]
+    fn run_round_with_true_contact_matches_run_round_exactly() {
+        let (mut a, mut rng_a) = overlay(40);
+        let mut b = a.clone();
+        let mut rng_b = rng_a.clone();
+        for _ in 0..15 {
+            a.run_round(&mut rng_a);
+            b.run_round_with(&mut rng_b, |_, _| true);
+        }
+        for i in 0..40u32 {
+            let na: Vec<NodeId> = a.node(i).neighbors().collect();
+            let nb: Vec<NodeId> = b.node(i).neighbors().collect();
+            assert_eq!(na, nb, "node {i} diverged");
+        }
+    }
+
+    #[test]
+    fn failed_contacts_evict_without_refilling() {
+        let (mut o, mut rng) = overlay(20);
+        let before: usize = (0..20u32).map(|i| o.node(i).view_size()).sum();
+        // Every contact fails: each initiator loses its shuffle target and
+        // gains nothing back.
+        o.run_round_with(&mut rng, |_, _| false);
+        let after: usize = (0..20u32).map(|i| o.node(i).view_size()).sum();
+        assert!(
+            after < before,
+            "no eviction on non-response: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn overlay_survives_partial_contact_failure() {
+        let (mut o, mut rng) = overlay(60);
+        let mut flip = false;
+        for _ in 0..40 {
+            o.run_round_with(&mut rng, |_, _| {
+                flip = !flip;
+                flip
+            });
+        }
+        // Half the shuffles failing must not disconnect the overlay.
         assert!(o.is_connected());
     }
 }

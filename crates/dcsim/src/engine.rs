@@ -2,17 +2,41 @@
 //!
 //! Mirrors PeerSim's `CDSimulator`: time advances in discrete rounds; each
 //! round the engine (1) steps the workload (every VM gets a fresh demand
-//! observation), (2) hands control to the consolidation policy, and (3)
-//! notifies observers, which sample metrics. All the paper's experiments
-//! run on this engine with 720 rounds of 2 simulated minutes.
+//! observation), (2) applies the network model's crash/recovery events,
+//! (3) hands control to the consolidation policy, and (4) notifies
+//! observers, which sample metrics. All the paper's experiments run on
+//! this engine with 720 rounds of 2 simulated minutes.
 
+use crate::net::NetworkModel;
 use crate::rng::{stream_rng, SimRng, Stream};
 use glap_cluster::{DataCenter, DemandSource};
+
+/// Everything a policy sees during one round, in one place.
+///
+/// This replaces the older `round(round, dc, rng)` signature plus the
+/// `note_churn` side-channel: churn arrives as data with the round it
+/// belongs to, and the network model is available so protocols can route
+/// their gossip through the message bus instead of calling each other
+/// directly.
+pub struct RoundCtx<'a> {
+    /// The round being simulated (demands already stepped).
+    pub round: u64,
+    /// The world.
+    pub dc: &'a mut DataCenter,
+    /// The policy-stream RNG.
+    pub rng: &'a mut SimRng,
+    /// VM arrival/departure events that happened this round (0 outside
+    /// churn scenarios).
+    pub churn_events: usize,
+    /// The message bus the policy's protocols gossip over.
+    pub net: &'a mut NetworkModel,
+}
 
 /// A consolidation algorithm under test (GLAP or a baseline).
 ///
 /// The policy owns all its protocol state (overlays, Q-tables, thresholds,
-/// history windows, …); the engine owns the world state and the clock.
+/// history windows, …); the engine owns the world state, the clock and
+/// the network.
 pub trait ConsolidationPolicy {
     /// Short machine-readable name, used in result files.
     fn name(&self) -> &'static str;
@@ -22,15 +46,8 @@ pub trait ConsolidationPolicy {
         let _ = (dc, rng);
     }
 
-    /// One simulated round. Demands for `round` have already been stepped.
-    fn round(&mut self, round: u64, dc: &mut DataCenter, rng: &mut SimRng);
-
-    /// Informs the policy that `events` VM arrivals/departures happened
-    /// this round. Policies that adapt to churn (GLAP's learning
-    /// re-trigger) override this; the default ignores it.
-    fn note_churn(&mut self, events: usize) {
-        let _ = events;
-    }
+    /// One simulated round.
+    fn round(&mut self, ctx: &mut RoundCtx<'_>);
 }
 
 /// A metrics consumer notified at the end of every round.
@@ -40,7 +57,8 @@ pub trait Observer {
     fn on_round_end(&mut self, round: u64, dc: &mut DataCenter);
 }
 
-/// Runs `rounds` simulated rounds of `policy` over `dc` driven by `trace`.
+/// Runs `rounds` simulated rounds of `policy` over `dc` driven by `trace`,
+/// on an ideal (fault-free) network.
 ///
 /// Randomness for the policy comes from the master seed's `Policy` stream,
 /// so two policies run from the same seed see identical traces and initial
@@ -56,12 +74,40 @@ pub fn run_simulation<D, P>(
     D: DemandSource + ?Sized,
     P: ConsolidationPolicy + ?Sized,
 {
+    let mut net = NetworkModel::ideal(dc.n_pms());
+    run_simulation_with_net(dc, trace, policy, observers, rounds, master_seed, &mut net);
+}
+
+/// Like [`run_simulation`], but over a caller-provided [`NetworkModel`] so
+/// fault profiles can be injected. With an ideal network the run is
+/// byte-identical to [`run_simulation`]: the ideal message path consumes
+/// no randomness and refuses nothing.
+pub fn run_simulation_with_net<D, P>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    policy: &mut P,
+    observers: &mut [&mut dyn Observer],
+    rounds: u64,
+    master_seed: u64,
+    net: &mut NetworkModel,
+) where
+    D: DemandSource + ?Sized,
+    P: ConsolidationPolicy + ?Sized,
+{
     let mut rng = stream_rng(master_seed, Stream::Policy);
     policy.init(dc, &mut rng);
     for _ in 0..rounds {
         let round = dc.round();
         dc.step(trace);
-        policy.round(round, dc, &mut rng);
+        net.begin_round(round);
+        let mut ctx = RoundCtx {
+            round,
+            dc,
+            rng: &mut rng,
+            churn_events: 0,
+            net,
+        };
+        policy.round(&mut ctx);
         debug_assert!(dc.check_invariants().is_ok());
         for obs in observers.iter_mut() {
             obs.on_round_end(round, dc);
@@ -78,12 +124,13 @@ impl ConsolidationPolicy for NoopPolicy {
         "noop"
     }
 
-    fn round(&mut self, _round: u64, _dc: &mut DataCenter, _rng: &mut SimRng) {}
+    fn round(&mut self, _ctx: &mut RoundCtx<'_>) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::FaultProfile;
     use glap_cluster::{DataCenterConfig, Resources, VmId, VmSpec};
 
     struct CountingObserver {
@@ -107,7 +154,8 @@ mod tests {
             "migrate-once"
         }
 
-        fn round(&mut self, _round: u64, dc: &mut DataCenter, _rng: &mut SimRng) {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            let dc = &mut *ctx.dc;
             if !self.done {
                 let vm = VmId(0);
                 let to = dc
@@ -135,7 +183,10 @@ mod tests {
         let mut dc = dc_with_vms(3, 6);
         let mut trace = |_: VmId, _: u64| Resources::splat(0.4);
         let mut policy = NoopPolicy;
-        let mut obs = CountingObserver { rounds_seen: Vec::new(), migrations: 0 };
+        let mut obs = CountingObserver {
+            rounds_seen: Vec::new(),
+            migrations: 0,
+        };
         run_simulation(&mut dc, &mut trace, &mut policy, &mut [&mut obs], 5, 99);
         assert_eq!(dc.round(), 5);
         assert_eq!(obs.rounds_seen, vec![0, 1, 2, 3, 4]);
@@ -147,7 +198,10 @@ mod tests {
         let mut dc = dc_with_vms(3, 6);
         let mut trace = |_: VmId, _: u64| Resources::splat(0.4);
         let mut policy = MigrateOncePolicy { done: false };
-        let mut obs = CountingObserver { rounds_seen: Vec::new(), migrations: 0 };
+        let mut obs = CountingObserver {
+            rounds_seen: Vec::new(),
+            migrations: 0,
+        };
         run_simulation(&mut dc, &mut trace, &mut policy, &mut [&mut obs], 3, 99);
         assert_eq!(obs.migrations, 1);
     }
@@ -156,13 +210,57 @@ mod tests {
     fn identical_seed_identical_world() {
         let run = |seed: u64| {
             let mut dc = dc_with_vms(4, 8);
-            let mut trace = |vm: VmId, r: u64| {
-                Resources::splat(((vm.0 as f64 + r as f64) % 10.0) / 10.0)
-            };
+            let mut trace =
+                |vm: VmId, r: u64| Resources::splat(((vm.0 as f64 + r as f64) % 10.0) / 10.0);
             let mut policy = NoopPolicy;
             run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, seed);
             dc.pms().map(|p| p.demand().cpu()).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn explicit_ideal_net_matches_default_path() {
+        let run = |explicit: bool| {
+            let mut dc = dc_with_vms(4, 8);
+            let mut trace =
+                |vm: VmId, r: u64| Resources::splat(((vm.0 as f64 + r as f64) % 7.0) / 7.0);
+            let mut policy = MigrateOncePolicy { done: false };
+            if explicit {
+                let mut net = NetworkModel::new(4, FaultProfile::none(), 123);
+                run_simulation_with_net(&mut dc, &mut trace, &mut policy, &mut [], 10, 5, &mut net);
+            } else {
+                run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, 5);
+            }
+            dc.vms().map(|v| v.host).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn ctx_exposes_net_and_round() {
+        struct Probe {
+            rounds: Vec<u64>,
+            net_ok: bool,
+        }
+        impl ConsolidationPolicy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+                self.rounds.push(ctx.round);
+                self.net_ok &= ctx.net.request(0, 1).is_ok();
+                assert_eq!(ctx.churn_events, 0);
+            }
+        }
+        let mut dc = dc_with_vms(3, 3);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.2);
+        let mut probe = Probe {
+            rounds: Vec::new(),
+            net_ok: true,
+        };
+        run_simulation(&mut dc, &mut trace, &mut probe, &mut [], 4, 1);
+        assert_eq!(probe.rounds, vec![0, 1, 2, 3]);
+        assert!(probe.net_ok);
     }
 }

@@ -10,6 +10,9 @@
 //! * [`event`] — an **event-driven** engine (future-event list, random link
 //!   latency, timers) used to validate that the gossip protocols behave the
 //!   same under asynchrony.
+//! * [`net`] — the **message-level network model**: per-message drops,
+//!   latency vs. timeout, and PM crash/recovery schedules, with a
+//!   zero-randomness ideal path so fault-free runs stay byte-identical.
 //! * [`rng`] — deterministic named RNG streams so every run is a pure
 //!   function of one `u64` seed.
 //!
@@ -30,15 +33,23 @@
 
 pub mod engine;
 pub mod event;
+pub mod net;
 pub mod rng;
 
-pub use engine::{run_simulation, ConsolidationPolicy, NoopPolicy, Observer};
+pub use engine::{
+    run_simulation, run_simulation_with_net, ConsolidationPolicy, NoopPolicy, Observer, RoundCtx,
+};
 pub use event::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel};
+pub use net::{Delivery, FaultProfile, LinkLatency, NetStats, NetworkModel};
 pub use rng::{node_rng, splitmix64, stream_rng, SimRng, Stream};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::engine::{run_simulation, ConsolidationPolicy, NoopPolicy, Observer};
+    pub use crate::engine::{
+        run_simulation, run_simulation_with_net, ConsolidationPolicy, NoopPolicy, Observer,
+        RoundCtx,
+    };
     pub use crate::event::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel};
+    pub use crate::net::{Delivery, FaultProfile, LinkLatency, NetStats, NetworkModel};
     pub use crate::rng::{node_rng, stream_rng, SimRng, Stream};
 }

@@ -1,0 +1,505 @@
+//! Message-level network model with fault injection.
+//!
+//! The paper's evaluation assumes a perfectly reliable cluster network;
+//! real gossip deployments do not get one. This module provides the
+//! deterministic in-simulation message bus the protocols run over:
+//! per-message drop probability, uniform per-link latency checked against
+//! a request/reply timeout, and PM crash/recovery — both scheduled
+//! (deterministic fail-at-round scripts) and stochastic (per-round
+//! hazard rates).
+//!
+//! Two design rules keep the rest of the simulator honest:
+//!
+//! 1. **The zero-fault path consumes no randomness.** With
+//!    [`FaultProfile::none`] (or any profile where [`FaultProfile::is_ideal`]
+//!    holds) every message is delivered without touching the network RNG,
+//!    so a run over the ideal network is *byte-identical* to the direct
+//!    function-call path the experiments used before this layer existed.
+//!    `tests/integration_determinism.rs` pins that contract.
+//! 2. **Faults draw from their own named stream** ([`Stream::Network`]),
+//!    never from the policy stream, so enabling faults perturbs protocol
+//!    randomness only through the protocols' *reactions* to failures —
+//!    exactly the effect under study.
+//!
+//! Crash semantics: a crashed PM is unreachable at the gossip layer (it
+//! answers no shuffles, aggregation pushes or consolidation exchanges)
+//! but its VMs keep running — the model is a management-network partition
+//! or agent failure, not a power loss, so `DataCenter` invariants are
+//! untouched. Crashes and recoveries are applied at round boundaries in
+//! [`NetworkModel::begin_round`], in node-index order, from the network
+//! stream.
+
+use crate::rng::{stream_rng, SimRng, Stream};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Uniform one-way link latency in milliseconds, sampled per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLatency {
+    /// Minimum one-way latency (ms).
+    pub min_ms: u64,
+    /// Maximum one-way latency (ms, inclusive).
+    pub max_ms: u64,
+}
+
+impl Default for LinkLatency {
+    fn default() -> Self {
+        // Intra-datacenter scale: sub-millisecond switching does not
+        // matter at 2-minute rounds; what matters is the tail vs. the
+        // protocol timeout.
+        LinkLatency {
+            min_ms: 1,
+            max_ms: 20,
+        }
+    }
+}
+
+/// Everything that can go wrong on the wire, in one value.
+///
+/// A profile is attached to a scenario; [`FaultProfile::none`] reproduces
+/// the pre-network direct-call behaviour bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Per-message drop probability (applied independently to requests
+    /// and replies).
+    pub drop_prob: f64,
+    /// One-way link latency distribution.
+    pub latency: LinkLatency,
+    /// Round-trip budget in milliseconds: a request whose two sampled
+    /// one-way latencies sum past this is a non-response (the initiator
+    /// gives up; gossip treats it like a dead neighbour).
+    pub timeout_ms: u64,
+    /// Per-round probability that each up PM crashes.
+    pub crash_rate: f64,
+    /// Per-round probability that each crashed PM recovers.
+    pub recovery_rate: f64,
+    /// Scripted crashes: `(round, node)` pairs applied at that round's
+    /// start, before stochastic hazards.
+    pub crash_schedule: Vec<(u64, u32)>,
+    /// Scripted recoveries: `(round, node)` pairs.
+    pub recovery_schedule: Vec<(u64, u32)>,
+}
+
+impl FaultProfile {
+    /// The zero-fault profile: everything delivered, nobody crashes, and
+    /// the latency tail cannot reach the timeout. Runs over this profile
+    /// are byte-identical to runs without a network model at all.
+    pub fn none() -> Self {
+        FaultProfile {
+            drop_prob: 0.0,
+            latency: LinkLatency::default(),
+            timeout_ms: 500,
+            crash_rate: 0.0,
+            recovery_rate: 0.0,
+            crash_schedule: Vec::new(),
+            recovery_schedule: Vec::new(),
+        }
+    }
+
+    /// A message-loss-only profile (no crashes).
+    pub fn lossy(drop_prob: f64) -> Self {
+        FaultProfile {
+            drop_prob,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// A profile with both message loss and stochastic crash/recovery.
+    pub fn faulty(drop_prob: f64, crash_rate: f64, recovery_rate: f64) -> Self {
+        FaultProfile {
+            drop_prob,
+            crash_rate,
+            recovery_rate,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// `true` when no fault of any kind can occur — the profile neither
+    /// drops, crashes, nor times out, so the model's fast path applies.
+    pub fn is_ideal(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.crash_rate <= 0.0
+            && self.recovery_rate <= 0.0
+            && self.crash_schedule.is_empty()
+            && self.recovery_schedule.is_empty()
+            && 2 * self.latency.max_ms <= self.timeout_ms
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// Outcome of one message (or request/reply round trip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered (for a request: the reply arrived within the timeout).
+    Delivered,
+    /// The message (or its reply) was lost on the wire.
+    Dropped,
+    /// Both legs were delivered but their combined latency exceeded the
+    /// timeout — indistinguishable from a drop to the initiator.
+    TimedOut,
+    /// The target is crashed; nothing was sent.
+    TargetDown,
+}
+
+impl Delivery {
+    /// `true` when the exchange completed in time.
+    #[inline]
+    pub fn is_ok(self) -> bool {
+        self == Delivery::Delivered
+    }
+}
+
+/// Running message counters (diagnostics; not part of determinism
+/// contracts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages and round trips attempted.
+    pub attempts: u64,
+    /// Successfully completed.
+    pub delivered: u64,
+    /// Lost to the drop probability.
+    pub dropped: u64,
+    /// Completed but past the timeout.
+    pub timed_out: u64,
+    /// Refused because the target was crashed.
+    pub to_down: u64,
+    /// Crash events applied (scheduled + stochastic).
+    pub crashes: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+}
+
+/// The simulated management network of one cluster.
+///
+/// One instance lives per simulation run; the engine calls
+/// [`NetworkModel::begin_round`] before handing control to the policy,
+/// and the protocols route their gossip through [`NetworkModel::request`]
+/// / [`NetworkModel::send`].
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    profile: FaultProfile,
+    up: Vec<bool>,
+    ideal: bool,
+    rng: SimRng,
+    /// Message counters, updated on every call.
+    pub stats: NetStats,
+}
+
+impl NetworkModel {
+    /// A fault-free network over `n` nodes — the default the engine
+    /// constructs when the caller provides none.
+    pub fn ideal(n: usize) -> Self {
+        // The RNG is never drawn from on the ideal path; a fixed seed
+        // keeps construction itself deterministic and draw-free.
+        NetworkModel {
+            profile: FaultProfile::none(),
+            up: vec![true; n],
+            ideal: true,
+            rng: SimRng::seed_from_u64(0),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// A network over `n` nodes with the given fault profile, drawing
+    /// its randomness from `master_seed`'s [`Stream::Network`].
+    pub fn new(n: usize, profile: FaultProfile, master_seed: u64) -> Self {
+        let ideal = profile.is_ideal();
+        NetworkModel {
+            profile,
+            up: vec![true; n],
+            ideal,
+            rng: stream_rng(master_seed, Stream::Network),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of modelled nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.up.len()
+    }
+
+    /// `true` when no fault can ever occur on this network.
+    #[inline]
+    pub fn is_ideal(&self) -> bool {
+        self.ideal
+    }
+
+    /// The profile this network runs.
+    #[inline]
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Whether `node` is currently reachable (not crashed).
+    #[inline]
+    pub fn is_up(&self, node: u32) -> bool {
+        self.up[node as usize]
+    }
+
+    /// Number of currently reachable nodes.
+    pub fn up_count(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Crashes `node` immediately (tests and scripted faults).
+    pub fn force_crash(&mut self, node: u32) {
+        if self.up[node as usize] {
+            self.up[node as usize] = false;
+            self.stats.crashes += 1;
+        }
+    }
+
+    /// Recovers `node` immediately.
+    pub fn force_recover(&mut self, node: u32) {
+        if !self.up[node as usize] {
+            self.up[node as usize] = true;
+            self.stats.recoveries += 1;
+        }
+    }
+
+    /// Applies this round's crash/recovery events: first the scripted
+    /// schedules, then the stochastic hazards in node-index order. On the
+    /// ideal network this is a no-op and consumes no randomness.
+    pub fn begin_round(&mut self, round: u64) {
+        if self.ideal {
+            return;
+        }
+        // Clones keep the borrow checker out of the profile while we
+        // mutate liveness; schedules are tiny.
+        for &(r, node) in &self.profile.crash_schedule.clone() {
+            if r == round {
+                self.force_crash(node);
+            }
+        }
+        for &(r, node) in &self.profile.recovery_schedule.clone() {
+            if r == round {
+                self.force_recover(node);
+            }
+        }
+        if self.profile.crash_rate > 0.0 || self.profile.recovery_rate > 0.0 {
+            for i in 0..self.up.len() {
+                // One draw per node per round regardless of outcome, so
+                // the network stream's draw count is a pure function of
+                // (n, rounds) — crashes never shift later samples.
+                let roll: f64 = self.rng.gen();
+                if self.up[i] {
+                    if roll < self.profile.crash_rate {
+                        self.force_crash(i as u32);
+                    }
+                } else if roll < self.profile.recovery_rate {
+                    self.force_recover(i as u32);
+                }
+            }
+        }
+    }
+
+    fn sample_latency(&mut self) -> u64 {
+        let LinkLatency { min_ms, max_ms } = self.profile.latency;
+        if min_ms >= max_ms {
+            min_ms
+        } else {
+            self.rng.gen_range(min_ms..=max_ms)
+        }
+    }
+
+    /// One-way, fire-and-forget message. No timeout applies: a delivered
+    /// send arrives eventually within the round.
+    pub fn send(&mut self, _from: u32, to: u32) -> Delivery {
+        self.stats.attempts += 1;
+        // The liveness check precedes the ideal fast path so that
+        // `force_crash` works even on an ideal-profile network; it reads
+        // no randomness, and `up` stays all-true in engine-driven ideal
+        // runs, so byte-identity is unaffected.
+        if !self.up[to as usize] {
+            self.stats.to_down += 1;
+            return Delivery::TargetDown;
+        }
+        if self.ideal {
+            self.stats.delivered += 1;
+            return Delivery::Delivered;
+        }
+        if self.profile.drop_prob > 0.0 && self.rng.gen::<f64>() < self.profile.drop_prob {
+            self.stats.dropped += 1;
+            return Delivery::Dropped;
+        }
+        self.stats.delivered += 1;
+        Delivery::Delivered
+    }
+
+    /// Request/reply round trip: the initiator blocks (within the round)
+    /// for the reply and gives up past the profile timeout. Either leg
+    /// can be dropped; a crashed target never answers.
+    pub fn request(&mut self, _from: u32, to: u32) -> Delivery {
+        self.stats.attempts += 1;
+        if !self.up[to as usize] {
+            self.stats.to_down += 1;
+            return Delivery::TargetDown;
+        }
+        if self.ideal {
+            self.stats.delivered += 1;
+            return Delivery::Delivered;
+        }
+        if self.profile.drop_prob > 0.0 {
+            if self.rng.gen::<f64>() < self.profile.drop_prob {
+                self.stats.dropped += 1;
+                return Delivery::Dropped; // request lost
+            }
+            if self.rng.gen::<f64>() < self.profile.drop_prob {
+                self.stats.dropped += 1;
+                return Delivery::Dropped; // reply lost
+            }
+        }
+        let round_trip = self.sample_latency() + self.sample_latency();
+        if round_trip > self.profile.timeout_ms {
+            self.stats.timed_out += 1;
+            return Delivery::TimedOut;
+        }
+        self.stats.delivered += 1;
+        Delivery::Delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn ideal_network_delivers_everything_without_randomness() {
+        let mut net = NetworkModel::ideal(8);
+        let mut twin = NetworkModel::ideal(8);
+        for r in 0..5 {
+            net.begin_round(r);
+            for i in 0..8u32 {
+                for j in 0..8u32 {
+                    assert!(net.request(i, j).is_ok());
+                    assert!(net.send(i, j).is_ok());
+                }
+            }
+        }
+        assert_eq!(net.stats.delivered, net.stats.attempts);
+        // The RNG was never advanced: both instances still produce the
+        // same next value as a fresh one.
+        assert_eq!(net.rng.next_u64(), twin.rng.next_u64());
+    }
+
+    #[test]
+    fn none_profile_is_ideal_and_lossy_is_not() {
+        assert!(FaultProfile::none().is_ideal());
+        assert!(!FaultProfile::lossy(0.1).is_ideal());
+        assert!(!FaultProfile::faulty(0.0, 0.01, 0.1).is_ideal());
+        let slow = FaultProfile {
+            latency: LinkLatency {
+                min_ms: 300,
+                max_ms: 400,
+            },
+            ..FaultProfile::none()
+        };
+        assert!(!slow.is_ideal(), "latency tail can exceed the timeout");
+    }
+
+    #[test]
+    fn crashed_targets_refuse_messages() {
+        let mut net = NetworkModel::new(4, FaultProfile::none(), 1);
+        net.force_crash(2);
+        assert_eq!(net.request(0, 2), Delivery::TargetDown);
+        assert_eq!(net.send(0, 2), Delivery::TargetDown);
+        assert!(net.request(0, 1).is_ok());
+        net.force_recover(2);
+        assert!(net.request(0, 2).is_ok());
+    }
+
+    #[test]
+    fn drop_probability_loses_roughly_that_share() {
+        let mut net = NetworkModel::new(2, FaultProfile::lossy(0.3), 7);
+        let mut lost = 0;
+        for _ in 0..2000 {
+            if !net.send(0, 1).is_ok() {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn scheduled_crashes_and_recoveries_fire_at_their_round() {
+        let profile = FaultProfile {
+            crash_schedule: vec![(3, 1)],
+            recovery_schedule: vec![(5, 1)],
+            ..FaultProfile::none()
+        };
+        let mut net = NetworkModel::new(3, profile, 11);
+        for round in 0..8 {
+            net.begin_round(round);
+            let expect_up = !(3..5).contains(&round);
+            assert_eq!(net.is_up(1), expect_up, "round {round}");
+        }
+        assert_eq!(net.stats.crashes, 1);
+        assert_eq!(net.stats.recoveries, 1);
+    }
+
+    #[test]
+    fn stochastic_crashes_eventually_recover() {
+        let mut net = NetworkModel::new(50, FaultProfile::faulty(0.0, 0.05, 0.5), 13);
+        let mut saw_down = false;
+        for round in 0..200 {
+            net.begin_round(round);
+            saw_down |= net.up_count() < 50;
+        }
+        assert!(saw_down, "no crash in 200 rounds at rate 0.05");
+        assert!(net.stats.recoveries > 0, "no recovery despite rate 0.5");
+        assert!(
+            net.up_count() > 25,
+            "population collapsed: {}",
+            net.up_count()
+        );
+    }
+
+    #[test]
+    fn timeout_fires_when_latency_tail_exceeds_budget() {
+        let profile = FaultProfile {
+            latency: LinkLatency {
+                min_ms: 100,
+                max_ms: 400,
+            },
+            timeout_ms: 450,
+            ..FaultProfile::none()
+        };
+        let mut net = NetworkModel::new(2, profile, 17);
+        let mut timed_out = 0;
+        for _ in 0..500 {
+            if net.request(0, 1) == Delivery::TimedOut {
+                timed_out += 1;
+            }
+        }
+        assert!(
+            timed_out > 0,
+            "no timeouts despite 200..800ms round trips vs 450ms budget"
+        );
+        assert_eq!(net.stats.timed_out, timed_out);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let mut net = NetworkModel::new(10, FaultProfile::faulty(0.2, 0.02, 0.2), seed);
+            let mut outcomes = Vec::new();
+            for round in 0..50 {
+                net.begin_round(round);
+                for i in 0..10u32 {
+                    outcomes.push(net.request(i, (i + 1) % 10));
+                }
+            }
+            (outcomes, net.stats)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0);
+    }
+}

@@ -37,6 +37,8 @@ pub enum Stream {
     Policy,
     /// The learning component.
     Learning,
+    /// The network fault model (message drops, latency, crashes).
+    Network,
     /// Free-form extra stream.
     Custom(u64),
 }
@@ -49,6 +51,7 @@ impl Stream {
             Stream::Overlay => 3,
             Stream::Policy => 4,
             Stream::Learning => 5,
+            Stream::Network => 6,
             Stream::Custom(x) => 0x1000 + x,
         }
     }

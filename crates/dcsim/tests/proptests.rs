@@ -28,7 +28,12 @@ impl EdNode<u32> for RelayNode {
     }
 }
 
-fn build_ring(n: usize, forwards: u32, seed: u64, latency: LatencyModel) -> EventEngine<u32, RelayNode> {
+fn build_ring(
+    n: usize,
+    forwards: u32,
+    seed: u64,
+    latency: LatencyModel,
+) -> EventEngine<u32, RelayNode> {
     let nodes: Vec<RelayNode> = (0..n)
         .map(|i| RelayNode {
             next: ((i + 1) % n) as EdNodeId,

@@ -5,7 +5,12 @@ use glap_experiments::{ablation_summary, parse_or_exit, run_grid, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::ABLATION_SET, cli.threads, cli.verbose);
+    let results = run_grid(
+        &cli.grid,
+        &Algorithm::ABLATION_SET,
+        cli.threads,
+        cli.verbose,
+    );
     let out = ablation_summary(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("ablations.csv");

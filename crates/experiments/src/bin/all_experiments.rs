@@ -14,7 +14,9 @@ fn main() {
     let fig5_size = cli.grid.sizes.first().copied().unwrap_or(1000);
     let f5 = fig5_convergence(fig5_size, &cli.grid.ratios, cli.grid.glap, 0);
     print!("{}", f5.render());
-    f5.table.save_csv(&cli.out_dir.join("fig5_convergence.csv")).expect("write CSV");
+    f5.table
+        .save_csv(&cli.out_dir.join("fig5_convergence.csv"))
+        .expect("write CSV");
 
     // One grid run feeds Figures 6-10 and Table I.
     let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
@@ -23,20 +25,32 @@ fn main() {
         ("fig6_packing.csv", fig6_packing(&results)),
         ("fig7_overloaded.csv", fig7_overloaded(&results)),
         ("fig8_migrations.csv", fig8_migrations(&results)),
-        ("fig9_cumulative.csv", fig9_cumulative(&results, fig5_size, stride)),
+        (
+            "fig9_cumulative.csv",
+            fig9_cumulative(&results, fig5_size, stride),
+        ),
         ("fig10_energy.csv", fig10_energy(&results)),
         ("table1_sla.csv", table1_sla(&results)),
     ];
     for (file, out) in outputs {
         print!("\n{}", out.render());
-        out.table.save_csv(&cli.out_dir.join(file)).expect("write CSV");
+        out.table
+            .save_csv(&cli.out_dir.join(file))
+            .expect("write CSV");
     }
 
     // Ablations on the same grid shape.
-    let ab_results = run_grid(&cli.grid, &Algorithm::ABLATION_SET, cli.threads, cli.verbose);
+    let ab_results = run_grid(
+        &cli.grid,
+        &Algorithm::ABLATION_SET,
+        cli.threads,
+        cli.verbose,
+    );
     let ab = ablation_summary(&ab_results);
     print!("\n{}", ab.render());
-    ab.table.save_csv(&cli.out_dir.join("ablations.csv")).expect("write CSV");
+    ab.table
+        .save_csv(&cli.out_dir.join("ablations.csv"))
+        .expect("write CSV");
 
     eprintln!("\nCSV files in {}", cli.out_dir.display());
 }

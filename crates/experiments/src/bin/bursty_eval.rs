@@ -27,7 +27,11 @@ fn main() {
         burst_boost: 0.95,
         ..default_cfg
     };
-    let variants = [("google", default_cfg), ("bursty", bursty), ("spiky", spiky)];
+    let variants = [
+        ("google", default_cfg),
+        ("bursty", bursty),
+        ("spiky", spiky),
+    ];
 
     let mut table = TextTable::new([
         "workload",
@@ -38,7 +42,10 @@ fn main() {
         "slav",
     ]);
     for (name, trace_cfg) in variants {
-        let grid = Grid { trace_cfg, ..cli.grid.clone() };
+        let grid = Grid {
+            trace_cfg,
+            ..cli.grid.clone()
+        };
         let results = run_grid(&grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
         for algo in Algorithm::PAPER_SET {
             let rs: Vec<_> = results
@@ -50,11 +57,21 @@ fn main() {
                 continue;
             }
             let n = rs.len() as f64;
-            let frac: f64 =
-                rs.iter().map(|r| r.collector.mean_overloaded_fraction()).sum::<f64>() / n;
-            let med: f64 = rs.iter().map(|r| r.collector.overloaded_summary().1).sum::<f64>() / n;
-            let migs: f64 =
-                rs.iter().map(|r| r.collector.total_migrations() as f64).sum::<f64>() / n;
+            let frac: f64 = rs
+                .iter()
+                .map(|r| r.collector.mean_overloaded_fraction())
+                .sum::<f64>()
+                / n;
+            let med: f64 = rs
+                .iter()
+                .map(|r| r.collector.overloaded_summary().1)
+                .sum::<f64>()
+                / n;
+            let migs: f64 = rs
+                .iter()
+                .map(|r| r.collector.total_migrations() as f64)
+                .sum::<f64>()
+                / n;
             let slav: f64 = rs.iter().map(|r| r.sla.slav).sum::<f64>() / n;
             table.row([
                 name.to_string(),

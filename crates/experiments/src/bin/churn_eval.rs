@@ -39,7 +39,10 @@ fn main() {
     };
     let conditions = [
         ("stationary", ChurnConfig::balanced(size * ratio, 0.01)),
-        ("shifted", ChurnConfig::shifted(size * ratio, 0.01, hot_arrivals)),
+        (
+            "shifted",
+            ChurnConfig::shifted(size * ratio, 0.01, hot_arrivals),
+        ),
     ];
     for (cond_name, churn) in conditions {
         // GLAP variants share the pre-trained table construction.
@@ -69,10 +72,14 @@ fn main() {
                 let (mut dc, trace) = build_churn_world(&sc, &churn);
                 let mut train_dc = dc.clone();
                 let mut train_trace = trace.clone();
-                let (tables, _) =
-                    train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
-                let mut policy =
-                    GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
+                let (tables, _) = train(
+                    &mut train_dc,
+                    &mut train_trace,
+                    &sc.glap,
+                    sc.policy_seed(),
+                    false,
+                );
+                let mut policy = GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
                 policy.retrain = retrain;
                 let r = run_churn_scenario(&sc, &churn, &mut dc, &trace, &mut policy);
                 frac += r.collector.mean_overloaded_fraction();

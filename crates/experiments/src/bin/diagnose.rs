@@ -20,12 +20,19 @@ fn main() {
         glap: cli.grid.glap,
         trace_cfg: cli.grid.trace_cfg,
         vm_mix: Default::default(),
+        fault: Default::default(),
     };
     let (mut dc, trace) = build_world(&sc);
 
     let mut train_dc = dc.clone();
     let mut train_trace = trace.clone();
-    let (tables, report) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let (tables, report) = train(
+        &mut train_dc,
+        &mut train_trace,
+        &sc.glap,
+        sc.policy_seed(),
+        false,
+    );
     let uni = unified_table(&tables);
     println!(
         "training: {} PMs trained, {} updates, unified pairs out={} in={}",
@@ -49,7 +56,11 @@ fn main() {
         println!("  cpu={cpu:?}: {covered}/{total}");
     }
     let neg_in = uni.r#in.iter_visited().filter(|&(_, _, v)| v < 0.0).count();
-    println!("in-table: {} visited, {} negative (veto) entries", uni.r#in.visited_count(), neg_in);
+    println!(
+        "in-table: {} visited, {} negative (veto) entries",
+        uni.r#in.visited_count(),
+        neg_in
+    );
     println!("\nin-table entries (state, action, value):");
     let mut entries: Vec<_> = uni.r#in.iter_visited().collect();
     entries.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
@@ -60,7 +71,14 @@ fn main() {
     let mut policy = GlapPolicy::new(sc.glap, TableStore::Shared(Box::new(uni)));
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut collector = MetricsCollector::new();
-    run_simulation(&mut dc, &mut day, &mut policy, &mut [&mut collector], sc.rounds, sc.policy_seed());
+    run_simulation(
+        &mut dc,
+        &mut day,
+        &mut policy,
+        &mut [&mut collector],
+        sc.rounds,
+        sc.policy_seed(),
+    );
 
     println!(
         "\nday: {} migrations, {} vetoes, final active {}/{} PMs, overloaded fraction {:.4}",

@@ -15,16 +15,26 @@ fn main() {
 
     // Inline curve shapes (one rep per algorithm, first listed ratio).
     let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
-    println!("
-cumulative-migration curve shapes ({size} PMs, ratio {ratio}):");
+    println!(
+        "
+cumulative-migration curve shapes ({size} PMs, ratio {ratio}):"
+    );
     for algo in Algorithm::PAPER_SET {
         if let Some((_, r)) = results
             .iter()
             .find(|(sc, _)| sc.algorithm == algo && sc.n_pms == size && sc.ratio == ratio)
         {
-            let series: Vec<f64> =
-                r.collector.cumulative_migrations().iter().map(|&x| x as f64).collect();
-            println!("  {:<9} {}", algo.label(), sparkline(&downsample(&series, 60)));
+            let series: Vec<f64> = r
+                .collector
+                .cumulative_migrations()
+                .iter()
+                .map(|&x| x as f64)
+                .collect();
+            println!(
+                "  {:<9} {}",
+                algo.label(),
+                sparkline(&downsample(&series, 60))
+            );
         }
     }
     let path = cli.out_dir.join("fig9_cumulative.csv");

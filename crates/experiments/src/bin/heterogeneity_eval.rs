@@ -88,11 +88,24 @@ fn main() {
             table.row([
                 fleet_name.to_string(),
                 algo.label().to_string(),
-                fnum(rs.iter().map(|r| r.collector.mean_active_pms()).sum::<f64>() / n),
                 fnum(
-                    rs.iter().map(|r| r.collector.mean_overloaded_fraction()).sum::<f64>() / n,
+                    rs.iter()
+                        .map(|r| r.collector.mean_active_pms())
+                        .sum::<f64>()
+                        / n,
                 ),
-                fnum(rs.iter().map(|r| r.collector.total_migrations() as f64).sum::<f64>() / n),
+                fnum(
+                    rs.iter()
+                        .map(|r| r.collector.mean_overloaded_fraction())
+                        .sum::<f64>()
+                        / n,
+                ),
+                fnum(
+                    rs.iter()
+                        .map(|r| r.collector.total_migrations() as f64)
+                        .sum::<f64>()
+                        / n,
+                ),
                 fnum(rs.iter().map(|r| r.sla.slav).sum::<f64>() / n),
             ]);
         }

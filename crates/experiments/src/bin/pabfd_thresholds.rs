@@ -33,8 +33,11 @@ fn main() {
     for (name, method) in methods {
         let mut agg = [0.0f64; 4];
         for rep in 0..cli.grid.reps {
-            let algorithm =
-                if method.is_some() { Algorithm::Pabfd } else { Algorithm::Glap };
+            let algorithm = if method.is_some() {
+                Algorithm::Pabfd
+            } else {
+                Algorithm::Glap
+            };
             let sc = Scenario {
                 rep,
                 rounds: cli.grid.rounds,
@@ -46,8 +49,10 @@ fn main() {
             let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
             match method {
                 Some(m) => {
-                    let mut policy =
-                        PabfdPolicy::new(PabfdConfig { method: m, ..PabfdConfig::default() });
+                    let mut policy = PabfdPolicy::new(PabfdConfig {
+                        method: m,
+                        ..PabfdConfig::default()
+                    });
                     run_simulation(
                         &mut dc,
                         &mut day,
@@ -87,7 +92,9 @@ fn main() {
         ]);
     }
 
-    println!("== PABFD threshold estimators vs threshold-free GLAP ({size} PMs, ratio {ratio}) ==\n");
+    println!(
+        "== PABFD threshold estimators vs threshold-free GLAP ({size} PMs, ratio {ratio}) ==\n"
+    );
     print!("{}", table.render());
     println!(
         "\nnote: all three estimators derive a per-host cap from recent CPU history; \

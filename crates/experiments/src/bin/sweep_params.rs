@@ -39,7 +39,8 @@ fn main() {
                     rounds: cli.grid.rounds,
                     glap,
                     trace_cfg: cli.grid.trace_cfg,
-        vm_mix: Default::default(),
+                    vm_mix: Default::default(),
+                    fault: Default::default(),
                 };
                 let r = run_scenario(&sc);
                 frac += r.collector.mean_overloaded_fraction();

@@ -11,7 +11,7 @@ use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{stream_rng, Stream};
 use glap_experiments::{fnum, parse_or_exit, TextTable};
 use glap_metrics::{excess_kurtosis, jarque_bera, mean, skewness, std_dev};
-use glap_qlearn::{PmState, QParams, QTables, VmAction};
+use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
 use rand::Rng;
 
 fn main() {
@@ -25,9 +25,9 @@ fn main() {
 
     // Exponential initial values: strongly right-skewed, the adversarial
     // case for the theorem's normality claim.
-    let mut tables: Vec<QTables> = (0..n)
+    let mut tables: Vec<QTablePair> = (0..n)
         .map(|_| {
-            let mut t = QTables::new(QParams::default());
+            let mut t = QTablePair::new(QParams::default());
             let u: f64 = rng.gen::<f64>().max(1e-12);
             t.out.set(s, a, -u.ln() * 10.0);
             t
@@ -37,12 +37,17 @@ fn main() {
     let mut overlay = CyclonOverlay::new(n, 8, 4);
     overlay.bootstrap_random(&mut rng);
 
-    let mut table =
-        TextTable::new(["round", "mean", "std_dev", "skewness", "excess_kurtosis", "jarque_bera"]);
-    let snapshot = |tables: &[QTables]| -> Vec<f64> {
-        tables.iter().map(|t| t.out.get(s, a)).collect()
-    };
-    let record = |round: usize, tables: &[QTables], table: &mut TextTable| {
+    let mut table = TextTable::new([
+        "round",
+        "mean",
+        "std_dev",
+        "skewness",
+        "excess_kurtosis",
+        "jarque_bera",
+    ]);
+    let snapshot =
+        |tables: &[QTablePair]| -> Vec<f64> { tables.iter().map(|t| t.out.get(s, a)).collect() };
+    let record = |round: usize, tables: &[QTablePair], table: &mut TextTable| {
         let xs = snapshot(tables);
         table.row([
             round.to_string(),

@@ -38,7 +38,10 @@ fn main() {
     let cli = parse_or_exit();
     let size = cli.grid.sizes.first().copied().unwrap_or(200);
     let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
-    let topology = Topology { pms_per_rack: 20, ..Topology::default() };
+    let topology = Topology {
+        pms_per_rack: 20,
+        ..Topology::default()
+    };
 
     let mut table = TextTable::new([
         "variant",
@@ -61,8 +64,7 @@ fn main() {
                 ..Scenario::paper(size, ratio, rep, Algorithm::Glap)
             };
             // Racked world (same seeds as the flat one).
-            let mut dc =
-                DataCenter::new(DataCenterConfig::paper_with_topology(size, topology));
+            let mut dc = DataCenter::new(DataCenterConfig::paper_with_topology(size, topology));
             for _ in 0..sc.n_vms() {
                 dc.add_vm(VmSpec::EC2_MICRO);
             }
@@ -76,8 +78,13 @@ fn main() {
 
             let mut train_dc = dc.clone();
             let mut train_trace = trace.clone();
-            let (tables, _) =
-                train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+            let (tables, _) = train(
+                &mut train_dc,
+                &mut train_trace,
+                &sc.glap,
+                sc.policy_seed(),
+                false,
+            );
             let mut policy = GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
             policy.rack_aware = rack_aware;
 

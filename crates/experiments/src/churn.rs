@@ -11,7 +11,7 @@
 use crate::scenario::Scenario;
 use glap_baselines::bfd_baseline;
 use glap_cluster::{DataCenter, DataCenterConfig, PmId, VmId, VmSpec};
-use glap_dcsim::{stream_rng, ConsolidationPolicy, Observer, Stream};
+use glap_dcsim::{stream_rng, ConsolidationPolicy, NetworkModel, Observer, RoundCtx, Stream};
 use glap_metrics::{MetricsCollector, RunResult};
 use glap_workload::{GoogleLikeTraceGen, GoogleTraceConfig, MaterializedTrace, OffsetTrace};
 use rand::seq::SliceRandom;
@@ -67,11 +67,8 @@ pub fn build_churn_world(sc: &Scenario, churn: &ChurnConfig) -> (DataCenter, Mat
     // out of series even in a high tail.
     let max_arrivals = (churn.arrivals_per_round * sc.rounds as f64 * 2.0).ceil() as usize;
     let mut trace_rng = stream_rng(sc.world_seed(), Stream::Trace);
-    let mut trace = GoogleLikeTraceGen::new(sc.trace_cfg).generate(
-        sc.n_vms(),
-        total_rounds,
-        &mut trace_rng,
-    );
+    let mut trace =
+        GoogleLikeTraceGen::new(sc.trace_cfg).generate(sc.n_vms(), total_rounds, &mut trace_rng);
     let arrivals_gen = GoogleLikeTraceGen::new(churn.arrival_cfg.unwrap_or(sc.trace_cfg));
     let arrivals_trace = arrivals_gen.generate(max_arrivals, total_rounds, &mut trace_rng);
     trace.append_vms(&arrivals_trace);
@@ -80,10 +77,9 @@ pub fn build_churn_world(sc: &Scenario, churn: &ChurnConfig) -> (DataCenter, Mat
 
 /// Runs a consolidation day with churn. Arrivals are placed on a random
 /// active PM (the cloud's admission service, out of scope for DVMC);
-/// departures pick uniformly among live VMs. The policy is told the
-/// number of churn events each round via
-/// [`ConsolidationPolicy::note_churn`].
-#[allow(clippy::too_many_arguments)]
+/// departures pick uniformly among live VMs. The policy sees the number
+/// of churn events each round in [`RoundCtx::churn_events`], and gossips
+/// over the scenario's fault profile.
 pub fn run_churn_scenario(
     sc: &Scenario,
     churn: &ChurnConfig,
@@ -95,6 +91,7 @@ pub fn run_churn_scenario(
     let mut collector = MetricsCollector::new();
     let mut policy_rng = stream_rng(sc.policy_seed(), Stream::Policy);
     let mut churn_rng = stream_rng(sc.world_seed(), Stream::Custom(42));
+    let mut net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
 
     policy.init(dc, &mut policy_rng);
     for _ in 0..sc.rounds {
@@ -103,8 +100,11 @@ pub fn run_churn_scenario(
         // --- churn events -------------------------------------------
         let mut events = 0usize;
         // Departures.
-        let live: Vec<VmId> =
-            dc.vms().filter(|v| v.host.is_some()).map(|v| v.id).collect();
+        let live: Vec<VmId> = dc
+            .vms()
+            .filter(|v| v.host.is_some())
+            .map(|v| v.id)
+            .collect();
         for vm in live {
             if churn_rng.gen::<f64>() < churn.departure_prob {
                 dc.remove_vm(vm);
@@ -127,11 +127,17 @@ pub fn run_churn_scenario(
                 events += 1;
             }
         }
-        policy.note_churn(events);
-
         // --- the usual engine round ---------------------------------
         dc.step(&mut day);
-        policy.round(round, dc, &mut policy_rng);
+        net.begin_round(round);
+        let mut ctx = RoundCtx {
+            round,
+            dc,
+            rng: &mut policy_rng,
+            churn_events: events,
+            net: &mut net,
+        };
+        policy.round(&mut ctx);
         debug_assert!(dc.check_invariants().is_ok());
         collector.on_round_end(round, dc);
     }
@@ -163,8 +169,11 @@ mod tests {
     #[test]
     fn churn_world_sizes_trace_for_arrivals() {
         let s = sc(Algorithm::Glap);
-        let churn =
-            ChurnConfig { arrivals_per_round: 2.0, departure_prob: 0.01, arrival_cfg: None };
+        let churn = ChurnConfig {
+            arrivals_per_round: 2.0,
+            departure_prob: 0.01,
+            arrival_cfg: None,
+        };
         let (dc, trace) = build_churn_world(&s, &churn);
         assert_eq!(dc.n_vms(), 90);
         assert!(trace.n_vms() >= 90 + 2 * 80);
@@ -205,10 +214,19 @@ mod tests {
         let (mut dc, trace) = build_churn_world(&s, &churn);
         let mut train_dc = dc.clone();
         let mut train_trace = trace.clone();
-        let (tables, _) = train(&mut train_dc, &mut train_trace, &s.glap, s.policy_seed(), false);
+        let (tables, _) = train(
+            &mut train_dc,
+            &mut train_trace,
+            &s.glap,
+            s.policy_seed(),
+            false,
+        );
         let mut policy = GlapPolicy::with_shared_table(s.glap, unified_table(&tables));
-        policy.retrain =
-            Some(RetrainConfig { churn_threshold: 30, interval: None, learning_window: 5 });
+        policy.retrain = Some(RetrainConfig {
+            churn_threshold: 30,
+            interval: None,
+            learning_window: 5,
+        });
         run_churn_scenario(&s, &churn, &mut dc, &trace, &mut policy);
         assert!(policy.retrainings > 0, "re-training never triggered");
     }

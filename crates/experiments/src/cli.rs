@@ -45,7 +45,11 @@ pub const USAGE: &str = "options:
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
     s.split(',')
-        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad number: {p}")))
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad number: {p}"))
+        })
         .collect()
 }
 
@@ -65,24 +69,30 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--sizes" => cli.grid.sizes = parse_list(&need(&mut it, "--sizes")?)?,
             "--ratios" => cli.grid.ratios = parse_list(&need(&mut it, "--ratios")?)?,
             "--reps" => {
-                cli.grid.reps =
-                    need(&mut it, "--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                cli.grid.reps = need(&mut it, "--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
             }
             "--rounds" => {
-                cli.grid.rounds =
-                    need(&mut it, "--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?;
+                cli.grid.rounds = need(&mut it, "--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
             }
             "--train" => {
-                cli.grid.glap.learning_rounds =
-                    need(&mut it, "--train")?.parse().map_err(|e| format!("--train: {e}"))?;
+                cli.grid.glap.learning_rounds = need(&mut it, "--train")?
+                    .parse()
+                    .map_err(|e| format!("--train: {e}"))?;
             }
             "--agg" => {
-                cli.grid.glap.aggregation_rounds =
-                    need(&mut it, "--agg")?.parse().map_err(|e| format!("--agg: {e}"))?;
+                cli.grid.glap.aggregation_rounds = need(&mut it, "--agg")?
+                    .parse()
+                    .map_err(|e| format!("--agg: {e}"))?;
             }
             "--threads" => {
                 cli.threads = Some(
-                    need(&mut it, "--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+                    need(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
                 );
             }
             "--out" => cli.out_dir = PathBuf::from(need(&mut it, "--out")?),
@@ -128,8 +138,10 @@ mod tests {
 
     #[test]
     fn lists_and_values() {
-        let cli =
-            parse(args("--sizes 100,200 --ratios 2 --reps 7 --rounds 99 --threads 3")).unwrap();
+        let cli = parse(args(
+            "--sizes 100,200 --ratios 2 --reps 7 --rounds 99 --threads 3",
+        ))
+        .unwrap();
         assert_eq!(cli.grid.sizes, vec![100, 200]);
         assert_eq!(cli.grid.ratios, vec![2]);
         assert_eq!(cli.grid.reps, 7);

@@ -98,7 +98,12 @@ fn algorithms_of(results: &[(Scenario, RunResult)]) -> Vec<Algorithm> {
 /// Regenerates Figure 5: mean pairwise cosine similarity of PM Q-tables
 /// per cycle, for each VM:PM ratio, across the learning phase (WOG) and
 /// the aggregation phase (WG).
-pub fn fig5_convergence(n_pms: usize, ratios: &[usize], glap: GlapConfig, seed_base: u64) -> FigureOutput {
+pub fn fig5_convergence(
+    n_pms: usize,
+    ratios: &[usize],
+    glap: GlapConfig,
+    seed_base: u64,
+) -> FigureOutput {
     let mut table = TextTable::new(["ratio", "phase", "cycle", "cosine_similarity"]);
     let mut finals = Vec::new();
     for &ratio in ratios {
@@ -110,11 +115,17 @@ pub fn fig5_convergence(n_pms: usize, ratios: &[usize], glap: GlapConfig, seed_b
             rounds: 0,
             glap,
             trace_cfg: Default::default(),
-        vm_mix: Default::default(),
+            vm_mix: Default::default(),
+            fault: Default::default(),
         };
         let (mut dc, mut trace) = build_world(&sc);
-        let (_tables, report) =
-            train(&mut dc, &mut trace, &glap, sc.policy_seed() ^ seed_base, true);
+        let (_tables, report) = train(
+            &mut dc,
+            &mut trace,
+            &glap,
+            sc.policy_seed() ^ seed_base,
+            true,
+        );
         for (phase, cycle, sim) in &report.similarity {
             let phase_name = match phase {
                 TrainPhase::Learning => "WOG",
@@ -129,11 +140,13 @@ pub fn fig5_convergence(n_pms: usize, ratios: &[usize], glap: GlapConfig, seed_b
         }
         let wog_last = report
             .similarity
-            .iter().rfind(|(p, _, _)| *p == TrainPhase::Learning)
+            .iter()
+            .rfind(|(p, _, _)| *p == TrainPhase::Learning)
             .map_or(0.0, |&(_, _, s)| s);
         let wg_last = report
             .similarity
-            .iter().rfind(|(p, _, _)| *p == TrainPhase::Aggregation)
+            .iter()
+            .rfind(|(p, _, _)| *p == TrainPhase::Aggregation)
             .map_or(0.0, |&(_, _, s)| s);
         finals.push(format!(
             "ratio {ratio}: WOG plateau {:.3}, WG final {:.3}",
@@ -177,11 +190,16 @@ pub fn fig6_packing(results: &[(Scenario, RunResult)]) -> FigureOutput {
             if rs.is_empty() {
                 continue;
             }
-            let mean_active: f64 =
-                rs.iter().map(|r| r.collector.mean_active_pms()).sum::<f64>() / rs.len() as f64;
-            let bfd: f64 =
-                rs.iter().map(|r| r.bfd_bins as f64).sum::<f64>() / rs.len() as f64;
-            let frac: f64 = rs.iter().map(|r| r.collector.mean_overloaded_fraction()).sum::<f64>()
+            let mean_active: f64 = rs
+                .iter()
+                .map(|r| r.collector.mean_active_pms())
+                .sum::<f64>()
+                / rs.len() as f64;
+            let bfd: f64 = rs.iter().map(|r| r.bfd_bins as f64).sum::<f64>() / rs.len() as f64;
+            let frac: f64 = rs
+                .iter()
+                .map(|r| r.collector.mean_overloaded_fraction())
+                .sum::<f64>()
                 / rs.len() as f64;
             table.row([
                 size.to_string(),
@@ -211,16 +229,17 @@ pub fn fig6_packing(results: &[(Scenario, RunResult)]) -> FigureOutput {
 /// Regenerates Figure 7: order statistics of the per-round overloaded-PM
 /// counts, pooled across repetitions.
 pub fn fig7_overloaded(results: &[(Scenario, RunResult)]) -> FigureOutput {
-    let mut table =
-        TextTable::new(["size", "ratio", "algorithm", "p10", "median", "p90"]);
+    let mut table = TextTable::new(["size", "ratio", "algorithm", "p10", "median", "p90"]);
     for (size, ratio) in cells(results) {
         for algo in algorithms_of(results) {
             let rs = cell_results(results, size, ratio, algo);
             if rs.is_empty() {
                 continue;
             }
-            let pooled: Vec<f64> =
-                rs.iter().flat_map(|r| r.collector.overloaded_series()).collect();
+            let pooled: Vec<f64> = rs
+                .iter()
+                .flat_map(|r| r.collector.overloaded_series())
+                .collect();
             let (p10, med, p90) = p10_median_p90(&pooled);
             table.row([
                 size.to_string(),
@@ -249,18 +268,30 @@ pub fn fig7_overloaded(results: &[(Scenario, RunResult)]) -> FigureOutput {
 
 /// Regenerates Figure 8: order statistics of per-round migration counts.
 pub fn fig8_migrations(results: &[(Scenario, RunResult)]) -> FigureOutput {
-    let mut table =
-        TextTable::new(["size", "ratio", "algorithm", "p10", "median", "p90", "total_mean"]);
+    let mut table = TextTable::new([
+        "size",
+        "ratio",
+        "algorithm",
+        "p10",
+        "median",
+        "p90",
+        "total_mean",
+    ]);
     for (size, ratio) in cells(results) {
         for algo in algorithms_of(results) {
             let rs = cell_results(results, size, ratio, algo);
             if rs.is_empty() {
                 continue;
             }
-            let pooled: Vec<f64> =
-                rs.iter().flat_map(|r| r.collector.migration_series()).collect();
+            let pooled: Vec<f64> = rs
+                .iter()
+                .flat_map(|r| r.collector.migration_series())
+                .collect();
             let (p10, med, p90) = p10_median_p90(&pooled);
-            let total: f64 = rs.iter().map(|r| r.collector.total_migrations() as f64).sum::<f64>()
+            let total: f64 = rs
+                .iter()
+                .map(|r| r.collector.total_migrations() as f64)
+                .sum::<f64>()
                 / rs.len() as f64;
             table.row([
                 size.to_string(),
@@ -295,11 +326,13 @@ pub fn fig9_cumulative(
     size: usize,
     stride: usize,
 ) -> FigureOutput {
-    let mut table =
-        TextTable::new(["ratio", "algorithm", "round", "cumulative_migrations"]);
+    let mut table = TextTable::new(["ratio", "algorithm", "round", "cumulative_migrations"]);
     let ratios: Vec<usize> = {
-        let mut r: Vec<usize> =
-            results.iter().filter(|(sc, _)| sc.n_pms == size).map(|(sc, _)| sc.ratio).collect();
+        let mut r: Vec<usize> = results
+            .iter()
+            .filter(|(sc, _)| sc.n_pms == size)
+            .map(|(sc, _)| sc.ratio)
+            .collect();
         r.sort_unstable();
         r.dedup();
         r
@@ -310,13 +343,15 @@ pub fn fig9_cumulative(
             if rs.is_empty() {
                 continue;
             }
-            let series: Vec<Vec<u64>> =
-                rs.iter().map(|r| r.collector.cumulative_migrations()).collect();
+            let series: Vec<Vec<u64>> = rs
+                .iter()
+                .map(|r| r.collector.cumulative_migrations())
+                .collect();
             let rounds = series.iter().map(Vec::len).min().unwrap_or(0);
             let mut round = 0;
             while round < rounds {
-                let mean: f64 = series.iter().map(|s| s[round] as f64).sum::<f64>()
-                    / series.len() as f64;
+                let mean: f64 =
+                    series.iter().map(|s| s[round] as f64).sum::<f64>() / series.len() as f64;
                 table.row([
                     ratio.to_string(),
                     algo.label().to_string(),
@@ -431,12 +466,21 @@ pub fn ablation_summary(results: &[(Scenario, RunResult)]) -> FigureOutput {
             if rs.is_empty() {
                 continue;
             }
-            let frac: f64 = rs.iter().map(|r| r.collector.mean_overloaded_fraction()).sum::<f64>()
+            let frac: f64 = rs
+                .iter()
+                .map(|r| r.collector.mean_overloaded_fraction())
+                .sum::<f64>()
                 / rs.len() as f64;
-            let mig: f64 = rs.iter().map(|r| r.collector.total_migrations() as f64).sum::<f64>()
+            let mig: f64 = rs
+                .iter()
+                .map(|r| r.collector.total_migrations() as f64)
+                .sum::<f64>()
                 / rs.len() as f64;
             let slav: f64 = rs.iter().map(|r| r.sla.slav).sum::<f64>() / rs.len() as f64;
-            let act: f64 = rs.iter().map(|r| r.collector.mean_active_pms()).sum::<f64>()
+            let act: f64 = rs
+                .iter()
+                .map(|r| r.collector.mean_active_pms())
+                .sum::<f64>()
                 / rs.len() as f64;
             table.row([
                 size.to_string(),
@@ -450,8 +494,7 @@ pub fn ablation_summary(results: &[(Scenario, RunResult)]) -> FigureOutput {
         }
     }
     FigureOutput {
-        title: "Ablations — GLAP variants (no veto / current-only states / no aggregation)"
-            .into(),
+        title: "Ablations — GLAP variants (no veto / current-only states / no aggregation)".into(),
         table,
         notes: vec![
             "expected: removing the in-veto or the average-demand signal raises overloads; \

@@ -2,13 +2,15 @@
 //!
 //! Individual simulation runs are strictly single-threaded and
 //! deterministic; the grid of (size × ratio × rep × algorithm) runs is
-//! embarrassingly parallel. A crossbeam injector queue feeds worker
-//! threads; results return in input order so downstream aggregation is
-//! deterministic regardless of thread count.
+//! embarrassingly parallel. Workers claim items from a shared atomic
+//! cursor and write each result into its own pre-allocated slot, so
+//! results come back in input order and downstream aggregation is
+//! deterministic regardless of thread count. Built on `std::thread`
+//! only — the approved dependency list has no concurrency crates.
 
-use crossbeam::deque::{Injector, Steal};
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `items` using up to `threads` workers (defaults to the
 /// available parallelism), preserving input order in the output.
@@ -24,7 +26,9 @@ where
     }
     let threads = threads
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
         })
         .clamp(1, n);
 
@@ -32,29 +36,30 @@ where
         return items.iter().map(&f).collect();
     }
 
-    let injector: Injector<(usize, &T)> = Injector::new();
-    for (i, item) in items.iter().enumerate() {
-        injector.push((i, item));
-    }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                match injector.steal() {
-                    Steal::Success((i, item)) => {
-                        let r = f(item);
-                        results.lock()[i] = Some(r);
-                    }
-                    Steal::Empty => break,
-                    Steal::Retry => {}
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    results.into_inner().into_iter().map(|r| r.expect("every item processed")).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item processed")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,10 +92,34 @@ mod tests {
     }
 
     #[test]
+    fn single_item_many_threads() {
+        let out = parallel_map(vec![String::from("only")], Some(32), |s| s.len());
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn order_preserved_under_many_threads_with_skewed_work() {
+        // Early items sleep longest, so late items finish first; the
+        // output must still come back in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(items.clone(), Some(16), |&x| {
+            std::thread::sleep(std::time::Duration::from_micros((64 - x) * 50));
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn results_match_sequential_regardless_of_threads() {
         let items: Vec<u64> = (0..50).collect();
         let seq = parallel_map(items.clone(), Some(1), |&x| x * x % 97);
         let par = parallel_map(items, Some(8), |&x| x * x % 97);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_thread_count_runs_everything() {
+        let out = parallel_map((0..10).collect::<Vec<i32>>(), None, |&x| x - 1);
+        assert_eq!(out, (-1..9).collect::<Vec<_>>());
     }
 }

@@ -16,7 +16,10 @@ pub struct TextTable {
 impl TextTable {
     /// Starts a table with the given header.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -78,7 +81,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -128,7 +138,9 @@ pub fn downsample(xs: &[f64], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
             let lo = (i as f64 * bucket) as usize;
-            let hi = (((i + 1) as f64 * bucket) as usize).min(xs.len()).max(lo + 1);
+            let hi = (((i + 1) as f64 * bucket) as usize)
+                .min(xs.len())
+                .max(lo + 1);
             xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect()

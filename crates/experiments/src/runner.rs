@@ -4,9 +4,11 @@
 
 use crate::scenario::{Algorithm, Scenario};
 use glap::{train, unified_table, GlapPolicy, TableStore};
-use glap_baselines::{bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy};
+use glap_baselines::{
+    bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy,
+};
 use glap_cluster::{DataCenter, DataCenterConfig};
-use glap_dcsim::{run_simulation, stream_rng, ConsolidationPolicy, Stream};
+use glap_dcsim::{run_simulation_with_net, stream_rng, ConsolidationPolicy, NetworkModel, Stream};
 use glap_metrics::{MetricsCollector, RunResult};
 use glap_workload::{GoogleLikeTraceGen, MaterializedTrace, OffsetTrace};
 
@@ -50,8 +52,13 @@ pub fn build_policy(
             }
             let mut train_dc = dc.clone();
             let mut train_trace = trace.clone();
-            let (tables, _report) =
-                train(&mut train_dc, &mut train_trace, &cfg, sc.policy_seed(), false);
+            let (tables, _report) = train(
+                &mut train_dc,
+                &mut train_trace,
+                &cfg,
+                sc.policy_seed(),
+                false,
+            );
             let store = if sc.algorithm == Algorithm::GlapNoAggregation {
                 TableStore::PerPm(tables)
             } else {
@@ -74,13 +81,15 @@ pub fn run_scenario(sc: &Scenario) -> RunResult {
     // after GLAP's training prefix.
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut collector = MetricsCollector::new();
-    run_simulation(
+    let mut net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
+    run_simulation_with_net(
         &mut dc,
         &mut day,
         policy.as_mut(),
         &mut [&mut collector],
         sc.rounds,
         sc.policy_seed(),
+        &mut net,
     );
 
     let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
@@ -106,7 +115,8 @@ mod tests {
                 ..GlapConfig::default()
             },
             trace_cfg: Default::default(),
-        vm_mix: Default::default(),
+            vm_mix: Default::default(),
+            fault: Default::default(),
         }
     }
 
@@ -124,7 +134,12 @@ mod tests {
 
     #[test]
     fn all_algorithms_run_to_completion() {
-        for algo in [Algorithm::Glap, Algorithm::Grmp, Algorithm::EcoCloud, Algorithm::Pabfd] {
+        for algo in [
+            Algorithm::Glap,
+            Algorithm::Grmp,
+            Algorithm::EcoCloud,
+            Algorithm::Pabfd,
+        ] {
             let sc = quick_scenario(algo);
             let result = run_scenario(&sc);
             assert_eq!(result.collector.samples.len(), 60, "{}", algo.label());

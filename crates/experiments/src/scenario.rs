@@ -7,7 +7,7 @@
 
 use glap::GlapConfig;
 use glap_cluster::VmSpec;
-use glap_dcsim::splitmix64;
+use glap_dcsim::{splitmix64, FaultProfile};
 use glap_workload::GoogleTraceConfig;
 use serde::{Deserialize, Serialize};
 
@@ -32,8 +32,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// The paper's four compared algorithms.
-    pub const PAPER_SET: [Algorithm; 4] =
-        [Algorithm::Glap, Algorithm::EcoCloud, Algorithm::Grmp, Algorithm::Pabfd];
+    pub const PAPER_SET: [Algorithm; 4] = [
+        Algorithm::Glap,
+        Algorithm::EcoCloud,
+        Algorithm::Grmp,
+        Algorithm::Pabfd,
+    ];
 
     /// All GLAP ablation variants (plus the full protocol for reference).
     pub const ABLATION_SET: [Algorithm; 4] = [
@@ -117,6 +121,9 @@ pub struct Scenario {
     pub trace_cfg: GoogleTraceConfig,
     /// VM fleet composition (the paper: micro-only).
     pub vm_mix: VmMix,
+    /// Network fault injection. [`FaultProfile::none()`] (the default)
+    /// keeps every run byte-identical to the pre-network-model code path.
+    pub fault: FaultProfile,
 }
 
 impl Scenario {
@@ -131,6 +138,7 @@ impl Scenario {
             glap: GlapConfig::default(),
             trace_cfg: GoogleTraceConfig::default(),
             vm_mix: VmMix::default(),
+            fault: FaultProfile::none(),
         }
     }
 
@@ -158,7 +166,13 @@ impl Scenario {
 
     /// Short id used in file names and logs.
     pub fn id(&self) -> String {
-        format!("{}-{}x{}-r{}", self.algorithm.label(), self.n_pms, self.ratio, self.rep)
+        format!(
+            "{}-{}x{}-r{}",
+            self.algorithm.label(),
+            self.n_pms,
+            self.ratio,
+            self.rep
+        )
     }
 }
 
@@ -238,6 +252,7 @@ impl Grid {
                             glap: self.glap,
                             trace_cfg: self.trace_cfg,
                             vm_mix: VmMix::default(),
+                            fault: FaultProfile::none(),
                         });
                     }
                 }
@@ -265,7 +280,12 @@ mod tests {
         let b = Scenario::paper(500, 3, 0, Algorithm::Glap);
         let c = Scenario::paper(500, 2, 1, Algorithm::Glap);
         let d = Scenario::paper(1000, 2, 0, Algorithm::Glap);
-        let seeds = [a.world_seed(), b.world_seed(), c.world_seed(), d.world_seed()];
+        let seeds = [
+            a.world_seed(),
+            b.world_seed(),
+            c.world_seed(),
+            d.world_seed(),
+        ];
         for i in 0..4 {
             for j in i + 1..4 {
                 assert_ne!(seeds[i], seeds[j]);

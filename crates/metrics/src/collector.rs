@@ -41,7 +41,10 @@ impl MetricsCollector {
 
     /// Per-round overloaded-PM counts as `f64` (for order statistics).
     pub fn overloaded_series(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.overloaded_pms as f64).collect()
+        self.samples
+            .iter()
+            .map(|s| s.overloaded_pms as f64)
+            .collect()
     }
 
     /// Per-round migration counts.
@@ -111,7 +114,10 @@ impl MetricsCollector {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.active_pms as f64).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|s| s.active_pms as f64)
+            .sum::<f64>()
             / self.samples.len() as f64
     }
 }

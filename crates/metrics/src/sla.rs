@@ -48,7 +48,11 @@ pub fn sla_metrics(dc: &DataCenter) -> SlaMetrics {
     }
     let slalm = if m == 0 { 0.0 } else { slalm_sum / m as f64 };
 
-    SlaMetrics { slavo, slalm, slav: slavo * slalm }
+    SlaMetrics {
+        slavo,
+        slalm,
+        slav: slavo * slalm,
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! use glap_qlearn::prelude::*;
 //! use glap_cluster::Resources;
 //!
-//! let mut q = QTables::new(QParams::default());
+//! let mut q = QTablePair::new(QParams::default());
 //! let s = PmState::from_utilization(Resources::new(0.79, 0.40)); // (3xHigh, Medium)
 //! let a = VmAction::from_demand(Resources::new(0.41, 0.10));     // (High, Low)
 //! let s_next = PmState::from_utilization(Resources::new(0.50, 0.30));
@@ -23,19 +23,16 @@ pub mod level;
 pub mod reward;
 pub mod state;
 pub mod table;
-pub mod tables;
 
 pub use level::{Level, NUM_LEVELS};
 pub use reward::{RewardIn, RewardOut};
 pub use state::{PmState, VmAction, NUM_STATES};
-pub use table::{QParams, QTable};
-pub use tables::QTables;
+pub use table::{QParams, QTable, QTablePair};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::level::Level;
     pub use crate::reward::{RewardIn, RewardOut};
     pub use crate::state::{PmState, VmAction};
-    pub use crate::table::{QParams, QTable};
-    pub use crate::tables::QTables;
+    pub use crate::table::{QParams, QTable, QTablePair};
 }

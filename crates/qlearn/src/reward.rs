@@ -28,7 +28,9 @@ pub struct RewardOut {
 impl Default for RewardOut {
     fn default() -> Self {
         // Strictly decreasing, all positive: r_L > r_M > … > r_O > 0.
-        RewardOut { values: [100.0, 80.0, 65.0, 52.0, 41.0, 31.0, 22.0, 14.0, 1.0] }
+        RewardOut {
+            values: [100.0, 80.0, 65.0, 52.0, 41.0, 31.0, 22.0, 14.0, 1.0],
+        }
     }
 }
 
@@ -62,7 +64,9 @@ impl Default for RewardIn {
     fn default() -> Self {
         // Positive and increasing toward (but not into) overload; the
         // overload level itself is r_O ≪ 0.
-        RewardIn { values: [5.0, 12.0, 20.0, 28.0, 36.0, 44.0, 52.0, 60.0, -3000.0] }
+        RewardIn {
+            values: [5.0, 12.0, 20.0, 28.0, 36.0, 44.0, 52.0, 60.0, -3000.0],
+        }
     }
 }
 

@@ -50,7 +50,10 @@ impl PmState {
     /// Inverse of [`PmState::index`].
     #[inline]
     pub fn from_index(i: usize) -> PmState {
-        PmState { cpu: Level::from_rank(i / NUM_LEVELS), mem: Level::from_rank(i % NUM_LEVELS) }
+        PmState {
+            cpu: Level::from_rank(i / NUM_LEVELS),
+            mem: Level::from_rank(i % NUM_LEVELS),
+        }
     }
 
     /// `true` when either resource is at the overload level.
@@ -84,7 +87,10 @@ impl VmAction {
     /// Inverse of [`VmAction::index`].
     #[inline]
     pub fn from_index(i: usize) -> VmAction {
-        VmAction { cpu: Level::from_rank(i / NUM_LEVELS), mem: Level::from_rank(i % NUM_LEVELS) }
+        VmAction {
+            cpu: Level::from_rank(i / NUM_LEVELS),
+            mem: Level::from_rank(i % NUM_LEVELS),
+        }
     }
 
     /// All actions, in index order.

@@ -1,11 +1,22 @@
-//! Dense tabular Q-values.
+//! Dense tabular Q-values: the single [`QTable`] and the φ_out/φ_in
+//! [`QTablePair`] every PM maintains.
 //!
 //! With 81 states × 81 actions, a Q-table is a 6561-entry `f64` array plus
 //! a `visited` bitmap. The bitmap distinguishes "never trained" from
 //! "trained to value 0", which the gossip merge of Algorithm 2 needs: a
 //! (state, action) pair present in both peers is averaged, a pair present
 //! in only one is adopted by the other.
+//!
+//! [`QTablePair`] adds the paper's decision functions on top:
+//!
+//! * `π_out(s_p) = arg max_a φ_out(s_p, a)` over the actions available in
+//!   the sender's VM set — which VM to evict.
+//! * `π_in(a) = sign(φ_in(s_q, a))` — accept the migrating VM iff the
+//!   learned value is non-negative; a negative value means accepting a VM
+//!   in this load state "very likely ends in an overload state immediately
+//!   or in the near future".
 
+use crate::reward::{RewardIn, RewardOut};
 use crate::state::{PmState, VmAction, NUM_STATES};
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +31,10 @@ pub struct QParams {
 
 impl Default for QParams {
     fn default() -> Self {
-        QParams { alpha: 0.3, gamma: 0.8 }
+        QParams {
+            alpha: 0.3,
+            gamma: 0.8,
+        }
     }
 }
 
@@ -179,7 +193,11 @@ impl QTable {
         let mut nb = 0.0;
         for i in 0..self.values.len() {
             let a = if self.visited[i] { self.values[i] } else { 0.0 };
-            let b = if other.visited[i] { other.values[i] } else { 0.0 };
+            let b = if other.visited[i] {
+                other.values[i]
+            } else {
+                0.0
+            };
             dot += a * b;
             na += a * a;
             nb += b * b;
@@ -195,19 +213,152 @@ impl QTable {
 
     /// Iterates over visited entries as `(state, action, value)`.
     pub fn iter_visited(&self) -> impl Iterator<Item = (PmState, VmAction, f64)> + '_ {
-        self.visited.iter().enumerate().filter(|(_, &v)| v).map(move |(i, _)| {
-            (
-                PmState::from_index(i / NUM_STATES),
-                VmAction::from_index(i % NUM_STATES),
-                self.values[i],
-            )
-        })
+        self.visited
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(move |(i, _)| {
+                (
+                    PmState::from_index(i / NUM_STATES),
+                    VmAction::from_index(i % NUM_STATES),
+                    self.values[i],
+                )
+            })
     }
 
     /// Flat read-only view of the value array (benchmarks, similarity
     /// computations over many tables).
     pub fn raw_values(&self) -> &[f64] {
         &self.values
+    }
+}
+
+/// A PM's learned knowledge: the φ_out/φ_in tables plus hyperparameters
+/// and reward systems. This is the one construction path for trained
+/// state — protocols and policies hold `QTablePair`s, never loose
+/// `QTable`s.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QTablePair {
+    /// Sender-mode values (which VM to move out).
+    pub out: QTable,
+    /// Recipient-mode values (accept/reject).
+    pub r#in: QTable,
+    /// Bellman hyperparameters.
+    pub params: QParams,
+    /// Reward system for sender mode.
+    pub reward_out: RewardOut,
+    /// Reward system for recipient mode.
+    pub reward_in: RewardIn,
+}
+
+impl QTablePair {
+    /// Fresh, untrained tables with the given hyperparameters.
+    pub fn new(params: QParams) -> Self {
+        QTablePair {
+            out: QTable::new(),
+            r#in: QTable::new(),
+            params,
+            reward_out: RewardOut::default(),
+            reward_in: RewardIn::default(),
+        }
+    }
+
+    /// One sender-mode training step: the PM in state `s` (from average
+    /// demands) evicted a VM with action label `a` and ended in `s_next`
+    /// (from current demands of the remaining VMs).
+    ///
+    /// Transitions into an overload state are terminal for bootstrapping —
+    /// the consolidation episode stops there, so no future value is
+    /// propagated through it.
+    pub fn train_out(&mut self, s: PmState, a: VmAction, s_next: PmState) {
+        let r = self.reward_out.of_transition(s_next);
+        let future = if s_next.is_overloaded() {
+            0.0
+        } else {
+            self.out.max_over_actions(s_next)
+        };
+        self.out
+            .update_toward(s, a, r + self.params.gamma * future, self.params.alpha);
+    }
+
+    /// One recipient-mode training step: the PM in state `s` accepted a VM
+    /// with action label `a` and ended in `s_next`.
+    ///
+    /// The continuation value is floored at zero: a recipient PM can
+    /// always *reject* further VMs (the `π_in = −1` branch), so the value
+    /// of the reached state is never worse than "stop accepting here".
+    /// Without this floor the big negative overload reward would cascade
+    /// backwards through `γ·max_a Q(s', a)` and poison every state —
+    /// admission control would veto everything. Transitions that land in
+    /// overload are terminal and keep their full `r_O ≪ 0` penalty, which
+    /// is exactly the paper's "very likely ends in an overload state
+    /// immediately or in the near future" signal (the near-future part
+    /// enters through the average-demand state calibration).
+    pub fn train_in(&mut self, s: PmState, a: VmAction, s_next: PmState) {
+        let r = self.reward_in.of_transition(s_next);
+        let future = if s_next.is_overloaded() {
+            0.0
+        } else {
+            self.r#in.max_over_actions(s_next).max(0.0)
+        };
+        self.r#in
+            .update_toward(s, a, r + self.params.gamma * future, self.params.alpha);
+    }
+
+    /// `π_out`: best available eviction action for sender state `s`.
+    pub fn pi_out<I: IntoIterator<Item = VmAction>>(
+        &self,
+        s: PmState,
+        available: I,
+    ) -> Option<(VmAction, f64)> {
+        self.out.best_action_among(s, available)
+    }
+
+    /// `π_in`: whether a recipient in state `s_q` should accept action `a`.
+    /// Untrained pairs default to 0 → accepted, matching the `≥ 0` rule.
+    pub fn pi_in(&self, s_q: PmState, a: VmAction) -> bool {
+        self.r#in.get(s_q, a) >= 0.0
+    }
+
+    /// Algorithm 2's `UPDATE`: merge a peer's tables into ours (average on
+    /// shared pairs, adopt missing pairs). `out` and `in` maps keep their
+    /// identities (the paper's `φ^io = φ^in ∪ φ^out` is a tagged union).
+    pub fn merge(&mut self, other: &QTablePair) {
+        self.out.merge_average(&other.out);
+        self.r#in.merge_average(&other.r#in);
+    }
+
+    /// Cosine similarity of the concatenated (out, in) value vectors —
+    /// the convergence measure of Figure 5.
+    pub fn cosine_similarity(&self, other: &QTablePair) -> f64 {
+        // Concatenate by combining the two dot products and norms.
+        let dot_norms = |x: &QTable, y: &QTable| {
+            let mut dot = 0.0;
+            let mut nx = 0.0;
+            let mut ny = 0.0;
+            let (xv, yv) = (x.raw_values(), y.raw_values());
+            for i in 0..xv.len() {
+                dot += xv[i] * yv[i];
+                nx += xv[i] * xv[i];
+                ny += yv[i] * yv[i];
+            }
+            (dot, nx, ny)
+        };
+        let (d1, a1, b1) = dot_norms(&self.out, &other.out);
+        let (d2, a2, b2) = dot_norms(&self.r#in, &other.r#in);
+        let (dot, na, nb) = (d1 + d2, a1 + a2, b1 + b2);
+        if na == 0.0 && nb == 0.0 {
+            1.0
+        } else if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+
+    /// Total number of trained (state, action) pairs in both tables.
+    pub fn trained_pairs(&self) -> usize {
+        self.out.visited_count() + self.r#in.visited_count()
     }
 }
 
@@ -244,7 +395,10 @@ mod tests {
     #[test]
     fn bellman_matches_formula() {
         let mut t = QTable::new();
-        let params = QParams { alpha: 0.5, gamma: 0.8 };
+        let params = QParams {
+            alpha: 0.5,
+            gamma: 0.8,
+        };
         let s0 = s(0.75, 0.75);
         let s1 = s(0.45, 0.45);
         let act = a(0.3, 0.3);
@@ -259,7 +413,10 @@ mod tests {
     #[test]
     fn bellman_on_untrained_next_state_uses_zero_bootstrap() {
         let mut t = QTable::new();
-        let params = QParams { alpha: 1.0, gamma: 0.9 };
+        let params = QParams {
+            alpha: 1.0,
+            gamma: 0.9,
+        };
         t.bellman_update(s(0.3, 0.3), a(0.1, 0.1), s(0.1, 0.1), 50.0, params);
         assert!((t.get(s(0.3, 0.3), a(0.1, 0.1)) - 50.0).abs() < 1e-12);
     }
@@ -349,5 +506,98 @@ mod tests {
         let got: Vec<_> = t.iter_visited().collect();
         assert_eq!(got.len(), 2);
         assert!(got.iter().all(|&(_, _, v)| v == 1.0 || v == 2.0));
+    }
+}
+
+#[cfg(test)]
+mod pair_tests {
+    use super::*;
+    use glap_cluster::Resources;
+
+    fn s(cpu: f64, mem: f64) -> PmState {
+        PmState::from_utilization(Resources::new(cpu, mem))
+    }
+
+    fn a(cpu: f64, mem: f64) -> VmAction {
+        VmAction::from_demand(Resources::new(cpu, mem))
+    }
+
+    #[test]
+    fn train_out_prefers_emptier_outcomes() {
+        let mut q = QTablePair::new(QParams {
+            alpha: 1.0,
+            gamma: 0.0,
+        });
+        let st = s(0.75, 0.75);
+        let evict_big = a(0.45, 0.45);
+        let evict_small = a(0.1, 0.1);
+        // Evicting the big VM lands in a light state, the small one in a
+        // heavy state.
+        q.train_out(st, evict_big, s(0.3, 0.3));
+        q.train_out(st, evict_small, s(0.65, 0.65));
+        assert!(q.out.get(st, evict_big) > q.out.get(st, evict_small));
+        let (best, _) = q.pi_out(st, [evict_big, evict_small]).unwrap();
+        assert_eq!(best, evict_big);
+    }
+
+    #[test]
+    fn train_in_rejects_overloading_actions() {
+        let mut q = QTablePair::new(QParams {
+            alpha: 1.0,
+            gamma: 0.0,
+        });
+        let st = s(0.85, 0.85);
+        let small = a(0.1, 0.1);
+        let big = a(0.45, 0.45);
+        q.train_in(st, small, s(0.95, 0.95)); // fills up, fine
+        q.train_in(st, big, s(1.0, 0.95)); // overloads → huge negative
+        assert!(q.pi_in(st, small));
+        assert!(!q.pi_in(st, big));
+    }
+
+    #[test]
+    fn pi_in_default_accepts_untrained() {
+        let q = QTablePair::new(QParams::default());
+        assert!(q.pi_in(s(0.5, 0.5), a(0.3, 0.3)));
+    }
+
+    #[test]
+    fn repeated_overload_training_stays_negative() {
+        let mut q = QTablePair::new(QParams::default());
+        let st = s(0.95, 0.95);
+        let act = a(0.3, 0.3);
+        for _ in 0..20 {
+            q.train_in(st, act, s(1.0, 1.0));
+        }
+        assert!(q.r#in.get(st, act) < -100.0);
+        assert!(!q.pi_in(st, act));
+    }
+
+    #[test]
+    fn merge_unifies_knowledge() {
+        let mut p = QTablePair::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
+        p.train_out(s(0.5, 0.5), a(0.1, 0.1), s(0.3, 0.3));
+        q.train_in(s(0.85, 0.85), a(0.45, 0.45), s(1.0, 1.0));
+        let p0 = p.clone();
+        p.merge(&q);
+        q.merge(&p0);
+        assert!((p.cosine_similarity(&q) - 1.0).abs() < 1e-12);
+        assert!(!p.pi_in(s(0.85, 0.85), a(0.45, 0.45)));
+    }
+
+    #[test]
+    fn similarity_of_fresh_tables_is_one() {
+        let p = QTablePair::new(QParams::default());
+        let q = QTablePair::new(QParams::default());
+        assert_eq!(p.cosine_similarity(&q), 1.0);
+    }
+
+    #[test]
+    fn trained_pairs_counts_both_tables() {
+        let mut p = QTablePair::new(QParams::default());
+        p.train_out(s(0.5, 0.5), a(0.1, 0.1), s(0.3, 0.3));
+        p.train_in(s(0.5, 0.5), a(0.1, 0.1), s(0.65, 0.65));
+        assert_eq!(p.trained_pairs(), 2);
     }
 }

@@ -2,7 +2,7 @@
 //! totality, index bijectivity, merge algebra and update boundedness.
 
 use glap_cluster::Resources;
-use glap_qlearn::{Level, PmState, QParams, QTable, QTables, VmAction, NUM_STATES};
+use glap_qlearn::{Level, PmState, QParams, QTable, QTablePair, VmAction, NUM_STATES};
 use proptest::prelude::*;
 
 fn arb_state() -> impl Strategy<Value = PmState> {
@@ -124,7 +124,7 @@ proptest! {
         state in arb_state(),
         offered in proptest::collection::vec(arb_action(), 1..10),
     ) {
-        let mut q = QTables::new(QParams::default());
+        let mut q = QTablePair::new(QParams::default());
         for (s, a, v) in entries {
             q.out.set(PmState::from_index(s), VmAction::from_index(a), v);
         }
@@ -158,8 +158,8 @@ proptest! {
     ) {
         let safe_next = PmState::from_utilization(Resources::new(0.5, 0.5));
         let over_next = PmState::from_utilization(Resources::new(1.0, 0.5));
-        let mut safe = QTables::new(QParams::default());
-        let mut over = QTables::new(QParams::default());
+        let mut safe = QTablePair::new(QParams::default());
+        let mut over = QTablePair::new(QParams::default());
         for _ in 0..n {
             safe.train_in(state, action, safe_next);
             over.train_in(state, action, over_next);

@@ -75,7 +75,9 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
     debug_assert!(p > 0.0 && p <= 1.0);
     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).ceil().max(1.0) as u64
+    (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln())
+        .ceil()
+        .max(1.0) as u64
 }
 
 #[cfg(test)]

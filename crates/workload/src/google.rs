@@ -126,7 +126,9 @@ impl GoogleLikeTraceGen {
 
     /// Creates a generator with the default (documented) statistics.
     pub fn default_stats() -> Self {
-        GoogleLikeTraceGen { cfg: GoogleTraceConfig::default() }
+        GoogleLikeTraceGen {
+            cfg: GoogleTraceConfig::default(),
+        }
     }
 
     /// The configuration in use.
@@ -136,10 +138,10 @@ impl GoogleLikeTraceGen {
 
     fn draw_params<R: Rng + ?Sized>(&self, rng: &mut R) -> VmParams {
         let c = &self.cfg;
-        let cpu_mean = c.cpu_floor
-            + kumaraswamy(rng, c.cpu_mean_a, c.cpu_mean_b) * (c.cpu_ceil - c.cpu_floor);
-        let mem_mean = c.mem_floor
-            + kumaraswamy(rng, c.mem_mean_a, c.mem_mean_b) * (c.mem_ceil - c.mem_floor);
+        let cpu_mean =
+            c.cpu_floor + kumaraswamy(rng, c.cpu_mean_a, c.cpu_mean_b) * (c.cpu_ceil - c.cpu_floor);
+        let mem_mean =
+            c.mem_floor + kumaraswamy(rng, c.mem_mean_a, c.mem_mean_b) * (c.mem_ceil - c.mem_floor);
         let diurnal_phase = if rng.gen::<f64>() < c.diurnal_fraction {
             // Pick a phase cluster, then jitter within ±5% of the day.
             // The first cluster is dominant (half the diurnal VMs): data
@@ -158,7 +160,11 @@ impl GoogleLikeTraceGen {
             None
         };
         let bursty = rng.gen::<f64>() < c.bursty_fraction;
-        VmParams { mean: Resources::new(cpu_mean, mem_mean), diurnal_phase, bursty }
+        VmParams {
+            mean: Resources::new(cpu_mean, mem_mean),
+            diurnal_phase,
+            bursty,
+        }
     }
 
     /// Generates a trace of `rounds` rounds for `n_vms` VMs.
@@ -257,8 +263,7 @@ mod tests {
     #[test]
     fn series_are_strongly_autocorrelated() {
         let t = generate(50, 500, 5);
-        let mean_rho: f64 =
-            (0..50).map(|vm| t.cpu_lag1_autocorr(vm)).sum::<f64>() / 50.0;
+        let mean_rho: f64 = (0..50).map(|vm| t.cpu_lag1_autocorr(vm)).sum::<f64>() / 50.0;
         assert!(mean_rho > 0.5, "mean lag-1 autocorrelation {mean_rho}");
     }
 

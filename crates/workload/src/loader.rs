@@ -80,7 +80,10 @@ pub fn load_csv(path: &Path) -> io::Result<MaterializedTrace> {
         rows.push((vm, round, cpu, mem));
     }
     if rows.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty trace file",
+        ));
     }
     let mut trace = MaterializedTrace::zeroed(max_vm + 1, max_round + 1);
     for (vm, round, cpu, mem) in rows {
@@ -98,7 +101,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("glap_workload_test_{name}_{}.csv", std::process::id()));
+        p.push(format!(
+            "glap_workload_test_{name}_{}.csv",
+            std::process::id()
+        ));
         p
     }
 

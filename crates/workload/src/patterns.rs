@@ -79,7 +79,12 @@ impl Pattern {
                 let e = standard_normal(rng) * *noise;
                 *level + Resources::splat(e)
             }
-            Pattern::MeanReverting { mean, phi, sigma, state } => {
+            Pattern::MeanReverting {
+                mean,
+                phi,
+                sigma,
+                state,
+            } => {
                 let e_cpu = standard_normal(rng) * *sigma;
                 let e_mem = standard_normal(rng) * *sigma * 0.4; // memory is steadier
                 let next = Resources::new(
@@ -90,14 +95,26 @@ impl Pattern {
                 *state = next;
                 next
             }
-            Pattern::Diurnal { base, amplitude, period, phase, noise } => {
-                let angle = std::f64::consts::TAU * ((round + *phase) % *period) as f64
-                    / *period as f64;
+            Pattern::Diurnal {
+                base,
+                amplitude,
+                period,
+                phase,
+                noise,
+            } => {
+                let angle =
+                    std::f64::consts::TAU * ((round + *phase) % *period) as f64 / *period as f64;
                 let wave = *amplitude * angle.sin();
                 let e = standard_normal(rng) * *noise;
                 Resources::new(base.cpu() + wave + e, base.mem() + 0.3 * wave + 0.3 * e)
             }
-            Pattern::Bursty { low, high, burst_prob, mean_burst_len, remaining_burst } => {
+            Pattern::Bursty {
+                low,
+                high,
+                burst_prob,
+                mean_burst_len,
+                remaining_burst,
+            } => {
                 if *remaining_burst > 0 {
                     *remaining_burst -= 1;
                     *high
@@ -108,7 +125,12 @@ impl Pattern {
                     *low
                 }
             }
-            Pattern::OnOff { on, off, on_rounds, off_rounds } => {
+            Pattern::OnOff {
+                on,
+                off,
+                on_rounds,
+                off_rounds,
+            } => {
                 let cycle = *on_rounds + *off_rounds;
                 if cycle == 0 || round % cycle < *on_rounds {
                     *on
@@ -133,7 +155,10 @@ mod tests {
 
     #[test]
     fn stable_stays_near_level() {
-        let mut p = Pattern::Stable { level: Resources::splat(0.5), noise: 0.02 };
+        let mut p = Pattern::Stable {
+            level: Resources::splat(0.5),
+            noise: 0.02,
+        };
         let mut r = rng();
         let mean = (0..500).map(|t| p.sample(t, &mut r).cpu()).sum::<f64>() / 500.0;
         assert!((mean - 0.5).abs() < 0.02);
@@ -141,7 +166,10 @@ mod tests {
 
     #[test]
     fn samples_always_clamped() {
-        let mut p = Pattern::Stable { level: Resources::splat(0.95), noise: 0.5 };
+        let mut p = Pattern::Stable {
+            level: Resources::splat(0.95),
+            noise: 0.5,
+        };
         let mut r = rng();
         for t in 0..500 {
             let v = p.sample(t, &mut r);

@@ -21,7 +21,11 @@ pub struct MaterializedTrace {
 impl MaterializedTrace {
     /// Allocates an all-zero trace.
     pub fn zeroed(n_vms: usize, rounds: usize) -> Self {
-        MaterializedTrace { n_vms, rounds, data: vec![Resources::ZERO; n_vms * rounds] }
+        MaterializedTrace {
+            n_vms,
+            rounds,
+            data: vec![Resources::ZERO; n_vms * rounds],
+        }
     }
 
     /// Builds a trace from a generator function.
@@ -111,8 +115,9 @@ impl MaterializedTrace {
         if var < 1e-12 {
             return 0.0;
         }
-        let cov: f64 =
-            (1..n).map(|t| (s[t].cpu() - mean) * (s[t - 1].cpu() - mean)).sum();
+        let cov: f64 = (1..n)
+            .map(|t| (s[t].cpu() - mean) * (s[t - 1].cpu() - mean))
+            .sum();
         cov / var
     }
 }

@@ -7,13 +7,18 @@
 //! ```
 
 use glap_baselines::bfd_baseline;
-use glap_experiments::{build_policy, build_world, Algorithm, Scenario};
 use glap_dcsim::run_simulation;
+use glap_experiments::{build_policy, build_world, Algorithm, Scenario};
 use glap_metrics::MetricsCollector;
 use glap_workload::OffsetTrace;
 
 fn main() {
-    let algorithms = [Algorithm::Glap, Algorithm::Grmp, Algorithm::EcoCloud, Algorithm::Pabfd];
+    let algorithms = [
+        Algorithm::Glap,
+        Algorithm::Grmp,
+        Algorithm::EcoCloud,
+        Algorithm::Pabfd,
+    ];
     println!("24-hour consolidation day, 150 PMs, 450 VMs, identical workload\n");
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}",
@@ -21,7 +26,10 @@ fn main() {
     );
 
     for algorithm in algorithms {
-        let sc = Scenario { rounds: 720, ..Scenario::paper(150, 3, 0, algorithm) };
+        let sc = Scenario {
+            rounds: 720,
+            ..Scenario::paper(150, 3, 0, algorithm)
+        };
         let (mut dc, trace) = build_world(&sc);
         let mut policy = build_policy(&sc, &dc, &trace);
         let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);

@@ -16,8 +16,15 @@ fn bar(x: f64) -> String {
 }
 
 fn main() {
-    let glap = GlapConfig { learning_rounds: 40, aggregation_rounds: 15, ..Default::default() };
-    let sc = Scenario { glap, ..Scenario::paper(150, 3, 0, Algorithm::Glap) };
+    let glap = GlapConfig {
+        learning_rounds: 40,
+        aggregation_rounds: 15,
+        ..Default::default()
+    };
+    let sc = Scenario {
+        glap,
+        ..Scenario::paper(150, 3, 0, Algorithm::Glap)
+    };
     let (mut dc, mut trace) = build_world(&sc);
 
     println!("150 PMs, 450 VMs: mean pairwise cosine similarity of Q-tables\n");

@@ -50,7 +50,14 @@ fn main() {
     let mut policy = GlapPolicy::with_shared_table(cfg, unified_table(&tables));
     let mut day = OffsetTrace::new(&trace, cfg.learning_rounds as u64);
     let mut metrics = MetricsCollector::new();
-    run_simulation(&mut dc, &mut day, &mut policy, &mut [&mut metrics], day_rounds, seed);
+    run_simulation(
+        &mut dc,
+        &mut day,
+        &mut policy,
+        &mut [&mut metrics],
+        day_rounds,
+        seed,
+    );
 
     // 5. Report.
     let sla = sla_metrics(&dc);

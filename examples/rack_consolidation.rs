@@ -28,8 +28,15 @@ fn occupancy_bar(occ: &[usize], per_rack: usize) -> String {
 fn run(rack_aware: bool) -> (DataCenter, Topology) {
     let seed = 11;
     let n_pms = 120;
-    let topology = Topology { pms_per_rack: 15, ..Topology::default() };
-    let cfg = GlapConfig { learning_rounds: 40, aggregation_rounds: 12, ..Default::default() };
+    let topology = Topology {
+        pms_per_rack: 15,
+        ..Topology::default()
+    };
+    let cfg = GlapConfig {
+        learning_rounds: 40,
+        aggregation_rounds: 12,
+        ..Default::default()
+    };
 
     let mut dc = DataCenter::new(DataCenterConfig::paper_with_topology(n_pms, topology));
     for _ in 0..n_pms * 3 {
@@ -59,7 +66,10 @@ fn main() {
         let (dc, topo) = run(rack_aware);
         let occ = topo.rack_occupancy(&dc);
         println!("{name}:");
-        println!("  rack occupancy  {}", occupancy_bar(&occ, topo.pms_per_rack));
+        println!(
+            "  rack occupancy  {}",
+            occupancy_bar(&occ, topo.pms_per_rack)
+        );
         println!(
             "  active PMs {}  |  powered racks {} of {}  |  switch power {:.0} W",
             dc.active_pm_count(),

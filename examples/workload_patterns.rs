@@ -21,7 +21,13 @@ fn main() {
 
     println!("== parametric patterns (CPU track, every 30th round) ==\n");
     let mut patterns: Vec<(&str, Pattern)> = vec![
-        ("stable", Pattern::Stable { level: Resources::splat(0.5), noise: 0.02 }),
+        (
+            "stable",
+            Pattern::Stable {
+                level: Resources::splat(0.5),
+                noise: 0.02,
+            },
+        ),
         (
             "mean-reverting",
             Pattern::MeanReverting {
@@ -91,5 +97,8 @@ fn main() {
 
     let path = std::env::temp_dir().join("glap_example_trace.csv");
     save_csv(&trace, &path).expect("write trace CSV");
-    println!("\n  trace saved to {} (schema: vm,round,cpu,mem)", path.display());
+    println!(
+        "\n  trace saved to {} (schema: vm,round,cpu,mem)",
+        path.display()
+    );
 }

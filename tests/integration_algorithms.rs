@@ -12,9 +12,14 @@ fn scenario(algorithm: Algorithm, rounds: u64) -> Scenario {
         rep: 1,
         algorithm,
         rounds,
-        glap: GlapConfig { learning_rounds: 30, aggregation_rounds: 12, ..Default::default() },
+        glap: GlapConfig {
+            learning_rounds: 30,
+            aggregation_rounds: 12,
+            ..Default::default()
+        },
         trace_cfg: Default::default(),
         vm_mix: Default::default(),
+        fault: Default::default(),
     }
 }
 
@@ -38,7 +43,10 @@ fn identical_world_across_algorithms() {
 #[test]
 fn different_reps_use_different_worlds() {
     let a = build_world(&scenario(Algorithm::Glap, 50));
-    let b = build_world(&Scenario { rep: 2, ..scenario(Algorithm::Glap, 50) });
+    let b = build_world(&Scenario {
+        rep: 2,
+        ..scenario(Algorithm::Glap, 50)
+    });
     assert_ne!(a.1, b.1, "traces should differ across repetitions");
 }
 
@@ -87,9 +95,7 @@ fn energy_accounting_correlates_with_migrations() {
     let glap = run_scenario(&scenario(Algorithm::Glap, 240));
     let pabfd = run_scenario(&scenario(Algorithm::Pabfd, 240));
     assert!(glap.collector.total_migrations() < pabfd.collector.total_migrations());
-    assert!(
-        glap.collector.total_migration_energy_j() < pabfd.collector.total_migration_energy_j()
-    );
+    assert!(glap.collector.total_migration_energy_j() < pabfd.collector.total_migration_energy_j());
 }
 
 #[test]

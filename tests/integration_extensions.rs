@@ -13,12 +13,19 @@ use glap_metrics::MetricsCollector;
 use glap_workload::{GoogleLikeTraceGen, GoogleTraceConfig, OffsetTrace};
 
 fn glap_cfg() -> GlapConfig {
-    GlapConfig { learning_rounds: 30, aggregation_rounds: 10, ..Default::default() }
+    GlapConfig {
+        learning_rounds: 30,
+        aggregation_rounds: 10,
+        ..Default::default()
+    }
 }
 
 fn racked_run(rack_aware: bool) -> (DataCenter, MetricsCollector, Topology) {
-    let topology =
-        Topology { pms_per_rack: 10, inter_rack_bw_factor: 0.25, switch_watts: 150.0 };
+    let topology = Topology {
+        pms_per_rack: 10,
+        inter_rack_bw_factor: 0.25,
+        switch_watts: 150.0,
+    };
     let sc = Scenario {
         rounds: 300,
         glap: glap_cfg(),
@@ -37,12 +44,25 @@ fn racked_run(rack_aware: bool) -> (DataCenter, MetricsCollector, Topology) {
     );
     let mut train_dc = dc.clone();
     let mut train_trace = trace.clone();
-    let (tables, _) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let (tables, _) = train(
+        &mut train_dc,
+        &mut train_trace,
+        &sc.glap,
+        sc.policy_seed(),
+        false,
+    );
     let mut policy = GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
     policy.rack_aware = rack_aware;
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut metrics = MetricsCollector::new();
-    run_simulation(&mut dc, &mut day, &mut policy, &mut [&mut metrics], sc.rounds, sc.policy_seed());
+    run_simulation(
+        &mut dc,
+        &mut day,
+        &mut policy,
+        &mut [&mut metrics],
+        sc.rounds,
+        sc.policy_seed(),
+    );
     (dc, metrics, topology)
 }
 
@@ -125,10 +145,19 @@ fn retrain_window_completes_and_preserves_correctness() {
     let (mut dc, trace) = build_churn_world(&sc, &churn);
     let mut train_dc = dc.clone();
     let mut train_trace = trace.clone();
-    let (tables, _) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let (tables, _) = train(
+        &mut train_dc,
+        &mut train_trace,
+        &sc.glap,
+        sc.policy_seed(),
+        false,
+    );
     let mut policy = GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
-    policy.retrain =
-        Some(RetrainConfig { churn_threshold: 24, interval: None, learning_window: 10 });
+    policy.retrain = Some(RetrainConfig {
+        churn_threshold: 24,
+        interval: None,
+        learning_window: 10,
+    });
     let r = run_churn_scenario(&sc, &churn, &mut dc, &trace, &mut policy);
     assert!(policy.retrainings >= 1, "window never completed");
     assert_eq!(r.collector.samples.len(), 200);
@@ -145,7 +174,13 @@ fn interval_trigger_fires_without_churn() {
     let (mut dc, trace) = glap_experiments::build_world(&sc);
     let mut train_dc = dc.clone();
     let mut train_trace = trace.clone();
-    let (tables, _) = train(&mut train_dc, &mut train_trace, &sc.glap, sc.policy_seed(), false);
+    let (tables, _) = train(
+        &mut train_dc,
+        &mut train_trace,
+        &sc.glap,
+        sc.policy_seed(),
+        false,
+    );
     let mut policy = GlapPolicy::with_shared_table(sc.glap, unified_table(&tables));
     policy.retrain = Some(RetrainConfig {
         churn_threshold: usize::MAX,
@@ -153,8 +188,19 @@ fn interval_trigger_fires_without_churn() {
         learning_window: 5,
     });
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
-    run_simulation(&mut dc, &mut day, &mut policy, &mut [], sc.rounds, sc.policy_seed());
-    assert!(policy.retrainings >= 2, "interval trigger fired {} times", policy.retrainings);
+    run_simulation(
+        &mut dc,
+        &mut day,
+        &mut policy,
+        &mut [],
+        sc.rounds,
+        sc.policy_seed(),
+    );
+    assert!(
+        policy.retrainings >= 2,
+        "interval trigger fired {} times",
+        policy.retrainings
+    );
 }
 
 #[test]

@@ -12,9 +12,14 @@ fn scenario(algorithm: Algorithm) -> Scenario {
         rep: 0,
         algorithm,
         rounds: 240,
-        glap: GlapConfig { learning_rounds: 40, aggregation_rounds: 15, ..Default::default() },
+        glap: GlapConfig {
+            learning_rounds: 40,
+            aggregation_rounds: 15,
+            ..Default::default()
+        },
         trace_cfg: Default::default(),
         vm_mix: Default::default(),
+        fault: Default::default(),
     }
 }
 
@@ -65,9 +70,8 @@ fn glap_beats_grmp_on_overloads_and_migrations() {
     // overloaded PM-rounds and fewer migrations than aggressive GRMP.
     let glap = run_scenario(&scenario(Algorithm::Glap));
     let grmp = run_scenario(&scenario(Algorithm::Grmp));
-    let overloads = |r: &glap_metrics::RunResult| -> f64 {
-        r.collector.overloaded_series().iter().sum()
-    };
+    let overloads =
+        |r: &glap_metrics::RunResult| -> f64 { r.collector.overloaded_series().iter().sum() };
     assert!(
         overloads(&glap) <= overloads(&grmp),
         "GLAP {} vs GRMP {} overloaded PM-rounds",
@@ -95,7 +99,11 @@ fn sla_ordering_matches_table_one() {
     let mean_slav = |algorithm: Algorithm| -> f64 {
         (0..3)
             .map(|rep| {
-                let sc = Scenario { rep, rounds: 720, ..scenario(algorithm) };
+                let sc = Scenario {
+                    rep,
+                    rounds: 720,
+                    ..scenario(algorithm)
+                };
                 run_scenario(&sc).sla.slav
             })
             .sum::<f64>()
@@ -107,5 +115,8 @@ fn sla_ordering_matches_table_one() {
     let ecocloud = mean_slav(Algorithm::EcoCloud);
     assert!(glap < grmp, "GLAP {glap:.3e} vs GRMP {grmp:.3e}");
     assert!(glap < pabfd, "GLAP {glap:.3e} vs PABFD {pabfd:.3e}");
-    assert!(glap <= ecocloud * 2.0, "GLAP {glap:.3e} vs EcoCloud {ecocloud:.3e}");
+    assert!(
+        glap <= ecocloud * 2.0,
+        "GLAP {glap:.3e} vs EcoCloud {ecocloud:.3e}"
+    );
 }

@@ -3,11 +3,11 @@
 //! and the Theorem 1 normality property of gossip-averaged values.
 
 use glap::{aggregation_round, train, unified_table, GlapConfig, TrainPhase};
+use glap_cluster::Resources;
 use glap_cyclon::CyclonOverlay;
 use glap_experiments::{build_world, Algorithm, Scenario};
 use glap_metrics::{jarque_bera, mean};
-use glap_qlearn::{PmState, QParams, QTables, VmAction};
-use glap_cluster::Resources;
+use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,9 +15,16 @@ fn trained_world(
     n_pms: usize,
     learning_rounds: usize,
     aggregation_rounds: usize,
-) -> (Vec<QTables>, glap::TrainReport) {
-    let glap = GlapConfig { learning_rounds, aggregation_rounds, ..Default::default() };
-    let sc = Scenario { glap, ..Scenario::paper(n_pms, 3, 0, Algorithm::Glap) };
+) -> (Vec<QTablePair>, glap::TrainReport) {
+    let glap = GlapConfig {
+        learning_rounds,
+        aggregation_rounds,
+        ..Default::default()
+    };
+    let sc = Scenario {
+        glap,
+        ..Scenario::paper(n_pms, 3, 0, Algorithm::Glap)
+    };
     let (mut dc, mut trace) = build_world(&sc);
     train(&mut dc, &mut trace, &glap, sc.policy_seed(), true)
 }
@@ -79,18 +86,17 @@ fn theorem1_gossip_averages_tend_toward_normality() {
     let mut rng = SmallRng::seed_from_u64(99);
     let s = PmState::from_utilization(Resources::splat(0.5));
     let a = VmAction::from_demand(Resources::splat(0.1));
-    let mut tables: Vec<QTables> = (0..n)
+    let mut tables: Vec<QTablePair> = (0..n)
         .map(|_| {
-            let mut t = QTables::new(QParams::default());
+            let mut t = QTablePair::new(QParams::default());
             // Exponential via inverse CDF: heavily right-skewed.
             let u: f64 = rng.gen::<f64>().max(1e-12);
             t.out.set(s, a, -u.ln() * 10.0);
             t
         })
         .collect();
-    let values = |tables: &[QTables]| -> Vec<f64> {
-        tables.iter().map(|t| t.out.get(s, a)).collect()
-    };
+    let values =
+        |tables: &[QTablePair]| -> Vec<f64> { tables.iter().map(|t| t.out.get(s, a)).collect() };
     let before = values(&tables);
     let jb_before = jarque_bera(&before);
     let mean_before = mean(&before);
@@ -128,7 +134,10 @@ fn learning_threshold_excludes_busy_pms() {
             learning_threshold: threshold,
             ..Default::default()
         };
-        let sc = Scenario { glap, ..Scenario::paper(40, 3, 0, Algorithm::Glap) };
+        let sc = Scenario {
+            glap,
+            ..Scenario::paper(40, 3, 0, Algorithm::Glap)
+        };
         let (mut dc, mut trace) = build_world(&sc);
         let (_, report) = train(&mut dc, &mut trace, &glap, sc.policy_seed(), false);
         report.pms_trained

@@ -1,0 +1,17 @@
+//! In-repo stand-in for the `serde` crate (offline build).
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never actually serializes anything (CSV output is
+//! hand-rolled in `glap-experiments`). These inert marker traits and
+//! the matching derive macros in `serde_derive` satisfy the derives
+//! without pulling the real dependency tree into the offline build.
+//! When real serialization lands, swap this stub for the actual crate.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
