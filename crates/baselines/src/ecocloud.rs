@@ -19,6 +19,7 @@
 
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
+use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -91,6 +92,7 @@ impl EcoCloudPolicy {
     /// network: a PM whose probe is lost (or who crashed) never answers
     /// the assignment trial, and the final transfer needs a successful
     /// request/reply handshake with the chosen acceptor.
+    #[allow(clippy::too_many_arguments)]
     fn place(
         &self,
         dc: &mut DataCenter,
@@ -99,6 +101,7 @@ impl EcoCloudPolicy {
         vm: VmId,
         rng: &mut SimRng,
         relief: bool,
+        tracer: &Tracer,
     ) -> bool {
         let cap = Resources::splat(self.cfg.t2);
         let mut acceptors: Vec<PmId> = Vec::new();
@@ -119,7 +122,17 @@ impl EcoCloudPolicy {
             }
         }
         if let Some(&dst) = acceptors.choose(rng) {
+            tracer.emit(EventKind::MigrationProposed {
+                vm: vm.0,
+                from: src.0,
+                to: dst.0,
+            });
             if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+                tracer.emit(EventKind::MigrationAborted {
+                    from: src.0,
+                    to: dst.0,
+                    reason: AbortReason::Unreachable,
+                });
                 return false; // acceptor unreachable at transfer time
             }
             dc.migrate(vm, dst).expect("acceptor is active");
@@ -151,6 +164,7 @@ impl ConsolidationPolicy for EcoCloudPolicy {
         let dc = &mut *ctx.dc;
         let rng = &mut *ctx.rng;
         let net = &mut *ctx.net;
+        let tracer = ctx.tracer;
         let mut order: Vec<PmId> = dc.active_pm_ids().collect();
         order.shuffle(rng);
         for p in order {
@@ -174,13 +188,13 @@ impl ConsolidationPolicy for EcoCloudPolicy {
                         .expect("finite")
                 });
                 if let Some(vm) = vm {
-                    self.place(dc, net, p, vm, rng, true);
+                    self.place(dc, net, p, vm, rng, true, tracer);
                 }
             } else if u_cpu < self.cfg.t1 && rng.gen::<f64>() < self.migrate_low_prob(u_cpu) {
                 // Low-threshold migration: evacuate one random VM.
                 let vms = &dc.pm(p).vms;
                 let vm = vms[rng.gen_range(0..vms.len())];
-                self.place(dc, net, p, vm, rng, false);
+                self.place(dc, net, p, vm, rng, false, tracer);
                 if dc.sleep_if_empty(p) {
                     continue;
                 }

@@ -13,6 +13,7 @@
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
+use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
 
 /// Configuration of the GRMP baseline.
@@ -62,6 +63,7 @@ impl GrmpPolicy {
         net: &mut NetworkModel,
         src: PmId,
         dst: PmId,
+        tracer: &Tracer,
     ) -> usize {
         let cap = Resources::splat(self.cfg.threshold);
         let mut vms: Vec<VmId> = dc.pm(src).vms.clone();
@@ -77,7 +79,17 @@ impl GrmpPolicy {
         for vm in vms {
             let after = dc.pm(dst).demand() + dc.vm(vm).current;
             if after.fits_within(cap) {
+                tracer.emit(EventKind::MigrationProposed {
+                    vm: vm.0,
+                    from: src.0,
+                    to: dst.0,
+                });
                 if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+                    tracer.emit(EventKind::MigrationAborted {
+                        from: src.0,
+                        to: dst.0,
+                        reason: AbortReason::Unreachable,
+                    });
                     break;
                 }
                 dc.migrate(vm, dst).expect("destination is active");
@@ -87,11 +99,18 @@ impl GrmpPolicy {
         moved
     }
 
-    fn exchange(&mut self, dc: &mut DataCenter, net: &mut NetworkModel, p: PmId, q: PmId) {
+    fn exchange(
+        &mut self,
+        dc: &mut DataCenter,
+        net: &mut NetworkModel,
+        p: PmId,
+        q: PmId,
+        tracer: &Tracer,
+    ) {
         // Overload relief first: an overloaded PM pushes load out.
         for (over, other) in [(p, q), (q, p)] {
             if dc.pm(over).is_overloaded() {
-                self.drain(dc, net, over, other);
+                self.drain(dc, net, over, other, tracer);
             }
         }
         if dc.pm(p).is_overloaded() || dc.pm(q).is_overloaded() {
@@ -103,7 +122,7 @@ impl GrmpPolicy {
         } else {
             (q, p)
         };
-        self.drain(dc, net, sender, receiver);
+        self.drain(dc, net, sender, receiver, tracer);
         if dc.sleep_if_empty(sender) {
             self.overlay.set_dead(sender.0);
         }
@@ -130,8 +149,9 @@ impl ConsolidationPolicy for GrmpPolicy {
         let dc = &mut *ctx.dc;
         let rng = &mut *ctx.rng;
         let net = &mut *ctx.net;
+        let tracer = ctx.tracer;
         self.overlay
-            .run_round_with(rng, |a, b| net.request(a, b).is_ok());
+            .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
         let mut order: Vec<PmId> = dc.active_pm_ids().collect();
         order.shuffle(rng);
         for p in order {
@@ -149,7 +169,8 @@ impl ConsolidationPolicy for GrmpPolicy {
             if !net.request(p.0, q.0).is_ok() {
                 continue;
             }
-            self.exchange(dc, net, p, q);
+            tracer.emit(EventKind::ExchangeOpened { p: p.0, q: q.0 });
+            self.exchange(dc, net, p, q, tracer);
         }
     }
 }

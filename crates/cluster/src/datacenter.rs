@@ -14,6 +14,7 @@ use crate::power::{MigrationModel, PowerModel};
 use crate::resources::Resources;
 use crate::topology::Topology;
 use crate::vm::{Vm, VmSpec};
+use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,12 @@ pub struct DataCenter {
     total_migrations: u64,
     /// Lifetime migration energy in joules.
     total_migration_energy_j: f64,
+    /// Sleeping→active transitions since the last
+    /// [`DataCenter::take_wake_ups`].
+    pending_wake_ups: usize,
+    /// Event tracer; the migrate/sleep/wake funnels below give every
+    /// policy the same event vocabulary (off by default).
+    tracer: Tracer,
 }
 
 impl DataCenter {
@@ -134,7 +141,16 @@ impl DataCenter {
             pending_migrations: Vec::new(),
             total_migrations: 0,
             total_migration_energy_j: 0.0,
+            pending_wake_ups: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches an event tracer. All migrations, sleeps and wake-ups —
+    /// regardless of which policy decided them — are emitted through
+    /// this single funnel.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The static configuration.
@@ -371,6 +387,11 @@ impl DataCenter {
         self.pending_migrations.push(rec);
         self.total_migrations += 1;
         self.total_migration_energy_j += energy_j;
+        self.tracer.emit(EventKind::MigrationCommitted {
+            vm: vm_id.0,
+            from: from.0,
+            to: to.0,
+        });
         Ok(rec)
     }
 
@@ -380,6 +401,7 @@ impl DataCenter {
         let p = &mut self.pms[pm.index()];
         if p.is_active() && p.is_empty() {
             p.power = PowerState::Sleeping;
+            self.tracer.emit(EventKind::PmSlept { pm: pm.0 });
             true
         } else {
             false
@@ -393,6 +415,8 @@ impl DataCenter {
             false
         } else {
             p.power = PowerState::Active;
+            self.pending_wake_ups += 1;
+            self.tracer.emit(EventKind::PmWoke { pm: pm.0 });
             true
         }
     }
@@ -401,6 +425,13 @@ impl DataCenter {
     /// per-round metric collectors).
     pub fn take_migrations(&mut self) -> Vec<MigrationRecord> {
         std::mem::take(&mut self.pending_migrations)
+    }
+
+    /// Drains the count of sleeping→active transitions since the
+    /// previous call (used by per-round metric collectors; exact even
+    /// when a PM wakes and re-sleeps within one round).
+    pub fn take_wake_ups(&mut self) -> usize {
+        std::mem::take(&mut self.pending_wake_ups)
     }
 
     /// Lifetime migration count.

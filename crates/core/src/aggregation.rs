@@ -11,8 +11,13 @@
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::NetworkModel;
 use glap_qlearn::QTablePair;
+use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Wire-size estimate of one trained `(state, action, value)` entry:
+/// packed state + action byte plus an f64 value.
+const ENTRY_BYTES: u64 = 10;
 
 /// How often one node re-sends its table push within a round before
 /// backing off to the next gossip round (the overlay refreshes views in
@@ -73,6 +78,21 @@ pub fn aggregation_round_net<R: Rng>(
     rng: &mut R,
     net: &mut NetworkModel,
 ) -> AggregationRoundStats {
+    aggregation_round_traced(tables, overlay, rng, net, &Tracer::off())
+}
+
+/// [`aggregation_round_net`] with an event tracer: emits `merge_applied`
+/// per symmetric merge and `merge_retried` per failed attempt, and
+/// accounts the estimated gossip traffic under `agg.bytes` /
+/// `agg.merges`. Tracing reads no randomness — the merge outcome for any
+/// seed is identical to [`aggregation_round_net`].
+pub fn aggregation_round_traced<R: Rng>(
+    tables: &mut [QTablePair],
+    overlay: &mut CyclonOverlay,
+    rng: &mut R,
+    net: &mut NetworkModel,
+    tracer: &Tracer,
+) -> AggregationRoundStats {
     let n = tables.len();
     let mut stats = AggregationRoundStats::default();
     let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
@@ -93,17 +113,34 @@ pub fn aggregation_round_net<R: Rng>(
             if !net.is_up(q) {
                 stats.skipped_down += 1;
                 overlay.node_mut(p).remove(q);
+                tracer.emit(EventKind::MergeRetried {
+                    pm: p,
+                    attempt: attempts as u32,
+                });
                 if attempts >= AGGREGATION_MAX_ATTEMPTS {
                     break;
                 }
                 continue;
             }
             if net.request(p, q).is_ok() {
+                if tracer.is_on() {
+                    // Push–pull ships both trained sets, one per leg.
+                    let pairs = (tables[p as usize].trained_pairs()
+                        + tables[q as usize].trained_pairs())
+                        as u64;
+                    tracer.add("agg.bytes", pairs * ENTRY_BYTES);
+                    tracer.add("agg.merges", 1);
+                }
                 merge_pair(tables, p as usize, q as usize);
+                tracer.emit(EventKind::MergeApplied { a: p, b: q });
                 stats.merges += 1;
                 break;
             }
             stats.dropped += 1;
+            tracer.emit(EventKind::MergeRetried {
+                pm: p,
+                attempt: attempts as u32,
+            });
             if attempts >= AGGREGATION_MAX_ATTEMPTS {
                 break;
             }

@@ -53,7 +53,9 @@ pub use learning::{
     duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
 };
 pub use policy::{synthetic_table, GlapPolicy, RetrainConfig, StopReason, TableStore};
-pub use trainer::{retrain_in_place, train, train_unified, unified_table, TrainPhase, TrainReport};
+pub use trainer::{
+    retrain_in_place, train, train_traced, train_unified, unified_table, TrainPhase, TrainReport,
+};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -62,5 +64,7 @@ pub mod prelude {
     };
     pub use crate::config::GlapConfig;
     pub use crate::policy::{GlapPolicy, RetrainConfig, TableStore};
-    pub use crate::trainer::{train, train_unified, unified_table, TrainPhase, TrainReport};
+    pub use crate::trainer::{
+        train, train_traced, train_unified, unified_table, TrainPhase, TrainReport,
+    };
 }

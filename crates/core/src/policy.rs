@@ -16,7 +16,7 @@
 //!
 //! Emptied PMs go to sleep and leave the overlay.
 
-use crate::aggregation::aggregation_round_net;
+use crate::aggregation::aggregation_round_traced;
 use crate::config::GlapConfig;
 use crate::learning::{
     duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
@@ -25,6 +25,7 @@ use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use glap_qlearn::{PmState, QTablePair, VmAction};
+use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -197,6 +198,7 @@ impl GlapPolicy {
         net: &mut NetworkModel,
         src: PmId,
         dst: PmId,
+        tracer: &Tracer,
     ) -> Result<VmId, StopReason> {
         let s_src = self.pm_state(dc, src);
         let tables = self.store.for_pm(src);
@@ -208,6 +210,11 @@ impl GlapPolicy {
             .pi_out(s_src, vms.iter().map(|&vm| self.vm_action(dc, vm)))
             .map(|(a, _)| a);
         let Some(action) = best else {
+            tracer.emit(EventKind::MigrationAborted {
+                from: src.0,
+                to: dst.0,
+                reason: AbortReason::NoAction,
+            });
             return Err(StopReason::NoAction);
         };
         let vm = vms
@@ -221,12 +228,22 @@ impl GlapPolicy {
                     .expect("finite memory demands")
             })
             .expect("an available VM matches the chosen action");
+        tracer.emit(EventKind::MigrationProposed {
+            vm: vm.0,
+            from: src.0,
+            to: dst.0,
+        });
 
         // π_in on behalf of the target.
         if !self.disable_in_veto {
             let s_dst = self.pm_state(dc, dst);
             if !self.store.for_pm(src).pi_in(s_dst, action) {
                 self.vetoes += 1;
+                tracer.emit(EventKind::MigrationVetoed {
+                    vm: vm.0,
+                    from: src.0,
+                    to: dst.0,
+                });
                 return Err(StopReason::InVeto);
             }
         }
@@ -234,6 +251,11 @@ impl GlapPolicy {
         // Capacity check on current demands.
         let needed = dc.pm(dst).demand() + dc.vm(vm).current;
         if !needed.fits_within(Resources::FULL) {
+            tracer.emit(EventKind::MigrationAborted {
+                from: src.0,
+                to: dst.0,
+                reason: AbortReason::NoCapacity,
+            });
             return Err(StopReason::NoCapacity);
         }
 
@@ -242,6 +264,11 @@ impl GlapPolicy {
         // (or the handshake is lost), the transfer — and the surrounding
         // eviction loop — aborts cleanly, leaving the VM on `src`.
         if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+            tracer.emit(EventKind::MigrationAborted {
+                from: src.0,
+                to: dst.0,
+                reason: AbortReason::Unreachable,
+            });
             return Err(StopReason::Unreachable);
         }
 
@@ -253,11 +280,18 @@ impl GlapPolicy {
     /// `UPDATESTATE()` for an initiator/partner pair: overload relief
     /// first, otherwise the less-utilized side empties itself toward
     /// switch-off.
-    fn exchange(&mut self, dc: &mut DataCenter, net: &mut NetworkModel, p: PmId, q: PmId) {
+    fn exchange(
+        &mut self,
+        dc: &mut DataCenter,
+        net: &mut NetworkModel,
+        p: PmId,
+        q: PmId,
+        tracer: &Tracer,
+    ) {
         // Overload relief: "call MIGRATE() as long as p is overloaded".
         for (over, other) in [(p, q), (q, p)] {
             while dc.pm(over).is_overloaded() {
-                if self.try_migrate(dc, net, over, other).is_err() {
+                if self.try_migrate(dc, net, over, other, tracer).is_err() {
                     break;
                 }
             }
@@ -284,7 +318,7 @@ impl GlapPolicy {
         }
         // "call MIGRATE() as long as [we can] switch off p".
         while !dc.pm(sender).is_empty() {
-            if self.try_migrate(dc, net, sender, receiver).is_err() {
+            if self.try_migrate(dc, net, sender, receiver, tracer).is_err() {
                 break;
             }
         }
@@ -316,6 +350,7 @@ impl ConsolidationPolicy for GlapPolicy {
         let dc = &mut *ctx.dc;
         let rng = &mut *ctx.rng;
         let net = &mut *ctx.net;
+        let tracer = ctx.tracer;
 
         // Crash/recovery bookkeeping (faulty networks only; the ideal
         // path never crashes anyone, and this block must not touch the
@@ -371,7 +406,7 @@ impl ConsolidationPolicy for GlapPolicy {
         // timeout, crashed target) leaves the target's descriptor evicted
         // — Cyclon's own churn rule, at no extra cost.
         self.overlay
-            .run_round_with(rng, |a, b| net.request(a, b).is_ok());
+            .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
 
         // One round of the open learning window, if any: every eligible
         // PM trains on this round's live profiles, so the learner sees
@@ -402,8 +437,14 @@ impl ConsolidationPolicy for GlapPolicy {
                 // the consolidation component's knowledge.
                 for _ in 0..self.cfg.aggregation_rounds {
                     self.overlay
-                        .run_round_with(rng, |a, b| net.request(a, b).is_ok());
-                    aggregation_round_net(&mut online.tables, &mut self.overlay, rng, net);
+                        .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
+                    aggregation_round_traced(
+                        &mut online.tables,
+                        &mut self.overlay,
+                        rng,
+                        net,
+                        tracer,
+                    );
                 }
                 let mut table = crate::trainer::unified_table(&online.tables);
                 if let TableStore::Shared(old) = &self.store {
@@ -471,7 +512,8 @@ impl ConsolidationPolicy for GlapPolicy {
             if !net.request(p.0, q.0).is_ok() {
                 continue;
             }
-            self.exchange(dc, net, p, q);
+            tracer.emit(EventKind::ExchangeOpened { p: p.0, q: q.0 });
+            self.exchange(dc, net, p, q, tracer);
         }
     }
 }
@@ -633,6 +675,125 @@ mod tests {
         let store = TableStore::PerPm(tables);
         assert_eq!(store.for_pm(PmId(0)).trained_pairs(), 0);
         assert!(store.for_pm(PmId(1)).trained_pairs() > 0);
+    }
+
+    /// A table that proposes every eviction and accepts every admission:
+    /// all out-values and in-values visited and positive.
+    fn accept_all_table() -> QTablePair {
+        let mut q = QTablePair::new(Default::default());
+        for s in PmState::all() {
+            for a in VmAction::all() {
+                q.out.set(s, a, 1.0);
+                q.r#in.set(s, a, 1.0);
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn scripted_two_pm_exchange_emits_exact_event_sequence() {
+        use glap_telemetry::Tracer;
+
+        // PM0 holds the lighter VM, PM1 the heavier: consolidation picks
+        // PM0 as sender, moves its only VM over, and switches PM0 off.
+        let mut dc = DataCenter::new(DataCenterConfig::paper(2));
+        let vm0 = dc.add_vm(VmSpec::EC2_MICRO);
+        let vm1 = dc.add_vm(VmSpec::EC2_MICRO);
+        dc.place(vm0, PmId(0));
+        dc.place(vm1, PmId(1));
+        let mut trace = |vm: VmId, _: u64| {
+            if vm == VmId(0) {
+                Resources::splat(0.2)
+            } else {
+                Resources::splat(0.4)
+            }
+        };
+        dc.step(&mut trace);
+
+        let (tracer, sink) = Tracer::memory();
+        dc.set_tracer(tracer.clone());
+        let mut net = NetworkModel::ideal(2);
+        net.set_tracer(tracer.clone());
+        let mut policy = GlapPolicy::with_shared_table(GlapConfig::default(), accept_all_table());
+        policy.init(&mut dc, &mut stream_rng(1, Stream::Policy));
+        policy.exchange(&mut dc, &mut net, PmId(0), PmId(1), &tracer);
+
+        let events = sink.events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::MigrationProposed {
+                    vm: 0,
+                    from: 0,
+                    to: 1
+                },
+                // The per-VM transfer handshake is one request message.
+                EventKind::MsgSent {
+                    from: 0,
+                    to: 1,
+                    op: glap_telemetry::MsgOp::Request
+                },
+                EventKind::MigrationCommitted {
+                    vm: 0,
+                    from: 0,
+                    to: 1
+                },
+                EventKind::PmSlept { pm: 0 },
+            ]
+        );
+        // Sequence numbers are globally monotone across emitters.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(dc.vm(VmId(0)).host, Some(PmId(1)));
+        assert!(!dc.pm(PmId(0)).is_active());
+    }
+
+    #[test]
+    fn veto_emits_migration_vetoed_event() {
+        use glap_telemetry::Tracer;
+
+        // In-table rejects everything: the proposal must be vetoed.
+        let mut table = accept_all_table();
+        for s in PmState::all() {
+            for a in VmAction::all() {
+                table.r#in.set(s, a, -1.0);
+            }
+        }
+        let mut dc = DataCenter::new(DataCenterConfig::paper(2));
+        let vm0 = dc.add_vm(VmSpec::EC2_MICRO);
+        let vm1 = dc.add_vm(VmSpec::EC2_MICRO);
+        dc.place(vm0, PmId(0));
+        dc.place(vm1, PmId(1));
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.3);
+        dc.step(&mut trace);
+
+        let (tracer, sink) = Tracer::memory();
+        dc.set_tracer(tracer.clone());
+        let mut net = NetworkModel::ideal(2);
+        let mut policy = GlapPolicy::with_shared_table(GlapConfig::default(), table);
+        policy.init(&mut dc, &mut stream_rng(2, Stream::Policy));
+        let err = policy
+            .try_migrate(&mut dc, &mut net, PmId(0), PmId(1), &tracer)
+            .unwrap_err();
+        assert_eq!(err, StopReason::InVeto);
+        assert_eq!(policy.vetoes, 1);
+        let kinds: Vec<EventKind> = sink.events().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::MigrationProposed {
+                    vm: 0,
+                    from: 0,
+                    to: 1
+                },
+                EventKind::MigrationVetoed {
+                    vm: 0,
+                    from: 0,
+                    to: 1
+                },
+            ]
+        );
     }
 
     #[test]

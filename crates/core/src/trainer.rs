@@ -15,6 +15,7 @@ use glap_cluster::{DataCenter, DemandSource, PmId};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{stream_rng, Stream};
 use glap_qlearn::QTablePair;
+use glap_telemetry::{ConvergenceMonitor, EventKind, OverlayHealth, Phase, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +58,87 @@ pub fn train<D: DemandSource + ?Sized>(
     master_seed: u64,
     record_similarity: bool,
 ) -> (Vec<QTablePair>, TrainReport) {
+    let (tables, report, _) = train_traced(
+        dc,
+        trace,
+        cfg,
+        master_seed,
+        record_similarity,
+        &Tracer::off(),
+    );
+    (tables, report)
+}
+
+/// Flattens the population into per-PM dense value vectors (out ++ in),
+/// keeping only the overlay-alive PMs — the inputs of the convergence
+/// monitor.
+fn alive_value_vectors(tables: &[QTablePair], overlay: &CyclonOverlay) -> Vec<Vec<f64>> {
+    tables
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| overlay.is_alive(*i as u32))
+        .map(|(_, t)| {
+            let mut v = t.out.raw_values().to_vec();
+            v.extend_from_slice(t.r#in.raw_values());
+            v
+        })
+        .collect()
+}
+
+/// One monitor sample: population diameter + cosine-vs-unified + overlay
+/// health, recorded into `monitor` and emitted as a `convergence_sampled`
+/// event. Reads no randomness, so it cannot perturb the run.
+fn sample_convergence(
+    monitor: &mut ConvergenceMonitor,
+    tracer: &Tracer,
+    phase: Phase,
+    cycle: u64,
+    tables: &[QTablePair],
+    overlay: &CyclonOverlay,
+) {
+    let vectors = alive_value_vectors(tables, overlay);
+    let unified = unified_table(tables);
+    let mut reference = unified.out.raw_values().to_vec();
+    reference.extend_from_slice(unified.r#in.raw_values());
+    let alive: Vec<bool> = (0..overlay.len())
+        .map(|i| overlay.is_alive(i as u32))
+        .collect();
+    let health =
+        OverlayHealth::from_in_degrees(&overlay.in_degrees(), &alive, overlay.is_connected());
+    let sample = monitor.record(
+        phase,
+        cycle,
+        vectors.iter().map(Vec::as_slice),
+        &reference,
+        health,
+    );
+    tracer.emit(EventKind::ConvergenceSampled {
+        cycle: cycle as u32,
+        diameter: sample.diameter,
+        cosine: sample.mean_cosine_to_ref,
+        alive: health.alive as u32,
+        connected: health.connected,
+    });
+}
+
+/// [`train`] with an event tracer and convergence monitor.
+///
+/// With the tracer off this is byte-identical to [`train`]: tracing and
+/// monitoring read no randomness, and the monitor only samples when the
+/// tracer is on. With it on, every training round additionally records a
+/// [`ConvergenceSample`](glap_telemetry::ConvergenceSample) — population
+/// diameter (the machine-checkable face of Theorem 1), mean cosine
+/// similarity to the unified table, and overlay health — and emits a
+/// `convergence_sampled` event stamped with the phase
+/// ([`Phase::Learning`] / [`Phase::Aggregation`]) and round.
+pub fn train_traced<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    record_similarity: bool,
+    tracer: &Tracer,
+) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
     cfg.validate().expect("invalid GLAP config");
     let n = dc.n_pms();
     let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
@@ -71,12 +153,15 @@ pub fn train<D: DemandSource + ?Sized>(
     }
 
     let mut report = TrainReport::default();
+    let mut monitor = ConvergenceMonitor::new();
     let mut trained = vec![false; n];
 
     // ---- Learning phase (WOG) -------------------------------------
+    tracer.set_phase(Phase::Learning);
     for round in 0..cfg.learning_rounds {
+        tracer.begin_round(round as u64);
         dc.step(trace);
-        overlay.run_round(&mut overlay_rng);
+        overlay.run_round_traced(&mut overlay_rng, |_, _| true, tracer);
         for i in 0..n {
             let pm = PmId(i as u32);
             if !is_eligible(dc, pm, cfg) {
@@ -104,11 +189,24 @@ pub fn train<D: DemandSource + ?Sized>(
             );
             report.similarity.push((TrainPhase::Learning, round, sim));
         }
+        if tracer.is_on() {
+            sample_convergence(
+                &mut monitor,
+                tracer,
+                Phase::Learning,
+                round as u64,
+                &tables,
+                &overlay,
+            );
+        }
+        tracer.end_round();
     }
 
     // ---- Aggregation phase (WG) ------------------------------------
+    tracer.set_phase(Phase::Aggregation);
     for round in 0..cfg.aggregation_rounds {
-        overlay.run_round(&mut overlay_rng);
+        tracer.begin_round(round as u64);
+        overlay.run_round_traced(&mut overlay_rng, |_, _| true, tracer);
         aggregation_round(&mut tables, &mut overlay, &mut learn_rng);
         if record_similarity {
             let sim = mean_pairwise_similarity(
@@ -121,10 +219,21 @@ pub fn train<D: DemandSource + ?Sized>(
                 .similarity
                 .push((TrainPhase::Aggregation, round, sim));
         }
+        if tracer.is_on() {
+            sample_convergence(
+                &mut monitor,
+                tracer,
+                Phase::Aggregation,
+                round as u64,
+                &tables,
+                &overlay,
+            );
+        }
+        tracer.end_round();
     }
 
     report.pms_trained = trained.iter().filter(|&&t| t).count();
-    (tables, report)
+    (tables, report, monitor)
 }
 
 /// Collapses per-PM tables into one unified table by merging everything —

@@ -8,8 +8,13 @@
 
 use crate::descriptor::NodeId;
 use crate::node::CyclonNode;
+use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Bytes one node descriptor occupies on the wire (id + age), used for
+/// the gossip-traffic counter estimate.
+const DESCRIPTOR_BYTES: u64 = 8;
 
 /// All Cyclon state for an `n`-node overlay.
 #[derive(Debug, Clone)]
@@ -137,7 +142,21 @@ impl CyclonOverlay {
     /// With an always-true `contact` this is byte-identical to
     /// [`run_round`](Self::run_round): same draws from `rng`, same view
     /// mutations.
-    pub fn run_round_with<R, F>(&mut self, rng: &mut R, mut contact: F)
+    pub fn run_round_with<R, F>(&mut self, rng: &mut R, contact: F)
+    where
+        R: Rng,
+        F: FnMut(NodeId, NodeId) -> bool,
+    {
+        self.run_round_traced(rng, contact, &Tracer::off());
+    }
+
+    /// Like [`run_round_with`](Self::run_round_with), with an event
+    /// tracer: emits `shuffle_completed` / `shuffle_failed` per active
+    /// shuffle and accounts gossip traffic under the `cyclon.bytes` /
+    /// `cyclon.shuffles` counters. Tracing reads no randomness, so with
+    /// [`Tracer::off`] (or any tracer) the view evolution is identical
+    /// to [`run_round_with`](Self::run_round_with).
+    pub fn run_round_traced<R, F>(&mut self, rng: &mut R, mut contact: F, tracer: &Tracer)
     where
         R: Rng,
         F: FnMut(NodeId, NodeId) -> bool,
@@ -153,10 +172,23 @@ impl CyclonOverlay {
                 // Contact failure (dead, crashed or timed out): descriptor
                 // already dropped by start_shuffle, nothing else to do.
                 self.nodes[i].abort_shuffle(&pending);
+                tracer.emit(EventKind::ShuffleFailed {
+                    from: i as u32,
+                    to: pending.target,
+                });
                 continue;
             }
             let reply = self.nodes[target].handle_shuffle(&pending.sent, rng);
             self.nodes[i].complete_shuffle(&pending, &reply);
+            tracer.emit(EventKind::ShuffleCompleted {
+                from: i as u32,
+                to: pending.target,
+            });
+            tracer.add("cyclon.shuffles", 1);
+            tracer.add(
+                "cyclon.bytes",
+                (pending.sent.len() + reply.len()) as u64 * DESCRIPTOR_BYTES,
+            );
         }
     }
 

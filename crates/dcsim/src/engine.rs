@@ -10,6 +10,7 @@
 use crate::net::NetworkModel;
 use crate::rng::{stream_rng, SimRng, Stream};
 use glap_cluster::{DataCenter, DemandSource};
+use glap_telemetry::{Phase, Tracer};
 
 /// Everything a policy sees during one round, in one place.
 ///
@@ -30,6 +31,9 @@ pub struct RoundCtx<'a> {
     pub churn_events: usize,
     /// The message bus the policy's protocols gossip over.
     pub net: &'a mut NetworkModel,
+    /// Event tracer for protocol-level telemetry ([`Tracer::off`] unless
+    /// the run was started via [`run_simulation_traced`]).
+    pub tracer: &'a Tracer,
 }
 
 /// A consolidation algorithm under test (GLAP or a baseline).
@@ -94,10 +98,47 @@ pub fn run_simulation_with_net<D, P>(
     D: DemandSource + ?Sized,
     P: ConsolidationPolicy + ?Sized,
 {
+    let tracer = Tracer::off();
+    run_simulation_traced(
+        dc,
+        trace,
+        policy,
+        observers,
+        rounds,
+        master_seed,
+        net,
+        &tracer,
+    );
+}
+
+/// Like [`run_simulation_with_net`], but with an event tracer attached:
+/// the engine stamps rounds, wires the tracer into the network model and
+/// the data center (so message fates, crash/recover and the migration /
+/// sleep / wake lifecycle are traced for *every* policy), and snapshots
+/// counters at each round boundary. With [`Tracer::off`] this is exactly
+/// [`run_simulation_with_net`] — tracing never touches any RNG stream.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_traced<D, P>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    policy: &mut P,
+    observers: &mut [&mut dyn Observer],
+    rounds: u64,
+    master_seed: u64,
+    net: &mut NetworkModel,
+    tracer: &Tracer,
+) where
+    D: DemandSource + ?Sized,
+    P: ConsolidationPolicy + ?Sized,
+{
     let mut rng = stream_rng(master_seed, Stream::Policy);
+    net.set_tracer(tracer.clone());
+    dc.set_tracer(tracer.clone());
+    tracer.set_phase(Phase::Run);
     policy.init(dc, &mut rng);
     for _ in 0..rounds {
         let round = dc.round();
+        tracer.begin_round(round);
         dc.step(trace);
         net.begin_round(round);
         let mut ctx = RoundCtx {
@@ -106,13 +147,16 @@ pub fn run_simulation_with_net<D, P>(
             rng: &mut rng,
             churn_events: 0,
             net,
+            tracer,
         };
         policy.round(&mut ctx);
         debug_assert!(dc.check_invariants().is_ok());
         for obs in observers.iter_mut() {
             obs.on_round_end(round, dc);
         }
+        tracer.end_round();
     }
+    tracer.flush();
 }
 
 /// A policy that does nothing — the "no consolidation" control.

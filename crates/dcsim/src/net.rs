@@ -30,6 +30,7 @@
 //! stream.
 
 use crate::rng::{stream_rng, SimRng, Stream};
+use glap_telemetry::{EventKind, MsgOp, Tracer};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 
@@ -188,6 +189,8 @@ pub struct NetworkModel {
     rng: SimRng,
     /// Message counters, updated on every call.
     pub stats: NetStats,
+    /// Event tracer (off by default; never touches the RNG).
+    tracer: Tracer,
 }
 
 impl NetworkModel {
@@ -202,6 +205,7 @@ impl NetworkModel {
             ideal: true,
             rng: SimRng::seed_from_u64(0),
             stats: NetStats::default(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -215,7 +219,14 @@ impl NetworkModel {
             ideal,
             rng: stream_rng(master_seed, Stream::Network),
             stats: NetStats::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches an event tracer. Tracing reads no randomness, so an
+    /// attached tracer never changes delivery outcomes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of modelled nodes.
@@ -252,6 +263,7 @@ impl NetworkModel {
         if self.up[node as usize] {
             self.up[node as usize] = false;
             self.stats.crashes += 1;
+            self.tracer.emit(EventKind::PmCrashed { pm: node });
         }
     }
 
@@ -260,6 +272,7 @@ impl NetworkModel {
         if !self.up[node as usize] {
             self.up[node as usize] = true;
             self.stats.recoveries += 1;
+            self.tracer.emit(EventKind::PmRecovered { pm: node });
         }
     }
 
@@ -310,7 +323,7 @@ impl NetworkModel {
 
     /// One-way, fire-and-forget message. No timeout applies: a delivered
     /// send arrives eventually within the round.
-    pub fn send(&mut self, _from: u32, to: u32) -> Delivery {
+    pub fn send(&mut self, from: u32, to: u32) -> Delivery {
         self.stats.attempts += 1;
         // The liveness check precedes the ideal fast path so that
         // `force_crash` works even on an ideal-profile network; it reads
@@ -318,49 +331,96 @@ impl NetworkModel {
         // runs, so byte-identity is unaffected.
         if !self.up[to as usize] {
             self.stats.to_down += 1;
+            self.tracer.emit(EventKind::MsgTargetDown {
+                from,
+                to,
+                op: MsgOp::Send,
+            });
             return Delivery::TargetDown;
         }
         if self.ideal {
             self.stats.delivered += 1;
+            self.tracer.emit(EventKind::MsgSent {
+                from,
+                to,
+                op: MsgOp::Send,
+            });
             return Delivery::Delivered;
         }
         if self.profile.drop_prob > 0.0 && self.rng.gen::<f64>() < self.profile.drop_prob {
             self.stats.dropped += 1;
+            self.tracer.emit(EventKind::MsgDropped {
+                from,
+                to,
+                op: MsgOp::Send,
+            });
             return Delivery::Dropped;
         }
         self.stats.delivered += 1;
+        self.tracer.emit(EventKind::MsgSent {
+            from,
+            to,
+            op: MsgOp::Send,
+        });
         Delivery::Delivered
     }
 
     /// Request/reply round trip: the initiator blocks (within the round)
     /// for the reply and gives up past the profile timeout. Either leg
     /// can be dropped; a crashed target never answers.
-    pub fn request(&mut self, _from: u32, to: u32) -> Delivery {
+    pub fn request(&mut self, from: u32, to: u32) -> Delivery {
         self.stats.attempts += 1;
         if !self.up[to as usize] {
             self.stats.to_down += 1;
+            self.tracer.emit(EventKind::MsgTargetDown {
+                from,
+                to,
+                op: MsgOp::Request,
+            });
             return Delivery::TargetDown;
         }
         if self.ideal {
             self.stats.delivered += 1;
+            self.tracer.emit(EventKind::MsgSent {
+                from,
+                to,
+                op: MsgOp::Request,
+            });
             return Delivery::Delivered;
         }
         if self.profile.drop_prob > 0.0 {
             if self.rng.gen::<f64>() < self.profile.drop_prob {
                 self.stats.dropped += 1;
+                self.tracer.emit(EventKind::MsgDropped {
+                    from,
+                    to,
+                    op: MsgOp::Request,
+                });
                 return Delivery::Dropped; // request lost
             }
             if self.rng.gen::<f64>() < self.profile.drop_prob {
                 self.stats.dropped += 1;
+                self.tracer.emit(EventKind::MsgDropped {
+                    from,
+                    to,
+                    op: MsgOp::Request,
+                });
                 return Delivery::Dropped; // reply lost
             }
         }
         let round_trip = self.sample_latency() + self.sample_latency();
+        self.tracer.observe_ms("net.rtt_ms", round_trip as f64);
         if round_trip > self.profile.timeout_ms {
             self.stats.timed_out += 1;
+            self.tracer.emit(EventKind::MsgTimedOut { from, to });
             return Delivery::TimedOut;
         }
         self.stats.delivered += 1;
+        self.tracer.emit(EventKind::MsgSent {
+            from,
+            to,
+            op: MsgOp::Request,
+        });
         Delivery::Delivered
     }
 }

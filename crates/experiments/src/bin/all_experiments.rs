@@ -4,11 +4,25 @@
 
 use glap_experiments::{
     ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
-    fig8_migrations, fig9_cumulative, parse_or_exit, run_grid, table1_sla, Algorithm,
+    fig8_migrations, fig9_cumulative, parse_or_exit, run_grid, run_scenario_traced, table1_sla,
+    Algorithm,
 };
 
 fn main() {
     let cli = parse_or_exit();
+
+    // Telemetry (--trace / --counters): record the grid's first scenario
+    // with a full event trace before the measured sweep.
+    let tracer = cli.tracer();
+    if tracer.is_on() {
+        if let Some(sc) = cli.grid.scenarios(&Algorithm::PAPER_SET).first() {
+            eprintln!("tracing scenario {}…", sc.id());
+            run_scenario_traced(sc, &tracer);
+            tracer.flush();
+            cli.write_counters(&tracer).expect("write counter CSVs");
+            eprintln!("traced {} events", tracer.events_emitted());
+        }
+    }
 
     // Figure 5 is a training-only study (no consolidation day).
     let fig5_size = cli.grid.sizes.first().copied().unwrap_or(1000);

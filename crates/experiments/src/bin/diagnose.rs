@@ -1,16 +1,42 @@
 //! Diagnostic tool: runs one GLAP scenario and dumps protocol internals
 //! (trained-table coverage, veto counts, per-phase migration activity) —
 //! useful when tuning trace dynamics or reward shapes.
+//!
+//! With `--replay trace.jsonl` it instead parses a previously recorded
+//! JSONL event trace (strictly — every line must round-trip through the
+//! schema) and prints a per-round digest: drop/timeout counts, veto and
+//! abort tallies, crashes, and the convergence series.
+//!
+//! `--trace file` / `--counters file` record the diagnosed run itself.
 
-use glap::{train, unified_table, GlapPolicy, TableStore};
-use glap_dcsim::run_simulation;
-use glap_experiments::{build_world, parse_or_exit, Algorithm, Scenario};
+use glap::{train_traced, unified_table, GlapPolicy, TableStore};
+use glap_dcsim::{run_simulation_traced, NetworkModel};
+use glap_experiments::{build_world, parse_or_exit, replay_digest, Algorithm, Scenario};
 use glap_metrics::MetricsCollector;
 use glap_qlearn::{Level, PmState, VmAction};
+use glap_telemetry::Phase;
 use glap_workload::OffsetTrace;
+use std::fs::File;
+use std::io::BufReader;
 
 fn main() {
     let cli = parse_or_exit();
+
+    if let Some(path) = &cli.replay {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match replay_digest(BufReader::new(file)) {
+            Ok(digest) => print!("{}", digest.render()),
+            Err(msg) => {
+                eprintln!("replay failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let sc = Scenario {
         n_pms: cli.grid.sizes[0],
         ratio: cli.grid.ratios[0],
@@ -23,15 +49,17 @@ fn main() {
         fault: Default::default(),
     };
     let (mut dc, trace) = build_world(&sc);
+    let tracer = cli.tracer();
 
     let mut train_dc = dc.clone();
     let mut train_trace = trace.clone();
-    let (tables, report) = train(
+    let (tables, report, monitor) = train_traced(
         &mut train_dc,
         &mut train_trace,
         &sc.glap,
         sc.policy_seed(),
         false,
+        &tracer,
     );
     let uni = unified_table(&tables);
     println!(
@@ -41,6 +69,15 @@ fn main() {
         uni.out.visited_count(),
         uni.r#in.visited_count()
     );
+    if let Some(last) = monitor.last() {
+        println!(
+            "convergence monitor: final diameter {:.6}, mean cosine {:.6}, \
+             aggregation diameter non-increasing: {}",
+            last.diameter,
+            last.mean_cosine_to_ref,
+            monitor.diameter_is_nonincreasing(Phase::Aggregation)
+        );
+    }
 
     // Out-table coverage by state CPU level.
     println!("\nout-table coverage by sender state (rows with any visited action):");
@@ -71,19 +108,24 @@ fn main() {
     let mut policy = GlapPolicy::new(sc.glap, TableStore::Shared(Box::new(uni)));
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut collector = MetricsCollector::new();
-    run_simulation(
+    let mut net = NetworkModel::ideal(sc.n_pms);
+    run_simulation_traced(
         &mut dc,
         &mut day,
         &mut policy,
         &mut [&mut collector],
         sc.rounds,
         sc.policy_seed(),
+        &mut net,
+        &tracer,
     );
 
     println!(
-        "\nday: {} migrations, {} vetoes, final active {}/{} PMs, overloaded fraction {:.4}",
+        "\nday: {} migrations, {} vetoes, {} wake-ups, final active {}/{} PMs, \
+         overloaded fraction {:.4}",
         collector.total_migrations(),
         policy.vetoes,
+        collector.total_wake_ups(),
         dc.active_pm_count(),
         dc.n_pms(),
         collector.mean_overloaded_fraction()
@@ -95,4 +137,10 @@ fn main() {
         hist[(u * 10.0) as usize] += 1;
     }
     println!("final active-PM CPU histogram (0.0-1.0 in tenths): {hist:?}");
+
+    if tracer.is_on() {
+        println!("telemetry: {} events emitted", tracer.events_emitted());
+    }
+    tracer.flush();
+    cli.write_counters(&tracer).expect("write counter CSVs");
 }

@@ -13,6 +13,7 @@ use glap_baselines::bfd_baseline;
 use glap_cluster::{DataCenter, DataCenterConfig, PmId, VmId, VmSpec};
 use glap_dcsim::{stream_rng, ConsolidationPolicy, NetworkModel, Observer, RoundCtx, Stream};
 use glap_metrics::{MetricsCollector, RunResult};
+use glap_telemetry::Tracer;
 use glap_workload::{GoogleLikeTraceGen, GoogleTraceConfig, MaterializedTrace, OffsetTrace};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -136,6 +137,7 @@ pub fn run_churn_scenario(
             rng: &mut policy_rng,
             churn_events: events,
             net: &mut net,
+            tracer: &Tracer::off(),
         };
         policy.round(&mut ctx);
         debug_assert!(dc.check_invariants().is_ok());

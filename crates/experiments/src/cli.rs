@@ -2,6 +2,7 @@
 //! in-repo — the approved dependency list has no CLI crate).
 
 use crate::scenario::Grid;
+use glap_telemetry::{JsonlSink, Tracer};
 use std::path::PathBuf;
 
 /// Parsed command-line options.
@@ -15,6 +16,13 @@ pub struct Cli {
     pub threads: Option<usize>,
     /// Per-scenario progress logging.
     pub verbose: bool,
+    /// Write a JSONL event trace of the first scenario here.
+    pub trace_out: Option<PathBuf>,
+    /// Write per-round counter/histogram CSVs of the first scenario here
+    /// (`<stem>.csv` for counters, `<stem>_hist.csv` for histograms).
+    pub counters_out: Option<PathBuf>,
+    /// Replay a JSONL trace (diagnose mode) instead of running scenarios.
+    pub replay: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -24,7 +32,48 @@ impl Default for Cli {
             out_dir: PathBuf::from("results"),
             threads: None,
             verbose: false,
+            trace_out: None,
+            counters_out: None,
+            replay: None,
         }
+    }
+}
+
+impl Cli {
+    /// Builds the tracer requested by the telemetry flags: a JSONL sink
+    /// when `--trace` is given, counting-only when just `--counters`, and
+    /// [`Tracer::off`] (zero overhead, byte-identical results) otherwise.
+    pub fn tracer(&self) -> Tracer {
+        if let Some(path) = &self.trace_out {
+            match JsonlSink::create(path) {
+                Ok(sink) => Tracer::new(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot create trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        } else if self.counters_out.is_some() {
+            Tracer::counting()
+        } else {
+            Tracer::off()
+        }
+    }
+
+    /// Writes the counter snapshots (`<path>`) and latency histograms
+    /// (`<stem>_hist.csv`) accumulated by `tracer`, if `--counters` was
+    /// given.
+    pub fn write_counters(&self, tracer: &Tracer) -> std::io::Result<()> {
+        let Some(path) = &self.counters_out else {
+            return Ok(());
+        };
+        std::fs::write(path, tracer.counters_csv())?;
+        let mut hist = path.clone();
+        let stem = hist
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "counters".into());
+        hist.set_file_name(format!("{stem}_hist.csv"));
+        std::fs::write(hist, tracer.histograms_csv())
     }
 }
 
@@ -41,6 +90,9 @@ pub const USAGE: &str = "options:
   --threads n         worker threads                     (default: all cores)
   --out dir           CSV output directory               (default results/)
   --verbose           log each finished scenario
+  --trace file        write a JSONL event trace of the first scenario
+  --counters file     write per-round counter CSVs of the first scenario
+  --replay file       replay a JSONL trace and print a per-round digest
 ";
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
@@ -97,6 +149,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             }
             "--out" => cli.out_dir = PathBuf::from(need(&mut it, "--out")?),
             "--verbose" => cli.verbose = true,
+            "--trace" => cli.trace_out = Some(PathBuf::from(need(&mut it, "--trace")?)),
+            "--counters" => cli.counters_out = Some(PathBuf::from(need(&mut it, "--counters")?)),
+            "--replay" => cli.replay = Some(PathBuf::from(need(&mut it, "--replay")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -154,6 +209,15 @@ mod tests {
         let cli = parse(args("--train 42 --agg 17")).unwrap();
         assert_eq!(cli.grid.glap.learning_rounds, 42);
         assert_eq!(cli.grid.glap.aggregation_rounds, 17);
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let cli = parse(args("--trace t.jsonl --counters c.csv --replay old.jsonl")).unwrap();
+        assert_eq!(cli.trace_out, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(cli.counters_out, Some(PathBuf::from("c.csv")));
+        assert_eq!(cli.replay, Some(PathBuf::from("old.jsonl")));
+        assert_eq!(parse(args("")).unwrap().trace_out, None);
     }
 
     #[test]

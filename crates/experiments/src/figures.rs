@@ -7,8 +7,9 @@ use crate::pool::parallel_map;
 use crate::report::{fnum, TextTable};
 use crate::runner::{build_world, run_scenario};
 use crate::scenario::{Algorithm, Grid, Scenario};
-use glap::{train, GlapConfig, TrainPhase};
+use glap::{train_traced, GlapConfig, TrainPhase};
 use glap_metrics::{p10_median_p90, RunResult};
+use glap_telemetry::{Phase, Tracer};
 
 /// A regenerated figure/table: a title, the data table, and free-form
 /// notes (e.g. the paper's headline claims to compare against).
@@ -119,12 +120,15 @@ pub fn fig5_convergence(
             fault: Default::default(),
         };
         let (mut dc, mut trace) = build_world(&sc);
-        let (_tables, report) = train(
+        // A counting tracer turns on the convergence monitor without any
+        // sink I/O; its divergence series cross-checks the Figure 5 data.
+        let (_tables, report, monitor) = train_traced(
             &mut dc,
             &mut trace,
             &glap,
             sc.policy_seed() ^ seed_base,
             true,
+            &Tracer::counting(),
         );
         for (phase, cycle, sim) in &report.similarity {
             let phase_name = match phase {
@@ -152,6 +156,15 @@ pub fn fig5_convergence(
             "ratio {ratio}: WOG plateau {:.3}, WG final {:.3}",
             wog_last, wg_last
         ));
+        if let Some(last) = monitor.last() {
+            finals.push(format!(
+                "ratio {ratio} monitor cross-check: final diameter {:.4}, mean cosine to \
+                 unified {:.3}, aggregation diameter non-increasing: {}",
+                last.diameter,
+                last.mean_cosine_to_ref,
+                monitor.diameter_is_nonincreasing(Phase::Aggregation)
+            ));
+        }
     }
     FigureOutput {
         title: format!("Figure 5 — Q-value convergence ({n_pms} PMs)"),

@@ -16,6 +16,7 @@ pub mod churn;
 pub mod cli;
 pub mod figures;
 pub mod pool;
+pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -27,6 +28,9 @@ pub use figures::{
     fig8_migrations, fig9_cumulative, run_grid, table1_sla, FigureOutput,
 };
 pub use pool::parallel_map;
+pub use replay::{replay_digest, ReplayDigest, RoundDigest};
 pub use report::{downsample, fnum, sparkline, TextTable};
-pub use runner::{build_policy, build_world, run_scenario};
+pub use runner::{
+    build_policy, build_policy_traced, build_world, run_scenario, run_scenario_traced,
+};
 pub use scenario::{Algorithm, Grid, Scenario, VmMix};

@@ -3,13 +3,14 @@
 //! metric collection.
 
 use crate::scenario::{Algorithm, Scenario};
-use glap::{train, unified_table, GlapPolicy, TableStore};
+use glap::{train_traced, unified_table, GlapPolicy, TableStore};
 use glap_baselines::{
     bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy,
 };
 use glap_cluster::{DataCenter, DataCenterConfig};
-use glap_dcsim::{run_simulation_with_net, stream_rng, ConsolidationPolicy, NetworkModel, Stream};
+use glap_dcsim::{run_simulation_traced, stream_rng, ConsolidationPolicy, NetworkModel, Stream};
 use glap_metrics::{MetricsCollector, RunResult};
+use glap_telemetry::{ConvergenceMonitor, Tracer};
 use glap_workload::{GoogleLikeTraceGen, MaterializedTrace, OffsetTrace};
 
 /// Builds the data center of a scenario with its seed-determined initial
@@ -38,10 +39,26 @@ pub fn build_policy(
     dc: &DataCenter,
     trace: &MaterializedTrace,
 ) -> Box<dyn ConsolidationPolicy> {
+    build_policy_traced(sc, dc, trace, &Tracer::off()).0
+}
+
+/// [`build_policy`] with an event tracer: GLAP's offline pre-training
+/// emits `shuffle_*` / `convergence_sampled` events through `tracer` and
+/// the returned [`ConvergenceMonitor`] holds the divergence series
+/// (non-`None` only for GLAP variants with the tracer on).
+pub fn build_policy_traced(
+    sc: &Scenario,
+    dc: &DataCenter,
+    trace: &MaterializedTrace,
+    tracer: &Tracer,
+) -> (Box<dyn ConsolidationPolicy>, Option<ConvergenceMonitor>) {
     match sc.algorithm {
-        Algorithm::Grmp => Box::new(GrmpPolicy::new(GrmpConfig::default())),
-        Algorithm::EcoCloud => Box::new(EcoCloudPolicy::new(EcoCloudConfig::default())),
-        Algorithm::Pabfd => Box::new(PabfdPolicy::new(PabfdConfig::default())),
+        Algorithm::Grmp => (Box::new(GrmpPolicy::new(GrmpConfig::default())), None),
+        Algorithm::EcoCloud => (
+            Box::new(EcoCloudPolicy::new(EcoCloudConfig::default())),
+            None,
+        ),
+        Algorithm::Pabfd => (Box::new(PabfdPolicy::new(PabfdConfig::default())), None),
         Algorithm::Glap
         | Algorithm::GlapNoVeto
         | Algorithm::GlapCurrentOnly
@@ -52,12 +69,13 @@ pub fn build_policy(
             }
             let mut train_dc = dc.clone();
             let mut train_trace = trace.clone();
-            let (tables, _report) = train(
+            let (tables, _report, monitor) = train_traced(
                 &mut train_dc,
                 &mut train_trace,
                 &cfg,
                 sc.policy_seed(),
                 false,
+                tracer,
             );
             let store = if sc.algorithm == Algorithm::GlapNoAggregation {
                 TableStore::PerPm(tables)
@@ -67,22 +85,35 @@ pub fn build_policy(
             let mut policy = GlapPolicy::new(cfg, store);
             policy.disable_in_veto = sc.algorithm == Algorithm::GlapNoVeto;
             policy.current_state_only = sc.algorithm == Algorithm::GlapCurrentOnly;
-            Box::new(policy)
+            let monitor = tracer.is_on().then_some(monitor);
+            (Box::new(policy), monitor)
         }
     }
 }
 
 /// Runs a scenario and returns its result bundle.
 pub fn run_scenario(sc: &Scenario) -> RunResult {
+    run_scenario_traced(sc, &Tracer::off()).0
+}
+
+/// [`run_scenario`] with an event tracer threaded through pre-training,
+/// the network, the data center, and the policy. With [`Tracer::off`] the
+/// results are byte-identical to [`run_scenario`]; with a live sink, the
+/// run additionally produces a full structured event trace plus counter
+/// snapshots without perturbing the simulation.
+pub fn run_scenario_traced(
+    sc: &Scenario,
+    tracer: &Tracer,
+) -> (RunResult, Option<ConvergenceMonitor>) {
     let (mut dc, trace) = build_world(sc);
-    let mut policy = build_policy(sc, &dc, &trace);
+    let (mut policy, monitor) = build_policy_traced(sc, &dc, &trace, tracer);
 
     // Every algorithm replays the *same* measured day: the trace rounds
     // after GLAP's training prefix.
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut collector = MetricsCollector::new();
     let mut net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
-    run_simulation_with_net(
+    run_simulation_traced(
         &mut dc,
         &mut day,
         policy.as_mut(),
@@ -90,11 +121,12 @@ pub fn run_scenario(sc: &Scenario) -> RunResult {
         sc.rounds,
         sc.policy_seed(),
         &mut net,
+        tracer,
     );
 
     let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
     result.bfd_bins = bfd_baseline(&dc);
-    result
+    (result, monitor)
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@ pub struct RoundSample {
     pub migrations: usize,
     /// Energy overhead of this round's migrations, joules.
     pub migration_energy_j: f64,
+    /// Sleeping→active PM transitions during this round (server
+    /// reactivations — the cost side of aggressive consolidation).
+    pub wake_ups: usize,
 }
 
 /// Collects per-round series over a full simulation run.
@@ -79,6 +82,16 @@ impl MetricsCollector {
         self.samples.iter().map(|s| s.migration_energy_j).sum()
     }
 
+    /// Per-round wake-up counts.
+    pub fn wake_up_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.wake_ups as f64).collect()
+    }
+
+    /// Total sleeping→active transitions over the run.
+    pub fn total_wake_ups(&self) -> u64 {
+        self.samples.iter().map(|s| s.wake_ups as u64).sum()
+    }
+
     /// `(p10, median, p90)` of the per-round overloaded-PM counts —
     /// Figure 7's bars.
     pub fn overloaded_summary(&self) -> (f64, f64, f64) {
@@ -125,12 +138,14 @@ impl MetricsCollector {
 impl Observer for MetricsCollector {
     fn on_round_end(&mut self, round: u64, dc: &mut DataCenter) {
         let migrations = dc.take_migrations();
+        let wake_ups = dc.take_wake_ups();
         self.samples.push(RoundSample {
             round,
             active_pms: dc.active_pm_count(),
             overloaded_pms: dc.overloaded_pm_count(),
             migrations: migrations.len(),
             migration_energy_j: migrations.iter().map(|m| m.energy_j).sum(),
+            wake_ups,
         });
     }
 }
@@ -147,16 +162,20 @@ pub struct RunResult {
     /// Offline BFD baseline over the final round's demands (Figure 6's
     /// reference line), filled by the harness.
     pub bfd_bins: usize,
+    /// Total sleeping→active PM transitions over the run.
+    pub wake_ups: u64,
 }
 
 impl RunResult {
     /// Assembles a result from a finished run.
     pub fn from_run(algorithm: &str, collector: MetricsCollector, dc: &DataCenter) -> Self {
+        let wake_ups = collector.total_wake_ups();
         RunResult {
             algorithm: algorithm.to_string(),
             collector,
             sla: sla_metrics(dc),
             bfd_bins: 0,
+            wake_ups,
         }
     }
 }
@@ -173,6 +192,7 @@ mod tests {
             overloaded_pms: over,
             migrations: mig,
             migration_energy_j: e,
+            wake_ups: 0,
         }
     }
 
@@ -195,6 +215,23 @@ mod tests {
         c.samples.push(sample(0, 0, 0, 0, 0.0));
         c.samples.push(sample(1, 10, 5, 0, 0.0));
         assert!((c.mean_overloaded_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observer_records_wake_ups() {
+        let mut dc = DataCenter::new(DataCenterConfig::paper(2));
+        dc.add_vm(VmSpec::EC2_MICRO);
+        dc.place(VmId(0), PmId(0));
+        assert!(dc.sleep_if_empty(PmId(1)));
+        dc.wake(PmId(1));
+        let mut c = MetricsCollector::new();
+        c.on_round_end(0, &mut dc);
+        assert_eq!(c.samples[0].wake_ups, 1);
+        // Drained: a second observation sees none.
+        c.on_round_end(1, &mut dc);
+        assert_eq!(c.samples[1].wake_ups, 0);
+        assert_eq!(c.total_wake_ups(), 1);
+        assert_eq!(c.wake_up_series(), vec![1.0, 0.0]);
     }
 
     #[test]

@@ -82,6 +82,7 @@ proptest! {
                 overloaded_pms: over,
                 migrations: mig,
                 migration_energy_j: e,
+                wake_ups: 0,
             });
         }
         let total: u64 = rows.iter().map(|r| r.2 as u64).sum();

@@ -1,0 +1,245 @@
+//! Counter and histogram registry.
+//!
+//! Counters are monotone `u64` totals keyed by dotted names
+//! (`ev.msg_dropped`, `cyclon.bytes`, …). Calling
+//! [`CounterRegistry::end_round`] snapshots the *delta* of every counter
+//! since the previous snapshot, so the CSV export is a per-round series
+//! aligned with the figures. Histograms are fixed-bucket (cumulative-
+//! style bounds) and exported separately.
+
+use crate::event::Phase;
+use std::collections::BTreeMap;
+
+/// Default latency buckets (milliseconds, upper bounds).
+pub const LATENCY_BOUNDS_MS: [f64; 8] = [5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets; one overflow bucket follows.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite bucket bounds (ascending).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One per-round snapshot: the delta of every counter that moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Phase the round belongs to.
+    pub phase: Phase,
+    /// Round index within the phase.
+    pub round: u64,
+    /// `(counter name, delta since previous snapshot)`, name-sorted.
+    pub deltas: Vec<(String, u64)>,
+}
+
+/// The registry: counter totals, per-round snapshots and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    totals: BTreeMap<String, u64>,
+    at_last_snapshot: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    /// All taken snapshots, in order.
+    pub snapshots: Vec<CounterSnapshot>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.totals.get_mut(name) {
+            *v += delta;
+        } else {
+            self.totals.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Records a latency-style observation into the named histogram
+    /// (created with [`LATENCY_BOUNDS_MS`] on first use).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::new(LATENCY_BOUNDS_MS.to_vec());
+            h.observe(v);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current total of a counter (0 if never touched).
+    pub fn total(&self, name: &str) -> u64 {
+        self.totals.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Closes a round: snapshots every counter's delta since the last
+    /// snapshot (counters that did not move are omitted from the row).
+    pub fn end_round(&mut self, phase: Phase, round: u64) {
+        let mut deltas = Vec::new();
+        for (name, &total) in &self.totals {
+            let prev = self.at_last_snapshot.get(name).copied().unwrap_or(0);
+            if total != prev {
+                deltas.push((name.clone(), total - prev));
+            }
+        }
+        self.at_last_snapshot = self.totals.clone();
+        self.snapshots.push(CounterSnapshot {
+            phase,
+            round,
+            deltas,
+        });
+    }
+
+    /// Wide-format CSV of the per-round snapshots: one row per round,
+    /// one column per counter name that ever moved.
+    pub fn counters_csv(&self) -> String {
+        let mut names: Vec<&str> = self.totals.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        let mut out = String::from("phase,round");
+        for n in &names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for snap in &self.snapshots {
+            out.push_str(snap.phase.tag());
+            out.push(',');
+            out.push_str(&snap.round.to_string());
+            for n in &names {
+                out.push(',');
+                let d = snap
+                    .deltas
+                    .iter()
+                    .find(|(k, _)| k == n)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                out.push_str(&d.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Long-format CSV of every histogram:
+    /// `histogram,bucket_le,count` rows plus a `sum`/`count` summary.
+    pub fn histograms_csv(&self) -> String {
+        let mut out = String::from("histogram,bucket_le,count\n");
+        for (name, h) in &self.hists {
+            for (i, &c) in h.counts.iter().enumerate() {
+                let bound = h
+                    .bounds
+                    .get(i)
+                    .map(|b| format!("{b}"))
+                    .unwrap_or_else(|| "inf".to_string());
+                out.push_str(&format!("{name},{bound},{c}\n"));
+            }
+            out.push_str(&format!("{name},sum,{}\n", h.sum));
+            out.push_str(&format!("{name},count,{}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_record_deltas_not_totals() {
+        let mut r = CounterRegistry::new();
+        r.add("a", 3);
+        r.end_round(Phase::Run, 0);
+        r.add("a", 2);
+        r.add("b", 1);
+        r.end_round(Phase::Run, 1);
+        r.end_round(Phase::Run, 2);
+        assert_eq!(r.total("a"), 5);
+        assert_eq!(r.snapshots[0].deltas, vec![("a".to_string(), 3)]);
+        assert_eq!(
+            r.snapshots[1].deltas,
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        assert!(r.snapshots[2].deltas.is_empty());
+    }
+
+    #[test]
+    fn csv_has_stable_columns_and_zero_fills() {
+        let mut r = CounterRegistry::new();
+        r.add("z", 1);
+        r.end_round(Phase::Learning, 0);
+        r.add("a", 4);
+        r.end_round(Phase::Run, 1);
+        let csv = r.counters_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("phase,round,a,z"));
+        assert_eq!(lines.next(), Some("learn,0,0,1"));
+        assert_eq!(lines.next(), Some("run,1,4,0"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert!((h.mean() - 55.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_csv_lists_buckets() {
+        let mut r = CounterRegistry::new();
+        r.observe("net.rtt_ms", 12.0);
+        r.observe("net.rtt_ms", 2000.0);
+        let csv = r.histograms_csv();
+        assert!(csv.contains("net.rtt_ms,25,1\n"));
+        assert!(csv.contains("net.rtt_ms,inf,1\n"));
+        assert!(csv.contains("net.rtt_ms,count,2\n"));
+    }
+}

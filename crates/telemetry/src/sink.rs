@@ -1,0 +1,183 @@
+//! Event sinks: where a trace goes.
+//!
+//! The [`EventSink`] trait is deliberately tiny — one `emit` per event —
+//! so instrumented code pays nothing beyond an enum construction when a
+//! sink is attached and a single branch when it is not (the tracer's
+//! no-op path never constructs the event).
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// Receives every emitted event, in order.
+pub trait EventSink {
+    /// Consume one event.
+    fn emit(&mut self, event: &Event);
+    /// Flush any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. Used by [`crate::Tracer::counting`] when only
+/// the counter registry / convergence monitor are wanted.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Collects events in memory; the handle is cloneable so tests can keep
+/// one end while the tracer owns the other.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    events: Rc<RefCell<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all events emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line (the schema on
+/// [`Event::to_json`]) to any `Write` target.
+pub struct JsonlSink {
+    w: BufWriter<Box<dyn Write>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: Box<dyn Write>) -> Self {
+        JsonlSink {
+            w: BufWriter::new(w),
+        }
+    }
+
+    /// Creates (truncates) a trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(File::create(path)?)))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &Event) {
+        // Errors are deliberately swallowed: telemetry must never abort
+        // a simulation. A failed write surfaces as a truncated trace.
+        let _ = self.w.write_all(event.to_json().as_bytes());
+        let _ = self.w.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// A `Write` target backed by a shared in-memory buffer — lets tests
+/// hand a [`JsonlSink`] to a tracer and still read what it wrote.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered bytes as a string (the JSONL text).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.borrow()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buf.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            phase: Phase::Run,
+            round: 3,
+            seq,
+            kind: EventKind::PmSlept { pm: 7 },
+        }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        for s in 0..5 {
+            writer.emit(&ev(s));
+        }
+        let got = sink.events();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.emit(&ev(0));
+        sink.emit(&ev(1));
+        sink.flush();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let e = Event::from_json(line).unwrap();
+            assert_eq!(e.to_json(), line);
+        }
+    }
+}

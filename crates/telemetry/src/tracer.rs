@@ -1,0 +1,247 @@
+//! The [`Tracer`] handle: the one type instrumented code touches.
+//!
+//! A tracer is either **off** (`Tracer::off()`, the default) — every
+//! method is a single `Option` branch, no event is constructed, no
+//! allocation happens, and crucially no RNG is touched, so an off tracer
+//! preserves byte-identical determinism by construction — or **on**,
+//! holding a shared [`TraceCore`] (sink + counter registry + the current
+//! phase/round/sequence stamp).
+//!
+//! Handles are cheap to clone (`Option<Rc>`); the engine, the network
+//! model and the data center each hold one, all pointing at the same
+//! core, so sequence numbers are globally monotone across emitters.
+
+use crate::event::{Event, EventKind, Phase};
+use crate::registry::CounterRegistry;
+use crate::sink::{EventSink, MemorySink, NullSink};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared state behind an enabled tracer.
+pub struct TraceCore {
+    sink: Box<dyn EventSink>,
+    /// Counter/histogram registry fed by every emit.
+    pub counters: CounterRegistry,
+    phase: Phase,
+    round: u64,
+    seq: u64,
+}
+
+/// Cheap, cloneable tracing handle. See the module docs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceCore>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("on", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (the default everywhere).
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer writing events to `sink`.
+    pub fn new(sink: Box<dyn EventSink>) -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceCore {
+                sink,
+                counters: CounterRegistry::new(),
+                phase: Phase::Run,
+                round: 0,
+                seq: 0,
+            }))),
+        }
+    }
+
+    /// An enabled tracer that discards events but still maintains the
+    /// counter registry (and lets callers run the convergence monitor).
+    pub fn counting() -> Self {
+        Self::new(Box::new(NullSink))
+    }
+
+    /// An enabled tracer backed by an in-memory sink; returns the
+    /// tracer and a handle for reading the captured events.
+    pub fn memory() -> (Self, MemorySink) {
+        let sink = MemorySink::new();
+        (Self::new(Box::new(sink.clone())), sink)
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the phase stamped on subsequent events.
+    pub fn set_phase(&self, phase: Phase) {
+        if let Some(core) = &self.inner {
+            core.borrow_mut().phase = phase;
+        }
+    }
+
+    /// Sets the round stamped on subsequent events.
+    pub fn begin_round(&self, round: u64) {
+        if let Some(core) = &self.inner {
+            core.borrow_mut().round = round;
+        }
+    }
+
+    /// Closes the current round: snapshots counter deltas.
+    pub fn end_round(&self) {
+        if let Some(core) = &self.inner {
+            let mut core = core.borrow_mut();
+            let (phase, round) = (core.phase, core.round);
+            core.counters.end_round(phase, round);
+        }
+    }
+
+    /// Emits one event: stamps it with the current phase/round and the
+    /// next sequence number, bumps the `ev.<kind>` counter, and hands it
+    /// to the sink. A no-op when the tracer is off — callers may build
+    /// `kind` unconditionally (it is just an enum, no allocation for the
+    /// common kinds), or guard with [`Tracer::is_on`] first.
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(core) = &self.inner {
+            let mut core = core.borrow_mut();
+            let event = Event {
+                phase: core.phase,
+                round: core.round,
+                seq: core.seq,
+                kind,
+            };
+            core.seq += 1;
+            let mut name = String::with_capacity(3 + event.kind.name().len());
+            name.push_str("ev.");
+            name.push_str(event.kind.name());
+            core.counters.add(&name, 1);
+            core.sink.emit(&event);
+        }
+    }
+
+    /// Adds to a named counter (no event).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(core) = &self.inner {
+            core.borrow_mut().counters.add(name, delta);
+        }
+    }
+
+    /// Records a latency observation into a named histogram.
+    pub fn observe_ms(&self, name: &str, v: f64) {
+        if let Some(core) = &self.inner {
+            core.borrow_mut().counters.observe(name, v);
+        }
+    }
+
+    /// Runs `f` against the counter registry; `None` when off.
+    pub fn with_counters<T>(&self, f: impl FnOnce(&CounterRegistry) -> T) -> Option<T> {
+        self.inner.as_ref().map(|core| f(&core.borrow().counters))
+    }
+
+    /// Total of a named counter (0 when off).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.with_counters(|c| c.total(name)).unwrap_or(0)
+    }
+
+    /// Events emitted so far (0 when off).
+    pub fn events_emitted(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|core| core.borrow().seq)
+            .unwrap_or(0)
+    }
+
+    /// Wide-format per-round counter CSV (empty when off).
+    pub fn counters_csv(&self) -> String {
+        self.with_counters(CounterRegistry::counters_csv)
+            .unwrap_or_default()
+    }
+
+    /// Histogram CSV (empty when off).
+    pub fn histograms_csv(&self) -> String {
+        self.with_counters(CounterRegistry::histograms_csv)
+            .unwrap_or_default()
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(core) = &self.inner {
+            core.borrow_mut().sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_is_inert() {
+        let t = Tracer::off();
+        assert!(!t.is_on());
+        t.begin_round(3);
+        t.emit(EventKind::PmSlept { pm: 1 });
+        t.add("x", 5);
+        t.end_round();
+        assert_eq!(t.events_emitted(), 0);
+        assert_eq!(t.counter_total("x"), 0);
+        assert_eq!(t.counters_csv(), "");
+    }
+
+    #[test]
+    fn emit_stamps_phase_round_seq() {
+        let (t, sink) = Tracer::memory();
+        t.set_phase(Phase::Aggregation);
+        t.begin_round(7);
+        t.emit(EventKind::MergeApplied { a: 1, b: 2 });
+        t.emit(EventKind::MergeRetried { pm: 1, attempt: 1 });
+        t.begin_round(8);
+        t.emit(EventKind::MergeApplied { a: 3, b: 4 });
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].round, 7);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[2].round, 8);
+        assert_eq!(events[2].seq, 2);
+        assert!(events.iter().all(|e| e.phase == Phase::Aggregation));
+        assert_eq!(t.counter_total("ev.merge_applied"), 2);
+        assert_eq!(t.counter_total("ev.merge_retried"), 1);
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let (t, sink) = Tracer::memory();
+        let u = t.clone();
+        t.emit(EventKind::PmWoke { pm: 0 });
+        u.emit(EventKind::PmWoke { pm: 1 });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(t.events_emitted(), 2);
+    }
+
+    #[test]
+    fn end_round_snapshots_counters() {
+        let t = Tracer::counting();
+        t.begin_round(0);
+        t.add("cyclon.bytes", 64);
+        t.end_round();
+        t.begin_round(1);
+        t.add("cyclon.bytes", 32);
+        t.end_round();
+        t.with_counters(|c| {
+            assert_eq!(c.snapshots.len(), 2);
+            assert_eq!(c.snapshots[0].deltas, vec![("cyclon.bytes".into(), 64)]);
+            assert_eq!(c.snapshots[1].deltas, vec![("cyclon.bytes".into(), 32)]);
+        })
+        .unwrap();
+    }
+}
