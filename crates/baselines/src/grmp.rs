@@ -173,6 +173,27 @@ impl ConsolidationPolicy for GrmpPolicy {
             self.exchange(dc, net, p, q, tracer);
         }
     }
+
+    /// GRMP's only mutable state is its Cyclon overlay.
+    fn save_state(&self, w: &mut glap_snapshot::Writer) {
+        use glap_snapshot::Checkpointable;
+        w.put_usize(self.overlay.len());
+        self.overlay.save(w);
+    }
+
+    /// Restores into a freshly built policy (same `GrmpConfig`), replacing
+    /// [`ConsolidationPolicy::init`] on resume.
+    fn restore_state(
+        &mut self,
+        r: &mut glap_snapshot::Reader<'_>,
+    ) -> Result<(), glap_snapshot::SnapshotError> {
+        use glap_snapshot::Checkpointable;
+        let n = r.get_usize()?;
+        let mut overlay = CyclonOverlay::new(n, self.cfg.cyclon_cache, self.cfg.cyclon_shuffle);
+        overlay.restore(r)?;
+        self.overlay = overlay;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +281,31 @@ mod tests {
             (dc.active_pm_count(), dc.total_migrations())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_overlay_state() {
+        use glap_snapshot::{Reader, Writer};
+        let mut dc = setup(12, 3, 5);
+        let mut trace =
+            |vm: VmId, r: u64| Resources::splat(0.2 + 0.05 * ((vm.0 + r as u32) % 4) as f64);
+        let mut policy = GrmpPolicy::new(GrmpConfig::default());
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 10, 5);
+
+        let mut w = Writer::new();
+        policy.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut twin = GrmpPolicy::new(GrmpConfig::default());
+        twin.restore_state(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        twin.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        for i in 0..12u32 {
+            assert_eq!(
+                policy.overlay.node(i).neighbors().collect::<Vec<_>>(),
+                twin.overlay.node(i).neighbors().collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -331,6 +331,39 @@ impl ConsolidationPolicy for PabfdPolicy {
             dc.sleep_if_empty(pm);
         }
     }
+
+    /// PABFD's only mutable state is the per-host CPU history the dynamic
+    /// thresholds are estimated from; sample order matters (local
+    /// regression fits a trend line), so the windows are saved verbatim.
+    fn save_state(&self, w: &mut glap_snapshot::Writer) {
+        w.put_usize(self.history.len());
+        for h in &self.history {
+            w.put_f64_slice(h);
+        }
+    }
+
+    /// Restores into a freshly built policy (same `PabfdConfig`),
+    /// replacing [`ConsolidationPolicy::init`] on resume.
+    fn restore_state(
+        &mut self,
+        r: &mut glap_snapshot::Reader<'_>,
+    ) -> Result<(), glap_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            let h = r.get_f64_slice()?;
+            if h.len() > self.cfg.history {
+                return Err(glap_snapshot::SnapshotError::Corrupt(format!(
+                    "history window of {} samples exceeds the configured {}",
+                    h.len(),
+                    self.cfg.history
+                )));
+            }
+            history.push(h);
+        }
+        self.history = history;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -478,5 +511,37 @@ mod tests {
             (dc.active_pm_count(), dc.total_migrations())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_history_and_rejects_oversized_windows() {
+        use glap_snapshot::{Reader, SnapshotError, Writer};
+        let mut dc = setup(10, 3, 5);
+        let mut trace =
+            |vm: VmId, r: u64| Resources::splat(0.2 + 0.05 * ((vm.0 + r as u32) % 4) as f64);
+        let mut policy = PabfdPolicy::new(PabfdConfig::default());
+        run_simulation(&mut dc, &mut trace, &mut policy, &mut [], 12, 5);
+
+        let mut w = Writer::new();
+        policy.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut twin = PabfdPolicy::new(PabfdConfig::default());
+        twin.restore_state(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(policy.history, twin.history);
+        let mut w2 = Writer::new();
+        twin.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // A snapshot whose window exceeds the configured length is
+        // rejected, not silently truncated.
+        let mut small = PabfdPolicy::new(PabfdConfig {
+            history: 5,
+            ..PabfdConfig::default()
+        });
+        assert!(matches!(
+            small.restore_state(&mut Reader::new(&bytes)),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 }

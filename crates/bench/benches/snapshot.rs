@@ -1,0 +1,99 @@
+//! Snapshot encode/decode benchmarks at paper scale (1024 PMs): the
+//! cost of writing one mid-run checkpoint and of validating + restoring
+//! it. The first measured numbers are pinned in `BENCH_snapshot.json`
+//! at the repo root (the perf-trajectory baseline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use glap::{GlapConfig, GlapPolicy, TableStore};
+use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
+use glap_dcsim::{save_rng, stream_rng, ConsolidationPolicy, FaultProfile, NetworkModel, Stream};
+use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
+use glap_snapshot::{Checkpointable, Snapshot, SnapshotBuilder, Writer};
+use rand::Rng;
+use std::hint::black_box;
+
+const N_PMS: usize = 1024;
+const RATIO: usize = 2;
+
+/// A mid-run 1024-PM world: placed VMs, populated running averages,
+/// some sleeping PMs — the state shape a real checkpoint captures.
+fn world() -> (DataCenter, NetworkModel, GlapPolicy) {
+    let mut dc = DataCenter::new(DataCenterConfig::paper(N_PMS));
+    for _ in 0..N_PMS * RATIO {
+        dc.add_vm(VmSpec::EC2_MICRO);
+    }
+    dc.random_placement(&mut stream_rng(11, Stream::Placement));
+    let mut src = |vm: VmId, r: u64| Resources::splat(((vm.0 as u64 + r) % 87) as f64 / 100.0);
+    for _ in 0..8 {
+        dc.step(&mut src);
+    }
+
+    let net = NetworkModel::new(N_PMS, FaultProfile::faulty(0.05, 0.01, 0.2), 11);
+
+    let mut table = QTablePair::new(QParams::default());
+    let mut rng = stream_rng(11, Stream::Custom(3));
+    for s in PmState::all() {
+        for a in VmAction::all() {
+            table.out.set(s, a, rng.gen::<f64>());
+            table.r#in.set(s, a, rng.gen::<f64>() - 0.5);
+        }
+    }
+    let policy = GlapPolicy::new(GlapConfig::default(), TableStore::Shared(Box::new(table)));
+    (dc, net, policy)
+}
+
+/// Encodes the world into a checkpoint-shaped container (the same
+/// sections the experiment runner writes, minus the harness-only ones).
+fn encode(dc: &DataCenter, net: &NetworkModel, policy: &GlapPolicy) -> Vec<u8> {
+    let mut b = SnapshotBuilder::new();
+    let mut w = Writer::new();
+    save_rng(&stream_rng(11, Stream::Policy), &mut w);
+    b.section("rng", w);
+    let mut w = Writer::new();
+    dc.save(&mut w);
+    b.section("dc", w);
+    let mut w = Writer::new();
+    net.save(&mut w);
+    b.section("net", w);
+    let mut w = Writer::new();
+    policy.save_state(&mut w);
+    b.section("policy", w);
+    b.encode()
+}
+
+fn snapshot(c: &mut Criterion) {
+    let (dc, net, policy) = world();
+    let bytes = encode(&dc, &net, &policy);
+    println!("snapshot/container_size_{N_PMS}pms: {} bytes", bytes.len());
+
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function(format!("encode_checkpoint_{N_PMS}pms"), |b| {
+        b.iter(|| black_box(encode(&dc, &net, &policy)))
+    });
+    g.bench_function(format!("decode_checkpoint_{N_PMS}pms"), |b| {
+        // Full validation: magic, version, section table, every CRC.
+        b.iter(|| black_box(Snapshot::decode(&bytes).unwrap()))
+    });
+
+    let snap = Snapshot::decode(&bytes).unwrap();
+    g.bench_function(format!("restore_datacenter_{N_PMS}pms"), |b| {
+        b.iter_batched(
+            || dc.clone(),
+            |mut fresh| {
+                let mut r = snap.section("dc").unwrap();
+                fresh.restore(&mut r).unwrap();
+                black_box(fresh)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function(format!("crc32_{N_PMS}pms_payload"), |b| {
+        b.iter(|| black_box(glap_snapshot::crc32(&bytes)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, snapshot);
+criterion_main!(benches);

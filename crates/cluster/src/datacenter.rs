@@ -14,6 +14,7 @@ use crate::power::{MigrationModel, PowerModel};
 use crate::resources::Resources;
 use crate::topology::Topology;
 use crate::vm::{Vm, VmSpec};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -485,6 +486,160 @@ impl DataCenter {
     }
 }
 
+/// Checkpointing captures only the *dynamic* state: round counter,
+/// migration accounting, per-PM power/SLA/placement state and per-VM
+/// demand bookkeeping. Static structure (configuration, PM/VM count,
+/// specs, nominal fractions) is rebuilt deterministically by the caller
+/// before restoring, and `restore` validates that the topology matches.
+/// Cached PM aggregates are recomputed exactly at the end of restore,
+/// mirroring what [`DataCenter::step`] does each round.
+impl Checkpointable for DataCenter {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.round);
+        w.put_u64(self.total_migrations);
+        w.put_f64(self.total_migration_energy_j);
+        w.put_usize(self.pending_wake_ups);
+        w.put_usize(self.pending_migrations.len());
+        for m in &self.pending_migrations {
+            w.put_u64(m.round);
+            w.put_u32(m.vm.0);
+            w.put_u32(m.from.0);
+            w.put_u32(m.to.0);
+            w.put_f64(m.tau_s);
+            w.put_f64(m.energy_j);
+        }
+        w.put_usize(self.pms.len());
+        for pm in &self.pms {
+            w.put_bool(pm.is_active());
+            w.put_u64(pm.active_rounds);
+            w.put_u64(pm.saturated_rounds);
+            w.put_usize(pm.vms.len());
+            for vm in &pm.vms {
+                w.put_u32(vm.0);
+            }
+        }
+        w.put_usize(self.vms.len());
+        for vm in &self.vms {
+            w.put_f64(vm.current.cpu());
+            w.put_f64(vm.current.mem());
+            w.put_u64(vm.avg.count());
+            w.put_f64(vm.avg.value().cpu());
+            w.put_f64(vm.avg.value().mem());
+            match vm.host {
+                None => w.put_bool(false),
+                Some(h) => {
+                    w.put_bool(true);
+                    w.put_u32(h.0);
+                }
+            }
+            w.put_f64(vm.cpu_requested_mips_s);
+            w.put_f64(vm.cpu_degraded_mips_s);
+            w.put_u32(vm.migrations);
+            w.put_bool(vm.departed);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let round = r.get_u64()?;
+        let total_migrations = r.get_u64()?;
+        let total_migration_energy_j = r.get_f64()?;
+        let pending_wake_ups = r.get_usize()?;
+        let n_pending = r.get_usize()?;
+        let mut pending_migrations = Vec::with_capacity(n_pending.min(1 << 20));
+        for _ in 0..n_pending {
+            pending_migrations.push(MigrationRecord {
+                round: r.get_u64()?,
+                vm: VmId(r.get_u32()?),
+                from: PmId(r.get_u32()?),
+                to: PmId(r.get_u32()?),
+                tau_s: r.get_f64()?,
+                energy_j: r.get_f64()?,
+            });
+        }
+
+        let n_pms = r.get_usize()?;
+        if n_pms != self.pms.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_pms} PMs, world has {}",
+                self.pms.len()
+            )));
+        }
+        let n_vms_total = self.vms.len();
+        for pm in &mut self.pms {
+            pm.power = if r.get_bool()? {
+                PowerState::Active
+            } else {
+                PowerState::Sleeping
+            };
+            pm.active_rounds = r.get_u64()?;
+            pm.saturated_rounds = r.get_u64()?;
+            let n = r.get_usize()?;
+            let mut vms = Vec::with_capacity(n.min(n_vms_total));
+            for _ in 0..n {
+                let id = r.get_u32()?;
+                if id as usize >= n_vms_total {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "snapshot references VM {id} beyond world size {n_vms_total}"
+                    )));
+                }
+                vms.push(VmId(id));
+            }
+            pm.vms = vms;
+        }
+
+        let n_vms = r.get_usize()?;
+        if n_vms != n_vms_total {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_vms} VMs, world has {n_vms_total}"
+            )));
+        }
+        let n_pms_total = self.pms.len();
+        for vm in &mut self.vms {
+            vm.current = Resources::new(r.get_f64()?, r.get_f64()?);
+            let count = r.get_u64()?;
+            vm.avg = crate::resources::RunningAvg::from_parts(
+                count,
+                Resources::new(r.get_f64()?, r.get_f64()?),
+            );
+            vm.host = if r.get_bool()? {
+                let id = r.get_u32()?;
+                if id as usize >= n_pms_total {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "snapshot references PM {id} beyond world size {n_pms_total}"
+                    )));
+                }
+                Some(PmId(id))
+            } else {
+                None
+            };
+            vm.cpu_requested_mips_s = r.get_f64()?;
+            vm.cpu_degraded_mips_s = r.get_f64()?;
+            vm.migrations = r.get_u32()?;
+            vm.departed = r.get_bool()?;
+        }
+
+        self.round = round;
+        self.total_migrations = total_migrations;
+        self.total_migration_energy_j = total_migration_energy_j;
+        self.pending_wake_ups = pending_wake_ups;
+        self.pending_migrations = pending_migrations;
+
+        // Recompute cached PM aggregates exactly, as `step` does.
+        let mut current = vec![Resources::ZERO; self.pms.len()];
+        let mut avg = vec![Resources::ZERO; self.pms.len()];
+        for vm in &self.vms {
+            if let Some(host) = vm.host {
+                current[host.index()] += vm.current;
+                avg[host.index()] += vm.avg.value();
+            }
+        }
+        for (pm, (c, a)) in self.pms.iter_mut().zip(current.into_iter().zip(avg)) {
+            pm.set_aggregates(c, a);
+        }
+        self.check_invariants().map_err(SnapshotError::Corrupt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,5 +837,70 @@ mod tests {
         let mut dc = small_dc(2, 1);
         dc.place(VmId(0), PmId(0));
         assert!(dc.check_invariants().is_ok());
+    }
+
+    fn demand(vm: VmId, round: u64) -> Resources {
+        let x = (f64::from(vm.0) + 1.0) * (round as f64 + 1.0) * 0.37 % 1.0;
+        Resources::new(x, x * 0.5)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let mut a = small_dc(4, 10);
+        a.random_placement(&mut SmallRng::seed_from_u64(3));
+        for _ in 0..5 {
+            a.step(&mut demand);
+        }
+        let from = a.vm(VmId(0)).host.unwrap();
+        let to = PmId((from.0 + 1) % 4);
+        a.migrate(VmId(0), to).unwrap();
+        a.remove_vm(VmId(9));
+        let empty = a.pms().find(|p| p.is_empty()).map(|p| p.id);
+        if let Some(empty) = empty {
+            a.sleep_if_empty(empty);
+        }
+
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restore into a freshly built (same-topology) world.
+        let mut b = small_dc(4, 10);
+        b.restore(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        b.save(&mut w2);
+        assert_eq!(
+            w2.into_bytes(),
+            bytes,
+            "save→restore→save must be identical"
+        );
+        assert_eq!(b.round(), a.round());
+        assert_eq!(b.total_migrations(), a.total_migrations());
+
+        // Both worlds evolve identically from here.
+        for _ in 0..5 {
+            a.step(&mut demand);
+            b.step(&mut demand);
+        }
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        a.save(&mut wa);
+        b.save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_topology_mismatch() {
+        let mut a = small_dc(4, 10);
+        a.random_placement(&mut SmallRng::seed_from_u64(3));
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut wrong = small_dc(8, 10);
+        assert!(matches!(
+            wrong.restore(&mut Reader::new(&bytes)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        let mut wrong_vms = small_dc(4, 11);
+        assert!(wrong_vms.restore(&mut Reader::new(&bytes)).is_err());
     }
 }

@@ -25,6 +25,7 @@ use glap_cluster::{DataCenter, PmId, Resources, VmId};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use glap_qlearn::{PmState, QTablePair, VmAction};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -516,6 +517,164 @@ impl ConsolidationPolicy for GlapPolicy {
             self.exchange(dc, net, p, q, tracer);
         }
     }
+
+    /// Serializes every piece of mutable policy state: the table store,
+    /// the overlay views, ablation switches, re-training bookkeeping, an
+    /// open learning window if any, and the crash/rack caches. `cfg` is
+    /// *not* serialized — a resumed run reconstructs the policy from the
+    /// scenario's configuration, and the overlay parameters are
+    /// cross-checked during restore.
+    fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.overlay.len());
+        match &self.store {
+            TableStore::Shared(t) => {
+                w.put_u8(0);
+                t.save(w);
+            }
+            TableStore::PerPm(tables) => {
+                w.put_u8(1);
+                w.put_usize(tables.len());
+                for t in tables {
+                    t.save(w);
+                }
+            }
+        }
+        self.overlay.save(w);
+        w.put_bool(self.disable_in_veto);
+        w.put_bool(self.current_state_only);
+        w.put_u64(self.vetoes);
+        match &self.retrain {
+            None => w.put_bool(false),
+            Some(rt) => {
+                w.put_bool(true);
+                w.put_usize(rt.churn_threshold);
+                match rt.interval {
+                    None => w.put_bool(false),
+                    Some(iv) => {
+                        w.put_bool(true);
+                        w.put_u64(iv);
+                    }
+                }
+                w.put_usize(rt.learning_window);
+            }
+        }
+        w.put_usize(self.churn_since_training);
+        w.put_u64(self.rounds_since_training);
+        w.put_u64(self.retrainings);
+        match &self.online {
+            None => w.put_bool(false),
+            Some(ol) => {
+                w.put_bool(true);
+                w.put_usize(ol.tables.len());
+                for t in &ol.tables {
+                    t.save(w);
+                }
+                w.put_usize(ol.rounds_left);
+            }
+        }
+        w.put_bool(self.rack_aware);
+        w.put_usize(self.rack_occupancy.len());
+        for &c in &self.rack_occupancy {
+            w.put_usize(c);
+        }
+        w.put_bool_slice(&self.crashed);
+    }
+
+    /// Restores into a freshly constructed policy (same `GlapConfig`).
+    /// Replaces [`ConsolidationPolicy::init`]: the overlay is rebuilt at
+    /// the checkpointed size and then overwritten with the saved views.
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        let store = match r.get_u8()? {
+            0 => {
+                let mut t = QTablePair::default();
+                t.restore(r)?;
+                TableStore::Shared(Box::new(t))
+            }
+            1 => {
+                let k = r.get_usize()?;
+                let mut tables = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let mut t = QTablePair::default();
+                    t.restore(r)?;
+                    tables.push(t);
+                }
+                TableStore::PerPm(tables)
+            }
+            tag => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown table-store tag {tag}"
+                )))
+            }
+        };
+        let mut overlay = CyclonOverlay::new(n, self.cfg.cyclon_cache, self.cfg.cyclon_shuffle);
+        overlay.restore(r)?;
+        let disable_in_veto = r.get_bool()?;
+        let current_state_only = r.get_bool()?;
+        let vetoes = r.get_u64()?;
+        let retrain = if r.get_bool()? {
+            let churn_threshold = r.get_usize()?;
+            let interval = if r.get_bool()? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+            let learning_window = r.get_usize()?;
+            Some(RetrainConfig {
+                churn_threshold,
+                interval,
+                learning_window,
+            })
+        } else {
+            None
+        };
+        let churn_since_training = r.get_usize()?;
+        let rounds_since_training = r.get_u64()?;
+        let retrainings = r.get_u64()?;
+        let online = if r.get_bool()? {
+            let k = r.get_usize()?;
+            let mut tables = Vec::with_capacity(k);
+            for _ in 0..k {
+                let mut t = QTablePair::default();
+                t.restore(r)?;
+                tables.push(t);
+            }
+            let rounds_left = r.get_usize()?;
+            Some(OnlineLearning {
+                tables,
+                rounds_left,
+            })
+        } else {
+            None
+        };
+        let rack_aware = r.get_bool()?;
+        let k = r.get_usize()?;
+        let mut rack_occupancy = Vec::with_capacity(k);
+        for _ in 0..k {
+            rack_occupancy.push(r.get_usize()?);
+        }
+        let crashed = r.get_bool_slice()?;
+        if crashed.len() != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "crash map covers {} PMs, overlay has {n}",
+                crashed.len()
+            )));
+        }
+        self.store = store;
+        self.overlay = overlay;
+        self.disable_in_veto = disable_in_veto;
+        self.current_state_only = current_state_only;
+        self.vetoes = vetoes;
+        self.retrain = retrain;
+        self.churn_since_training = churn_since_training;
+        self.rounds_since_training = rounds_since_training;
+        self.retrainings = retrainings;
+        self.online = online;
+        self.rack_aware = rack_aware;
+        self.rack_occupancy = rack_occupancy;
+        self.crashed = crashed;
+        Ok(())
+    }
 }
 
 /// Builds a fully random dummy-trained table for tests/examples that need
@@ -794,6 +953,95 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn checkpointed_policy_resumes_byte_identically() {
+        use glap_dcsim::{run_simulation_resumable, SimRng};
+
+        let trace = |vm: VmId, r: u64| {
+            Resources::splat((0.2 + 0.1 * ((vm.0 + r as u32) % 5) as f64).min(1.0))
+        };
+        // interval 8, window 3: a learning window is open at round 9, so
+        // the snapshot exercises the in-flight OnlineLearning state too.
+        let retrain = RetrainConfig {
+            churn_threshold: 10_000,
+            interval: Some(8),
+            learning_window: 3,
+        };
+        let run_rounds =
+            |policy: &mut GlapPolicy, dc: &mut DataCenter, rng: &mut SimRng, rounds, call_init| {
+                let mut net = NetworkModel::ideal(dc.n_pms());
+                let mut t = trace;
+                run_simulation_resumable(
+                    dc,
+                    &mut t,
+                    policy,
+                    &mut [],
+                    rounds,
+                    &mut net,
+                    &Tracer::off(),
+                    rng,
+                    call_init,
+                    0,
+                    &mut |_| Ok(()),
+                )
+                .unwrap();
+            };
+
+        // Uninterrupted reference: 20 rounds.
+        let mut dc_a = setup(15, 3, 21);
+        let mut pol_a = trained_policy(21);
+        pol_a.retrain = Some(retrain);
+        let mut rng_a = stream_rng(21, Stream::Policy);
+        run_rounds(&mut pol_a, &mut dc_a, &mut rng_a, 20, true);
+
+        // Interrupted at round 9 (learning window open), policy state
+        // carried across the gap as bytes only.
+        let mut dc_b = setup(15, 3, 21);
+        let mut pol_b = trained_policy(21);
+        pol_b.retrain = Some(retrain);
+        let mut rng_b = stream_rng(21, Stream::Policy);
+        run_rounds(&mut pol_b, &mut dc_b, &mut rng_b, 9, true);
+
+        let mut w = Writer::new();
+        pol_b.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Fresh policy with a *different* synthetic table: every piece of
+        // state must come from the snapshot.
+        let mut pol_c = trained_policy(999);
+        pol_c
+            .restore_state(&mut glap_snapshot::Reader::new(&bytes))
+            .unwrap();
+        assert!(pol_c.online.is_some(), "learning window survives");
+
+        // Immediate re-save is byte-identical.
+        let mut w2 = Writer::new();
+        pol_c.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Resume without init for the remaining 11 rounds.
+        run_rounds(&mut pol_c, &mut dc_b, &mut rng_b, 11, false);
+        assert_eq!(
+            dc_a.vms().map(|v| v.host).collect::<Vec<_>>(),
+            dc_b.vms().map(|v| v.host).collect::<Vec<_>>()
+        );
+        assert_eq!(dc_a.active_pm_count(), dc_b.active_pm_count());
+        assert_eq!(pol_a.vetoes, pol_c.vetoes);
+        assert_eq!(pol_a.retrainings, pol_c.retrainings);
+    }
+
+    #[test]
+    fn restore_rejects_unknown_table_store_tag() {
+        let mut w = Writer::new();
+        w.put_usize(4);
+        w.put_u8(7); // no such store
+        let mut pol = trained_policy(1);
+        assert!(matches!(
+            pol.restore_state(&mut glap_snapshot::Reader::new(w.bytes())),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! sent away.
 
 use crate::descriptor::{Descriptor, NodeId};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -184,6 +185,54 @@ impl CyclonNode {
         }
         debug_assert!(self.cache.len() <= self.cache_size);
         debug_assert!(self.cache.iter().all(|d| d.node != self.id));
+    }
+}
+
+/// Checkpointing a node captures its cache *in order* (shuffle-target
+/// selection and replacement depend on slot order) plus the static
+/// parameters, which `restore` validates against the receiving node.
+impl Checkpointable for CyclonNode {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.id);
+        w.put_usize(self.cache_size);
+        w.put_usize(self.shuffle_len);
+        w.put_usize(self.cache.len());
+        for d in &self.cache {
+            w.put_u32(d.node);
+            w.put_u32(d.age);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let id = r.get_u32()?;
+        let cache_size = r.get_usize()?;
+        let shuffle_len = r.get_usize()?;
+        if id != self.id || cache_size != self.cache_size || shuffle_len != self.shuffle_len {
+            return Err(SnapshotError::Corrupt(format!(
+                "cyclon node mismatch: snapshot ({id}, c={cache_size}, l={shuffle_len}) \
+                 vs world ({}, c={}, l={})",
+                self.id, self.cache_size, self.shuffle_len
+            )));
+        }
+        let n = r.get_usize()?;
+        if n > cache_size {
+            return Err(SnapshotError::Corrupt(format!(
+                "cyclon node {id} cache holds {n} > size {cache_size}"
+            )));
+        }
+        let mut cache = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = r.get_u32()?;
+            let age = r.get_u32()?;
+            if node == id || cache.iter().any(|d: &Descriptor| d.node == node) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "cyclon node {id} cache has self-pointer or duplicate {node}"
+                )));
+            }
+            cache.push(Descriptor { node, age });
+        }
+        self.cache = cache;
+        Ok(())
     }
 }
 

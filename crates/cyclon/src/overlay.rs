@@ -8,6 +8,7 @@
 
 use crate::descriptor::NodeId;
 use crate::node::CyclonNode;
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -248,6 +249,38 @@ impl CyclonOverlay {
     }
 }
 
+impl Checkpointable for CyclonOverlay {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.nodes.len());
+        w.put_bool_slice(&self.alive);
+        for node in &self.nodes {
+            node.save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        if n != self.nodes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "overlay has {n} nodes in snapshot, {} in world",
+                self.nodes.len()
+            )));
+        }
+        let alive = r.get_bool_slice()?;
+        if alive.len() != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "overlay alive vector has {} entries for {n} nodes",
+                alive.len()
+            )));
+        }
+        for node in &mut self.nodes {
+            node.restore(r)?;
+        }
+        self.alive = alive;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +387,50 @@ mod tests {
     fn single_node_overlay_is_trivially_connected() {
         let o = CyclonOverlay::new(1, 4, 2);
         assert!(o.is_connected());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let (mut a, mut rng) = overlay(40);
+        a.set_dead(5);
+        for _ in 0..10 {
+            a.run_round(&mut rng);
+        }
+
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = CyclonOverlay::new(40, 8, 4);
+        b.restore(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        b.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        assert!(!b.is_alive(5));
+
+        // Identical evolution from identical RNG state.
+        let mut rng_b = rng.clone();
+        for _ in 0..10 {
+            a.run_round(&mut rng);
+            b.run_round(&mut rng_b);
+        }
+        for i in 0..40u32 {
+            let na: Vec<NodeId> = a.node(i).neighbors().collect();
+            let nb: Vec<NodeId> = b.node(i).neighbors().collect();
+            assert_eq!(na, nb, "node {i} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_overlay() {
+        let (a, _) = overlay(40);
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut wrong_n = CyclonOverlay::new(41, 8, 4);
+        assert!(wrong_n.restore(&mut Reader::new(&bytes)).is_err());
+        let mut wrong_cache = CyclonOverlay::new(40, 9, 4);
+        assert!(wrong_cache.restore(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

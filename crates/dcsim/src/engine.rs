@@ -10,6 +10,7 @@
 use crate::net::NetworkModel;
 use crate::rng::{stream_rng, SimRng, Stream};
 use glap_cluster::{DataCenter, DemandSource};
+use glap_snapshot::{Reader, SnapshotError, Writer};
 use glap_telemetry::{Phase, Tracer};
 
 /// Everything a policy sees during one round, in one place.
@@ -52,6 +53,22 @@ pub trait ConsolidationPolicy {
 
     /// One simulated round.
     fn round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Serializes the policy's internal state (Q-tables, overlay views,
+    /// history windows, …) into a checkpoint record. Stateless policies
+    /// keep the default, which writes nothing.
+    fn save_state(&self, w: &mut Writer) {
+        let _ = w;
+    }
+
+    /// Restores state previously written by
+    /// [`ConsolidationPolicy::save_state`] into a freshly constructed
+    /// policy. Must consume exactly the bytes `save_state` wrote and fail
+    /// with a typed error — never a partial load — on malformed input.
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A metrics consumer notified at the end of every round.
@@ -132,10 +149,83 @@ pub fn run_simulation_traced<D, P>(
     P: ConsolidationPolicy + ?Sized,
 {
     let mut rng = stream_rng(master_seed, Stream::Policy);
+    run_simulation_resumable(
+        dc,
+        trace,
+        policy,
+        observers,
+        rounds,
+        net,
+        tracer,
+        &mut rng,
+        true,
+        0,
+        &mut |_| Ok(()),
+    )
+    .expect("no checkpoint hook attached, the run cannot fail");
+}
+
+/// Borrowed view of the complete mid-run simulation state, handed to the
+/// checkpoint callback of [`run_simulation_resumable`] after a round
+/// fully completed (observers notified, counters snapshotted). Everything
+/// a resumed run needs is reachable from here; the callback decides the
+/// container format and storage.
+pub struct CheckpointArgs<'a> {
+    /// Rounds completed so far (equals `dc.round()`): a resumed run has
+    /// `total_rounds - round` rounds left to simulate.
+    pub round: u64,
+    /// The world, mid-run.
+    pub dc: &'a DataCenter,
+    /// The network model, including its fault-stream RNG cursor.
+    pub net: &'a NetworkModel,
+    /// The policy-stream RNG cursor.
+    pub rng: &'a SimRng,
+    /// The tracer whose counters/round/seq belong in the checkpoint.
+    pub tracer: &'a Tracer,
+    /// The policy's serialized internal state
+    /// ([`ConsolidationPolicy::save_state`]).
+    pub policy_state: &'a [u8],
+}
+
+/// The resumable core every `run_simulation*` entry point delegates to.
+///
+/// Compared to [`run_simulation_traced`] it takes the policy-stream RNG
+/// explicitly (a resumed run restores its exact cursor instead of
+/// re-deriving it from the master seed), lets the caller skip
+/// [`ConsolidationPolicy::init`] (`call_init = false` when the policy's
+/// state came from a checkpoint), and invokes `checkpoint` after every
+/// round where `dc.round().is_multiple_of(checkpoint_every)`. The cadence is keyed
+/// on the *absolute* round counter, so an interrupted run and its resumed
+/// continuation checkpoint at identical rounds — a prerequisite for the
+/// byte-identity contract (the checkpoint event/counters are part of the
+/// traced stream).
+///
+/// With `checkpoint_every = 0` the callback never runs and this is
+/// exactly the historical engine loop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_resumable<D, P>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    policy: &mut P,
+    observers: &mut [&mut dyn Observer],
+    rounds: u64,
+    net: &mut NetworkModel,
+    tracer: &Tracer,
+    rng: &mut SimRng,
+    call_init: bool,
+    checkpoint_every: u64,
+    checkpoint: &mut dyn FnMut(&CheckpointArgs<'_>) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError>
+where
+    D: DemandSource + ?Sized,
+    P: ConsolidationPolicy + ?Sized,
+{
     net.set_tracer(tracer.clone());
     dc.set_tracer(tracer.clone());
     tracer.set_phase(Phase::Run);
-    policy.init(dc, &mut rng);
+    if call_init {
+        policy.init(dc, rng);
+    }
     for _ in 0..rounds {
         let round = dc.round();
         tracer.begin_round(round);
@@ -143,10 +233,10 @@ pub fn run_simulation_traced<D, P>(
         net.begin_round(round);
         let mut ctx = RoundCtx {
             round,
-            dc,
-            rng: &mut rng,
+            dc: &mut *dc,
+            rng: &mut *rng,
             churn_events: 0,
-            net,
+            net: &mut *net,
             tracer,
         };
         policy.round(&mut ctx);
@@ -155,8 +245,21 @@ pub fn run_simulation_traced<D, P>(
             obs.on_round_end(round, dc);
         }
         tracer.end_round();
+        if checkpoint_every > 0 && dc.round().is_multiple_of(checkpoint_every) {
+            let mut policy_state = Writer::new();
+            policy.save_state(&mut policy_state);
+            checkpoint(&CheckpointArgs {
+                round: dc.round(),
+                dc,
+                net,
+                rng,
+                tracer,
+                policy_state: policy_state.bytes(),
+            })?;
+        }
     }
     tracer.flush();
+    Ok(())
 }
 
 /// A policy that does nothing — the "no consolidation" control.
@@ -279,6 +382,183 @@ mod tests {
             dc.vms().map(|v| v.host).collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// A policy that consumes policy-stream randomness every round and
+    /// carries internal state, so resume bugs in any of the four state
+    /// carriers (world, network, RNG cursor, policy) surface as diffs.
+    struct JigglePolicy {
+        moves: u64,
+    }
+
+    impl ConsolidationPolicy for JigglePolicy {
+        fn name(&self) -> &'static str {
+            "jiggle"
+        }
+
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            use rand::Rng;
+            let vm = VmId(ctx.rng.gen_range(0..ctx.dc.n_vms() as u32));
+            if ctx.net.request(0, 1).is_ok() {
+                let from = ctx.dc.vm(vm).host;
+                let to = ctx.dc.active_pm_ids().find(|&p| Some(p) != from);
+                if let Some(to) = to {
+                    if ctx.dc.migrate(vm, to).is_ok() {
+                        self.moves += 1;
+                    }
+                }
+            }
+        }
+
+        fn save_state(&self, w: &mut Writer) {
+            w.put_u64(self.moves);
+        }
+
+        fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+            self.moves = r.get_u64()?;
+            Ok(())
+        }
+    }
+
+    fn world_fingerprint(dc: &DataCenter) -> (u64, Vec<Option<glap_cluster::PmId>>, Vec<f64>) {
+        (
+            dc.round(),
+            dc.vms().map(|v| v.host).collect(),
+            dc.pms().map(|p| p.demand().cpu()).collect(),
+        )
+    }
+
+    #[test]
+    fn interrupted_resume_matches_uninterrupted_run() {
+        use glap_snapshot::{Checkpointable, Snapshot, SnapshotBuilder};
+
+        let trace = |vm: VmId, r: u64| Resources::splat(((vm.0 as f64 + r as f64) % 9.0) / 10.0);
+        let profile = FaultProfile::faulty(0.1, 0.01, 0.3);
+
+        // Reference: 12 uninterrupted rounds, checkpointing (to memory)
+        // every 5 so the checkpoint cadence itself is identical.
+        let mut snapshots: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut dc = dc_with_vms(4, 8);
+        let mut net = NetworkModel::new(4, profile.clone(), 7);
+        let mut policy = JigglePolicy { moves: 0 };
+        let mut rng = stream_rng(7, Stream::Policy);
+        let mut trace_fn = trace;
+        run_simulation_resumable(
+            &mut dc,
+            &mut trace_fn,
+            &mut policy,
+            &mut [],
+            12,
+            &mut net,
+            &Tracer::off(),
+            &mut rng,
+            true,
+            5,
+            &mut |args| {
+                let mut b = SnapshotBuilder::new();
+                let mut w = Writer::new();
+                args.dc.save(&mut w);
+                b.section("dc", w);
+                let mut w = Writer::new();
+                args.net.save(&mut w);
+                b.section("net", w);
+                let mut w = Writer::new();
+                crate::rng::save_rng(args.rng, &mut w);
+                b.section("rng", w);
+                let mut w = Writer::new();
+                w.put_bytes(args.policy_state);
+                b.section("policy", w);
+                snapshots.push((args.round, b.encode()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            snapshots.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![5, 10],
+            "cadence is keyed on the absolute round counter"
+        );
+        let reference = world_fingerprint(&dc);
+        let reference_moves = policy.moves;
+        let reference_stats = net.stats;
+
+        // Resume from the round-5 checkpoint into freshly built state and
+        // run the remaining 7 rounds.
+        let snap = Snapshot::decode(&snapshots[0].1).unwrap();
+        let mut dc2 = dc_with_vms(4, 8);
+        dc2.restore(&mut snap.section("dc").unwrap()).unwrap();
+        let mut net2 = NetworkModel::new(4, profile, 999);
+        net2.restore(&mut snap.section("net").unwrap()).unwrap();
+        let mut rng2 = crate::rng::restore_rng(&mut snap.section("rng").unwrap()).unwrap();
+        let mut policy2 = JigglePolicy { moves: 0 };
+        let policy_bytes = snap.section("policy").unwrap().get_bytes().unwrap();
+        policy2
+            .restore_state(&mut Reader::new(&policy_bytes))
+            .unwrap();
+        assert_eq!(dc2.round(), 5);
+
+        let mut trace_fn = trace;
+        run_simulation_resumable(
+            &mut dc2,
+            &mut trace_fn,
+            &mut policy2,
+            &mut [],
+            7,
+            &mut net2,
+            &Tracer::off(),
+            &mut rng2,
+            false,
+            5,
+            &mut |args| {
+                // The resumed run's round-10 checkpoint must be byte-equal
+                // to the uninterrupted run's.
+                assert_eq!(args.round, 10);
+                let mut b = SnapshotBuilder::new();
+                let mut w = Writer::new();
+                args.dc.save(&mut w);
+                b.section("dc", w);
+                let mut w = Writer::new();
+                args.net.save(&mut w);
+                b.section("net", w);
+                let mut w = Writer::new();
+                crate::rng::save_rng(args.rng, &mut w);
+                b.section("rng", w);
+                let mut w = Writer::new();
+                w.put_bytes(args.policy_state);
+                b.section("policy", w);
+                assert_eq!(b.encode(), snapshots[1].1);
+                Ok(())
+            },
+        )
+        .unwrap();
+
+        assert_eq!(world_fingerprint(&dc2), reference);
+        assert_eq!(policy2.moves, reference_moves);
+        assert_eq!(net2.stats, reference_stats);
+    }
+
+    #[test]
+    fn checkpoint_errors_abort_the_run() {
+        let mut dc = dc_with_vms(3, 3);
+        let mut trace = |_: VmId, _: u64| Resources::splat(0.2);
+        let mut policy = NoopPolicy;
+        let mut net = NetworkModel::ideal(3);
+        let mut rng = stream_rng(1, Stream::Policy);
+        let err = run_simulation_resumable(
+            &mut dc,
+            &mut trace,
+            &mut policy,
+            &mut [],
+            10,
+            &mut net,
+            &Tracer::off(),
+            &mut rng,
+            true,
+            4,
+            &mut |_| Err(SnapshotError::Corrupt("disk full".into())),
+        );
+        assert!(err.is_err());
+        assert_eq!(dc.round(), 4, "the run stopped at the failing checkpoint");
     }
 
     #[test]

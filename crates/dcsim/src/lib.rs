@@ -37,20 +37,20 @@ pub mod net;
 pub mod rng;
 
 pub use engine::{
-    run_simulation, run_simulation_traced, run_simulation_with_net, ConsolidationPolicy,
-    NoopPolicy, Observer, RoundCtx,
+    run_simulation, run_simulation_resumable, run_simulation_traced, run_simulation_with_net,
+    CheckpointArgs, ConsolidationPolicy, NoopPolicy, Observer, RoundCtx,
 };
 pub use event::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel};
 pub use net::{Delivery, FaultProfile, LinkLatency, NetStats, NetworkModel};
-pub use rng::{node_rng, splitmix64, stream_rng, SimRng, Stream};
+pub use rng::{node_rng, restore_rng, save_rng, splitmix64, stream_rng, SimRng, Stream};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::engine::{
-        run_simulation, run_simulation_traced, run_simulation_with_net, ConsolidationPolicy,
-        NoopPolicy, Observer, RoundCtx,
+        run_simulation, run_simulation_resumable, run_simulation_traced, run_simulation_with_net,
+        CheckpointArgs, ConsolidationPolicy, NoopPolicy, Observer, RoundCtx,
     };
     pub use crate::event::{EdContext, EdEvent, EdNode, EdNodeId, EventEngine, LatencyModel};
     pub use crate::net::{Delivery, FaultProfile, LinkLatency, NetStats, NetworkModel};
-    pub use crate::rng::{node_rng, stream_rng, SimRng, Stream};
+    pub use crate::rng::{node_rng, restore_rng, save_rng, stream_rng, SimRng, Stream};
 }

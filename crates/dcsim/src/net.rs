@@ -425,6 +425,99 @@ impl NetworkModel {
     }
 }
 
+impl glap_snapshot::Checkpointable for NetworkModel {
+    /// Serializes the full dynamic network state: fault profile, node
+    /// liveness, message counters and the exact fault-stream RNG cursor.
+    /// The tracer is *not* part of the record — the caller re-attaches it.
+    fn save(&self, w: &mut glap_snapshot::Writer) {
+        w.put_f64(self.profile.drop_prob);
+        w.put_u64(self.profile.latency.min_ms);
+        w.put_u64(self.profile.latency.max_ms);
+        w.put_u64(self.profile.timeout_ms);
+        w.put_f64(self.profile.crash_rate);
+        w.put_f64(self.profile.recovery_rate);
+        for schedule in [
+            &self.profile.crash_schedule,
+            &self.profile.recovery_schedule,
+        ] {
+            w.put_usize(schedule.len());
+            for &(round, node) in schedule {
+                w.put_u64(round);
+                w.put_u32(node);
+            }
+        }
+        w.put_bool_slice(&self.up);
+        w.put_u64(self.stats.attempts);
+        w.put_u64(self.stats.delivered);
+        w.put_u64(self.stats.dropped);
+        w.put_u64(self.stats.timed_out);
+        w.put_u64(self.stats.to_down);
+        w.put_u64(self.stats.crashes);
+        w.put_u64(self.stats.recoveries);
+        crate::rng::save_rng(&self.rng, w);
+    }
+
+    /// Restores into a network built for the same cluster: the node count
+    /// must match the snapshot or restore fails with
+    /// [`glap_snapshot::SnapshotError::Corrupt`]. The profile is taken
+    /// from the snapshot and `is_ideal` recomputed from it, so delivery
+    /// behaviour resumes exactly as saved.
+    fn restore(
+        &mut self,
+        r: &mut glap_snapshot::Reader<'_>,
+    ) -> Result<(), glap_snapshot::SnapshotError> {
+        let drop_prob = r.get_f64()?;
+        let min_ms = r.get_u64()?;
+        let max_ms = r.get_u64()?;
+        let timeout_ms = r.get_u64()?;
+        let crash_rate = r.get_f64()?;
+        let recovery_rate = r.get_f64()?;
+        let mut schedules = [Vec::new(), Vec::new()];
+        for schedule in &mut schedules {
+            let n = r.get_usize()?;
+            schedule.reserve(n);
+            for _ in 0..n {
+                let round = r.get_u64()?;
+                let node = r.get_u32()?;
+                schedule.push((round, node));
+            }
+        }
+        let [crash_schedule, recovery_schedule] = schedules;
+        let up = r.get_bool_slice()?;
+        if up.len() != self.up.len() {
+            return Err(glap_snapshot::SnapshotError::Corrupt(format!(
+                "network snapshot has {} nodes, world has {}",
+                up.len(),
+                self.up.len()
+            )));
+        }
+        let stats = NetStats {
+            attempts: r.get_u64()?,
+            delivered: r.get_u64()?,
+            dropped: r.get_u64()?,
+            timed_out: r.get_u64()?,
+            to_down: r.get_u64()?,
+            crashes: r.get_u64()?,
+            recoveries: r.get_u64()?,
+        };
+        let rng = crate::rng::restore_rng(r)?;
+        self.profile = FaultProfile {
+            drop_prob,
+            latency: LinkLatency { min_ms, max_ms },
+            timeout_ms,
+            crash_rate,
+            recovery_rate,
+            crash_schedule,
+            recovery_schedule,
+        };
+        self.ideal = self.profile.is_ideal();
+        self.up = up;
+        self.stats = stats;
+        self.rng = rng;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +637,62 @@ mod tests {
             "no timeouts despite 200..800ms round trips vs 450ms budget"
         );
         assert_eq!(net.stats.timed_out, timed_out);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        use glap_snapshot::{Checkpointable, Reader, Writer};
+        let profile = FaultProfile {
+            crash_schedule: vec![(30, 2)],
+            ..FaultProfile::faulty(0.2, 0.02, 0.2)
+        };
+        let mut net = NetworkModel::new(10, profile.clone(), 5);
+        for round in 0..25 {
+            net.begin_round(round);
+            for i in 0..10u32 {
+                net.request(i, (i + 1) % 10);
+            }
+        }
+
+        let mut w = Writer::new();
+        net.save(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restore into a freshly built world (different seed: every field
+        // must come from the snapshot, not the constructor).
+        let mut twin = NetworkModel::new(10, FaultProfile::none(), 999);
+        twin.restore(&mut Reader::new(&bytes)).unwrap();
+
+        // Immediate re-save is byte-identical.
+        let mut w2 = Writer::new();
+        twin.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Continuing both produces identical outcomes and stats —
+        // including the scripted crash still pending at round 30.
+        for round in 25..60 {
+            net.begin_round(round);
+            twin.begin_round(round);
+            for i in 0..10u32 {
+                assert_eq!(net.request(i, (i + 1) % 10), twin.request(i, (i + 1) % 10));
+            }
+        }
+        assert_eq!(net.stats, twin.stats);
+        assert!(net.stats.crashes > 0);
+    }
+
+    #[test]
+    fn restore_rejects_node_count_mismatch() {
+        use glap_snapshot::{Checkpointable, Reader, Writer};
+        let net = NetworkModel::new(10, FaultProfile::lossy(0.1), 5);
+        let mut w = Writer::new();
+        net.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = NetworkModel::new(11, FaultProfile::lossy(0.1), 5);
+        assert!(matches!(
+            other.restore(&mut Reader::new(&bytes)),
+            Err(glap_snapshot::SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

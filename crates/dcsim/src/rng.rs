@@ -72,6 +72,51 @@ pub fn node_rng(master_seed: u64, stream: Stream, node: u64) -> SimRng {
     rng
 }
 
+/// Serializes the exact cursor of a [`SimRng`] (key, block counter,
+/// stream id and mid-block position), so a restored generator continues
+/// the byte stream precisely where the original left off.
+pub fn save_rng(rng: &SimRng, w: &mut glap_snapshot::Writer) {
+    let s = rng.export_state();
+    for k in s.key {
+        w.put_u32(k);
+    }
+    w.put_u64(s.counter);
+    w.put_u64(s.stream);
+    for b in s.buf {
+        w.put_u32(b);
+    }
+    w.put_u32(s.idx);
+}
+
+/// Inverse of [`save_rng`].
+pub fn restore_rng(
+    r: &mut glap_snapshot::Reader<'_>,
+) -> Result<SimRng, glap_snapshot::SnapshotError> {
+    let mut key = [0u32; 8];
+    for k in &mut key {
+        *k = r.get_u32()?;
+    }
+    let counter = r.get_u64()?;
+    let stream = r.get_u64()?;
+    let mut buf = [0u32; 16];
+    for b in &mut buf {
+        *b = r.get_u32()?;
+    }
+    let idx = r.get_u32()?;
+    if idx > 16 {
+        return Err(glap_snapshot::SnapshotError::Corrupt(format!(
+            "rng buffer index {idx} out of range"
+        )));
+    }
+    Ok(SimRng::from_state(rand_chacha::ChaCha8State {
+        key,
+        counter,
+        stream,
+        buf,
+        idx,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +167,42 @@ mod tests {
         let mut a = stream_rng(7, Stream::Custom(0));
         let mut b = stream_rng(7, Stream::Custom(1));
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn saved_rng_resumes_mid_block() {
+        let mut rng = stream_rng(42, Stream::Policy);
+        // Advance to an odd position inside a ChaCha block so the
+        // mid-block cursor matters.
+        let mut junk = [0u8; 13];
+        rng.fill_bytes(&mut junk);
+
+        let mut w = glap_snapshot::Writer::new();
+        save_rng(&rng, &mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = glap_snapshot::Reader::new(&bytes);
+        let mut restored = restore_rng(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn restore_rng_rejects_bad_cursor() {
+        let mut rng = stream_rng(42, Stream::Policy);
+        rng.next_u64();
+        let mut w = glap_snapshot::Writer::new();
+        save_rng(&rng, &mut w);
+        let mut bytes = w.into_bytes();
+        // The trailing u32 is the buffer index; force it out of range.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&99u32.to_le_bytes());
+        let mut r = glap_snapshot::Reader::new(&bytes);
+        assert!(matches!(
+            restore_rng(&mut r),
+            Err(glap_snapshot::SnapshotError::Corrupt(_))
+        ));
     }
 }

@@ -1,16 +1,11 @@
 //! Runs the GLAP ablation variants (no in-veto, current-demand-only
 //! states, no aggregation phase) against the full protocol.
 
-use glap_experiments::{ablation_summary, parse_or_exit, run_grid, Algorithm};
+use glap_experiments::{ablation_summary, parse_or_exit, run_grid_with, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(
-        &cli.grid,
-        &Algorithm::ABLATION_SET,
-        cli.threads,
-        cli.verbose,
-    );
+    let results = run_grid_with(&cli.grid, &Algorithm::ABLATION_SET, &cli);
     let out = ablation_summary(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("ablations.csv");

@@ -4,8 +4,8 @@
 
 use glap_experiments::{
     ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
-    fig8_migrations, fig9_cumulative, parse_or_exit, run_grid, run_scenario_traced, table1_sla,
-    Algorithm,
+    fig8_migrations, fig9_cumulative, parse_or_exit, run_grid_with, run_scenario_traced,
+    table1_sla, Algorithm,
 };
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
         .expect("write CSV");
 
     // One grid run feeds Figures 6-10 and Table I.
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let stride = (cli.grid.rounds as usize / 36).max(1);
     let outputs = [
         ("fig6_packing.csv", fig6_packing(&results)),
@@ -54,12 +54,7 @@ fn main() {
     }
 
     // Ablations on the same grid shape.
-    let ab_results = run_grid(
-        &cli.grid,
-        &Algorithm::ABLATION_SET,
-        cli.threads,
-        cli.verbose,
-    );
+    let ab_results = run_grid_with(&cli.grid, &Algorithm::ABLATION_SET, &cli);
     let ab = ablation_summary(&ab_results);
     print!("\n{}", ab.render());
     ab.table

@@ -1,11 +1,11 @@
 //! Regenerates Figure 10: energy overhead of migrations (Eq. 3) per
 //! algorithm, size and ratio.
 
-use glap_experiments::{fig10_energy, parse_or_exit, run_grid, Algorithm};
+use glap_experiments::{fig10_energy, parse_or_exit, run_grid_with, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let out = fig10_energy(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("fig10_energy.csv");

@@ -1,11 +1,11 @@
 //! Regenerates Figure 6: fraction of overloaded / active PMs per
 //! algorithm, with the offline BFD packing baseline.
 
-use glap_experiments::{fig6_packing, parse_or_exit, run_grid, Algorithm};
+use glap_experiments::{fig6_packing, parse_or_exit, run_grid_with, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let out = fig6_packing(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("fig6_packing.csv");

@@ -1,11 +1,11 @@
 //! Regenerates Figure 7: number of overloaded PMs per round
 //! (p10 / median / p90 across rounds and repetitions).
 
-use glap_experiments::{fig7_overloaded, parse_or_exit, run_grid, Algorithm};
+use glap_experiments::{fig7_overloaded, parse_or_exit, run_grid_with, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let out = fig7_overloaded(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("fig7_overloaded.csv");

@@ -1,11 +1,11 @@
 //! Regenerates Figure 8: number of migrations per round
 //! (p10 / median / p90) and the mean run total.
 
-use glap_experiments::{fig8_migrations, parse_or_exit, run_grid, Algorithm};
+use glap_experiments::{fig8_migrations, parse_or_exit, run_grid_with, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let out = fig8_migrations(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("fig8_migrations.csv");

@@ -2,12 +2,12 @@
 //! one cluster size and all ratios.
 
 use glap_experiments::{
-    downsample, fig9_cumulative, parse_or_exit, run_grid, sparkline, Algorithm,
+    downsample, fig9_cumulative, parse_or_exit, run_grid_with, sparkline, Algorithm,
 };
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let size = cli.grid.sizes.first().copied().unwrap_or(1000);
     let stride = (cli.grid.rounds as usize / 36).max(1);
     let out = fig9_cumulative(&results, size, stride);

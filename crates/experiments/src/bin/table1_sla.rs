@@ -1,11 +1,11 @@
 //! Regenerates Table I: the SLAV metric for all cluster sizes and
 //! workload ratios.
 
-use glap_experiments::{parse_or_exit, run_grid, table1_sla, Algorithm};
+use glap_experiments::{parse_or_exit, run_grid_with, table1_sla, Algorithm};
 
 fn main() {
     let cli = parse_or_exit();
-    let results = run_grid(&cli.grid, &Algorithm::PAPER_SET, cli.threads, cli.verbose);
+    let results = run_grid_with(&cli.grid, &Algorithm::PAPER_SET, &cli);
     let out = table1_sla(&results);
     print!("{}", out.render());
     let path = cli.out_dir.join("table1_sla.csv");

@@ -1,7 +1,8 @@
 //! A small argument parser shared by the experiment binaries (kept
 //! in-repo — the approved dependency list has no CLI crate).
 
-use crate::scenario::Grid;
+use crate::runner::CheckpointOpts;
+use crate::scenario::{Algorithm, Grid};
 use glap_telemetry::{JsonlSink, Tracer};
 use std::path::PathBuf;
 
@@ -23,6 +24,17 @@ pub struct Cli {
     pub counters_out: Option<PathBuf>,
     /// Replay a JSONL trace (diagnose mode) instead of running scenarios.
     pub replay: Option<PathBuf>,
+    /// Write a snapshot every this many measured rounds (0 = off).
+    pub checkpoint_every: u64,
+    /// Directory for per-scenario checkpoint/`.done` files; sweeps with
+    /// this set skip finished cells and resume interrupted ones.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume a single-scenario run from this snapshot file.
+    pub resume: Option<PathBuf>,
+    /// Interrupt a single-scenario run after this many measured rounds.
+    pub stop_at_round: Option<u64>,
+    /// Algorithm override for single-scenario binaries.
+    pub algo: Option<Algorithm>,
 }
 
 impl Default for Cli {
@@ -35,6 +47,11 @@ impl Default for Cli {
             trace_out: None,
             counters_out: None,
             replay: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: None,
+            stop_at_round: None,
+            algo: None,
         }
     }
 }
@@ -75,6 +92,32 @@ impl Cli {
         hist.set_file_name(format!("{stem}_hist.csv"));
         std::fs::write(hist, tracer.histograms_csv())
     }
+
+    /// The checkpoint/resume options requested by the snapshot flags.
+    pub fn checkpoint_opts(&self) -> CheckpointOpts {
+        CheckpointOpts {
+            every: self.checkpoint_every,
+            dir: self.checkpoint_dir.clone(),
+            resume: self.resume.clone(),
+            stop_at_round: self.stop_at_round,
+        }
+    }
+}
+
+/// Parses an algorithm label (as printed by [`Algorithm::label`],
+/// case-insensitive) for `--algo`.
+pub fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    Algorithm::PAPER_SET
+        .iter()
+        .chain(Algorithm::ABLATION_SET.iter())
+        .copied()
+        .find(|a| a.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            format!(
+                "unknown algorithm {s} (expected one of GLAP, GLAP-noveto, GLAP-current, \
+                 GLAP-noagg, GRMP, EcoCloud, PABFD)"
+            )
+        })
 }
 
 /// Usage text shared by all binaries.
@@ -93,6 +136,13 @@ pub const USAGE: &str = "options:
   --trace file        write a JSONL event trace of the first scenario
   --counters file     write per-round counter CSVs of the first scenario
   --replay file       replay a JSONL trace and print a per-round digest
+  --checkpoint-every n  write a snapshot every n measured rounds (0 = off)
+  --checkpoint-dir dir  checkpoint directory; sweeps skip finished cells
+                        and resume interrupted ones from it
+  --resume file       resume a single-scenario run from a snapshot
+  --stop-at-round n   interrupt a single-scenario run after n rounds
+  --algo name         algorithm for single-scenario binaries (GLAP, GRMP,
+                      EcoCloud, PABFD, GLAP-noveto, GLAP-current, GLAP-noagg)
 ";
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
@@ -152,6 +202,23 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--trace" => cli.trace_out = Some(PathBuf::from(need(&mut it, "--trace")?)),
             "--counters" => cli.counters_out = Some(PathBuf::from(need(&mut it, "--counters")?)),
             "--replay" => cli.replay = Some(PathBuf::from(need(&mut it, "--replay")?)),
+            "--checkpoint-every" => {
+                cli.checkpoint_every = need(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--checkpoint-dir" => {
+                cli.checkpoint_dir = Some(PathBuf::from(need(&mut it, "--checkpoint-dir")?));
+            }
+            "--resume" => cli.resume = Some(PathBuf::from(need(&mut it, "--resume")?)),
+            "--stop-at-round" => {
+                cli.stop_at_round = Some(
+                    need(&mut it, "--stop-at-round")?
+                        .parse()
+                        .map_err(|e| format!("--stop-at-round: {e}"))?,
+                );
+            }
+            "--algo" => cli.algo = Some(parse_algorithm(&need(&mut it, "--algo")?)?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -225,5 +292,40 @@ mod tests {
         assert!(parse(args("--nope")).is_err());
         assert!(parse(args("--sizes")).is_err());
         assert!(parse(args("--sizes abc")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let cli = parse(args(
+            "--checkpoint-every 50 --checkpoint-dir ckpts --resume c.ckpt --stop-at-round 100",
+        ))
+        .unwrap();
+        assert_eq!(cli.checkpoint_every, 50);
+        assert_eq!(cli.checkpoint_dir, Some(PathBuf::from("ckpts")));
+        assert_eq!(cli.resume, Some(PathBuf::from("c.ckpt")));
+        assert_eq!(cli.stop_at_round, Some(100));
+        let opts = cli.checkpoint_opts();
+        assert_eq!(opts.every, 50);
+        assert_eq!(opts.stop_at_round, Some(100));
+        let off = parse(args("")).unwrap();
+        assert_eq!(off.checkpoint_every, 0);
+        assert!(off.checkpoint_dir.is_none());
+    }
+
+    #[test]
+    fn algo_flag_parses_labels_case_insensitively() {
+        assert_eq!(
+            parse(args("--algo grmp")).unwrap().algo,
+            Some(Algorithm::Grmp)
+        );
+        assert_eq!(
+            parse(args("--algo GLAP-noagg")).unwrap().algo,
+            Some(Algorithm::GlapNoAggregation)
+        );
+        assert_eq!(
+            parse(args("--algo EcoCloud")).unwrap().algo,
+            Some(Algorithm::EcoCloud)
+        );
+        assert!(parse(args("--algo nope")).is_err());
     }
 }

@@ -3,13 +3,17 @@
 //! shared grid results, and produces a [`TextTable`] that mirrors the
 //! figure's series.
 
+use crate::checkpoint::{checkpoint_path, decode_result, done_path, encode_result};
+use crate::cli::Cli;
 use crate::pool::parallel_map;
 use crate::report::{fnum, TextTable};
-use crate::runner::{build_world, run_scenario};
+use crate::runner::{build_world, run_scenario, run_scenario_checkpointed, CheckpointOpts};
 use crate::scenario::{Algorithm, Grid, Scenario};
 use glap::{train_traced, GlapConfig, TrainPhase};
 use glap_metrics::{p10_median_p90, RunResult};
+use glap_snapshot::{read_snapshot_file, write_atomic};
 use glap_telemetry::{Phase, Tracer};
+use std::path::Path;
 
 /// A regenerated figure/table: a title, the data table, and free-form
 /// notes (e.g. the paper's headline claims to compare against).
@@ -60,6 +64,109 @@ pub fn run_grid(
         r
     });
     scenarios.into_iter().zip(results).collect()
+}
+
+/// [`run_grid`] with crash-safe per-scenario checkpoints under `dir`.
+///
+/// Each cell writes `<id>.ckpt` every `every` rounds while running and a
+/// CRC-protected `<id>.done` result file on completion. Re-invoking an
+/// interrupted sweep over the same directory loads finished cells from
+/// their `.done` files, resumes interrupted cells from their latest
+/// checkpoint (byte-identical to an uninterrupted run), and only starts
+/// untouched cells from scratch. An unusable checkpoint (corrupt file,
+/// or the grid changed under the directory) is reported and the cell
+/// restarts fresh — a stale file never poisons the sweep.
+pub fn run_grid_checkpointed(
+    grid: &Grid,
+    algorithms: &[Algorithm],
+    threads: Option<usize>,
+    verbose: bool,
+    every: u64,
+    dir: &Path,
+) -> Vec<(Scenario, RunResult)> {
+    std::fs::create_dir_all(dir).expect("create checkpoint directory");
+    let scenarios = grid.scenarios(algorithms);
+    if verbose {
+        eprintln!(
+            "running {} scenarios (checkpoints in {})…",
+            scenarios.len(),
+            dir.display()
+        );
+    }
+    let results = parallel_map(scenarios.clone(), threads, |sc| {
+        let done = done_path(dir, sc);
+        if done.exists() {
+            match read_snapshot_file(&done).and_then(|snap| decode_result(&snap)) {
+                Ok(r) => {
+                    if verbose {
+                        eprintln!(
+                            "  {}: finished earlier, loaded from {}",
+                            sc.id(),
+                            done.display()
+                        );
+                    }
+                    return r;
+                }
+                Err(e) => eprintln!("  {}: unreadable result file ({e}), re-running", sc.id()),
+            }
+        }
+        let ckpt = checkpoint_path(dir, sc);
+        let mut opts = CheckpointOpts {
+            every,
+            dir: Some(dir.to_path_buf()),
+            resume: ckpt.exists().then(|| ckpt.clone()),
+            stop_at_round: None,
+        };
+        let resumed = opts.resume.is_some();
+        let outcome = run_scenario_checkpointed(sc, &Tracer::off(), &opts).or_else(|e| {
+            // A corrupt or stale checkpoint is loud but not fatal to the
+            // sweep: redo the cell from scratch.
+            eprintln!("  {}: checkpoint unusable ({e}), restarting cell", sc.id());
+            opts.resume = None;
+            run_scenario_checkpointed(sc, &Tracer::off(), &opts)
+        });
+        let (result, _) =
+            outcome.unwrap_or_else(|e| panic!("{}: checkpoint write failed: {e}", sc.id()));
+        let r = result.expect("no stop_at_round: the sweep runs every cell to completion");
+        write_atomic(&done, &encode_result(&r))
+            .unwrap_or_else(|e| panic!("{}: cannot write result file: {e}", sc.id()));
+        std::fs::remove_file(&ckpt).ok();
+        if verbose {
+            eprintln!(
+                "  {}{}: active={} migrations={} slav={:.3e}",
+                sc.id(),
+                if resumed { " (resumed)" } else { "" },
+                r.collector.samples.last().map_or(0, |s| s.active_pms),
+                r.collector.total_migrations(),
+                r.sla.slav,
+            );
+        }
+        r
+    });
+    scenarios.into_iter().zip(results).collect()
+}
+
+/// Dispatches a grid run according to the CLI's snapshot flags: with
+/// `--checkpoint-dir` the sweep is crash-safe and resumable
+/// ([`run_grid_checkpointed`], default cadence every 60 rounds unless
+/// `--checkpoint-every` says otherwise); without it, a plain in-memory
+/// sweep ([`run_grid`]).
+pub fn run_grid_with(
+    grid: &Grid,
+    algorithms: &[Algorithm],
+    cli: &Cli,
+) -> Vec<(Scenario, RunResult)> {
+    match &cli.checkpoint_dir {
+        Some(dir) => {
+            let every = if cli.checkpoint_every == 0 {
+                60
+            } else {
+                cli.checkpoint_every
+            };
+            run_grid_checkpointed(grid, algorithms, cli.threads, cli.verbose, every, dir)
+        }
+        None => run_grid(grid, algorithms, cli.threads, cli.verbose),
+    }
 }
 
 /// Iterates the distinct (size, ratio) cells of a result set.
@@ -551,6 +658,35 @@ mod tests {
         assert_eq!(f10.table.len(), 4);
         let t1 = table1_sla(&results);
         assert_eq!(t1.table.len(), 1);
+    }
+
+    #[test]
+    fn checkpointed_grid_matches_plain_grid_and_skips_finished_cells() {
+        let g = tiny_grid();
+        let algos = [Algorithm::Grmp, Algorithm::Pabfd];
+        let dir = std::env::temp_dir().join(format!("glap-ckpt-grid-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let plain = run_grid(&g, &algos, Some(1), false);
+        let swept = run_grid_checkpointed(&g, &algos, Some(1), false, 10, &dir);
+        assert_eq!(plain.len(), swept.len());
+        for ((sa, ra), (sb, rb)) in plain.iter().zip(&swept) {
+            assert_eq!(sa.id(), sb.id());
+            assert_eq!(ra.collector.samples, rb.collector.samples);
+            assert_eq!(ra.sla, rb.sla);
+        }
+        // Every cell left a .done marker and no lingering .ckpt.
+        for (sc, _) in &swept {
+            assert!(done_path(&dir, sc).exists());
+            assert!(!checkpoint_path(&dir, sc).exists());
+        }
+        // A second sweep over the same directory loads the results
+        // instead of recomputing (identical output either way).
+        let again = run_grid_checkpointed(&g, &algos, Some(1), false, 10, &dir);
+        for ((_, ra), (_, rb)) in swept.iter().zip(&again) {
+            assert_eq!(ra.collector.samples, rb.collector.samples);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

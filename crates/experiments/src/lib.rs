@@ -12,6 +12,7 @@
 //! everything). All accept `--quick` / `--full` / explicit grid options
 //! (see [`cli::USAGE`]).
 
+pub mod checkpoint;
 pub mod churn;
 pub mod cli;
 pub mod figures;
@@ -21,16 +22,22 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use checkpoint::{
+    check_meta, checkpoint_path, decode_result, done_path, encode_checkpoint, encode_result,
+    resume_scenario, unprimed_policy, ResumedRun,
+};
 pub use churn::{build_churn_world, run_churn_scenario, ChurnConfig};
 pub use cli::{parse_or_exit, Cli};
 pub use figures::{
     ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
-    fig8_migrations, fig9_cumulative, run_grid, table1_sla, FigureOutput,
+    fig8_migrations, fig9_cumulative, run_grid, run_grid_checkpointed, run_grid_with, table1_sla,
+    FigureOutput,
 };
 pub use pool::parallel_map;
 pub use replay::{replay_digest, ReplayDigest, RoundDigest};
 pub use report::{downsample, fnum, sparkline, TextTable};
 pub use runner::{
-    build_policy, build_policy_traced, build_world, run_scenario, run_scenario_traced,
+    build_policy, build_policy_traced, build_world, run_scenario, run_scenario_checkpointed,
+    run_scenario_traced, CheckpointOpts,
 };
 pub use scenario::{Algorithm, Grid, Scenario, VmMix};

@@ -37,6 +37,8 @@ pub struct RoundDigest {
     pub migrations: usize,
     /// π_in vetoes.
     pub vetoes: usize,
+    /// Checkpoints written during the round.
+    pub checkpoints: usize,
     /// Aborted transfers by reason.
     pub aborts: BTreeMap<AbortReason, usize>,
     /// Q-table population diameter, when sampled this round.
@@ -88,6 +90,7 @@ impl ReplayDigest {
             EventKind::MigrationAborted { reason, .. } => {
                 *d.aborts.entry(reason).or_insert(0) += 1;
             }
+            EventKind::CheckpointWritten => d.checkpoints += 1,
             EventKind::ConvergenceSampled { diameter, .. } => d.diameter = Some(diameter),
             _ => {}
         }
@@ -128,6 +131,12 @@ impl ReplayDigest {
                     tail.push(' ');
                 }
                 let _ = write!(tail, "diam={diam:.4}");
+            }
+            if d.checkpoints > 0 {
+                if !tail.is_empty() {
+                    tail.push(' ');
+                }
+                let _ = write!(tail, "ckpt×{}", d.checkpoints);
             }
             let _ = writeln!(
                 out,
@@ -254,6 +263,29 @@ mod tests {
         let report = digest.render();
         assert!(report.contains("veto×1"));
         assert!(report.contains("no_capacity×1"));
+    }
+
+    #[test]
+    fn digest_shows_checkpoint_rounds() {
+        let events = [
+            ev(
+                Phase::Run,
+                4,
+                0,
+                EventKind::MigrationCommitted {
+                    vm: 1,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            ev(Phase::Run, 5, 1, EventKind::CheckpointWritten),
+        ];
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let digest = replay_digest(jsonl.as_bytes()).unwrap();
+        assert_eq!(digest.rounds[0].1.checkpoints, 0);
+        assert_eq!(digest.rounds[1].1.checkpoints, 1);
+        let report = digest.render();
+        assert!(report.contains("ckpt×1"), "{report}");
     }
 
     #[test]

@@ -2,16 +2,24 @@
 //! placement, GLAP pre-training where applicable, the measured day, and
 //! metric collection.
 
+use crate::checkpoint::{checkpoint_path, encode_checkpoint, resume_scenario};
 use crate::scenario::{Algorithm, Scenario};
 use glap::{train_traced, unified_table, GlapPolicy, TableStore};
 use glap_baselines::{
     bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy,
 };
 use glap_cluster::{DataCenter, DataCenterConfig};
-use glap_dcsim::{run_simulation_traced, stream_rng, ConsolidationPolicy, NetworkModel, Stream};
+use glap_dcsim::{
+    run_simulation_resumable, run_simulation_traced, stream_rng, CheckpointArgs,
+    ConsolidationPolicy, NetworkModel, Observer, Stream,
+};
 use glap_metrics::{MetricsCollector, RunResult};
+use glap_snapshot::{read_snapshot_file, write_atomic, SnapshotError};
 use glap_telemetry::{ConvergenceMonitor, Tracer};
 use glap_workload::{GoogleLikeTraceGen, MaterializedTrace, OffsetTrace};
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
 
 /// Builds the data center of a scenario with its seed-determined initial
 /// placement (identical for every algorithm within a repetition).
@@ -129,6 +137,119 @@ pub fn run_scenario_traced(
     (result, monitor)
 }
 
+/// Checkpoint/resume options for [`run_scenario_checkpointed`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOpts {
+    /// Write a checkpoint every this many measured rounds (0 = never).
+    /// Byte-identity across an interruption requires the uninterrupted
+    /// reference run to use the *same* cadence, because each checkpoint
+    /// leaves a `checkpoint_written` event in the trace.
+    pub every: u64,
+    /// Directory for checkpoint files (`<scenario-id>.ckpt`); `None`
+    /// still emits the checkpoint telemetry but writes nothing.
+    pub dir: Option<PathBuf>,
+    /// Resume from this snapshot file instead of starting fresh.
+    pub resume: Option<PathBuf>,
+    /// Stop after this many measured rounds (interrupt simulation: the
+    /// run ends early and returns no [`RunResult`]).
+    pub stop_at_round: Option<u64>,
+}
+
+/// A [`MetricsCollector`] observer that is shareable with the checkpoint
+/// hook: the engine mutates it through [`Observer`] while each checkpoint
+/// reads the samples collected so far.
+struct SharedCollector(Rc<RefCell<MetricsCollector>>);
+
+impl Observer for SharedCollector {
+    fn on_round_end(&mut self, round: u64, dc: &mut DataCenter) {
+        self.0.borrow_mut().on_round_end(round, dc);
+    }
+}
+
+/// [`run_scenario_traced`] with checkpoint/resume support.
+///
+/// Fresh runs (no `opts.resume`) behave exactly like
+/// [`run_scenario_traced`] — including GLAP pre-training — plus a
+/// checkpoint written atomically every `opts.every` rounds. Resumed runs
+/// skip pre-training entirely: all state, including the trained tables
+/// and every RNG cursor, comes from the snapshot, and the continuation
+/// is byte-identical to a run that was never interrupted.
+///
+/// Returns `Ok((None, _))` when `opts.stop_at_round` ended the run
+/// before the scenario's final round; the convergence monitor is only
+/// available on fresh traced GLAP runs (resumes skip the training that
+/// produces it).
+pub fn run_scenario_checkpointed(
+    sc: &Scenario,
+    tracer: &Tracer,
+    opts: &CheckpointOpts,
+) -> Result<(Option<RunResult>, Option<ConvergenceMonitor>), SnapshotError> {
+    let (mut dc, trace, mut net, mut rng, mut policy, collector, rounds_done, monitor, call_init);
+    if let Some(path) = &opts.resume {
+        let snap = read_snapshot_file(path)?;
+        let resumed = resume_scenario(sc, &snap, tracer)?;
+        dc = resumed.dc;
+        trace = resumed.trace;
+        net = resumed.net;
+        rng = resumed.rng;
+        policy = resumed.policy;
+        collector = resumed.collector;
+        rounds_done = resumed.rounds_done;
+        monitor = None;
+        call_init = false;
+    } else {
+        (dc, trace) = build_world(sc);
+        let (p, m) = build_policy_traced(sc, &dc, &trace, tracer);
+        policy = p;
+        monitor = m;
+        net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
+        rng = stream_rng(sc.policy_seed(), Stream::Policy);
+        collector = MetricsCollector::new();
+        rounds_done = 0;
+        call_init = true;
+    }
+
+    let target = opts.stop_at_round.map_or(sc.rounds, |s| s.min(sc.rounds));
+    let rounds_left = target.saturating_sub(rounds_done);
+    let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+    let shared = Rc::new(RefCell::new(collector));
+    let mut observer = SharedCollector(shared.clone());
+    let hook_collector = shared.clone();
+    let ckpt_file = opts.dir.as_ref().map(|d| checkpoint_path(d, sc));
+    let mut hook = move |args: &CheckpointArgs<'_>| -> Result<(), SnapshotError> {
+        let bytes = encode_checkpoint(sc, args, &hook_collector.borrow());
+        match &ckpt_file {
+            Some(path) => write_atomic(path, &bytes),
+            None => Ok(()),
+        }
+    };
+    run_simulation_resumable(
+        &mut dc,
+        &mut day,
+        policy.as_mut(),
+        &mut [&mut observer],
+        rounds_left,
+        &mut net,
+        tracer,
+        &mut rng,
+        call_init,
+        opts.every,
+        &mut hook,
+    )?;
+    drop(observer);
+    drop(hook);
+    let collector = Rc::try_unwrap(shared)
+        .expect("observer and hook are dropped")
+        .into_inner();
+
+    if dc.round() < sc.rounds {
+        return Ok((None, monitor));
+    }
+    let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
+    result.bfd_bins = bfd_baseline(&dc);
+    Ok((Some(result), monitor))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +315,89 @@ mod tests {
         let result = run_scenario(&sc);
         let final_active = result.collector.samples.last().unwrap().active_pms;
         assert!(final_active < 40, "no consolidation: {final_active} active");
+    }
+
+    #[test]
+    fn checkpointed_run_without_snapshots_matches_plain_run() {
+        let sc = quick_scenario(Algorithm::Grmp);
+        let plain = run_scenario(&sc);
+        let (ckpt, _) = run_scenario_checkpointed(&sc, &Tracer::off(), &CheckpointOpts::default())
+            .expect("no checkpoint I/O configured");
+        let ckpt = ckpt.expect("ran to completion");
+        assert_eq!(plain.collector.samples, ckpt.collector.samples);
+        assert_eq!(plain.sla, ckpt.sla);
+        assert_eq!(plain.bfd_bins, ckpt.bfd_bins);
+    }
+
+    #[test]
+    fn interrupted_and_resumed_scenario_is_byte_identical() {
+        let sc = quick_scenario(Algorithm::Glap);
+        let dir = std::env::temp_dir().join(format!("glap-ckpt-runner-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Uninterrupted reference at the same checkpoint cadence.
+        let full_opts = CheckpointOpts {
+            every: 20,
+            dir: Some(dir.join("full")),
+            ..Default::default()
+        };
+        std::fs::create_dir_all(dir.join("full")).unwrap();
+        let (full, _) = run_scenario_checkpointed(&sc, &Tracer::off(), &full_opts).unwrap();
+        let full = full.unwrap();
+
+        // Interrupt at round 20, then resume to the end.
+        let part_dir = dir.join("part");
+        std::fs::create_dir_all(&part_dir).unwrap();
+        let stop_opts = CheckpointOpts {
+            every: 20,
+            dir: Some(part_dir.clone()),
+            stop_at_round: Some(20),
+            ..Default::default()
+        };
+        let (stopped, _) = run_scenario_checkpointed(&sc, &Tracer::off(), &stop_opts).unwrap();
+        assert!(stopped.is_none(), "interrupted run yields no result");
+        let ckpt = crate::checkpoint::checkpoint_path(&part_dir, &sc);
+        assert!(ckpt.exists());
+
+        let resume_opts = CheckpointOpts {
+            every: 20,
+            dir: Some(part_dir.clone()),
+            resume: Some(ckpt),
+            ..Default::default()
+        };
+        let (resumed, _) = run_scenario_checkpointed(&sc, &Tracer::off(), &resume_opts).unwrap();
+        let resumed = resumed.unwrap();
+
+        assert_eq!(full.collector.samples, resumed.collector.samples);
+        assert_eq!(full.sla, resumed.sla);
+        assert_eq!(full.bfd_bins, resumed.bfd_bins);
+        assert_eq!(full.wake_ups, resumed.wake_ups);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_snapshot_from_another_scenario() {
+        let sc = quick_scenario(Algorithm::Glap);
+        let dir = std::env::temp_dir().join(format!("glap-ckpt-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stop_opts = CheckpointOpts {
+            every: 10,
+            dir: Some(dir.clone()),
+            stop_at_round: Some(10),
+            ..Default::default()
+        };
+        run_scenario_checkpointed(&sc, &Tracer::off(), &stop_opts).unwrap();
+        let ckpt = crate::checkpoint::checkpoint_path(&dir, &sc);
+
+        let mut other = quick_scenario(Algorithm::Glap);
+        other.rep = 9;
+        let resume_opts = CheckpointOpts {
+            resume: Some(ckpt),
+            ..Default::default()
+        };
+        let err = run_scenario_checkpointed(&other, &Tracer::off(), &resume_opts).unwrap_err();
+        assert!(err.to_string().contains("repetition"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -135,6 +135,42 @@ impl MetricsCollector {
     }
 }
 
+impl glap_snapshot::Checkpointable for MetricsCollector {
+    /// Serializes every sampled round, so a resumed run's CSV output
+    /// includes the pre-checkpoint rounds byte for byte.
+    fn save(&self, w: &mut glap_snapshot::Writer) {
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            w.put_u64(s.round);
+            w.put_usize(s.active_pms);
+            w.put_usize(s.overloaded_pms);
+            w.put_usize(s.migrations);
+            w.put_f64(s.migration_energy_j);
+            w.put_usize(s.wake_ups);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut glap_snapshot::Reader<'_>,
+    ) -> Result<(), glap_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(RoundSample {
+                round: r.get_u64()?,
+                active_pms: r.get_usize()?,
+                overloaded_pms: r.get_usize()?,
+                migrations: r.get_usize()?,
+                migration_energy_j: r.get_f64()?,
+                wake_ups: r.get_usize()?,
+            });
+        }
+        self.samples = samples;
+        Ok(())
+    }
+}
+
 impl Observer for MetricsCollector {
     fn on_round_end(&mut self, round: u64, dc: &mut DataCenter) {
         let migrations = dc.take_migrations();
@@ -267,6 +303,33 @@ mod tests {
         assert!(p10 >= 1.0 && p90 <= 5.0);
         let (_, med_m, _) = c.migration_summary();
         assert_eq!(med_m, 6.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_samples_byte_identically() {
+        use glap_snapshot::{Checkpointable, Reader, Writer};
+        let mut c = MetricsCollector::new();
+        c.samples.push(sample(0, 10, 2, 3, 5.25));
+        c.samples.push(sample(1, 8, 1, 2, -0.0));
+
+        let mut w = Writer::new();
+        c.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut twin = MetricsCollector::new();
+        twin.restore(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(c.samples, twin.samples);
+        let mut w2 = Writer::new();
+        twin.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Truncated records are rejected, never partially loaded.
+        let mut broken = MetricsCollector::new();
+        broken.samples.push(sample(9, 9, 9, 9, 9.0));
+        assert!(broken
+            .restore(&mut Reader::new(&bytes[..bytes.len() - 3]))
+            .is_err());
+        assert_eq!(broken.samples.len(), 1, "failed restore left state alone");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::reward::{RewardIn, RewardOut};
 use crate::state::{PmState, VmAction, NUM_STATES};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Q-learning hyperparameters of Eq. (1).
@@ -362,6 +363,64 @@ impl QTablePair {
     }
 }
 
+impl Checkpointable for QTable {
+    fn save(&self, w: &mut Writer) {
+        w.put_f64_slice(&self.values);
+        w.put_bool_slice(&self.visited);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let values = r.get_f64_slice()?;
+        let visited = r.get_bool_slice()?;
+        let expect = NUM_STATES * NUM_STATES;
+        if values.len() != expect || visited.len() != expect {
+            return Err(SnapshotError::Corrupt(format!(
+                "q-table has {} values / {} visited flags, expected {expect}",
+                values.len(),
+                visited.len()
+            )));
+        }
+        self.n_visited = visited.iter().filter(|&&v| v).count();
+        self.values = values;
+        self.visited = visited;
+        Ok(())
+    }
+}
+
+impl Checkpointable for QTablePair {
+    fn save(&self, w: &mut Writer) {
+        self.out.save(w);
+        self.r#in.save(w);
+        w.put_f64(self.params.alpha);
+        w.put_f64(self.params.gamma);
+        w.put_f64_slice(&self.reward_out.values);
+        w.put_f64_slice(&self.reward_in.values);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.out.restore(r)?;
+        self.r#in.restore(r)?;
+        self.params.alpha = r.get_f64()?;
+        self.params.gamma = r.get_f64()?;
+        let out_vals = r.get_f64_slice()?;
+        let in_vals = r.get_f64_slice()?;
+        let (Ok(out_arr), Ok(in_arr)) = (
+            <[f64; crate::level::NUM_LEVELS]>::try_from(out_vals.as_slice()),
+            <[f64; crate::level::NUM_LEVELS]>::try_from(in_vals.as_slice()),
+        ) else {
+            return Err(SnapshotError::Corrupt(format!(
+                "reward vectors have {} / {} levels, expected {}",
+                out_vals.len(),
+                in_vals.len(),
+                crate::level::NUM_LEVELS
+            )));
+        };
+        self.reward_out.values = out_arr;
+        self.reward_in.values = in_arr;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +449,42 @@ mod tests {
         t.set(s(0.5, 0.5), a(0.1, 0.1), 9.0);
         assert_eq!(t.visited_count(), 1);
         assert_eq!(t.get(s(0.5, 0.5), a(0.1, 0.1)), 9.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_pair_byte_identically() {
+        let mut p = QTablePair::new(QParams::default());
+        p.train_out(s(0.75, 0.75), a(0.3, 0.3), s(0.45, 0.45));
+        p.train_in(s(0.45, 0.45), a(0.3, 0.3), s(0.75, 0.75));
+        p.out.set(s(0.15, 0.15), a(0.1, 0.1), -0.0); // signed zero survives
+
+        let mut w = Writer::new();
+        p.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut q = QTablePair::new(QParams {
+            alpha: 0.9,
+            gamma: 0.1,
+        });
+        q.restore(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(q.params, p.params);
+        assert_eq!(q.out.visited_count(), p.out.visited_count());
+        let mut w2 = Writer::new();
+        q.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn qtable_restore_rejects_wrong_shape() {
+        let mut w = Writer::new();
+        w.put_f64_slice(&[1.0, 2.0]);
+        w.put_bool_slice(&[true, false]);
+        let bytes = w.into_bytes();
+        let mut t = QTable::new();
+        assert!(matches!(
+            t.restore(&mut Reader::new(&bytes)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
     }
 
     #[test]

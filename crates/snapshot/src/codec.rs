@@ -1,0 +1,294 @@
+//! Primitive little-endian encoding: the [`Writer`]/[`Reader`] pair all
+//! [`Checkpointable`](crate::Checkpointable) implementations build on.
+//!
+//! Integers are fixed-width little-endian; floats are the IEEE-754 bit
+//! pattern (so `save → restore → save` is byte-identical even for NaN
+//! payloads and signed zeros); strings and byte blobs are
+//! length-prefixed with a `u64`. The reader is strict: any read past
+//! the end is [`SnapshotError::Truncated`], and helpers that decode
+//! tags return [`SnapshotError::Corrupt`] on unknown values.
+
+use crate::error::SnapshotError;
+
+/// Append-only byte buffer with typed little-endian primitives.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64` (the format is 64-bit everywhere).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed bool slice.
+    pub fn put_bool_slice(&mut self, xs: &[bool]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_bool(x);
+        }
+    }
+}
+
+/// Strict sequential reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (stored as `u64`); errors if it overflows the
+    /// platform's `usize` or is absurdly larger than the remaining
+    /// input (defensive against corrupt length prefixes).
+    pub fn get_usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapshotError::Corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool; bytes other than 0/1 are corrupt.
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.get_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("non-UTF-8 string".into()))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.get_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.get_len()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 8 + 1));
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed bool slice.
+    pub fn get_bool_slice(&mut self) -> Result<Vec<bool>, SnapshotError> {
+        let n = self.get_len()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() + 1));
+        for _ in 0..n {
+            out.push(self.get_bool()?);
+        }
+        Ok(out)
+    }
+
+    /// A length prefix that is guaranteed not to promise more elements
+    /// than bytes remain (each element is ≥ 1 byte), so corrupt lengths
+    /// fail fast instead of attempting huge allocations.
+    fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_f64_slice(&[1.5, -2.5]);
+        w.put_bool_slice(&[true, false, true]);
+
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.get_bool_slice().unwrap(), vec![true, false, true]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reads_past_end_are_truncated() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.get_u64().unwrap_err(), SnapshotError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_without_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // absurd length prefix
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let e = r.get_bytes().unwrap_err();
+        assert!(matches!(
+            e,
+            SnapshotError::Truncated | SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_byte_is_corrupt() {
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(
+            r.get_bool().unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Typed snapshot failures. Decoding never panics and never yields a
+//! partially valid snapshot: every failure mode maps to one of these.
+
+use std::fmt;
+
+/// Everything that can go wrong loading or interpreting a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The container's format version is not one this decoder reads.
+    BadVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The input ended before the declared structure did.
+    Truncated,
+    /// A section's payload failed its CRC-32 check.
+    BadCrc {
+        /// Name of the corrupt section.
+        section: String,
+    },
+    /// A section the reader requires is absent.
+    MissingSection(String),
+    /// The bytes decoded structurally but their content is invalid
+    /// (impossible enum tag, mismatched topology size, scenario
+    /// mismatch, …).
+    Corrupt(String),
+    /// An I/O failure while reading or writing the snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a GLAP snapshot (bad magic)"),
+            SnapshotError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (expected {expected})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::BadCrc { section } => {
+                write!(
+                    f,
+                    "CRC mismatch in section `{section}` (snapshot is corrupt)"
+                )
+            }
+            SnapshotError::MissingSection(name) => {
+                write!(f, "snapshot is missing required section `{name}`")
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot content invalid: {msg}"),
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}

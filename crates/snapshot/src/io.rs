@@ -1,0 +1,88 @@
+//! Snapshot file I/O with crash-safe atomic writes.
+
+use crate::container::Snapshot;
+use crate::error::SnapshotError;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the data lands in
+/// `<path>.tmp` first and is renamed into place only after a
+/// successful write + sync, so a crash mid-checkpoint never replaces a
+/// good snapshot with a torn one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".tmp");
+        std::path::PathBuf::from(name)
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and fully validates a snapshot file.
+pub fn read_snapshot_file(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    Snapshot::decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Writer;
+    use crate::container::SnapshotBuilder;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("glap-snapshot-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tmp_dir("rt");
+        let path = dir.join("a.ckpt");
+        let mut b = SnapshotBuilder::new();
+        let mut w = Writer::new();
+        w.put_u64(99);
+        b.section("s", w);
+        write_atomic(&path, &b.encode()).unwrap();
+        let snap = read_snapshot_file(&path).unwrap();
+        assert_eq!(snap.section("s").unwrap().get_u64().unwrap(), 99);
+        // No stray tmp file is left behind.
+        assert!(!dir.join("a.ckpt.tmp").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_snapshot() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("b.ckpt");
+        for v in [1u64, 2, 3] {
+            let mut b = SnapshotBuilder::new();
+            let mut w = Writer::new();
+            w.put_u64(v);
+            b.section("v", w);
+            write_atomic(&path, &b.encode()).unwrap();
+        }
+        let snap = read_snapshot_file(&path).unwrap();
+        assert_eq!(snap.section("v").unwrap().get_u64().unwrap(), 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_snapshot_file(Path::new("/nonexistent/nope.ckpt")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Golden-file test pinning container format v1.
+//!
+//! `tests/fixtures/format_v1.snap` (at the repo root) is a small
+//! committed snapshot exercising every codec primitive. It must keep
+//! decoding — with the exact pinned values — as the format evolves,
+//! so old sweep checkpoints stay readable. The section table is
+//! append-only: future writers may add sections, but the encoding of
+//! existing primitives and the container framing are frozen.
+//!
+//! If this test ever fails after a format change, the change broke
+//! compatibility with deployed checkpoints: bump `FORMAT_VERSION` and
+//! add a migration path instead of editing the fixture.
+
+use glap_snapshot::{Reader, Snapshot, SnapshotBuilder, SnapshotError, Writer, FORMAT_VERSION};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/format_v1.snap")
+}
+
+/// A quiet-NaN bit pattern with a distinctive payload, pinned exactly
+/// (the codec stores IEEE-754 bits, so even NaN payloads survive).
+const NAN_BITS: u64 = 0x7FF8_0000_DEAD_BEEF;
+
+/// Rebuilds the fixture from source. The committed file must stay
+/// byte-identical to this builder's output (see
+/// `fixture_matches_the_builder_byte_for_byte`).
+fn fixture_builder() -> SnapshotBuilder {
+    let mut b = SnapshotBuilder::new();
+
+    let mut w = Writer::new();
+    w.put_u8(0xA5);
+    w.put_u16(51_966); // 0xCAFE
+    w.put_u32(3_735_928_559); // 0xDEADBEEF
+    w.put_u64(u64::MAX - 1);
+    w.put_usize(1024);
+    w.put_bool(true);
+    w.put_bool(false);
+    w.put_f64(std::f64::consts::PI);
+    w.put_f64(-0.0);
+    w.put_f64(f64::from_bits(NAN_BITS));
+    b.section("scalars", w);
+
+    let mut w = Writer::new();
+    w.put_str("glap-snapshot v1 — naïve UTF-8 ✓");
+    w.put_bytes(&[0x00, 0x01, 0xFE, 0xFF]);
+    b.section("blobs", w);
+
+    let mut w = Writer::new();
+    w.put_f64_slice(&[1.5, -2.25, f64::INFINITY, f64::NEG_INFINITY, -0.0]);
+    w.put_bool_slice(&[true, false, true, true]);
+    b.section("slices", w);
+
+    b
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(fixture_path()).expect(
+        "missing tests/fixtures/format_v1.snap — run \
+         `cargo test -p glap-snapshot --test golden regenerate -- --ignored`",
+    )
+}
+
+/// Regenerates the committed fixture. Run manually after *adding* new
+/// sections to the fixture builder; never to paper over a decode
+/// failure of the existing file.
+#[test]
+#[ignore = "writes the committed fixture; run once when extending it"]
+fn regenerate() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, fixture_builder().encode()).unwrap();
+    eprintln!("wrote {}", path.display());
+}
+
+#[test]
+fn fixture_matches_the_builder_byte_for_byte() {
+    assert_eq!(
+        fixture_bytes(),
+        fixture_builder().encode(),
+        "the committed fixture and the in-source builder diverged: \
+         either the writer's byte encoding changed (format break!) or \
+         the fixture needs regenerating after an intentional extension"
+    );
+}
+
+#[test]
+fn fixture_decodes_with_pinned_values() {
+    let snap = Snapshot::decode(&fixture_bytes()).unwrap();
+    assert_eq!(
+        snap.section_names().collect::<Vec<_>>(),
+        vec!["scalars", "blobs", "slices"]
+    );
+
+    let mut r = snap.section("scalars").unwrap();
+    assert_eq!(r.get_u8().unwrap(), 0xA5);
+    assert_eq!(r.get_u16().unwrap(), 51_966);
+    assert_eq!(r.get_u32().unwrap(), 3_735_928_559);
+    assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+    assert_eq!(r.get_usize().unwrap(), 1024);
+    assert!(r.get_bool().unwrap());
+    assert!(!r.get_bool().unwrap());
+    assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+    assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    assert_eq!(r.get_f64().unwrap().to_bits(), NAN_BITS);
+    assert!(r.is_exhausted());
+
+    let mut r = snap.section("blobs").unwrap();
+    assert_eq!(r.get_str().unwrap(), "glap-snapshot v1 — naïve UTF-8 ✓");
+    assert_eq!(r.get_bytes().unwrap(), vec![0x00, 0x01, 0xFE, 0xFF]);
+    assert!(r.is_exhausted());
+
+    let mut r = snap.section("slices").unwrap();
+    let xs = r.get_f64_slice().unwrap();
+    assert_eq!(xs.len(), 5);
+    assert_eq!(xs[0], 1.5);
+    assert_eq!(xs[1], -2.25);
+    assert_eq!(xs[2], f64::INFINITY);
+    assert_eq!(xs[3], f64::NEG_INFINITY);
+    assert_eq!(xs[4].to_bits(), (-0.0f64).to_bits());
+    assert_eq!(r.get_bool_slice().unwrap(), vec![true, false, true, true]);
+    assert!(r.is_exhausted());
+}
+
+#[test]
+fn fixture_header_is_pinned() {
+    let bytes = fixture_bytes();
+    assert_eq!(&bytes[..8], b"GLAPSNAP");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        FORMAT_VERSION
+    );
+    assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 3);
+}
+
+#[test]
+fn appended_sections_do_not_break_old_readers() {
+    // A future writer appends a section this reader knows nothing
+    // about; the pinned sections must still decode identically.
+    let snap = Snapshot::decode(&fixture_bytes()).unwrap();
+    let mut b = SnapshotBuilder::new();
+    for name in snap.section_names().map(String::from).collect::<Vec<_>>() {
+        let mut w = Writer::new();
+        let mut r = snap.section(&name).unwrap();
+        while !r.is_exhausted() {
+            w.put_u8(r.get_u8().unwrap());
+        }
+        b.section(&name, w);
+    }
+    let mut w = Writer::new();
+    w.put_str("added-in-a-later-release");
+    b.section("vfuture_extras", w);
+
+    let extended = Snapshot::decode(&b.encode()).unwrap();
+    assert!(extended.has_section("vfuture_extras"));
+    let mut r = extended.section("scalars").unwrap();
+    assert_eq!(r.get_u8().unwrap(), 0xA5);
+    let mut r = extended.section("blobs").unwrap();
+    assert_eq!(r.get_str().unwrap(), "glap-snapshot v1 — naïve UTF-8 ✓");
+}
+
+#[test]
+fn tampered_fixture_fails_loudly() {
+    let bytes = fixture_bytes();
+
+    // Version bump → BadVersion, never a partial load.
+    let mut v2 = bytes.clone();
+    v2[8] = 2;
+    assert_eq!(
+        Snapshot::decode(&v2).unwrap_err(),
+        SnapshotError::BadVersion {
+            found: 2,
+            expected: FORMAT_VERSION
+        }
+    );
+
+    // Bit flip in the first section's payload → BadCrc naming it.
+    let payload_start = 16 + 2 + "scalars".len() + 8 + 4;
+    let mut flipped = bytes.clone();
+    flipped[payload_start] ^= 0x01;
+    match Snapshot::decode(&flipped).unwrap_err() {
+        SnapshotError::BadCrc { section } => assert_eq!(section, "scalars"),
+        other => panic!("expected BadCrc, got {other}"),
+    }
+
+    // Any truncation → a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(Snapshot::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn fixture_payloads_reject_truncated_reads() {
+    // Strictness holds inside sections too: cutting the blobs payload
+    // mid-string is a typed Truncated, not garbage.
+    let snap = Snapshot::decode(&fixture_bytes()).unwrap();
+    let mut full = Vec::new();
+    let mut r = snap.section("blobs").unwrap();
+    while !r.is_exhausted() {
+        full.push(r.get_u8().unwrap());
+    }
+    let mut short = Reader::new(&full[..full.len() / 2]);
+    assert!(matches!(
+        short.get_str().unwrap_err(),
+        SnapshotError::Truncated
+    ));
+}

@@ -236,6 +236,11 @@ pub enum EventKind {
         /// The PM.
         pm: u32,
     },
+    /// A checkpoint of the full simulation state was written. Emitted
+    /// *before* the snapshot is encoded so the event itself is part of
+    /// the checkpointed trace; the size lands in the
+    /// `checkpoint.bytes` counter instead of an event payload.
+    CheckpointWritten,
     /// The convergence monitor sampled the Q-table population.
     ConvergenceSampled {
         /// Cycle index within the phase.
@@ -272,6 +277,7 @@ impl EventKind {
             EventKind::MigrationAborted { .. } => "migration_aborted",
             EventKind::PmSlept { .. } => "pm_slept",
             EventKind::PmWoke { .. } => "pm_woke",
+            EventKind::CheckpointWritten => "checkpoint_written",
             EventKind::ConvergenceSampled { .. } => "convergence_sampled",
         }
     }
@@ -328,6 +334,7 @@ impl Event {
     /// | `exchange_opened` | `p`, `q` |
     /// | `migration_proposed`, `migration_vetoed`, `migration_committed` | `vm`, `from`, `to` |
     /// | `migration_aborted` | `from`, `to`, `reason` (`"no_action" \| "no_capacity" \| "unreachable"`) |
+    /// | `checkpoint_written` | *(no payload)* |
     /// | `convergence_sampled` | `cycle`, `diameter` (f64), `cosine` (f64), `alive`, `connected` (bool) |
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(96);
@@ -394,6 +401,7 @@ impl Event {
                 s.push_str(reason.tag());
                 s.push('"');
             }
+            EventKind::CheckpointWritten => {}
             EventKind::ConvergenceSampled {
                 cycle,
                 diameter,
@@ -584,6 +592,7 @@ impl Event {
             }
             "pm_slept" => (EventKind::PmSlept { pm: get_u32("pm")? }, 1),
             "pm_woke" => (EventKind::PmWoke { pm: get_u32("pm")? }, 1),
+            "checkpoint_written" => (EventKind::CheckpointWritten, 0),
             "convergence_sampled" => (
                 EventKind::ConvergenceSampled {
                     cycle: get_u32("cycle")?,
@@ -789,6 +798,7 @@ mod tests {
             },
             EventKind::PmSlept { pm: 31 },
             EventKind::PmWoke { pm: 32 },
+            EventKind::CheckpointWritten,
             EventKind::ConvergenceSampled {
                 cycle: 7,
                 diameter: 0.125,

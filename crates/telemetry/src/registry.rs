@@ -8,6 +8,7 @@
 //! style bounds) and exported separately.
 
 use crate::event::Phase;
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use std::collections::BTreeMap;
 
 /// Default latency buckets (milliseconds, upper bounds).
@@ -186,6 +187,106 @@ impl CounterRegistry {
     }
 }
 
+impl Checkpointable for CounterRegistry {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.totals.len());
+        for (name, &v) in &self.totals {
+            w.put_str(name);
+            w.put_u64(v);
+        }
+        w.put_usize(self.at_last_snapshot.len());
+        for (name, &v) in &self.at_last_snapshot {
+            w.put_str(name);
+            w.put_u64(v);
+        }
+        w.put_usize(self.hists.len());
+        for (name, h) in &self.hists {
+            w.put_str(name);
+            w.put_f64_slice(&h.bounds);
+            w.put_usize(h.counts.len());
+            for &c in &h.counts {
+                w.put_u64(c);
+            }
+            w.put_f64(h.sum);
+            w.put_u64(h.count);
+        }
+        w.put_usize(self.snapshots.len());
+        for s in &self.snapshots {
+            w.put_str(s.phase.tag());
+            w.put_u64(s.round);
+            w.put_usize(s.deltas.len());
+            for (n, d) in &s.deltas {
+                w.put_str(n);
+                w.put_u64(*d);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let mut totals = BTreeMap::new();
+        for _ in 0..r.get_usize()? {
+            let name = r.get_str()?;
+            totals.insert(name, r.get_u64()?);
+        }
+        let mut at_last_snapshot = BTreeMap::new();
+        for _ in 0..r.get_usize()? {
+            let name = r.get_str()?;
+            at_last_snapshot.insert(name, r.get_u64()?);
+        }
+        let mut hists = BTreeMap::new();
+        for _ in 0..r.get_usize()? {
+            let name = r.get_str()?;
+            let bounds = r.get_f64_slice()?;
+            let n_counts = r.get_usize()?;
+            if n_counts != bounds.len() + 1 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "histogram `{name}` has {n_counts} buckets for {} bounds",
+                    bounds.len()
+                )));
+            }
+            let mut counts = Vec::with_capacity(n_counts);
+            for _ in 0..n_counts {
+                counts.push(r.get_u64()?);
+            }
+            let sum = r.get_f64()?;
+            let count = r.get_u64()?;
+            hists.insert(
+                name,
+                Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                },
+            );
+        }
+        let n_snaps = r.get_usize()?;
+        let mut snapshots = Vec::with_capacity(n_snaps.min(1 << 20));
+        for _ in 0..n_snaps {
+            let tag = r.get_str()?;
+            let phase = Phase::parse(&tag)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("unknown phase tag `{tag}`")))?;
+            let round = r.get_u64()?;
+            let n_deltas = r.get_usize()?;
+            let mut deltas = Vec::with_capacity(n_deltas.min(1 << 20));
+            for _ in 0..n_deltas {
+                let n = r.get_str()?;
+                deltas.push((n, r.get_u64()?));
+            }
+            snapshots.push(CounterSnapshot {
+                phase,
+                round,
+                deltas,
+            });
+        }
+        self.totals = totals;
+        self.at_last_snapshot = at_last_snapshot;
+        self.hists = hists;
+        self.snapshots = snapshots;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +331,44 @@ mod tests {
         h.observe(50.0);
         assert_eq!(h.counts, vec![1, 1, 1]);
         assert!((h.mean() - 55.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_byte_identical() {
+        let mut r = CounterRegistry::new();
+        r.add("cyclon.bytes", 3);
+        r.observe("net.rtt_ms", 12.0);
+        r.end_round(Phase::Learning, 0);
+        r.add("cyclon.bytes", 2);
+        r.add("ev.pm_slept", 1);
+        r.end_round(Phase::Run, 1);
+
+        let mut w = Writer::new();
+        r.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = CounterRegistry::new();
+        restored.restore(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.total("cyclon.bytes"), 5);
+        assert_eq!(restored.snapshots, r.snapshots);
+        assert_eq!(restored.counters_csv(), r.counters_csv());
+        assert_eq!(restored.histograms_csv(), r.histograms_csv());
+
+        let mut w2 = Writer::new();
+        restored.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_truncated_state() {
+        let mut good = CounterRegistry::new();
+        good.observe("h", 1.0);
+        let mut w = Writer::new();
+        good.save(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 1);
+        let mut r2 = CounterRegistry::new();
+        assert!(r2.restore(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::event::{Event, EventKind, Phase};
 use crate::registry::CounterRegistry;
 use crate::sink::{EventSink, MemorySink, NullSink};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -175,6 +176,51 @@ impl Tracer {
             core.borrow_mut().sink.flush();
         }
     }
+
+    /// Serializes the tracer's dynamic state: a leading on/off flag,
+    /// then (when on) the phase/round/seq stamp and the full counter
+    /// registry including per-round snapshots, so a resumed run's
+    /// counter CSV covers the rounds before the checkpoint too. The
+    /// sink itself is not serialized — the resuming caller re-opens it
+    /// (e.g. appending to the same JSONL path).
+    pub fn save_state(&self, w: &mut Writer) {
+        match &self.inner {
+            None => w.put_bool(false),
+            Some(core) => {
+                let core = core.borrow();
+                w.put_bool(true);
+                w.put_str(core.phase.tag());
+                w.put_u64(core.round);
+                w.put_u64(core.seq);
+                core.counters.save(w);
+            }
+        }
+    }
+
+    /// Inverse of [`Tracer::save_state`]. Always consumes the full
+    /// record; the state is applied only when this tracer is on (an
+    /// off tracer has nothing to restore into, and a snapshot taken
+    /// with tracing off carries no state).
+    pub fn restore_state(&self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        if !r.get_bool()? {
+            return Ok(());
+        }
+        let tag = r.get_str()?;
+        let phase = Phase::parse(&tag)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("unknown phase tag `{tag}`")))?;
+        let round = r.get_u64()?;
+        let seq = r.get_u64()?;
+        let mut counters = CounterRegistry::new();
+        counters.restore(r)?;
+        if let Some(core) = &self.inner {
+            let mut core = core.borrow_mut();
+            core.phase = phase;
+            core.round = round;
+            core.seq = seq;
+            core.counters = counters;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +272,54 @@ mod tests {
         assert_eq!(events[0].seq, 0);
         assert_eq!(events[1].seq, 1);
         assert_eq!(t.events_emitted(), 2);
+    }
+
+    #[test]
+    fn tracer_state_round_trips_through_checkpoint() {
+        let t = Tracer::counting();
+        t.set_phase(Phase::Aggregation);
+        t.begin_round(5);
+        t.emit(EventKind::MergeApplied { a: 1, b: 2 });
+        t.add("cyclon.bytes", 64);
+        t.end_round();
+        t.begin_round(6);
+        t.add("cyclon.bytes", 8);
+
+        let mut w = Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let u = Tracer::counting();
+        u.restore_state(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(u.events_emitted(), 1);
+        assert_eq!(u.counter_total("cyclon.bytes"), 72);
+        assert_eq!(u.counters_csv(), t.counters_csv());
+
+        // The restored tracer continues exactly where the original
+        // would: same round stamp, same next sequence number.
+        u.emit(EventKind::MergeApplied { a: 3, b: 4 });
+        t.emit(EventKind::MergeApplied { a: 3, b: 4 });
+        u.end_round();
+        t.end_round();
+        assert_eq!(u.counters_csv(), t.counters_csv());
+
+        let (mut w1, mut w2) = (Writer::new(), Writer::new());
+        t.save_state(&mut w1);
+        u.save_state(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn off_tracer_saves_and_restores_as_nothing() {
+        let t = Tracer::off();
+        let mut w = Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        let u = Tracer::off();
+        let mut r = Reader::new(&bytes);
+        u.restore_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
     }
 
     #[test]
