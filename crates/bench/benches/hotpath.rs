@@ -1,0 +1,150 @@
+//! Hot-path micro-benchmarks: the four loops that dominate large-N
+//! wall-clock. Committed baselines live in `BENCH_hotpath.json`; rerun
+//! with `cargo bench -p glap-bench --bench hotpath` after touching the
+//! trainer, aggregation, or `DataCenter::step`.
+//!
+//! * `learn_phase_*` — one full learning round (workload step + overlay
+//!   shuffle + per-PM local training) via `train` with
+//!   `learning_rounds = 1`, the loop the worker pool parallelizes;
+//! * `aggregation_round_*` — one push–pull gossip merge sweep over the
+//!   whole population (the in-place merge target);
+//! * `dc_step_*` — one workload step (the incremental-bookkeeping
+//!   target);
+//! * `policy_round_*` — one consolidation round of `GlapPolicy` over a
+//!   freshly stepped data center.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glap::{aggregation_round, synthetic_table, train, GlapConfig, GlapPolicy};
+use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
+use glap_cyclon::CyclonOverlay;
+use glap_dcsim::{stream_rng, ConsolidationPolicy, NetworkModel, RoundCtx, Stream};
+use glap_telemetry::Tracer;
+
+/// VMs per PM in every benchmark world.
+const VM_RATIO: usize = 2;
+
+/// A mid-load wave: most PMs stay under the 0.5 learning-eligibility
+/// threshold, some cross it, so the benched loops see the mixed
+/// population real runs do.
+fn wave(vm: VmId, round: u64) -> Resources {
+    let x = 0.3 + 0.25 * ((round as f64 / 7.0) + vm.0 as f64).sin();
+    Resources::splat(x)
+}
+
+/// A populated, randomly placed, once-stepped data center.
+fn world(n_pms: usize) -> DataCenter {
+    let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+    for _ in 0..n_pms * VM_RATIO {
+        dc.add_vm(VmSpec::EC2_MICRO);
+    }
+    dc.random_placement(&mut stream_rng(7, Stream::Placement));
+    dc.step(&mut wave);
+    dc
+}
+
+/// One learning round, heavy on local training so the parallelizable
+/// part dominates (the paper's `k` is per-round work; 200 keeps the
+/// Bellman loop in front of the workload step).
+fn learn_cfg() -> GlapConfig {
+    GlapConfig {
+        learning_rounds: 1,
+        aggregation_rounds: 0,
+        learning_iterations: 200,
+        ..Default::default()
+    }
+}
+
+fn bench_learn_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    for n in [1024usize, 4096] {
+        let base = world(n);
+        g.bench_function(format!("learn_phase_{n}pms"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut dc| train(&mut dc, &mut wave, &learn_cfg(), 42, false),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    for n in [1024usize, 4096] {
+        // Short training gives the tables realistic sparsity; the merge
+        // sweep itself is what's measured.
+        let mut dc = world(n);
+        let cfg = GlapConfig {
+            learning_rounds: 2,
+            aggregation_rounds: 0,
+            learning_iterations: 20,
+            ..Default::default()
+        };
+        let (mut tables, _) = train(&mut dc, &mut wave, &cfg, 42, false);
+        let mut overlay = CyclonOverlay::new(n, cfg.cyclon_cache, cfg.cyclon_shuffle);
+        let mut rng = stream_rng(42, Stream::Learning);
+        overlay.bootstrap_random(&mut rng);
+        g.bench_function(format!("aggregation_round_{n}pms"), |b| {
+            b.iter(|| aggregation_round(&mut tables, &mut overlay, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dc_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    for n in [1024usize, 4096] {
+        let mut dc = world(n);
+        g.bench_function(format!("dc_step_{n}pms"), |b| b.iter(|| dc.step(&mut wave)));
+    }
+    g.finish();
+}
+
+fn bench_policy_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    for n in [1024usize, 4096] {
+        let base = world(n);
+        let mut policy = GlapPolicy::with_shared_table(
+            GlapConfig::default(),
+            synthetic_table(&mut stream_rng(7, Stream::Custom(99))),
+        );
+        let mut init_dc = base.clone();
+        policy.init(&mut init_dc, &mut stream_rng(7, Stream::Policy));
+        let tracer = Tracer::off();
+        g.bench_function(format!("policy_round_{n}pms"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        base.clone(),
+                        policy.clone(),
+                        NetworkModel::ideal(n),
+                        stream_rng(7, Stream::Policy),
+                    )
+                },
+                |(mut dc, mut pol, mut net, mut rng)| {
+                    let mut ctx = RoundCtx {
+                        round: dc.round(),
+                        dc: &mut dc,
+                        rng: &mut rng,
+                        churn_events: 0,
+                        net: &mut net,
+                        tracer: &tracer,
+                    };
+                    pol.round(&mut ctx);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_learn_phase,
+    bench_aggregation_round,
+    bench_dc_step,
+    bench_policy_round,
+);
+criterion_main!(hotpath);

@@ -298,28 +298,27 @@ impl DataCenter {
     }
 
     /// Advances one simulated round: pulls a fresh demand observation for
-    /// every placed VM, recomputes PM aggregates exactly (no incremental
-    /// drift), and advances SLA accounting.
+    /// every placed VM, folds each VM's demand change into its host's
+    /// cached aggregates in O(1), and advances SLA accounting. No
+    /// allocation and no rescan of the VM lists — `check_invariants`
+    /// cross-checks the caches against a full recomputation, and
+    /// [`Pm::detach`]'s zero-on-empty keeps floating-point drift from
+    /// ever accumulating past a PM's lifetime.
     pub fn step<D: DemandSource + ?Sized>(&mut self, source: &mut D) {
         let round = self.round;
         let secs = self.cfg.round_seconds;
+        let pms = &mut self.pms;
         for vm in &mut self.vms {
-            if vm.host.is_some() {
+            if let Some(host) = vm.host {
+                let old_current = vm.current;
+                let old_avg = vm.avg.value();
                 let u = source.demand(vm.id, round);
                 vm.observe(u, secs);
+                pms[host.index()]
+                    .apply_demand_delta(vm.current - old_current, vm.avg.value() - old_avg);
             }
         }
-        // Exact aggregate recomputation once per round.
-        let mut current = vec![Resources::ZERO; self.pms.len()];
-        let mut avg = vec![Resources::ZERO; self.pms.len()];
-        for vm in &self.vms {
-            if let Some(host) = vm.host {
-                current[host.index()] += vm.current;
-                avg[host.index()] += vm.avg.value();
-            }
-        }
-        for (pm, (c, a)) in self.pms.iter_mut().zip(current.into_iter().zip(avg)) {
-            pm.set_aggregates(c, a);
+        for pm in pms.iter_mut() {
             pm.tick_sla();
         }
         self.round += 1;
@@ -456,6 +455,7 @@ impl DataCenter {
                 return Err(format!("{} sleeps but hosts {} VMs", pm.id, pm.vm_count()));
             }
             let mut sum = Resources::ZERO;
+            let mut sum_avg = Resources::ZERO;
             for &vm in &pm.vms {
                 let v = &self.vms[vm.index()];
                 if v.host != Some(pm.id) {
@@ -465,11 +465,17 @@ impl DataCenter {
                     ));
                 }
                 sum += v.current;
+                sum_avg += v.avg.value();
             }
             if (sum.cpu() - pm.demand().cpu()).abs() > 1e-6
                 || (sum.mem() - pm.demand().mem()).abs() > 1e-6
             {
                 return Err(format!("{} aggregate drift", pm.id));
+            }
+            if (sum_avg.cpu() - pm.avg_demand().cpu()).abs() > 1e-6
+                || (sum_avg.mem() - pm.avg_demand().mem()).abs() > 1e-6
+            {
+                return Err(format!("{} average-aggregate drift", pm.id));
             }
         }
         for vm in &self.vms {
@@ -484,15 +490,62 @@ impl DataCenter {
         }
         Ok(())
     }
+
+    /// A read-only, `Sync` view of the world for worker threads.
+    ///
+    /// `&DataCenter` itself is not `Sync` (it holds a single-threaded
+    /// [`Tracer`] handle); the view borrows only the PM and VM tables —
+    /// all the learning phase reads — so the trainer can fan per-PM
+    /// training out over a pool while the tracer stays on the
+    /// coordinating thread.
+    #[inline]
+    pub fn view(&self) -> DcView<'_> {
+        DcView {
+            pms: &self.pms,
+            vms: &self.vms,
+        }
+    }
+}
+
+/// Immutable snapshot borrow of the PM/VM tables (see
+/// [`DataCenter::view`]). `Copy`, `Send` and `Sync`: plain shared
+/// references to plain data.
+#[derive(Clone, Copy)]
+pub struct DcView<'a> {
+    pms: &'a [Pm],
+    vms: &'a [Vm],
+}
+
+impl<'a> DcView<'a> {
+    /// Immutable PM access.
+    #[inline]
+    pub fn pm(&self, id: PmId) -> &'a Pm {
+        &self.pms[id.index()]
+    }
+
+    /// Immutable VM access.
+    #[inline]
+    pub fn vm(&self, id: VmId) -> &'a Vm {
+        &self.vms[id.index()]
+    }
+
+    /// Number of PMs.
+    #[inline]
+    pub fn n_pms(&self) -> usize {
+        self.pms.len()
+    }
 }
 
 /// Checkpointing captures only the *dynamic* state: round counter,
-/// migration accounting, per-PM power/SLA/placement state and per-VM
-/// demand bookkeeping. Static structure (configuration, PM/VM count,
-/// specs, nominal fractions) is rebuilt deterministically by the caller
-/// before restoring, and `restore` validates that the topology matches.
-/// Cached PM aggregates are recomputed exactly at the end of restore,
-/// mirroring what [`DataCenter::step`] does each round.
+/// migration accounting, per-PM power/SLA/placement state *and cached
+/// demand aggregates*, and per-VM demand bookkeeping. Static structure
+/// (configuration, PM/VM count, specs, nominal fractions) is rebuilt
+/// deterministically by the caller before restoring, and `restore`
+/// validates that the topology matches. The aggregates travel in the
+/// snapshot because [`DataCenter::step`] maintains them incrementally:
+/// a recomputation on restore could differ from the accumulated values
+/// in the last floating-point bits, and resume must continue the exact
+/// byte stream of the uninterrupted run.
 impl Checkpointable for DataCenter {
     fn save(&self, w: &mut Writer) {
         w.put_u64(self.round);
@@ -513,6 +566,10 @@ impl Checkpointable for DataCenter {
             w.put_bool(pm.is_active());
             w.put_u64(pm.active_rounds);
             w.put_u64(pm.saturated_rounds);
+            w.put_f64(pm.demand().cpu());
+            w.put_f64(pm.demand().mem());
+            w.put_f64(pm.avg_demand().cpu());
+            w.put_f64(pm.avg_demand().mem());
             w.put_usize(pm.vms.len());
             for vm in &pm.vms {
                 w.put_u32(vm.0);
@@ -573,6 +630,9 @@ impl Checkpointable for DataCenter {
             };
             pm.active_rounds = r.get_u64()?;
             pm.saturated_rounds = r.get_u64()?;
+            let current = Resources::new(r.get_f64()?, r.get_f64()?);
+            let avg = Resources::new(r.get_f64()?, r.get_f64()?);
+            pm.set_aggregates(current, avg);
             let n = r.get_usize()?;
             let mut vms = Vec::with_capacity(n.min(n_vms_total));
             for _ in 0..n {
@@ -624,18 +684,8 @@ impl Checkpointable for DataCenter {
         self.pending_wake_ups = pending_wake_ups;
         self.pending_migrations = pending_migrations;
 
-        // Recompute cached PM aggregates exactly, as `step` does.
-        let mut current = vec![Resources::ZERO; self.pms.len()];
-        let mut avg = vec![Resources::ZERO; self.pms.len()];
-        for vm in &self.vms {
-            if let Some(host) = vm.host {
-                current[host.index()] += vm.current;
-                avg[host.index()] += vm.avg.value();
-            }
-        }
-        for (pm, (c, a)) in self.pms.iter_mut().zip(current.into_iter().zip(avg)) {
-            pm.set_aggregates(c, a);
-        }
+        // The snapshot carried the exact cached aggregates; the
+        // invariant check cross-validates them against the VM sums.
         self.check_invariants().map_err(SnapshotError::Corrupt)
     }
 }

@@ -35,7 +35,9 @@ pub mod resources;
 pub mod topology;
 pub mod vm;
 
-pub use datacenter::{DataCenter, DataCenterConfig, DemandSource, MigrationError, MigrationRecord};
+pub use datacenter::{
+    DataCenter, DataCenterConfig, DcView, DemandSource, MigrationError, MigrationRecord,
+};
 pub use ids::{PmId, VmId};
 pub use pm::{Pm, PmSpec, PowerState};
 pub use power::{MigrationModel, PowerModel};

@@ -155,12 +155,10 @@ pub fn merge_pair(tables: &mut [QTablePair], p: usize, q: usize) {
     assert_ne!(p, q);
     let (lo, hi) = if p < q { (p, q) } else { (q, p) };
     let (head, tail) = tables.split_at_mut(hi);
-    let a = &mut head[lo];
-    let b = &mut tail[0];
-    // merge_average computes exactly the union-with-averages, which is the
-    // same from both sides; compute once and copy.
-    a.merge(b);
-    b.clone_from(a);
+    // One in-place symmetric pass: bit-for-bit the same result as the
+    // clone-then-average formulation, without cloning a 2×6561-entry
+    // table per merge.
+    QTablePair::merge_symmetric(&mut head[lo], &mut tail[0]);
 }
 
 /// Mean pairwise cosine similarity across alive PMs' tables — the Figure 5

@@ -15,7 +15,7 @@
 //! variation rather than just its instantaneous snapshot.
 
 use crate::config::GlapConfig;
-use glap_cluster::{DataCenter, PmId, Resources, VmProfile};
+use glap_cluster::{DataCenter, DcView, PmId, Resources, VmProfile};
 use glap_qlearn::{PmState, QTablePair, VmAction};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -38,10 +38,27 @@ pub fn local_train<R: Rng + ?Sized>(
     iterations: usize,
     rng: &mut R,
 ) {
+    let mut idxs = Vec::new();
+    local_train_with(tables, profiles, iterations, rng, &mut idxs);
+}
+
+/// [`local_train`] with a caller-owned index scratch buffer, so a
+/// training loop that runs every round reuses one allocation instead of
+/// rebuilding the shuffle vector per call. Draws the identical RNG
+/// sequence as [`local_train`] — the scratch is refilled with the same
+/// `0..len` contents before the first shuffle.
+pub fn local_train_with<R: Rng + ?Sized>(
+    tables: &mut QTablePair,
+    profiles: &[VmProfile],
+    iterations: usize,
+    rng: &mut R,
+    idxs: &mut Vec<usize>,
+) {
     if profiles.len() < 2 {
         return;
     }
-    let mut idxs: Vec<usize> = (0..profiles.len()).collect();
+    idxs.clear();
+    idxs.extend(0..profiles.len());
     for _ in 0..iterations {
         // Split the profiles into a simulated sender and a simulated
         // target (disjoint random subsets; sender non-empty).
@@ -80,7 +97,23 @@ pub fn gather_profiles(
     neighbor: Option<PmId>,
     duplication: usize,
 ) -> Vec<VmProfile> {
-    let mut profiles: Vec<VmProfile> = Vec::new();
+    let mut profiles = Vec::new();
+    gather_profiles_into(dc.view(), pm, neighbor, duplication, &mut profiles);
+    profiles
+}
+
+/// [`gather_profiles`] into a caller-owned buffer (cleared first), over a
+/// shared [`DcView`] so concurrent per-PM workers can all read the data
+/// center while each fills its own scratch. Duplication copies from
+/// within the buffer — no temporary list.
+pub fn gather_profiles_into(
+    dc: DcView<'_>,
+    pm: PmId,
+    neighbor: Option<PmId>,
+    duplication: usize,
+    profiles: &mut Vec<VmProfile>,
+) {
+    profiles.clear();
     for &vm in &dc.pm(pm).vms {
         profiles.push(dc.vm(vm).profile());
     }
@@ -90,12 +123,11 @@ pub fn gather_profiles(
         }
     }
     if duplication > 1 && !profiles.is_empty() {
-        let base = profiles.clone();
+        let base = profiles.len();
         for _ in 1..duplication {
-            profiles.extend(base.iter().copied());
+            profiles.extend_from_within(..base);
         }
     }
-    profiles
 }
 
 /// Duplication factor that lets random subsets of `profiles` reach
@@ -217,6 +249,16 @@ mod tests {
         let dc = dc_two_pms();
         let p = gather_profiles(&dc, PmId(0), Some(PmId(1)), 3);
         assert_eq!(p.len(), 18);
+    }
+
+    #[test]
+    fn gather_into_reused_buffer_matches_allocating_path() {
+        let dc = dc_two_pms();
+        let mut buf = vec![profile(0.9, 0.9); 3]; // stale contents must be cleared
+        for dup in [1usize, 2, 3] {
+            gather_profiles_into(dc.view(), PmId(0), Some(PmId(1)), dup, &mut buf);
+            assert_eq!(buf, gather_profiles(&dc, PmId(0), Some(PmId(1)), dup));
+        }
     }
 
     #[test]

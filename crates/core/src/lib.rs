@@ -50,11 +50,13 @@ pub use aggregation::{
 };
 pub use config::GlapConfig;
 pub use learning::{
-    duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
+    duplicate_profiles, gather_profiles, gather_profiles_into, is_eligible, local_train,
+    local_train_with, required_duplication,
 };
 pub use policy::{synthetic_table, GlapPolicy, RetrainConfig, StopReason, TableStore};
 pub use trainer::{
-    retrain_in_place, train, train_traced, train_unified, unified_table, TrainPhase, TrainReport,
+    retrain_in_place, train, train_traced, train_traced_with_threads, train_unified, unified_table,
+    TrainPhase, TrainReport,
 };
 
 /// Convenient glob import.

@@ -9,11 +9,13 @@
 use crate::aggregation::{aggregation_round, mean_pairwise_similarity};
 use crate::config::GlapConfig;
 use crate::learning::{
-    duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
+    duplicate_profiles, gather_profiles, gather_profiles_into, is_eligible, local_train,
+    local_train_with, required_duplication,
 };
-use glap_cluster::{DataCenter, DemandSource, PmId};
-use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{stream_rng, Stream};
+use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
+use glap_cyclon::{CyclonNode, CyclonOverlay};
+use glap_dcsim::{stream_rng, SimRng, Stream};
+use glap_par::parallel_for_each;
 use glap_qlearn::QTablePair;
 use glap_telemetry::{ConvergenceMonitor, EventKind, OverlayHealth, Phase, Tracer};
 use rand::Rng;
@@ -69,20 +71,15 @@ pub fn train<D: DemandSource + ?Sized>(
     (tables, report)
 }
 
-/// Flattens the population into per-PM dense value vectors (out ++ in),
-/// keeping only the overlay-alive PMs — the inputs of the convergence
-/// monitor.
-fn alive_value_vectors(tables: &[QTablePair], overlay: &CyclonOverlay) -> Vec<Vec<f64>> {
-    tables
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| overlay.is_alive(*i as u32))
-        .map(|(_, t)| {
-            let mut v = t.out.raw_values().to_vec();
-            v.extend_from_slice(t.r#in.raw_values());
-            v
-        })
-        .collect()
+/// Reusable buffers for the per-round convergence sample: one flat
+/// `alive-PMs × (out ++ in)` value matrix, the unified reference vector
+/// and the liveness mask. Allocated once per training run instead of
+/// `O(n)` vectors per sampled round.
+#[derive(Default)]
+struct ConvergenceScratch {
+    flat: Vec<f64>,
+    reference: Vec<f64>,
+    alive: Vec<bool>,
 }
 
 /// One monitor sample: population diameter + cosine-vs-unified + overlay
@@ -95,21 +92,43 @@ fn sample_convergence(
     cycle: u64,
     tables: &[QTablePair],
     overlay: &CyclonOverlay,
+    scratch: &mut ConvergenceScratch,
 ) {
-    let vectors = alive_value_vectors(tables, overlay);
+    // Every table has the same dense dimension (out ++ in), so the flat
+    // matrix chunks back into per-PM rows exactly.
+    let dim = tables
+        .first()
+        .map(|t| t.out.raw_values().len() + t.r#in.raw_values().len())
+        .unwrap_or(0);
+    scratch.flat.clear();
+    for (i, t) in tables.iter().enumerate() {
+        if overlay.is_alive(i as u32) {
+            scratch.flat.extend_from_slice(t.out.raw_values());
+            scratch.flat.extend_from_slice(t.r#in.raw_values());
+        }
+    }
     let unified = unified_table(tables);
-    let mut reference = unified.out.raw_values().to_vec();
-    reference.extend_from_slice(unified.r#in.raw_values());
-    let alive: Vec<bool> = (0..overlay.len())
-        .map(|i| overlay.is_alive(i as u32))
-        .collect();
-    let health =
-        OverlayHealth::from_in_degrees(&overlay.in_degrees(), &alive, overlay.is_connected());
+    scratch.reference.clear();
+    scratch
+        .reference
+        .extend_from_slice(unified.out.raw_values());
+    scratch
+        .reference
+        .extend_from_slice(unified.r#in.raw_values());
+    scratch.alive.clear();
+    scratch
+        .alive
+        .extend((0..overlay.len()).map(|i| overlay.is_alive(i as u32)));
+    let health = OverlayHealth::from_in_degrees(
+        &overlay.in_degrees(),
+        &scratch.alive,
+        overlay.is_connected(),
+    );
     let sample = monitor.record(
         phase,
         cycle,
-        vectors.iter().map(Vec::as_slice),
-        &reference,
+        scratch.flat.chunks_exact(dim.max(1)),
+        &scratch.reference,
         health,
     );
     tracer.emit(EventKind::ConvergenceSampled {
@@ -139,6 +158,46 @@ pub fn train_traced<D: DemandSource + ?Sized>(
     record_similarity: bool,
     tracer: &Tracer,
 ) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
+    train_traced_with_threads(dc, trace, cfg, master_seed, record_similarity, tracer, None)
+}
+
+/// Per-PM training workspace, persisting across learning rounds so the
+/// hot loop never re-allocates its profile list or shuffle indices.
+#[derive(Default)]
+struct LearnScratch {
+    profiles: Vec<VmProfile>,
+    idxs: Vec<usize>,
+}
+
+/// One eligible PM's unit of work for a learning round: disjoint `&mut`
+/// borrows of everything the PM touches (its tables, its private RNG
+/// stream, its overlay slot, its scratch), so the worker pool can run
+/// the units in any order or interleaving without changing a single
+/// byte of the result.
+struct LearnTask<'a> {
+    pm: PmId,
+    table: &'a mut QTablePair,
+    rng: &'a mut SimRng,
+    node: &'a mut CyclonNode,
+    scratch: &'a mut LearnScratch,
+}
+
+/// [`train_traced`] with an explicit worker-count override for the
+/// learning phase (`None` resolves through `glap_par::resolve_threads`:
+/// the `--threads` flag, then `GLAP_THREADS`, then all cores).
+///
+/// Each PM draws from its own `Stream::LearningPm(pm)` RNG, so the
+/// result is byte-identical at every thread count — 1, 4 or N workers
+/// produce the same tables, report and monitor series.
+pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    record_similarity: bool,
+    tracer: &Tracer,
+    threads: Option<usize>,
+) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
     cfg.validate().expect("invalid GLAP config");
     let n = dc.n_pms();
     let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
@@ -155,6 +214,14 @@ pub fn train_traced<D: DemandSource + ?Sized>(
     let mut report = TrainReport::default();
     let mut monitor = ConvergenceMonitor::new();
     let mut trained = vec![false; n];
+    // Private per-PM randomness: the stream cursor advances with the PM
+    // across rounds, independent of every other PM and of how the round
+    // is scheduled over workers.
+    let mut pm_rngs: Vec<SimRng> = (0..n)
+        .map(|i| stream_rng(master_seed, Stream::LearningPm(i as u32)))
+        .collect();
+    let mut scratch: Vec<LearnScratch> = (0..n).map(|_| LearnScratch::default()).collect();
+    let mut conv_scratch = ConvergenceScratch::default();
 
     // ---- Learning phase (WOG) -------------------------------------
     tracer.set_phase(Phase::Learning);
@@ -162,23 +229,48 @@ pub fn train_traced<D: DemandSource + ?Sized>(
         tracer.begin_round(round as u64);
         dc.step(trace);
         overlay.run_round_traced(&mut overlay_rng, |_, _| true, tracer);
-        for i in 0..n {
-            let pm = PmId(i as u32);
-            if !is_eligible(dc, pm, cfg) {
-                continue;
+        {
+            // Eligibility is decided up front from the shared snapshot;
+            // the workers then only touch their own task's state plus
+            // the read-only data-center view and liveness mask.
+            let view = dc.view();
+            let (nodes, alive) = overlay.split_mut();
+            let mut tasks: Vec<LearnTask<'_>> = tables
+                .iter_mut()
+                .zip(pm_rngs.iter_mut())
+                .zip(nodes.iter_mut())
+                .zip(scratch.iter_mut())
+                .enumerate()
+                .filter(|(i, _)| is_eligible(dc, PmId(*i as u32), cfg))
+                .map(|(i, (((table, rng), node), scr))| LearnTask {
+                    pm: PmId(i as u32),
+                    table,
+                    rng,
+                    node,
+                    scratch: scr,
+                })
+                .collect();
+            parallel_for_each(&mut tasks, threads, |t| {
+                let neighbor = CyclonOverlay::random_alive_peer_in(t.node, alive, t.rng).map(PmId);
+                gather_profiles_into(
+                    view,
+                    t.pm,
+                    neighbor,
+                    cfg.profile_duplication,
+                    &mut t.scratch.profiles,
+                );
+                local_train_with(
+                    t.table,
+                    &t.scratch.profiles,
+                    cfg.learning_iterations,
+                    t.rng,
+                    &mut t.scratch.idxs,
+                );
+            });
+            for t in &tasks {
+                trained[t.pm.0 as usize] = true;
+                report.updates += 2 * cfg.learning_iterations as u64;
             }
-            let neighbor = overlay
-                .random_alive_peer(i as u32, &mut learn_rng)
-                .map(PmId);
-            let profiles = gather_profiles(dc, pm, neighbor, cfg.profile_duplication);
-            local_train(
-                &mut tables[i],
-                &profiles,
-                cfg.learning_iterations,
-                &mut learn_rng,
-            );
-            trained[i] = true;
-            report.updates += 2 * cfg.learning_iterations as u64;
         }
         if record_similarity {
             let sim = mean_pairwise_similarity(
@@ -197,6 +289,7 @@ pub fn train_traced<D: DemandSource + ?Sized>(
                 round as u64,
                 &tables,
                 &overlay,
+                &mut conv_scratch,
             );
         }
         tracer.end_round();
@@ -227,6 +320,7 @@ pub fn train_traced<D: DemandSource + ?Sized>(
                 round as u64,
                 &tables,
                 &overlay,
+                &mut conv_scratch,
             );
         }
         tracer.end_round();

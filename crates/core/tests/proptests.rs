@@ -3,15 +3,25 @@
 //! and the consolidation policy never breaks world invariants.
 
 use glap::{
-    aggregation_round, local_train, synthetic_table, unified_table, GlapConfig, GlapPolicy,
+    aggregation_round, local_train, merge_pair, synthetic_table, unified_table, GlapConfig,
+    GlapPolicy,
 };
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmProfile, VmSpec};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::{run_simulation, stream_rng, Stream};
 use glap_qlearn::{QParams, QTablePair};
+use glap_snapshot::{Checkpointable, Writer};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Exact encoded bytes of a table pair — the strictest equality there
+/// is (distinguishes even -0.0 from 0.0).
+fn pair_bytes(t: &QTablePair) -> Vec<u8> {
+    let mut w = Writer::new();
+    t.save(&mut w);
+    w.into_bytes()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -105,6 +115,48 @@ proptest! {
         let hosted: usize = dc.pms().map(|p| p.vm_count()).sum();
         prop_assert_eq!(hosted, n_vms);
         prop_assert!(dc.active_pm_count() >= 1);
+    }
+
+    /// The in-place symmetric merge used by `merge_pair` is bit-for-bit
+    /// the old clone-then-average formulation (`a.merge(&b)` followed by
+    /// `b.clone_from(&a)`) for arbitrary trained table pairs — compared
+    /// down to the encoded snapshot bytes, so even a `-0.0`/`0.0` flip
+    /// would fail.
+    #[test]
+    fn in_place_merge_matches_clone_then_average_bitwise(
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+        iters_a in 0usize..50,
+        iters_b in 0usize..50,
+    ) {
+        let mk = |seed: u64, iters: usize| {
+            let mut t = QTablePair::new(QParams::default());
+            let mut r = SmallRng::seed_from_u64(seed);
+            let profs: Vec<VmProfile> = (0..7)
+                .map(|i| {
+                    let c = 0.05 + 0.09 * ((seed as usize + i) % 9) as f64;
+                    VmProfile::from_fractions(Resources::splat(c), Resources::splat(c))
+                })
+                .collect();
+            local_train(&mut t, &profs, iters, &mut r);
+            t
+        };
+        let a0 = mk(seed_a, iters_a);
+        let b0 = mk(seed_b, iters_b);
+
+        // Old formulation.
+        let mut a_old = a0.clone();
+        let mut b_old = b0.clone();
+        a_old.merge(&b_old);
+        b_old.clone_from(&a_old);
+
+        // New in-place formulation, exactly as the aggregation phase
+        // invokes it.
+        let mut tables = vec![a0, b0];
+        merge_pair(&mut tables, 0, 1);
+
+        prop_assert_eq!(pair_bytes(&tables[0]), pair_bytes(&a_old));
+        prop_assert_eq!(pair_bytes(&tables[1]), pair_bytes(&b_old));
     }
 
     /// Disabling the veto can only consolidate at least as aggressively

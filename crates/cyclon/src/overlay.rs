@@ -114,12 +114,34 @@ impl CyclonOverlay {
     /// dead entries as they are discovered (the failed-contact path).
     /// Returns `None` if the view holds no alive peer.
     pub fn random_alive_peer<R: Rng>(&mut self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        Self::random_alive_peer_in(&mut self.nodes[node as usize], &self.alive, rng)
+    }
+
+    /// Splits the overlay into its disjoint per-node slots plus the
+    /// shared liveness view. Each slot can then be mutated independently
+    /// — this is what lets the trainer fan per-PM peer sampling out over
+    /// a worker pool, each worker holding one `&mut CyclonNode` and the
+    /// read-only `alive` slice. Pair with
+    /// [`random_alive_peer_in`](Self::random_alive_peer_in).
+    pub fn split_mut(&mut self) -> (&mut [CyclonNode], &[bool]) {
+        (&mut self.nodes, &self.alive)
+    }
+
+    /// [`random_alive_peer`](Self::random_alive_peer) on one node slot
+    /// obtained from [`split_mut`](Self::split_mut): same draws, same
+    /// dead-entry pruning, usable from concurrent workers on disjoint
+    /// slots.
+    pub fn random_alive_peer_in<R: Rng>(
+        node: &mut CyclonNode,
+        alive: &[bool],
+        rng: &mut R,
+    ) -> Option<NodeId> {
         loop {
-            let peer = self.nodes[node as usize].random_peer(rng)?;
-            if self.alive[peer as usize] {
+            let peer = node.random_peer(rng)?;
+            if alive[peer as usize] {
                 return Some(peer);
             }
-            self.nodes[node as usize].remove(peer);
+            node.remove(peer);
         }
     }
 
@@ -354,6 +376,30 @@ mod tests {
             if let Some(p) = o.random_alive_peer(0, &mut rng) {
                 assert_eq!(p, 1);
             }
+        }
+    }
+
+    #[test]
+    fn split_slot_peer_sampling_matches_whole_overlay_api() {
+        let (mut a, rng0) = overlay(30);
+        for d in [3u32, 7, 11] {
+            a.set_dead(d);
+        }
+        let mut b = a.clone();
+        let mut rng_a = rng0.clone();
+        let mut rng_b = rng0;
+        for i in 0..30u32 {
+            let via_whole = a.random_alive_peer(i, &mut rng_a);
+            let (nodes, alive) = b.split_mut();
+            let via_slot =
+                CyclonOverlay::random_alive_peer_in(&mut nodes[i as usize], alive, &mut rng_b);
+            assert_eq!(via_whole, via_slot, "node {i} diverged");
+        }
+        // Pruning must have been applied identically too.
+        for i in 0..30u32 {
+            let na: Vec<NodeId> = a.node(i).neighbors().collect();
+            let nb: Vec<NodeId> = b.node(i).neighbors().collect();
+            assert_eq!(na, nb);
         }
     }
 

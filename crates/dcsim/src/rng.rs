@@ -35,8 +35,14 @@ pub enum Stream {
     Overlay,
     /// The consolidation policy's own decisions.
     Policy,
-    /// The learning component.
+    /// The learning component (phase-level draws: aggregation pairing,
+    /// similarity sampling).
     Learning,
+    /// One PM's local training during the learning phase. Per-PM
+    /// streams make the round's training order-independent, so the
+    /// trainer can fan the PMs out over a worker pool and stay
+    /// byte-identical at any thread count.
+    LearningPm(u32),
     /// The network fault model (message drops, latency, crashes).
     Network,
     /// Free-form extra stream.
@@ -52,6 +58,10 @@ impl Stream {
             Stream::Policy => 4,
             Stream::Learning => 5,
             Stream::Network => 6,
+            // Per-PM learning streams live in their own tag plane, far
+            // above Custom's 0x1000 offset, so no PM index can collide
+            // with any other stream label.
+            Stream::LearningPm(pm) => 0x1_0000_0000 + pm as u64,
             Stream::Custom(x) => 0x1000 + x,
         }
     }
@@ -160,6 +170,23 @@ mod tests {
         assert_ne!(a.next_u64(), b.next_u64());
         let mut a2 = node_rng(42, Stream::Learning, 0);
         assert_eq!(node_rng(42, Stream::Learning, 0).next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn per_pm_learning_streams_are_distinct_and_reproducible() {
+        let mut a = stream_rng(42, Stream::LearningPm(0));
+        let mut b = stream_rng(42, Stream::LearningPm(1));
+        let mut shared = stream_rng(42, Stream::Learning);
+        let a0 = a.next_u64();
+        assert_ne!(a0, b.next_u64());
+        assert_ne!(a0, shared.next_u64());
+        assert_eq!(stream_rng(42, Stream::LearningPm(0)).next_u64(), a0);
+        // The per-PM tag plane cannot collide with Custom streams.
+        for pm in [0u32, 1, 1000] {
+            let mut p = stream_rng(7, Stream::LearningPm(pm));
+            let mut c = stream_rng(7, Stream::Custom(pm as u64));
+            assert_ne!(p.next_u64(), c.next_u64());
+        }
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! across cluster sizes for GLAP and PABFD.
 
 use glap_experiments::{fnum, parse_or_exit, run_scenario, Algorithm, Scenario, TextTable};
+use glap_par::resolve_threads;
 use std::time::Instant;
 
 fn main() {
     let cli = parse_or_exit();
+    // The learning phase fans out over this many workers (`--threads`,
+    // `GLAP_THREADS`, or all cores); record it — this is a timing study.
+    let threads = resolve_threads(cli.threads);
     let sizes = if cli.grid.sizes.len() > 1 {
         cli.grid.sizes.clone()
     } else {
@@ -52,7 +56,10 @@ fn main() {
         }
     }
 
-    println!("== Scalability ({rounds} rounds, ratio {ratio}; includes GLAP training) ==\n");
+    println!(
+        "== Scalability ({rounds} rounds, ratio {ratio}, {threads} worker thread(s); \
+         includes GLAP training) ==\n"
+    );
     print!("{}", table.render());
     println!(
         "\nnote: the per-PM-per-round cost column is the scalability claim — flat for \

@@ -130,7 +130,9 @@ pub const USAGE: &str = "options:
   --rounds n          measured rounds                    (default 720)
   --train n           GLAP learning rounds               (default 100)
   --agg n             GLAP aggregation rounds            (default 30)
-  --threads n         worker threads                     (default: all cores)
+  --threads n         worker threads for the scenario grid and the in-training
+                      per-PM pool (default: GLAP_THREADS env var, else all
+                      cores; results are byte-identical at any thread count)
   --out dir           CSV output directory               (default results/)
   --verbose           log each finished scenario
   --trace file        write a JSONL event trace of the first scenario
@@ -227,9 +229,21 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
 }
 
 /// Parses from the process arguments, exiting with usage on error.
+///
+/// A parsed `--threads` is installed as the process-wide worker-count
+/// default ([`glap_par::set_default_threads`]), so *every* pool in the
+/// binary — the scenario grid fan-out and the per-PM learning-phase
+/// pool inside `glap::train` — honors the flag, including binaries that
+/// never look at `cli.threads` themselves. Without the flag the pools
+/// fall back to `GLAP_THREADS`, then to all cores.
 pub fn parse_or_exit() -> Cli {
     match parse(std::env::args().skip(1)) {
-        Ok(cli) => cli,
+        Ok(cli) => {
+            if let Some(n) = cli.threads {
+                glap_par::set_default_threads(n);
+            }
+            cli
+        }
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

@@ -1,125 +1,11 @@
-//! A small scoped worker pool for running scenarios in parallel.
+//! Re-export of the shared worker pool.
 //!
-//! Individual simulation runs are strictly single-threaded and
-//! deterministic; the grid of (size × ratio × rep × algorithm) runs is
-//! embarrassingly parallel. Workers claim items from a shared atomic
-//! cursor and write each result into its own pre-allocated slot, so
-//! results come back in input order and downstream aggregation is
-//! deterministic regardless of thread count. Built on `std::thread`
-//! only — the approved dependency list has no concurrency crates.
+//! The pool's original home was this module; it moved to [`glap_par`]
+//! so `glap` core can parallelize the learning phase without a
+//! dependency cycle (`glap-experiments` depends on `glap`, not the
+//! other way around). Existing `crate::pool::parallel_map` call sites
+//! and the public `glap_experiments::parallel_map` re-export keep
+//! working unchanged; the pool's unit tests live with the code in
+//! `crates/par`.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Maps `f` over `items` using up to `threads` workers (defaults to the
-/// available parallelism), preserving input order in the output.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
-        .clamp(1, n);
-
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every item processed")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn maps_in_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items.clone(), Some(4), |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_thread_path() {
-        let out = parallel_map(vec![1, 2, 3], Some(1), |&x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), None, |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let out = parallel_map(vec![7], Some(16), |&x| x);
-        assert_eq!(out, vec![7]);
-    }
-
-    #[test]
-    fn single_item_many_threads() {
-        let out = parallel_map(vec![String::from("only")], Some(32), |s| s.len());
-        assert_eq!(out, vec![4]);
-    }
-
-    #[test]
-    fn order_preserved_under_many_threads_with_skewed_work() {
-        // Early items sleep longest, so late items finish first; the
-        // output must still come back in input order.
-        let items: Vec<u64> = (0..64).collect();
-        let out = parallel_map(items.clone(), Some(16), |&x| {
-            std::thread::sleep(std::time::Duration::from_micros((64 - x) * 50));
-            x * 3 + 1
-        });
-        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn results_match_sequential_regardless_of_threads() {
-        let items: Vec<u64> = (0..50).collect();
-        let seq = parallel_map(items.clone(), Some(1), |&x| x * x % 97);
-        let par = parallel_map(items, Some(8), |&x| x * x % 97);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn default_thread_count_runs_everything() {
-        let out = parallel_map((0..10).collect::<Vec<i32>>(), None, |&x| x - 1);
-        assert_eq!(out, (-1..9).collect::<Vec<_>>());
-    }
-}
+pub use glap_par::{parallel_map, resolve_threads, set_default_threads};

@@ -185,6 +185,36 @@ impl QTable {
         }
     }
 
+    /// Symmetric, in-place form of Algorithm 2's push–pull `UPDATE`:
+    /// after the call both tables hold the identical union/average
+    /// result, without materializing a merged copy. The average uses the
+    /// exact expression of [`merge_average`](Self::merge_average), so
+    /// `QTable::merge_symmetric(&mut a, &mut b)` is bit-for-bit equal to
+    /// the clone-then-average formulation `a.merge_average(&b);
+    /// b.clone_from(&a);`.
+    pub fn merge_symmetric(a: &mut QTable, b: &mut QTable) {
+        for i in 0..a.values.len() {
+            match (a.visited[i], b.visited[i]) {
+                (true, true) => {
+                    let m = (a.values[i] + b.values[i]) / 2.0;
+                    a.values[i] = m;
+                    b.values[i] = m;
+                }
+                (false, true) => {
+                    a.values[i] = b.values[i];
+                    a.visited[i] = true;
+                    a.n_visited += 1;
+                }
+                (true, false) => {
+                    b.values[i] = a.values[i];
+                    b.visited[i] = true;
+                    b.n_visited += 1;
+                }
+                (false, false) => {}
+            }
+        }
+    }
+
     /// Cosine similarity with `other` over the union of visited entries
     /// (unvisited = 0). Two empty tables are fully similar (1.0); an empty
     /// vs non-empty pair scores 0.
@@ -327,6 +357,19 @@ impl QTablePair {
     pub fn merge(&mut self, other: &QTablePair) {
         self.out.merge_average(&other.out);
         self.r#in.merge_average(&other.r#in);
+    }
+
+    /// Symmetric push–pull merge of two PMs' knowledge: both pairs end
+    /// with the identical union/average tables, in place. Matches the
+    /// old `a.merge(&b); b.clone_from(&a);` bit-for-bit — including the
+    /// hyperparameter/reward copy that `clone_from` performed — while
+    /// allocating nothing.
+    pub fn merge_symmetric(a: &mut QTablePair, b: &mut QTablePair) {
+        QTable::merge_symmetric(&mut a.out, &mut b.out);
+        QTable::merge_symmetric(&mut a.r#in, &mut b.r#in);
+        b.params = a.params;
+        b.reward_out = a.reward_out;
+        b.reward_in = a.reward_in;
     }
 
     /// Cosine similarity of the concatenated (out, in) value vectors —
@@ -580,6 +623,26 @@ mod tests {
     }
 
     #[test]
+    fn merge_symmetric_matches_clone_then_average_bitwise() {
+        let mut p = QTable::new();
+        let mut q = QTable::new();
+        let st = s(0.5, 0.5);
+        p.set(st, a(0.1, 0.1), 10.0 / 3.0);
+        p.set(st, a(0.45, 0.45), -0.0);
+        q.set(st, a(0.1, 0.1), 1.0 / 7.0);
+        q.set(st, a(0.3, 0.3), 7.0);
+
+        let (mut pr, mut qr) = (p.clone(), q.clone());
+        p.merge_average(&q);
+        q.clone_from(&p);
+        QTable::merge_symmetric(&mut pr, &mut qr);
+        assert_eq!(pr, p);
+        assert_eq!(qr, q);
+        assert_eq!(pr.visited_count(), 3);
+        assert_eq!(qr.visited_count(), 3);
+    }
+
+    #[test]
     fn cosine_similarity_bounds_and_identity() {
         let mut p = QTable::new();
         let mut q = QTable::new();
@@ -679,6 +742,25 @@ mod pair_tests {
         q.merge(&p0);
         assert!((p.cosine_similarity(&q) - 1.0).abs() < 1e-12);
         assert!(!p.pi_in(s(0.85, 0.85), a(0.45, 0.45)));
+    }
+
+    #[test]
+    fn pair_merge_symmetric_unifies_like_sequential_merge() {
+        let mut p = QTablePair::new(QParams::default());
+        let mut q = QTablePair::new(QParams {
+            alpha: 0.9,
+            gamma: 0.1,
+        });
+        p.train_out(s(0.5, 0.5), a(0.1, 0.1), s(0.3, 0.3));
+        q.train_in(s(0.85, 0.85), a(0.45, 0.45), s(1.0, 1.0));
+
+        let (mut pr, mut qr) = (p.clone(), q.clone());
+        p.merge(&q);
+        q.clone_from(&p);
+        QTablePair::merge_symmetric(&mut pr, &mut qr);
+        assert_eq!(pr, p);
+        assert_eq!(qr, q);
+        assert_eq!(qr.params, pr.params);
     }
 
     #[test]

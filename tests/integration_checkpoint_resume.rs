@@ -164,6 +164,22 @@ fn pabfd_interrupt_resume_is_byte_identical() {
 }
 
 #[test]
+fn glap_interrupt_resume_with_parallel_training_is_byte_identical() {
+    // PR 5: the learning phase fans out over a worker pool. A
+    // checkpoint cut from a parallel-trained world must restore
+    // byte-identically — per-PM RNG streams make training (and hence
+    // every checkpointed table) independent of pool width, so the
+    // interrupted/resumed legs match the uninterrupted reference even
+    // when all three run 4-wide on the in-training pool.
+    glap_par::set_default_threads(4);
+    assert_interrupt_resume_is_byte_identical(
+        &scenario(Algorithm::Glap, FaultProfile::faulty(0.05, 0.01, 0.2)),
+        "GLAP-parallel",
+    );
+    glap_par::set_default_threads(0);
+}
+
+#[test]
 fn glap_interrupt_resume_under_faults_is_byte_identical() {
     assert_interrupt_resume_is_byte_identical(
         &scenario(Algorithm::Glap, FaultProfile::faulty(0.05, 0.01, 0.2)),

@@ -43,6 +43,42 @@ fn runs_are_bit_reproducible_for_every_algorithm() {
 }
 
 #[test]
+fn thread_count_never_changes_results() {
+    // The learning phase fans out over a worker pool (PR 5), but each
+    // PM trains from its own dedicated RNG stream, so a run is a pure
+    // function of the seed regardless of pool width — with and without
+    // network faults. (Other tests in this binary are also
+    // thread-count-invariant, so flipping the process-wide default
+    // while they run concurrently is harmless.)
+    for algorithm in Algorithm::PAPER_SET {
+        for faulty in [false, true] {
+            let mut sc = scenario(algorithm);
+            if faulty {
+                sc.fault = FaultProfile::faulty(0.2, 0.01, 0.3);
+            }
+            glap_par::set_default_threads(1);
+            let seq = run_scenario(&sc);
+            glap_par::set_default_threads(4);
+            let par = run_scenario(&sc);
+            glap_par::set_default_threads(0);
+            assert_eq!(
+                seq.collector.samples,
+                par.collector.samples,
+                "{} (faulty={faulty}): thread count changed per-round samples",
+                algorithm.label()
+            );
+            assert_eq!(seq.sla, par.sla, "{} (faulty={faulty})", algorithm.label());
+            assert_eq!(
+                seq.bfd_bins,
+                par.bfd_bins,
+                "{} (faulty={faulty})",
+                algorithm.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_runs() {
     let a = run_scenario(&scenario(Algorithm::Glap));
     let b = run_scenario(&Scenario {

@@ -108,8 +108,16 @@ impl Default for Criterion {
     fn default() -> Self {
         // Keep the stub quick: benches exist for relative comparison
         // during development, not publication-grade statistics.
+        // `GLAP_BENCH_BUDGET_MS` overrides the per-bench measurement
+        // budget (CI smoke jobs shrink it; local timing runs can grow
+        // it for steadier means).
+        let ms = std::env::var("GLAP_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(300);
         Criterion {
-            budget: Duration::from_millis(300),
+            budget: Duration::from_millis(ms),
         }
     }
 }
