@@ -11,7 +11,7 @@
 //! PMs when VM load later rises.
 
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
-use glap_cyclon::CyclonOverlay;
+use glap_cyclon::{CyclonOverlay, RoundIo};
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
@@ -150,8 +150,10 @@ impl ConsolidationPolicy for GrmpPolicy {
         let rng = &mut *ctx.rng;
         let net = &mut *ctx.net;
         let tracer = ctx.tracer;
-        self.overlay
-            .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
+        self.overlay.run_round(
+            rng,
+            RoundIo::full(&mut |a, b| net.request(a, b).is_ok(), tracer),
+        );
         let mut order: Vec<PmId> = dc.active_pm_ids().collect();
         order.shuffle(rng);
         for p in order {

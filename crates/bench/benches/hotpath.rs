@@ -14,11 +14,9 @@
 //!   freshly stepped data center.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use glap::{aggregation_round, synthetic_table, train, GlapConfig, GlapPolicy};
+use glap::prelude::*;
+use glap::synthetic_table;
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
-use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{stream_rng, ConsolidationPolicy, NetworkModel, RoundCtx, Stream};
-use glap_telemetry::Tracer;
 
 /// VMs per PM in every benchmark world.
 const VM_RATIO: usize = 2;
@@ -86,7 +84,7 @@ fn bench_aggregation_round(c: &mut Criterion) {
         let mut rng = stream_rng(42, Stream::Learning);
         overlay.bootstrap_random(&mut rng);
         g.bench_function(format!("aggregation_round_{n}pms"), |b| {
-            b.iter(|| aggregation_round(&mut tables, &mut overlay, &mut rng))
+            b.iter(|| aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::default()))
         });
     }
     g.finish();

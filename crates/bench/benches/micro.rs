@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use glap_baselines::bfd_pack;
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
-use glap_cyclon::CyclonOverlay;
+use glap_cyclon::{CyclonOverlay, RoundIo};
 use glap_dcsim::{stream_rng, Stream};
 use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
 use glap_workload::GoogleLikeTraceGen;
@@ -75,7 +75,7 @@ fn cyclon(c: &mut Criterion) {
             let mut o = CyclonOverlay::new(n, 8, 4);
             o.bootstrap_random(&mut rng);
             b.iter(|| {
-                o.run_round(&mut rng);
+                o.run_round(&mut rng, RoundIo::default());
                 black_box(o.node(0).view_size())
             })
         });

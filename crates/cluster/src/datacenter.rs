@@ -13,7 +13,7 @@ use crate::pm::{Pm, PmSpec, PowerState};
 use crate::power::{MigrationModel, PowerModel};
 use crate::resources::Resources;
 use crate::topology::Topology;
-use crate::vm::{Vm, VmSpec};
+use crate::vm::{Vm, VmProfile, VmSpec};
 use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
 use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
@@ -207,6 +207,18 @@ impl DataCenter {
     /// Iterates over all PMs.
     pub fn pms(&self) -> impl Iterator<Item = &Pm> {
         self.pms.iter()
+    }
+
+    /// Collects the demand profiles of every VM hosted on `pm` into
+    /// `buf` (cleared first). This is the demand-feed boundary for
+    /// distributed protocol runtimes: a per-node driver calls it once
+    /// per round and ships the result to the node, which otherwise
+    /// never touches the data-center model.
+    pub fn pm_profiles_into(&self, pm: PmId, buf: &mut Vec<VmProfile>) {
+        buf.clear();
+        for &vm in &self.pm(pm).vms {
+            buf.push(self.vm(vm).profile());
+        }
     }
 
     /// Iterates over all VMs.

@@ -36,70 +36,81 @@ pub struct AggregationRoundStats {
     pub skipped_down: u64,
 }
 
+/// Per-round context for [`aggregation_round`]: an optional fault-model
+/// network and an optional event tracer. `AggIo::default()` is the
+/// ideal, untraced round and costs only `Option` branches — no event is
+/// built, no fault randomness is consumed.
+#[derive(Default)]
+pub struct AggIo<'a> {
+    /// Fault model: when present, each push–pull exchange is a
+    /// request/reply round trip that can be dropped, time out, or land
+    /// on a crashed partner. `None` means every exchange succeeds.
+    pub net: Option<&'a mut NetworkModel>,
+    /// Event tracer: emits `merge_applied` per symmetric merge and
+    /// `merge_retried` per failed attempt, and accounts the estimated
+    /// gossip traffic under `agg.bytes` / `agg.merges`. Tracing reads no
+    /// randomness — the merge outcome for any seed is identical with or
+    /// without it.
+    pub tracer: Option<&'a Tracer>,
+}
+
+impl<'a> AggIo<'a> {
+    /// A round over a lossy network, untraced.
+    pub fn net(net: &'a mut NetworkModel) -> Self {
+        AggIo {
+            net: Some(net),
+            tracer: None,
+        }
+    }
+
+    /// An ideal-network round with an event tracer.
+    pub fn traced(tracer: &'a Tracer) -> Self {
+        AggIo {
+            net: None,
+            tracer: Some(tracer),
+        }
+    }
+
+    /// A lossy-network, traced round.
+    pub fn full(net: &'a mut NetworkModel, tracer: &'a Tracer) -> Self {
+        AggIo {
+            net: Some(net),
+            tracer: Some(tracer),
+        }
+    }
+}
+
 /// One synchronous aggregation gossip round over all alive PMs.
 ///
 /// For each alive node (random activation order) a random alive peer is
 /// drawn from its Cyclon view and the two run the symmetric `UPDATE` of
 /// Algorithm 2, after which both hold the identical merged table.
+///
+/// With a network in the [`AggIo`] context, a node whose exchange fails
+/// re-sends — re-picking its partner, since the original may be the
+/// problem — up to [`AGGREGATION_MAX_ATTEMPTS`] times, then backs off
+/// until the next aggregation round. Crashed partners are pruned from
+/// the view exactly like dead ones (Cyclon's failed-contact rule);
+/// crashed *initiators* sit the round out. Over an ideal network (or
+/// with `net: None`) this draws the same RNG sequence and performs the
+/// same merges as the no-net path — the byte-identity contract of the
+/// fault layer.
 pub fn aggregation_round<R: Rng>(
     tables: &mut [QTablePair],
     overlay: &mut CyclonOverlay,
     rng: &mut R,
-) {
-    let n = tables.len();
-    let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
-    order.shuffle(rng);
-    for p in order {
-        let Some(q) = overlay.random_alive_peer(p, rng) else {
-            continue;
-        };
-        if p == q {
-            continue;
-        }
-        merge_pair(tables, p as usize, q as usize);
-    }
-}
-
-/// [`aggregation_round`] over a lossy network: each push–pull exchange is
-/// a request/reply round trip that can be dropped, time out, or land on a
-/// crashed partner. A node whose exchange fails re-sends — re-picking its
-/// partner, since the original may be the problem — up to
-/// [`AGGREGATION_MAX_ATTEMPTS`] times, then backs off until the next
-/// aggregation round. Crashed partners are pruned from the view exactly
-/// like dead ones (Cyclon's failed-contact rule). Crashed *initiators*
-/// sit the round out.
-///
-/// Over an ideal network this draws the same RNG sequence and performs
-/// the same merges as [`aggregation_round`] — the byte-identity contract
-/// of the fault layer.
-pub fn aggregation_round_net<R: Rng>(
-    tables: &mut [QTablePair],
-    overlay: &mut CyclonOverlay,
-    rng: &mut R,
-    net: &mut NetworkModel,
+    io: AggIo<'_>,
 ) -> AggregationRoundStats {
-    aggregation_round_traced(tables, overlay, rng, net, &Tracer::off())
-}
-
-/// [`aggregation_round_net`] with an event tracer: emits `merge_applied`
-/// per symmetric merge and `merge_retried` per failed attempt, and
-/// accounts the estimated gossip traffic under `agg.bytes` /
-/// `agg.merges`. Tracing reads no randomness — the merge outcome for any
-/// seed is identical to [`aggregation_round_net`].
-pub fn aggregation_round_traced<R: Rng>(
-    tables: &mut [QTablePair],
-    overlay: &mut CyclonOverlay,
-    rng: &mut R,
-    net: &mut NetworkModel,
-    tracer: &Tracer,
-) -> AggregationRoundStats {
+    let AggIo { mut net, tracer } = io;
     let n = tables.len();
     let mut stats = AggregationRoundStats::default();
     let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
     order.shuffle(rng);
     for p in order {
-        if !net.is_up(p) {
-            continue;
+        if let Some(net) = net.as_deref() {
+            if !net.is_up(p) {
+                continue;
+            }
         }
         let mut attempts = 0;
         loop {
@@ -110,37 +121,49 @@ pub fn aggregation_round_traced<R: Rng>(
             if p == q {
                 break;
             }
-            if !net.is_up(q) {
-                stats.skipped_down += 1;
-                overlay.node_mut(p).remove(q);
-                tracer.emit(EventKind::MergeRetried {
-                    pm: p,
-                    attempt: attempts as u32,
-                });
-                if attempts >= AGGREGATION_MAX_ATTEMPTS {
-                    break;
+            if let Some(net) = net.as_deref() {
+                if !net.is_up(q) {
+                    stats.skipped_down += 1;
+                    overlay.node_mut(p).remove(q);
+                    if let Some(tracer) = tracer {
+                        tracer.emit(EventKind::MergeRetried {
+                            pm: p,
+                            attempt: attempts as u32,
+                        });
+                    }
+                    if attempts >= AGGREGATION_MAX_ATTEMPTS {
+                        break;
+                    }
+                    continue;
                 }
-                continue;
             }
-            if net.request(p, q).is_ok() {
-                if tracer.is_on() {
-                    // Push–pull ships both trained sets, one per leg.
-                    let pairs = (tables[p as usize].trained_pairs()
-                        + tables[q as usize].trained_pairs())
-                        as u64;
-                    tracer.add("agg.bytes", pairs * ENTRY_BYTES);
-                    tracer.add("agg.merges", 1);
+            let delivered = match net.as_deref_mut() {
+                Some(net) => net.request(p, q).is_ok(),
+                None => true,
+            };
+            if delivered {
+                if let Some(tracer) = tracer {
+                    if tracer.is_on() {
+                        // Push–pull ships both trained sets, one per leg.
+                        let pairs = (tables[p as usize].trained_pairs()
+                            + tables[q as usize].trained_pairs())
+                            as u64;
+                        tracer.add("agg.bytes", pairs * ENTRY_BYTES);
+                        tracer.add("agg.merges", 1);
+                    }
+                    tracer.emit(EventKind::MergeApplied { a: p, b: q });
                 }
                 merge_pair(tables, p as usize, q as usize);
-                tracer.emit(EventKind::MergeApplied { a: p, b: q });
                 stats.merges += 1;
                 break;
             }
             stats.dropped += 1;
-            tracer.emit(EventKind::MergeRetried {
-                pm: p,
-                attempt: attempts as u32,
-            });
+            if let Some(tracer) = tracer {
+                tracer.emit(EventKind::MergeRetried {
+                    pm: p,
+                    attempt: attempts as u32,
+                });
+            }
             if attempts >= AGGREGATION_MAX_ATTEMPTS {
                 break;
             }
@@ -205,6 +228,7 @@ pub fn mean_pairwise_similarity<R: Rng>(
 mod tests {
     use super::*;
     use glap_cluster::Resources;
+    use glap_cyclon::RoundIo;
     use glap_qlearn::{PmState, QParams, VmAction};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -249,8 +273,8 @@ mod tests {
         let mut tables = seeded_tables(n, true);
         let before = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
         for _ in 0..15 {
-            o.run_round(&mut rng);
-            aggregation_round(&mut tables, &mut o, &mut rng);
+            o.run_round(&mut rng, RoundIo::default());
+            aggregation_round(&mut tables, &mut o, &mut rng, AggIo::default());
         }
         let after = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
         assert!(
@@ -272,8 +296,8 @@ mod tests {
         let a = VmAction::from_demand(Resources::splat(0.3));
         let mean_before: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
         for _ in 0..20 {
-            o.run_round(&mut rng);
-            aggregation_round(&mut tables, &mut o, &mut rng);
+            o.run_round(&mut rng, RoundIo::default());
+            aggregation_round(&mut tables, &mut o, &mut rng, AggIo::default());
         }
         let mean_after: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
         assert!(
@@ -297,8 +321,8 @@ mod tests {
         let a = VmAction::from_demand(Resources::splat(0.3));
         tables[0].out.set(s, a, 42.0);
         for _ in 0..15 {
-            o.run_round(&mut rng);
-            aggregation_round(&mut tables, &mut o, &mut rng);
+            o.run_round(&mut rng, RoundIo::default());
+            aggregation_round(&mut tables, &mut o, &mut rng, AggIo::default());
         }
         for t in &tables {
             assert_eq!(t.out.get(s, a), 42.0);

@@ -22,7 +22,6 @@
 //! ```
 //! use glap::prelude::*;
 //! use glap_cluster::prelude::*;
-//! use glap_dcsim::{run_simulation, stream_rng, Stream};
 //!
 //! // Build a small data center: 10 PMs, 20 VMs.
 //! let mut dc = DataCenter::new(DataCenterConfig::paper(10));
@@ -45,8 +44,8 @@ pub mod policy;
 pub mod trainer;
 
 pub use aggregation::{
-    aggregation_round, aggregation_round_net, mean_pairwise_similarity, merge_pair,
-    AggregationRoundStats, AGGREGATION_MAX_ATTEMPTS,
+    aggregation_round, mean_pairwise_similarity, merge_pair, AggIo, AggregationRoundStats,
+    AGGREGATION_MAX_ATTEMPTS,
 };
 pub use config::GlapConfig;
 pub use learning::{
@@ -59,14 +58,39 @@ pub use trainer::{
     TrainPhase, TrainReport,
 };
 
-/// Convenient glob import.
+// Workspace-level re-exports: the protocol stack a consumer of `glap`
+// almost always needs next, reachable as `glap::cyclon::…` etc. instead
+// of a four-crate dependency list.
+pub use glap_cyclon as cyclon;
+pub use glap_dcsim as dcsim;
+pub use glap_qlearn as qlearn;
+pub use glap_snapshot as snapshot;
+pub use glap_telemetry as telemetry;
+
+/// Convenient glob import: the GLAP protocol surface plus the handful of
+/// cross-crate types every experiment binary and integration test was
+/// reaching through four crates for (`RoundCtx`, `QTablePair`, `Stream`,
+/// `Checkpointable`, …). Cluster-model types are deliberately absent —
+/// glob-import `glap_cluster::prelude` alongside without ambiguity.
 pub mod prelude {
     pub use crate::aggregation::{
-        aggregation_round, aggregation_round_net, mean_pairwise_similarity,
+        aggregation_round, mean_pairwise_similarity, merge_pair, AggIo, AggregationRoundStats,
+        AGGREGATION_MAX_ATTEMPTS,
     };
     pub use crate::config::GlapConfig;
-    pub use crate::policy::{GlapPolicy, RetrainConfig, TableStore};
+    pub use crate::learning::{gather_profiles_into, is_eligible, local_train_with};
+    pub use crate::policy::{GlapPolicy, RetrainConfig, StopReason, TableStore};
     pub use crate::trainer::{
-        train, train_traced, train_unified, unified_table, TrainPhase, TrainReport,
+        train, train_traced, train_traced_with_threads, train_unified, unified_table, TrainPhase,
+        TrainReport,
     };
+    pub use glap_cyclon::{CyclonNode, CyclonOverlay, Descriptor, PendingShuffle, RoundIo};
+    pub use glap_dcsim::{
+        node_rng, restore_rng, run_simulation, run_simulation_resumable, run_simulation_traced,
+        save_rng, splitmix64, stream_rng, ConsolidationPolicy, Delivery, FaultProfile,
+        NetworkModel, RoundCtx, SimRng, Stream,
+    };
+    pub use glap_qlearn::{PmState, QParams, QTable, QTablePair, VmAction};
+    pub use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
+    pub use glap_telemetry::{EventKind, Phase, Tracer};
 }

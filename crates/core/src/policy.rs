@@ -16,13 +16,13 @@
 //!
 //! Emptied PMs go to sleep and leave the overlay.
 
-use crate::aggregation::aggregation_round_traced;
+use crate::aggregation::{aggregation_round, AggIo};
 use crate::config::GlapConfig;
 use crate::learning::{
     duplicate_profiles, gather_profiles, is_eligible, local_train, required_duplication,
 };
 use glap_cluster::{DataCenter, PmId, Resources, VmId};
-use glap_cyclon::CyclonOverlay;
+use glap_cyclon::{CyclonOverlay, RoundIo};
 use glap_dcsim::{ConsolidationPolicy, NetworkModel, RoundCtx, SimRng};
 use glap_qlearn::{PmState, QTablePair, VmAction};
 use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
@@ -406,8 +406,10 @@ impl ConsolidationPolicy for GlapPolicy {
         // request/reply over the message bus. A non-response (drop,
         // timeout, crashed target) leaves the target's descriptor evicted
         // — Cyclon's own churn rule, at no extra cost.
-        self.overlay
-            .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
+        self.overlay.run_round(
+            rng,
+            RoundIo::full(&mut |a, b| net.request(a, b).is_ok(), tracer),
+        );
 
         // One round of the open learning window, if any: every eligible
         // PM trains on this round's live profiles, so the learner sees
@@ -437,14 +439,15 @@ impl ConsolidationPolicy for GlapPolicy {
                 // Aggregation phase, then merge the unified result into
                 // the consolidation component's knowledge.
                 for _ in 0..self.cfg.aggregation_rounds {
-                    self.overlay
-                        .run_round_traced(rng, |a, b| net.request(a, b).is_ok(), tracer);
-                    aggregation_round_traced(
+                    self.overlay.run_round(
+                        rng,
+                        RoundIo::full(&mut |a, b| net.request(a, b).is_ok(), tracer),
+                    );
+                    aggregation_round(
                         &mut online.tables,
                         &mut self.overlay,
                         rng,
-                        net,
-                        tracer,
+                        AggIo::full(net, tracer),
                     );
                 }
                 let mut table = crate::trainer::unified_table(&online.tables);

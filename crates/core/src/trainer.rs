@@ -6,14 +6,14 @@
 //! until the PMs' tables unify. Optionally records the mean pairwise cosine
 //! similarity each round, which regenerates Figure 5.
 
-use crate::aggregation::{aggregation_round, mean_pairwise_similarity};
+use crate::aggregation::{aggregation_round, mean_pairwise_similarity, AggIo};
 use crate::config::GlapConfig;
 use crate::learning::{
     duplicate_profiles, gather_profiles, gather_profiles_into, is_eligible, local_train,
     local_train_with, required_duplication,
 };
 use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
-use glap_cyclon::{CyclonNode, CyclonOverlay};
+use glap_cyclon::{CyclonNode, CyclonOverlay, RoundIo};
 use glap_dcsim::{stream_rng, SimRng, Stream};
 use glap_par::parallel_for_each;
 use glap_qlearn::QTablePair;
@@ -228,7 +228,7 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
     for round in 0..cfg.learning_rounds {
         tracer.begin_round(round as u64);
         dc.step(trace);
-        overlay.run_round_traced(&mut overlay_rng, |_, _| true, tracer);
+        overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
         {
             // Eligibility is decided up front from the shared snapshot;
             // the workers then only touch their own task's state plus
@@ -299,8 +299,8 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
     tracer.set_phase(Phase::Aggregation);
     for round in 0..cfg.aggregation_rounds {
         tracer.begin_round(round as u64);
-        overlay.run_round_traced(&mut overlay_rng, |_, _| true, tracer);
-        aggregation_round(&mut tables, &mut overlay, &mut learn_rng);
+        overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
+        aggregation_round(&mut tables, &mut overlay, &mut learn_rng, AggIo::default());
         if record_similarity {
             let sim = mean_pairwise_similarity(
                 &tables,
@@ -369,7 +369,7 @@ pub fn retrain_in_place<R: Rng>(
         }
     }
     for _ in 0..passes {
-        overlay.run_round(rng);
+        overlay.run_round(rng, RoundIo::default());
         for (i, table) in tables.iter_mut().enumerate() {
             let pm = PmId(i as u32);
             if !is_eligible(dc, pm, cfg) {
@@ -386,8 +386,8 @@ pub fn retrain_in_place<R: Rng>(
         }
     }
     for _ in 0..cfg.aggregation_rounds {
-        overlay.run_round(rng);
-        aggregation_round(&mut tables, &mut overlay, rng);
+        overlay.run_round(rng, RoundIo::default());
+        aggregation_round(&mut tables, &mut overlay, rng, AggIo::default());
     }
     unified_table(&tables)
 }

@@ -2,15 +2,9 @@
 //! never poisons safe states, the aggregation phase conserves knowledge,
 //! and the consolidation policy never breaks world invariants.
 
-use glap::{
-    aggregation_round, local_train, merge_pair, synthetic_table, unified_table, GlapConfig,
-    GlapPolicy,
-};
+use glap::prelude::*;
+use glap::{local_train, synthetic_table};
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmProfile, VmSpec};
-use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{run_simulation, stream_rng, Stream};
-use glap_qlearn::{QParams, QTablePair};
-use glap_snapshot::{Checkpointable, Writer};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -75,8 +69,8 @@ proptest! {
         let mut overlay = CyclonOverlay::new(n, 4, 2);
         overlay.bootstrap_random(&mut rng);
         for _ in 0..rounds {
-            overlay.run_round(&mut rng);
-            aggregation_round(&mut tables, &mut overlay, &mut rng);
+            overlay.run_round(&mut rng, RoundIo::default());
+            aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::default());
         }
         let union_after = unified_table(&tables).trained_pairs();
         prop_assert_eq!(union_before, union_after);

@@ -10,14 +10,14 @@
 //! cheap, uniform, churn-tolerant random-peer service.
 //!
 //! ```
-//! use glap_cyclon::CyclonOverlay;
+//! use glap_cyclon::{CyclonOverlay, RoundIo};
 //! use rand::SeedableRng;
 //!
 //! let mut overlay = CyclonOverlay::new(100, 8, 4);
 //! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
 //! overlay.bootstrap_random(&mut rng);
 //! for _ in 0..10 {
-//!     overlay.run_round(&mut rng);
+//!     overlay.run_round(&mut rng, RoundIo::default());
 //! }
 //! assert!(overlay.is_connected());
 //! let peer = overlay.random_alive_peer(0, &mut rng);
@@ -30,4 +30,4 @@ pub mod overlay;
 
 pub use descriptor::{Descriptor, NodeId};
 pub use node::{CyclonNode, PendingShuffle};
-pub use overlay::CyclonOverlay;
+pub use overlay::{CyclonOverlay, RoundIo};

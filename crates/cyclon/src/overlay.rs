@@ -17,6 +17,56 @@ use rand::Rng;
 /// the gossip-traffic counter estimate.
 const DESCRIPTOR_BYTES: u64 = 8;
 
+/// Per-round context for [`CyclonOverlay::run_round`]: an optional
+/// transport (`contact`) and an optional event tracer. `RoundIo::default()`
+/// is the ideal, untraced round — every contact succeeds, nothing is
+/// recorded — and costs two `Option` branches per shuffle, so the hot
+/// no-op path stays free. Both fields are plain `pub`: build the struct
+/// literal or start from `default()` and fill in what you need.
+#[derive(Default)]
+pub struct RoundIo<'a> {
+    /// Transport callback: `contact(from, to)` returns whether the
+    /// shuffle round trip completed in time. `None` means every contact
+    /// succeeds (the ideal network). A failed contact (message dropped,
+    /// reply past the timeout, target crashed) behaves exactly like
+    /// contacting a dead node: the initiator gives up and the target's
+    /// descriptor — already removed by `start_shuffle`, which always
+    /// evicts the oldest entry — stays evicted. That *is* Cyclon's
+    /// neighbour-eviction-on-non-response rule.
+    pub contact: Option<&'a mut dyn FnMut(NodeId, NodeId) -> bool>,
+    /// Event tracer: emits `shuffle_completed` / `shuffle_failed` per
+    /// active shuffle and accounts gossip traffic under `cyclon.bytes` /
+    /// `cyclon.shuffles`. Tracing reads no randomness, so any tracer
+    /// (or `None`) leaves the view evolution identical.
+    pub tracer: Option<&'a Tracer>,
+}
+
+impl<'a> RoundIo<'a> {
+    /// A round over a caller-provided transport, untraced.
+    pub fn contact(f: &'a mut dyn FnMut(NodeId, NodeId) -> bool) -> Self {
+        RoundIo {
+            contact: Some(f),
+            tracer: None,
+        }
+    }
+
+    /// An ideal-network round with an event tracer.
+    pub fn traced(tracer: &'a Tracer) -> Self {
+        RoundIo {
+            contact: None,
+            tracer: Some(tracer),
+        }
+    }
+
+    /// A transport-backed, traced round.
+    pub fn full(f: &'a mut dyn FnMut(NodeId, NodeId) -> bool, tracer: &'a Tracer) -> Self {
+        RoundIo {
+            contact: Some(f),
+            tracer: Some(tracer),
+        }
+    }
+}
+
 /// All Cyclon state for an `n`-node overlay.
 #[derive(Debug, Clone)]
 pub struct CyclonOverlay {
@@ -147,43 +197,11 @@ impl CyclonOverlay {
 
     /// Runs one synchronous shuffle round: every alive node, in a random
     /// activation order, performs one active shuffle against the oldest
-    /// entry of its view.
-    pub fn run_round<R: Rng>(&mut self, rng: &mut R) {
-        self.run_round_with(rng, |_, _| true);
-    }
-
-    /// Like [`run_round`](Self::run_round), but every shuffle is a
-    /// request/reply over a caller-provided transport: `contact(from, to)`
-    /// returns whether the round trip completed in time. A failed contact
-    /// (message dropped, reply past the timeout, target crashed) behaves
-    /// exactly like contacting a dead node: the initiator gives up and the
-    /// target's descriptor — already removed by `start_shuffle`, which
-    /// always evicts the oldest entry — stays evicted. That *is* Cyclon's
-    /// neighbour-eviction-on-non-response rule, so no extra bookkeeping is
-    /// needed.
-    ///
-    /// With an always-true `contact` this is byte-identical to
-    /// [`run_round`](Self::run_round): same draws from `rng`, same view
-    /// mutations.
-    pub fn run_round_with<R, F>(&mut self, rng: &mut R, contact: F)
-    where
-        R: Rng,
-        F: FnMut(NodeId, NodeId) -> bool,
-    {
-        self.run_round_traced(rng, contact, &Tracer::off());
-    }
-
-    /// Like [`run_round_with`](Self::run_round_with), with an event
-    /// tracer: emits `shuffle_completed` / `shuffle_failed` per active
-    /// shuffle and accounts gossip traffic under the `cyclon.bytes` /
-    /// `cyclon.shuffles` counters. Tracing reads no randomness, so with
-    /// [`Tracer::off`] (or any tracer) the view evolution is identical
-    /// to [`run_round_with`](Self::run_round_with).
-    pub fn run_round_traced<R, F>(&mut self, rng: &mut R, mut contact: F, tracer: &Tracer)
-    where
-        R: Rng,
-        F: FnMut(NodeId, NodeId) -> bool,
-    {
+    /// entry of its view. Transport and tracing come from the [`RoundIo`]
+    /// context — `RoundIo::default()` is the ideal, untraced round, and
+    /// neither field changes the draws taken from `rng`, so any context
+    /// yields the same view evolution for contacts that succeed.
+    pub fn run_round<R: Rng>(&mut self, rng: &mut R, mut io: RoundIo<'_>) {
         let mut order: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
         order.shuffle(rng);
         for i in order {
@@ -191,27 +209,35 @@ impl CyclonOverlay {
                 continue;
             };
             let target = pending.target as usize;
-            if !self.alive[target] || !contact(i as NodeId, pending.target) {
+            let delivered = match io.contact.as_mut() {
+                Some(f) => f(i as NodeId, pending.target),
+                None => true,
+            };
+            if !self.alive[target] || !delivered {
                 // Contact failure (dead, crashed or timed out): descriptor
                 // already dropped by start_shuffle, nothing else to do.
                 self.nodes[i].abort_shuffle(&pending);
-                tracer.emit(EventKind::ShuffleFailed {
-                    from: i as u32,
-                    to: pending.target,
-                });
+                if let Some(tracer) = io.tracer {
+                    tracer.emit(EventKind::ShuffleFailed {
+                        from: i as u32,
+                        to: pending.target,
+                    });
+                }
                 continue;
             }
             let reply = self.nodes[target].handle_shuffle(&pending.sent, rng);
             self.nodes[i].complete_shuffle(&pending, &reply);
-            tracer.emit(EventKind::ShuffleCompleted {
-                from: i as u32,
-                to: pending.target,
-            });
-            tracer.add("cyclon.shuffles", 1);
-            tracer.add(
-                "cyclon.bytes",
-                (pending.sent.len() + reply.len()) as u64 * DESCRIPTOR_BYTES,
-            );
+            if let Some(tracer) = io.tracer {
+                tracer.emit(EventKind::ShuffleCompleted {
+                    from: i as u32,
+                    to: pending.target,
+                });
+                tracer.add("cyclon.shuffles", 1);
+                tracer.add(
+                    "cyclon.bytes",
+                    (pending.sent.len() + reply.len()) as u64 * DESCRIPTOR_BYTES,
+                );
+            }
         }
     }
 
@@ -328,7 +354,7 @@ mod tests {
     fn rounds_keep_overlay_connected() {
         let (mut o, mut rng) = overlay(100);
         for _ in 0..30 {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
             assert!(o.is_connected());
         }
     }
@@ -337,7 +363,7 @@ mod tests {
     fn in_degree_concentrates_around_cache_size() {
         let (mut o, mut rng) = overlay(200);
         for _ in 0..50 {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
         }
         let deg = o.in_degrees();
         let mean: f64 = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
@@ -356,7 +382,7 @@ mod tests {
             o.set_dead(d);
         }
         for _ in 0..40 {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
         }
         for i in 10..60u32 {
             for nb in o.node(i).neighbors().collect::<Vec<_>>() {
@@ -417,12 +443,12 @@ mod tests {
         let (mut o, mut rng) = overlay(30);
         o.set_dead(3);
         for _ in 0..20 {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
         }
         o.set_alive(3);
         o.node_mut(3).bootstrap([0, 1, 2]);
         for _ in 0..10 {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
         }
         assert!(o.is_connected());
         // Node 3 should be referenced again by someone.
@@ -440,7 +466,7 @@ mod tests {
         let (mut a, mut rng) = overlay(40);
         a.set_dead(5);
         for _ in 0..10 {
-            a.run_round(&mut rng);
+            a.run_round(&mut rng, RoundIo::default());
         }
 
         let mut w = Writer::new();
@@ -457,8 +483,8 @@ mod tests {
         // Identical evolution from identical RNG state.
         let mut rng_b = rng.clone();
         for _ in 0..10 {
-            a.run_round(&mut rng);
-            b.run_round(&mut rng_b);
+            a.run_round(&mut rng, RoundIo::default());
+            b.run_round(&mut rng_b, RoundIo::default());
         }
         for i in 0..40u32 {
             let na: Vec<NodeId> = a.node(i).neighbors().collect();
@@ -485,8 +511,8 @@ mod tests {
         let mut b = a.clone();
         let mut rng_b = rng_a.clone();
         for _ in 0..15 {
-            a.run_round(&mut rng_a);
-            b.run_round_with(&mut rng_b, |_, _| true);
+            a.run_round(&mut rng_a, RoundIo::default());
+            b.run_round(&mut rng_b, RoundIo::contact(&mut |_, _| true));
         }
         for i in 0..40u32 {
             let na: Vec<NodeId> = a.node(i).neighbors().collect();
@@ -501,7 +527,7 @@ mod tests {
         let before: usize = (0..20u32).map(|i| o.node(i).view_size()).sum();
         // Every contact fails: each initiator loses its shuffle target and
         // gains nothing back.
-        o.run_round_with(&mut rng, |_, _| false);
+        o.run_round(&mut rng, RoundIo::contact(&mut |_, _| false));
         let after: usize = (0..20u32).map(|i| o.node(i).view_size()).sum();
         assert!(
             after < before,
@@ -514,10 +540,13 @@ mod tests {
         let (mut o, mut rng) = overlay(60);
         let mut flip = false;
         for _ in 0..40 {
-            o.run_round_with(&mut rng, |_, _| {
-                flip = !flip;
-                flip
-            });
+            o.run_round(
+                &mut rng,
+                RoundIo::contact(&mut |_, _| {
+                    flip = !flip;
+                    flip
+                }),
+            );
         }
         // Half the shuffles failing must not disconnect the overlay.
         assert!(o.is_connected());

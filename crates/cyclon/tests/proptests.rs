@@ -1,6 +1,6 @@
 //! Property-based tests for the Cyclon peer-sampling service.
 
-use glap_cyclon::{CyclonOverlay, NodeId};
+use glap_cyclon::{CyclonOverlay, NodeId, RoundIo};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -24,7 +24,7 @@ proptest! {
             o.set_dead(k);
         }
         for _ in 0..rounds {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
             for i in 0..n as NodeId {
                 let view: Vec<NodeId> = o.node(i).neighbors().collect();
                 prop_assert!(view.len() <= 6);
@@ -45,7 +45,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         o.bootstrap_random(&mut rng);
         for _ in 0..rounds {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
         }
         prop_assert!(o.is_connected());
     }
@@ -59,7 +59,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         o.bootstrap_random(&mut rng);
         for _ in 0..rounds {
-            o.run_round(&mut rng);
+            o.run_round(&mut rng, RoundIo::default());
             let mass: usize = (0..n as NodeId).map(|i| o.node(i).view_size()).sum();
             prop_assert!(mass <= n * 5);
         }

@@ -45,6 +45,16 @@ pub enum Stream {
     LearningPm(u32),
     /// The network fault model (message drops, latency, crashes).
     Network,
+    /// The transport driver's per-round delivery schedule: the seeded
+    /// activation order that makes channel-backed runs byte-identical
+    /// to the sim oracle regardless of thread interleaving.
+    Delivery,
+    /// One node's protocol randomness in the transport-backed runtime
+    /// (shuffle draws, peer picks, local training). Per-node streams
+    /// make every node's draws independent of when its messages are
+    /// scheduled, which is what lets real concurrent nodes reproduce
+    /// the oracle bit-for-bit.
+    Node(u32),
     /// Free-form extra stream.
     Custom(u64),
 }
@@ -58,10 +68,13 @@ impl Stream {
             Stream::Policy => 4,
             Stream::Learning => 5,
             Stream::Network => 6,
+            Stream::Delivery => 7,
             // Per-PM learning streams live in their own tag plane, far
             // above Custom's 0x1000 offset, so no PM index can collide
             // with any other stream label.
             Stream::LearningPm(pm) => 0x1_0000_0000 + pm as u64,
+            // Per-node protocol streams get a second private tag plane.
+            Stream::Node(node) => 0x2_0000_0000 + node as u64,
             Stream::Custom(x) => 0x1000 + x,
         }
     }
@@ -187,6 +200,24 @@ mod tests {
             let mut c = stream_rng(7, Stream::Custom(pm as u64));
             assert_ne!(p.next_u64(), c.next_u64());
         }
+    }
+
+    #[test]
+    fn node_protocol_streams_have_their_own_tag_plane() {
+        let mut a = stream_rng(42, Stream::Node(0));
+        let mut b = stream_rng(42, Stream::Node(1));
+        assert_ne!(a.next_u64(), b.next_u64());
+        for node in [0u32, 3, 1000] {
+            let mut n = stream_rng(7, Stream::Node(node));
+            let mut p = stream_rng(7, Stream::LearningPm(node));
+            let mut c = stream_rng(7, Stream::Custom(node as u64));
+            let v = n.next_u64();
+            assert_ne!(v, p.next_u64());
+            assert_ne!(v, c.next_u64());
+        }
+        let mut d = stream_rng(7, Stream::Delivery);
+        let mut net = stream_rng(7, Stream::Network);
+        assert_ne!(d.next_u64(), net.next_u64());
     }
 
     #[test]

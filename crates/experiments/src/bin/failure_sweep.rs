@@ -16,12 +16,9 @@
 //!
 //! Output: `results/failure_sweep.csv`.
 
-use glap::{aggregation_round_net, mean_pairwise_similarity};
+use glap::prelude::*;
 use glap_cluster::DataCenter;
-use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{
-    run_simulation_with_net, stream_rng, FaultProfile, NetworkModel, Observer, Stream,
-};
+use glap_dcsim::{run_simulation_with_net, Observer};
 use glap_experiments::{
     build_policy, build_world, fnum, parallel_map, parse_or_exit, Algorithm, Scenario, TextTable,
 };
@@ -94,8 +91,11 @@ fn convergence_rounds(n: usize, profile: &FaultProfile, seed: u64) -> usize {
             return round;
         }
         net.begin_round(round as u64);
-        overlay.run_round_with(&mut rng, |a, b| net.request(a, b).is_ok());
-        aggregation_round_net(&mut tables, &mut overlay, &mut rng, &mut net);
+        overlay.run_round(
+            &mut rng,
+            RoundIo::contact(&mut |a, b| net.request(a, b).is_ok()),
+        );
+        aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::net(&mut net));
     }
     CONVERGENCE_CAP
 }

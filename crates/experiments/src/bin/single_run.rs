@@ -13,21 +13,7 @@
 //! concatenating `part1.jsonl` + `part2.jsonl` reproduces the trace of
 //! an uninterrupted run byte for byte, as do the rounds/counters CSVs.
 
-use glap_experiments::{parse_or_exit, run_scenario_checkpointed, Algorithm, Scenario};
-use glap_metrics::RunResult;
-use std::path::Path;
-
-fn write_rounds_csv(result: &RunResult, path: &Path) -> std::io::Result<()> {
-    let mut csv =
-        String::from("round,active_pms,overloaded_pms,migrations,migration_energy_j,wake_ups\n");
-    for s in &result.collector.samples {
-        csv.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            s.round, s.active_pms, s.overloaded_pms, s.migrations, s.migration_energy_j, s.wake_ups
-        ));
-    }
-    std::fs::write(path, csv)
-}
+use glap_experiments::{parse_or_exit, rounds_csv, run_scenario_checkpointed, Algorithm, Scenario};
 
 fn main() {
     let cli = parse_or_exit();
@@ -59,7 +45,7 @@ fn main() {
         Some(r) => {
             std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
             let path = cli.out_dir.join(format!("{}_rounds.csv", sc.id()));
-            write_rounds_csv(&r, &path).expect("write rounds CSV");
+            std::fs::write(&path, rounds_csv(&r)).expect("write rounds CSV");
             println!(
                 "{}: {} rounds, final active {}, {} migrations, {} wake-ups, slav {:.6e}",
                 sc.id(),

@@ -5,10 +5,8 @@
 //! the population mean/σ per aggregation round, starting from a heavily
 //! skewed initial distribution.
 
-use glap::aggregation_round;
+use glap::prelude::*;
 use glap_cluster::Resources;
-use glap_cyclon::CyclonOverlay;
-use glap_dcsim::{stream_rng, Stream};
 use glap_experiments::{fnum, parse_or_exit, TextTable};
 use glap_metrics::{excess_kurtosis, jarque_bera, mean, skewness, std_dev};
 use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
@@ -61,8 +59,8 @@ fn main() {
 
     record(0, &tables, &mut table);
     for round in 1..=rounds {
-        overlay.run_round(&mut rng);
-        aggregation_round(&mut tables, &mut overlay, &mut rng);
+        overlay.run_round(&mut rng, RoundIo::default());
+        aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::default());
         record(round, &tables, &mut table);
     }
 

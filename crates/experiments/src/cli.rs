@@ -1,8 +1,10 @@
 //! A small argument parser shared by the experiment binaries (kept
 //! in-repo — the approved dependency list has no CLI crate).
 
+use crate::noderun::TransportKind;
 use crate::runner::CheckpointOpts;
 use crate::scenario::{Algorithm, Grid};
+use glap_dcsim::FaultProfile;
 use glap_telemetry::{JsonlSink, Tracer};
 use std::path::PathBuf;
 
@@ -35,6 +37,17 @@ pub struct Cli {
     pub stop_at_round: Option<u64>,
     /// Algorithm override for single-scenario binaries.
     pub algo: Option<Algorithm>,
+    /// Transport hosting the node fleet (`node_runtime` binary).
+    pub transport: TransportKind,
+    /// Per-message drop probability for fault injection.
+    pub drop_prob: f64,
+    /// Per-round crash probability for fault injection.
+    pub crash_rate: f64,
+    /// Per-round recovery probability for crashed PMs.
+    pub recovery_rate: f64,
+    /// Write the serialized post-training Q-tables here
+    /// (`node_runtime`: the CI byte-identity artifact).
+    pub dump_tables: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -52,6 +65,11 @@ impl Default for Cli {
             resume: None,
             stop_at_round: None,
             algo: None,
+            transport: TransportKind::Sim,
+            drop_prob: 0.0,
+            crash_rate: 0.0,
+            recovery_rate: 0.0,
+            dump_tables: None,
         }
     }
 }
@@ -91,6 +109,13 @@ impl Cli {
             .unwrap_or_else(|| "counters".into());
         hist.set_file_name(format!("{stem}_hist.csv"));
         std::fs::write(hist, tracer.histograms_csv())
+    }
+
+    /// The fault profile requested by the `--drop`/`--crash`/`--recover`
+    /// flags ([`FaultProfile::none`]-equivalent when none were given, so
+    /// default runs stay byte-identical to the ideal-network path).
+    pub fn fault(&self) -> FaultProfile {
+        FaultProfile::faulty(self.drop_prob, self.crash_rate, self.recovery_rate)
     }
 
     /// The checkpoint/resume options requested by the snapshot flags.
@@ -145,6 +170,14 @@ pub const USAGE: &str = "options:
   --stop-at-round n   interrupt a single-scenario run after n rounds
   --algo name         algorithm for single-scenario binaries (GLAP, GRMP,
                       EcoCloud, PABFD, GLAP-noveto, GLAP-current, GLAP-noagg)
+  --transport kind    node_runtime: host the node fleet in-process (sim) or
+                      on real mpsc channel workers (channel); byte-identical
+                      either way (default sim)
+  --drop p            per-message drop probability          (default 0)
+  --crash p           per-round PM crash probability        (default 0)
+  --recover p         per-round crashed-PM recovery probability (default 0)
+  --dump-tables file  node_runtime: write the serialized post-training
+                      Q-tables (the sim-vs-channel comparison artifact)
 ";
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
@@ -221,6 +254,25 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                 );
             }
             "--algo" => cli.algo = Some(parse_algorithm(&need(&mut it, "--algo")?)?),
+            "--transport" => cli.transport = need(&mut it, "--transport")?.parse()?,
+            "--drop" => {
+                cli.drop_prob = need(&mut it, "--drop")?
+                    .parse()
+                    .map_err(|e| format!("--drop: {e}"))?;
+            }
+            "--crash" => {
+                cli.crash_rate = need(&mut it, "--crash")?
+                    .parse()
+                    .map_err(|e| format!("--crash: {e}"))?;
+            }
+            "--recover" => {
+                cli.recovery_rate = need(&mut it, "--recover")?
+                    .parse()
+                    .map_err(|e| format!("--recover: {e}"))?;
+            }
+            "--dump-tables" => {
+                cli.dump_tables = Some(PathBuf::from(need(&mut it, "--dump-tables")?));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -324,6 +376,24 @@ mod tests {
         let off = parse(args("")).unwrap();
         assert_eq!(off.checkpoint_every, 0);
         assert!(off.checkpoint_dir.is_none());
+    }
+
+    #[test]
+    fn transport_and_fault_flags() {
+        let cli = parse(args(
+            "--transport channel --drop 0.05 --crash 0.01 --recover 0.3 --dump-tables t.bin",
+        ))
+        .unwrap();
+        assert_eq!(cli.transport, TransportKind::Channel);
+        assert_eq!(cli.drop_prob, 0.05);
+        assert_eq!(cli.crash_rate, 0.01);
+        assert_eq!(cli.recovery_rate, 0.3);
+        assert_eq!(cli.dump_tables, Some(PathBuf::from("t.bin")));
+        assert!(!cli.fault().is_ideal());
+        let off = parse(args("")).unwrap();
+        assert_eq!(off.transport, TransportKind::Sim);
+        assert!(off.fault().is_ideal());
+        assert!(parse(args("--transport carrier-pigeon")).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod checkpoint;
 pub mod churn;
 pub mod cli;
 pub mod figures;
+pub mod noderun;
 pub mod pool;
 pub mod replay;
 pub mod report;
@@ -33,9 +34,12 @@ pub use figures::{
     fig8_migrations, fig9_cumulative, run_grid, run_grid_checkpointed, run_grid_with, table1_sla,
     FigureOutput,
 };
+pub use noderun::{
+    encode_tables, node_checkpoint_path, run_node_scenario, NodeRunOutcome, TransportKind,
+};
 pub use pool::parallel_map;
 pub use replay::{replay_digest, ReplayDigest, RoundDigest};
-pub use report::{downsample, fnum, sparkline, TextTable};
+pub use report::{downsample, fnum, rounds_csv, sparkline, TextTable};
 pub use runner::{
     build_policy, build_policy_traced, build_world, run_scenario, run_scenario_checkpointed,
     run_scenario_traced, CheckpointOpts,

@@ -1,0 +1,249 @@
+//! Transport-backed scenario runs: GLAP pre-training as a fleet of real
+//! [`glap_node::NodeCore`]s behind a chosen [`Transport`], followed by
+//! the standard measured day.
+//!
+//! This is the harness behind the `node_runtime` binary and the
+//! sim-vs-channel byte-identity suite. The measured day is *identical*
+//! to [`run_scenario_traced`](crate::runner::run_scenario_traced) — only
+//! the training phase differs: instead of the centralized
+//! [`glap::train_traced`] loop, each PM runs as a [`NodeCore`] and every
+//! protocol exchange crosses the transport as serialized wire bytes.
+//! Because node randomness is per-node (`Stream::Node(id)`) and delivery
+//! order comes from the seeded `Stream::Delivery` schedule, the result
+//! is a pure function of the scenario — [`TransportKind::Sim`] and
+//! [`TransportKind::Channel`] at any worker count produce byte-identical
+//! tables, metrics and telemetry.
+//!
+//! Checkpointing (`--checkpoint-every` / `--stop-at-round` / `--resume`)
+//! is reinterpreted over *training* rounds: learning rounds first, then
+//! aggregation rounds, one checkpoint per cadence tick, each snapshot
+//! carrying the data center, the tracer state and the full node fleet.
+//!
+//! [`NodeCore`]: glap_node::NodeCore
+//! [`Transport`]: glap_node::Transport
+
+use crate::runner::{build_policy_traced, build_world, CheckpointOpts};
+use crate::scenario::{Algorithm, Scenario};
+use glap::prelude::{
+    splitmix64, Checkpointable, GlapConfig, NetworkModel, QTablePair, SnapshotError, Tracer, Writer,
+};
+use glap::{unified_table, GlapPolicy, TableStore};
+use glap_baselines::bfd_baseline;
+use glap_cluster::DataCenter;
+use glap_dcsim::run_simulation_traced;
+use glap_metrics::{MetricsCollector, RunResult};
+use glap_node::{ChannelTransport, NodeRuntime, SimTransport, Transport};
+use glap_snapshot::{read_snapshot_file, write_atomic, SnapshotBuilder};
+use glap_workload::{MaterializedTrace, OffsetTrace};
+use std::path::{Path, PathBuf};
+
+/// Which [`Transport`](glap_node::Transport) hosts the node fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process oracle: cores stepped inline on the driver thread.
+    #[default]
+    Sim,
+    /// Real concurrency: cores on a worker pool, messages over mpsc
+    /// channels (`--threads` sets the worker count).
+    Channel,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "sim" => Ok(TransportKind::Sim),
+            "channel" => Ok(TransportKind::Channel),
+            other => Err(format!("unknown transport {other} (expected sim|channel)")),
+        }
+    }
+}
+
+/// Salt distinguishing the training network's fault stream from the
+/// measured day's (which seeds directly from the policy seed).
+const TRAIN_NET_SALT: u64 = 0x4e4f4445; // "NODE"
+
+/// The checkpoint file of a node-transport run (distinct suffix so it
+/// can never collide with the measured-day checkpoints of
+/// [`run_scenario_checkpointed`](crate::runner::run_scenario_checkpointed)).
+pub fn node_checkpoint_path(dir: &Path, sc: &Scenario) -> PathBuf {
+    dir.join(format!("{}_node.ckpt", sc.id()))
+}
+
+/// What a transport-backed run produced.
+pub struct NodeRunOutcome {
+    /// The measured-day result; `None` when `--stop-at-round` ended
+    /// training early (resume from the checkpoint to continue).
+    pub result: Option<RunResult>,
+    /// Serialized per-PM Q-tables after training — the byte-identity
+    /// artifact CI compares across transports. `None` for non-GLAP
+    /// algorithms (nothing is trained) and interrupted runs.
+    pub tables: Option<Vec<u8>>,
+}
+
+/// Serializes a table set to its canonical comparison bytes.
+pub fn encode_tables(tables: &[QTablePair]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(tables.len());
+    for t in tables {
+        t.save(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Trains the fleet over `transport`, honoring the checkpoint options.
+/// Returns `None` when `--stop-at-round` interrupted training.
+fn train_over<T: Transport>(
+    transport: T,
+    cfg: &GlapConfig,
+    sc: &Scenario,
+    dc: &mut DataCenter,
+    trace: &mut MaterializedTrace,
+    tracer: &Tracer,
+    opts: &CheckpointOpts,
+) -> Result<Option<Vec<QTablePair>>, SnapshotError> {
+    let seed = sc.policy_seed();
+    let net = NetworkModel::new(
+        sc.n_pms,
+        sc.fault.clone(),
+        splitmix64(seed ^ TRAIN_NET_SALT),
+    );
+    let mut rt = NodeRuntime::new(transport, cfg, net, seed, dc);
+    if let Some(path) = &opts.resume {
+        let snap = read_snapshot_file(path)?;
+        let id = snap.section("meta")?.get_str()?;
+        if id != sc.id() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot belongs to scenario {id}, not {}",
+                sc.id()
+            )));
+        }
+        dc.restore(&mut snap.section("world")?)?;
+        tracer.restore_state(&mut snap.section("tracer")?)?;
+        rt.restore(&mut snap.section("runtime")?)?;
+    }
+
+    let learning = cfg.learning_rounds as u64;
+    let total = learning + cfg.aggregation_rounds as u64;
+    while rt.learning_done() + rt.aggregation_done() < total {
+        if rt.learning_done() < learning {
+            rt.learning_round(dc, trace, tracer);
+        } else {
+            rt.aggregation_round(tracer);
+        }
+        let done = rt.learning_done() + rt.aggregation_done();
+        if opts.every > 0 && done.is_multiple_of(opts.every) {
+            if let Some(dir) = &opts.dir {
+                let mut b = SnapshotBuilder::new();
+                let mut w = Writer::new();
+                w.put_str(&sc.id());
+                b.section("meta", w);
+                let mut w = Writer::new();
+                dc.save(&mut w);
+                b.section("world", w);
+                let mut w = Writer::new();
+                tracer.save_state(&mut w);
+                b.section("tracer", w);
+                let mut w = Writer::new();
+                rt.save(&mut w);
+                b.section("runtime", w);
+                write_atomic(&node_checkpoint_path(dir, sc), &b.encode())?;
+            }
+        }
+        if done < total && opts.stop_at_round.is_some_and(|s| done >= s) {
+            return Ok(None);
+        }
+    }
+    Ok(Some(rt.into_tables()))
+}
+
+/// Runs one scenario with transport-backed training.
+///
+/// GLAP variants train their tables over the chosen transport; the
+/// baselines have nothing to train and skip straight to the measured
+/// day, which for every algorithm is byte-identical to
+/// [`run_scenario_traced`](crate::runner::run_scenario_traced)'s.
+pub fn run_node_scenario(
+    sc: &Scenario,
+    transport: TransportKind,
+    threads: Option<usize>,
+    tracer: &Tracer,
+    opts: &CheckpointOpts,
+) -> Result<NodeRunOutcome, SnapshotError> {
+    let (mut dc, trace) = build_world(sc);
+    let mut table_bytes = None;
+    let mut policy = match sc.algorithm {
+        Algorithm::Glap
+        | Algorithm::GlapNoVeto
+        | Algorithm::GlapCurrentOnly
+        | Algorithm::GlapNoAggregation => {
+            let mut cfg = sc.glap;
+            if sc.algorithm == Algorithm::GlapNoAggregation {
+                cfg.aggregation_rounds = 0;
+            }
+            let mut train_dc = dc.clone();
+            let mut train_trace = trace.clone();
+            let seed = sc.policy_seed();
+            let tables = match transport {
+                TransportKind::Sim => train_over(
+                    SimTransport::new(sc.n_pms, &cfg, seed),
+                    &cfg,
+                    sc,
+                    &mut train_dc,
+                    &mut train_trace,
+                    tracer,
+                    opts,
+                )?,
+                TransportKind::Channel => train_over(
+                    ChannelTransport::new(sc.n_pms, &cfg, seed, threads),
+                    &cfg,
+                    sc,
+                    &mut train_dc,
+                    &mut train_trace,
+                    tracer,
+                    opts,
+                )?,
+            };
+            let Some(tables) = tables else {
+                return Ok(NodeRunOutcome {
+                    result: None,
+                    tables: None,
+                });
+            };
+            table_bytes = Some(encode_tables(&tables));
+            let store = if sc.algorithm == Algorithm::GlapNoAggregation {
+                TableStore::PerPm(tables)
+            } else {
+                TableStore::Shared(Box::new(unified_table(&tables)))
+            };
+            let mut policy = GlapPolicy::new(cfg, store);
+            policy.disable_in_veto = sc.algorithm == Algorithm::GlapNoVeto;
+            policy.current_state_only = sc.algorithm == Algorithm::GlapCurrentOnly;
+            Box::new(policy) as Box<dyn glap_dcsim::ConsolidationPolicy>
+        }
+        _ => build_policy_traced(sc, &dc, &trace, tracer).0,
+    };
+
+    // The measured day, exactly as `run_scenario_traced` runs it.
+    let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
+    let mut collector = MetricsCollector::new();
+    let mut net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
+    run_simulation_traced(
+        &mut dc,
+        &mut day,
+        policy.as_mut(),
+        &mut [&mut collector],
+        sc.rounds,
+        sc.policy_seed(),
+        &mut net,
+        tracer,
+    );
+
+    let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
+    result.bfd_bins = bfd_baseline(&dc);
+    Ok(NodeRunOutcome {
+        result: Some(result),
+        tables: table_bytes,
+    })
+}

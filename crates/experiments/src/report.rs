@@ -146,6 +146,22 @@ pub fn downsample(xs: &[f64], width: usize) -> Vec<f64> {
         .collect()
 }
 
+/// The per-round CSV a single-scenario binary writes: one line per
+/// measured round with the consolidation-facing sample fields. Shared by
+/// `single_run` and `node_runtime` so the sim-vs-channel CI comparison
+/// diffs identically formatted files.
+pub fn rounds_csv(result: &glap_metrics::RunResult) -> String {
+    let mut csv =
+        String::from("round,active_pms,overloaded_pms,migrations,migration_energy_j,wake_ups\n");
+    for s in &result.collector.samples {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            s.round, s.active_pms, s.overloaded_pms, s.migrations, s.migration_energy_j, s.wake_ups
+        ));
+    }
+    csv
+}
+
 /// Formats a float compactly for tables (scientific for very small
 /// non-zero values, fixed otherwise).
 pub fn fnum(x: f64) -> String {

@@ -1,0 +1,607 @@
+//! `NodeCore`: one PM's complete GLAP protocol logic as a pure
+//! message-driven state machine.
+//!
+//! A `NodeCore` owns everything a real node would own — its Cyclon view,
+//! its Q-table pair, its private RNG stream — and interacts with the
+//! world only through [`on_tick`](NodeCore::on_tick),
+//! [`on_message`](NodeCore::on_message) and
+//! [`on_send_failed`](NodeCore::on_send_failed), each returning the
+//! messages the node wants sent. No shared state, no callbacks, no
+//! transport knowledge: the same core runs single-threaded inside the
+//! simulation loop or on a worker thread behind an mpsc channel, and —
+//! because its randomness is the private `Stream::Node(id)` cursor —
+//! produces byte-identical results either way.
+//!
+//! The protocol it implements is GLAP's training side: Cyclon shuffles
+//! keep the overlay fresh, `ProfileRequest`/`ProfileReply` fetch one
+//! neighbour's VM profiles for Algorithm 1's local training, and
+//! `AggPush`/`AggReply` run Algorithm 2's symmetric push–pull merge with
+//! the same re-pick-and-retry rule as
+//! [`aggregation_round`](glap::aggregation::aggregation_round).
+
+use crate::wire::{self, Outgoing, WireMsg};
+use glap::prelude::{
+    local_train_with, restore_rng, save_rng, stream_rng, Checkpointable, CyclonNode, GlapConfig,
+    PendingShuffle, Reader, SimRng, SnapshotError, Stream, Writer, AGGREGATION_MAX_ATTEMPTS,
+};
+use glap_cluster::VmProfile;
+use glap_cyclon::NodeId;
+use glap_qlearn::QTablePair;
+
+/// The driver-initiated protocol steps of a round, in the order the
+/// driver issues them. Ticks carry no payload: everything a step needs
+/// is either node state or arrives by message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickKind {
+    /// Initiate this round's Cyclon shuffle.
+    Shuffle,
+    /// Start a learning step: if eligible, request a neighbour's
+    /// profiles (Algorithm 1 lines 3–5).
+    LearnRequest,
+    /// Run the deferred local training over own + received profiles
+    /// (Algorithm 1 lines 6–13). Issued after all profile exchanges of
+    /// the round settle, so every node can train in parallel.
+    TrainLocal,
+    /// Initiate this round's push–pull aggregation (Algorithm 2).
+    Aggregate,
+}
+
+/// Everything that can happen to a node, as one typed event. The
+/// transports route `NodeInput`s to cores; `Deliver`/`Failed` carry the
+/// *encoded* wire payload so both transports move real bytes.
+#[derive(Debug, Clone)]
+pub enum NodeInput {
+    /// A driver-initiated protocol step.
+    Tick(TickKind),
+    /// A message from another node arrived.
+    Deliver {
+        /// The sender.
+        from: NodeId,
+        /// Encoded [`WireMsg`].
+        payload: Vec<u8>,
+    },
+    /// A message this node sent could not be delivered (dropped, timed
+    /// out, or the target is down).
+    Failed {
+        /// The intended recipient.
+        to: NodeId,
+        /// The encoded message that failed.
+        payload: Vec<u8>,
+        /// Whether the failure was the target being crashed (prune it)
+        /// as opposed to a transient loss (keep it).
+        target_down: bool,
+    },
+    /// The driver's per-round world snapshot: this PM's VM profiles and
+    /// whether it is eligible to train this round.
+    SetWorld {
+        /// Profiles of the VMs currently placed on this PM.
+        profiles: Vec<VmProfile>,
+        /// Algorithm 1 line 3: active and under the learning threshold.
+        eligible: bool,
+    },
+    /// Seed the Cyclon view (start-up only).
+    Bootstrap {
+        /// Initial neighbours.
+        peers: Vec<NodeId>,
+    },
+}
+
+/// One PM's GLAP protocol state machine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct NodeCore {
+    id: NodeId,
+    cfg: GlapConfig,
+    cyclon: CyclonNode,
+    table: QTablePair,
+    rng: SimRng,
+    /// Shuffle awaiting its reply (at most one in flight per round).
+    pending: Option<PendingShuffle>,
+    /// This round's own VM profiles (from `SetWorld`).
+    own_profiles: Vec<VmProfile>,
+    eligible: bool,
+    /// Neighbour profiles received this round, if any.
+    neighbor_profiles: Option<Vec<VmProfile>>,
+    /// Set by `LearnRequest` when eligible; consumed by `TrainLocal`.
+    pending_train: bool,
+    /// Aggregation attempts used this round (Algorithm 2 retry cap).
+    agg_attempts: usize,
+    /// Bellman updates applied (2 per training iteration).
+    updates: u64,
+    train_buf: Vec<VmProfile>,
+    idx_buf: Vec<usize>,
+}
+
+impl NodeCore {
+    /// A fresh node. Its RNG is the private `Stream::Node(id)` cursor of
+    /// `master_seed`, so no ordering of other nodes' work can perturb
+    /// its draws.
+    pub fn new(id: NodeId, cfg: &GlapConfig, master_seed: u64) -> NodeCore {
+        NodeCore {
+            id,
+            cfg: *cfg,
+            cyclon: CyclonNode::new(id, cfg.cyclon_cache, cfg.cyclon_shuffle),
+            table: QTablePair::new(cfg.qparams),
+            rng: stream_rng(master_seed, Stream::Node(id)),
+            pending: None,
+            own_profiles: Vec::new(),
+            eligible: false,
+            neighbor_profiles: None,
+            pending_train: false,
+            agg_attempts: 0,
+            updates: 0,
+            train_buf: Vec::new(),
+            idx_buf: Vec::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current Q-table pair.
+    pub fn table(&self) -> &QTablePair {
+        &self.table
+    }
+
+    /// Consumes the node, yielding its Q-table pair.
+    pub fn into_table(self) -> QTablePair {
+        self.table
+    }
+
+    /// Bellman updates this node has applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Current Cyclon view size (diagnostics).
+    pub fn view_size(&self) -> usize {
+        self.cyclon.view_size()
+    }
+
+    /// Routes any [`NodeInput`] to the matching handler.
+    pub fn handle(&mut self, input: NodeInput) -> Vec<Outgoing> {
+        match input {
+            NodeInput::Tick(tick) => self.on_tick(tick),
+            NodeInput::Deliver { from, payload } => {
+                let msg = WireMsg::decode(&payload, self.cfg.qparams)
+                    .expect("transport delivered an undecodable payload");
+                self.on_message(from, msg)
+            }
+            NodeInput::Failed {
+                to,
+                payload,
+                target_down,
+            } => self.on_send_failed(to, wire::payload_tag(&payload), target_down),
+            NodeInput::SetWorld { profiles, eligible } => {
+                self.set_world(profiles, eligible);
+                Vec::new()
+            }
+            NodeInput::Bootstrap { peers } => {
+                self.cyclon.bootstrap(peers);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Installs the driver's per-round world snapshot.
+    pub fn set_world(&mut self, profiles: Vec<VmProfile>, eligible: bool) {
+        self.own_profiles = profiles;
+        self.eligible = eligible;
+    }
+
+    /// A driver-initiated protocol step.
+    pub fn on_tick(&mut self, tick: TickKind) -> Vec<Outgoing> {
+        match tick {
+            TickKind::Shuffle => {
+                let Some(pending) = self.cyclon.start_shuffle(&mut self.rng) else {
+                    return Vec::new();
+                };
+                let out = Outgoing {
+                    to: pending.target,
+                    msg: WireMsg::ShuffleRequest {
+                        descriptors: pending.sent.clone(),
+                    },
+                };
+                self.pending = Some(pending);
+                vec![out]
+            }
+            TickKind::LearnRequest => {
+                self.neighbor_profiles = None;
+                self.pending_train = self.eligible;
+                if !self.eligible {
+                    return Vec::new();
+                }
+                match self.cyclon.random_peer(&mut self.rng) {
+                    Some(peer) => vec![Outgoing {
+                        to: peer,
+                        msg: WireMsg::ProfileRequest,
+                    }],
+                    // Empty view: train over own profiles alone, exactly
+                    // like a trainer PM with no alive neighbour.
+                    None => Vec::new(),
+                }
+            }
+            TickKind::TrainLocal => {
+                if self.pending_train {
+                    self.train_local();
+                }
+                Vec::new()
+            }
+            TickKind::Aggregate => {
+                self.agg_attempts = 1;
+                self.push_table()
+            }
+        }
+    }
+
+    /// A message from `from` arrived.
+    pub fn on_message(&mut self, from: NodeId, msg: WireMsg) -> Vec<Outgoing> {
+        match msg {
+            WireMsg::ShuffleRequest { descriptors } => {
+                let reply = self.cyclon.handle_shuffle(&descriptors, &mut self.rng);
+                vec![Outgoing {
+                    to: from,
+                    msg: WireMsg::ShuffleReply { descriptors: reply },
+                }]
+            }
+            WireMsg::ShuffleReply { descriptors } => {
+                if let Some(pending) = self.pending.take() {
+                    debug_assert_eq!(pending.target, from, "shuffle reply from wrong peer");
+                    self.cyclon.complete_shuffle(&pending, &descriptors);
+                }
+                Vec::new()
+            }
+            WireMsg::ProfileRequest => vec![Outgoing {
+                to: from,
+                msg: WireMsg::ProfileReply {
+                    profiles: self.own_profiles.clone(),
+                },
+            }],
+            WireMsg::ProfileReply { profiles } => {
+                self.neighbor_profiles = Some(profiles);
+                Vec::new()
+            }
+            WireMsg::AggPush { table } => {
+                // Symmetric UPDATE (Algorithm 2): both sides end with the
+                // identical merged table; the pull leg ships it back.
+                let mut incoming = *table;
+                QTablePair::merge_symmetric(&mut self.table, &mut incoming);
+                vec![Outgoing {
+                    to: from,
+                    msg: WireMsg::AggReply {
+                        table: Box::new(incoming),
+                    },
+                }]
+            }
+            WireMsg::AggReply { table } => {
+                self.table = *table;
+                Vec::new()
+            }
+        }
+    }
+
+    /// A send of ours failed; `tag` is the failed message's wire tag.
+    pub fn on_send_failed(&mut self, to: NodeId, tag: u8, target_down: bool) -> Vec<Outgoing> {
+        match tag {
+            wire::TAG_SHUFFLE_REQUEST => {
+                if let Some(pending) = self.pending.take() {
+                    self.cyclon.abort_shuffle(&pending);
+                }
+                Vec::new()
+            }
+            wire::TAG_PROFILE_REQUEST => {
+                // Train over own profiles alone this round; prune a
+                // crashed neighbour (Cyclon's failed-contact rule).
+                if target_down {
+                    self.cyclon.remove(to);
+                }
+                Vec::new()
+            }
+            wire::TAG_AGG_PUSH => {
+                if target_down {
+                    self.cyclon.remove(to);
+                }
+                if self.agg_attempts < AGGREGATION_MAX_ATTEMPTS {
+                    // Re-pick the partner and re-send: the original peer
+                    // may be the problem (same rule as aggregation_round).
+                    self.agg_attempts += 1;
+                    self.push_table()
+                } else {
+                    Vec::new()
+                }
+            }
+            // Replies ride the request's round trip; the driver never
+            // fails them independently.
+            _ => Vec::new(),
+        }
+    }
+
+    fn push_table(&mut self) -> Vec<Outgoing> {
+        match self.cyclon.random_peer(&mut self.rng) {
+            Some(peer) => vec![Outgoing {
+                to: peer,
+                msg: WireMsg::AggPush {
+                    table: Box::new(self.table.clone()),
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Algorithm 1 lines 6–13 over own + neighbour profiles, duplicated
+    /// `cfg.profile_duplication` times — the same list construction as
+    /// `gather_profiles_into`, fed from messages instead of a shared
+    /// data-center reference.
+    fn train_local(&mut self) {
+        self.train_buf.clear();
+        self.train_buf.extend_from_slice(&self.own_profiles);
+        if let Some(nb) = self.neighbor_profiles.take() {
+            self.train_buf.extend_from_slice(&nb);
+        }
+        if self.cfg.profile_duplication > 1 && !self.train_buf.is_empty() {
+            let base = self.train_buf.len();
+            for _ in 1..self.cfg.profile_duplication {
+                self.train_buf.extend_from_within(..base);
+            }
+        }
+        local_train_with(
+            &mut self.table,
+            &self.train_buf,
+            self.cfg.learning_iterations,
+            &mut self.rng,
+            &mut self.idx_buf,
+        );
+        self.updates += 2 * self.cfg.learning_iterations as u64;
+        self.pending_train = false;
+    }
+}
+
+impl Checkpointable for NodeCore {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.id);
+        self.cyclon.save(w);
+        self.table.save(w);
+        save_rng(&self.rng, w);
+        w.put_bool(self.pending.is_some());
+        if let Some(p) = &self.pending {
+            w.put_u32(p.target);
+            wire::put_descriptors(w, &p.sent);
+        }
+        wire::put_profiles(w, &self.own_profiles);
+        w.put_bool(self.eligible);
+        w.put_bool(self.neighbor_profiles.is_some());
+        if let Some(nb) = &self.neighbor_profiles {
+            wire::put_profiles(w, nb);
+        }
+        w.put_bool(self.pending_train);
+        w.put_usize(self.agg_attempts);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let id = r.get_u32()?;
+        if id != self.id {
+            return Err(SnapshotError::Corrupt(format!(
+                "node id mismatch: snapshot {id}, live {}",
+                self.id
+            )));
+        }
+        self.cyclon.restore(r)?;
+        self.table.restore(r)?;
+        self.rng = restore_rng(r)?;
+        self.pending = if r.get_bool()? {
+            let target = r.get_u32()?;
+            let sent = wire::get_descriptors(r)?;
+            Some(PendingShuffle { target, sent })
+        } else {
+            None
+        };
+        self.own_profiles = wire::get_profiles(r)?;
+        self.eligible = r.get_bool()?;
+        self.neighbor_profiles = if r.get_bool()? {
+            Some(wire::get_profiles(r)?)
+        } else {
+            None
+        };
+        self.pending_train = r.get_bool()?;
+        self.agg_attempts = r.get_usize()?;
+        self.updates = r.get_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glap_cluster::Resources;
+
+    fn cfg() -> GlapConfig {
+        GlapConfig {
+            learning_iterations: 5,
+            ..Default::default()
+        }
+    }
+
+    fn profile(x: f64) -> VmProfile {
+        VmProfile::from_fractions(Resources::splat(x), Resources::splat(x))
+    }
+
+    fn bootstrapped(id: NodeId) -> NodeCore {
+        let mut node = NodeCore::new(id, &cfg(), 42);
+        node.handle(NodeInput::Bootstrap {
+            peers: (0..8).filter(|&p| p != id).collect(),
+        });
+        node
+    }
+
+    #[test]
+    fn shuffle_round_trip_updates_both_views() {
+        let mut a = bootstrapped(0);
+        let mut b = bootstrapped(1);
+        let out = a.on_tick(TickKind::Shuffle);
+        assert_eq!(out.len(), 1);
+        let req = &out[0];
+        let replies = b.on_message(0, req.msg.clone());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].to, 0);
+        a.on_message(req.to, replies[0].msg.clone());
+        assert!(a.pending.is_none());
+        assert!(a.view_size() > 0 && b.view_size() > 0);
+    }
+
+    #[test]
+    fn failed_shuffle_aborts_pending() {
+        let mut a = bootstrapped(0);
+        let out = a.on_tick(TickKind::Shuffle);
+        assert!(a.pending.is_some());
+        let payload = out[0].msg.encode();
+        let retries = a.handle(NodeInput::Failed {
+            to: out[0].to,
+            payload,
+            target_down: false,
+        });
+        assert!(retries.is_empty());
+        assert!(a.pending.is_none());
+    }
+
+    #[test]
+    fn eligible_node_requests_profiles_and_trains() {
+        let mut a = bootstrapped(0);
+        a.set_world(vec![profile(0.2), profile(0.3)], true);
+        let out = a.on_tick(TickKind::LearnRequest);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, WireMsg::ProfileRequest));
+        a.on_message(
+            out[0].to,
+            WireMsg::ProfileReply {
+                profiles: vec![profile(0.1), profile(0.4)],
+            },
+        );
+        assert!(a.on_tick(TickKind::TrainLocal).is_empty());
+        assert_eq!(a.updates(), 2 * 5);
+        assert!(a.table().trained_pairs() > 0);
+        assert!(!a.pending_train);
+        assert!(a.neighbor_profiles.is_none());
+    }
+
+    #[test]
+    fn ineligible_node_stays_silent_and_untrained() {
+        let mut a = bootstrapped(0);
+        a.set_world(vec![profile(0.9)], false);
+        assert!(a.on_tick(TickKind::LearnRequest).is_empty());
+        assert!(a.on_tick(TickKind::TrainLocal).is_empty());
+        assert_eq!(a.updates(), 0);
+    }
+
+    #[test]
+    fn profile_request_is_answered_with_own_profiles() {
+        let mut b = bootstrapped(1);
+        b.set_world(vec![profile(0.25)], true);
+        let replies = b.on_message(0, WireMsg::ProfileRequest);
+        assert_eq!(replies.len(), 1);
+        let WireMsg::ProfileReply { profiles } = &replies[0].msg else {
+            panic!("expected ProfileReply");
+        };
+        assert_eq!(profiles.len(), 1);
+    }
+
+    #[test]
+    fn aggregation_push_pull_unifies_tables() {
+        let mut a = bootstrapped(0);
+        let mut b = bootstrapped(1);
+        // Give each side distinct knowledge.
+        a.set_world(vec![profile(0.1), profile(0.2)], true);
+        a.on_tick(TickKind::LearnRequest);
+        a.on_tick(TickKind::TrainLocal);
+        b.set_world(vec![profile(0.4), profile(0.5)], true);
+        b.on_tick(TickKind::LearnRequest);
+        b.on_tick(TickKind::TrainLocal);
+
+        let pushes = a.on_tick(TickKind::Aggregate);
+        assert_eq!(pushes.len(), 1);
+        let replies = b.on_message(0, pushes[0].msg.clone());
+        assert_eq!(replies.len(), 1);
+        a.on_message(pushes[0].to, replies[0].msg.clone());
+        // Symmetric merge: both sides hold the identical result.
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        a.table().save(&mut wa);
+        b.table().save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn failed_agg_push_retries_up_to_cap() {
+        let mut a = bootstrapped(0);
+        let mut sent = a.on_tick(TickKind::Aggregate);
+        let mut attempts = 1;
+        while let Some(out) = sent.pop() {
+            let payload = out.msg.encode();
+            sent = a.handle(NodeInput::Failed {
+                to: out.to,
+                payload,
+                target_down: false,
+            });
+            if !sent.is_empty() {
+                attempts += 1;
+            }
+        }
+        assert_eq!(attempts, AGGREGATION_MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn crashed_agg_partner_is_pruned() {
+        let mut a = bootstrapped(0);
+        let before = a.view_size();
+        let out = a.on_tick(TickKind::Aggregate);
+        let payload = out[0].msg.encode();
+        a.handle(NodeInput::Failed {
+            to: out[0].to,
+            payload,
+            target_down: true,
+        });
+        assert_eq!(a.view_size(), before - 1);
+        assert!(!a.cyclon.neighbors().any(|p| p == out[0].to));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_protocol() {
+        let mut a = bootstrapped(0);
+        a.set_world(vec![profile(0.2), profile(0.3)], true);
+        a.on_tick(TickKind::Shuffle);
+        a.on_tick(TickKind::LearnRequest);
+        a.on_message(
+            1,
+            WireMsg::ProfileReply {
+                profiles: vec![profile(0.15)],
+            },
+        );
+
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = NodeCore::new(0, &cfg(), 7);
+        let mut r = Reader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+
+        // The restored node continues identically.
+        let out_a = a.on_tick(TickKind::TrainLocal);
+        let out_r = restored.on_tick(TickKind::TrainLocal);
+        assert!(out_a.is_empty() && out_r.is_empty());
+        let (mut wa, mut wr) = (Writer::new(), Writer::new());
+        a.save(&mut wa);
+        restored.save(&mut wr);
+        assert_eq!(wa.into_bytes(), wr.into_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_id() {
+        let a = bootstrapped(0);
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = NodeCore::new(3, &cfg(), 42);
+        assert!(other.restore(&mut Reader::new(&bytes)).is_err());
+    }
+}

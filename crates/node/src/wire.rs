@@ -1,0 +1,332 @@
+//! The GLAP wire format: every message one node sends another,
+//! serialized with the `glap-snapshot` little-endian codec.
+//!
+//! Both transports route *encoded* payloads — [`SimTransport`]
+//! (crate::SimTransport) included — so the byte stream a run puts on the
+//! wire is identical whichever transport carries it, and the driver's
+//! `wire.bytes` telemetry counter measures real serialized payload
+//! sizes, not estimates.
+//!
+//! Format: a one-byte message tag followed by the tag-specific body.
+//! Descriptors are `u32` node id + `u32` age; VM profiles are the
+//! current demand vector plus the running-average parts; Q-table pairs
+//! reuse their [`Checkpointable`] encoding (so a table travels the wire
+//! in exactly its checkpoint representation).
+
+use glap_cluster::{Resources, RunningAvg, VmProfile};
+use glap_cyclon::{Descriptor, NodeId};
+use glap_qlearn::{QParams, QTablePair};
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
+
+/// Message tags (the first byte of every encoded payload).
+pub const TAG_SHUFFLE_REQUEST: u8 = 1;
+/// See [`TAG_SHUFFLE_REQUEST`].
+pub const TAG_SHUFFLE_REPLY: u8 = 2;
+/// See [`TAG_SHUFFLE_REQUEST`].
+pub const TAG_PROFILE_REQUEST: u8 = 3;
+/// See [`TAG_SHUFFLE_REQUEST`].
+pub const TAG_PROFILE_REPLY: u8 = 4;
+/// See [`TAG_SHUFFLE_REQUEST`].
+pub const TAG_AGG_PUSH: u8 = 5;
+/// See [`TAG_SHUFFLE_REQUEST`].
+pub const TAG_AGG_REPLY: u8 = 6;
+
+/// One protocol message between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Active half of a Cyclon shuffle: the initiator's descriptor batch.
+    ShuffleRequest {
+        /// Descriptors sent by the initiator (fresh self + random sample).
+        descriptors: Vec<Descriptor>,
+    },
+    /// Passive half of a Cyclon shuffle: the target's random sample back.
+    ShuffleReply {
+        /// Descriptors returned by the target.
+        descriptors: Vec<Descriptor>,
+    },
+    /// Ask a neighbour for its VMs' demand profiles (Algorithm 1's
+    /// "profiles of the neighbour's VMs" input to local training).
+    ProfileRequest,
+    /// The neighbour's current VM demand profiles.
+    ProfileReply {
+        /// One profile per VM hosted on the replying PM.
+        profiles: Vec<VmProfile>,
+    },
+    /// Push–pull aggregation, push leg: the initiator's full Q-table pair.
+    AggPush {
+        /// The initiator's tables (boxed: a table pair is ~100 KiB).
+        table: Box<QTablePair>,
+    },
+    /// Push–pull aggregation, pull leg: the merged result back.
+    AggReply {
+        /// The merged tables the initiator adopts.
+        table: Box<QTablePair>,
+    },
+}
+
+fn put_profile(w: &mut Writer, p: &VmProfile) {
+    w.put_f64(p.current.cpu());
+    w.put_f64(p.current.mem());
+    w.put_u64(p.avg.count());
+    w.put_f64(p.avg.value().cpu());
+    w.put_f64(p.avg.value().mem());
+}
+
+fn get_profile(r: &mut Reader<'_>) -> Result<VmProfile, SnapshotError> {
+    let cur = Resources::new(r.get_f64()?, r.get_f64()?);
+    let count = r.get_u64()?;
+    let avg = Resources::new(r.get_f64()?, r.get_f64()?);
+    Ok(VmProfile {
+        current: cur,
+        avg: RunningAvg::from_parts(count, avg),
+    })
+}
+
+/// Serializes a profile list (shared by the wire format and the
+/// [`NodeCore`](crate::NodeCore) checkpoint encoding).
+pub(crate) fn put_profiles(w: &mut Writer, ps: &[VmProfile]) {
+    w.put_usize(ps.len());
+    for p in ps {
+        put_profile(w, p);
+    }
+}
+
+/// Inverse of [`put_profiles`].
+pub(crate) fn get_profiles(r: &mut Reader<'_>) -> Result<Vec<VmProfile>, SnapshotError> {
+    let n = r.get_usize()?;
+    // Each profile is 40 bytes; reject absurd lengths before allocating.
+    if n > r.remaining() / 40 + 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_profile(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn put_descriptors(w: &mut Writer, ds: &[Descriptor]) {
+    w.put_usize(ds.len());
+    for d in ds {
+        w.put_u32(d.node);
+        w.put_u32(d.age);
+    }
+}
+
+pub(crate) fn get_descriptors(r: &mut Reader<'_>) -> Result<Vec<Descriptor>, SnapshotError> {
+    let n = r.get_usize()?;
+    if n > r.remaining() / 8 + 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = r.get_u32()?;
+        let age = r.get_u32()?;
+        out.push(Descriptor { node, age });
+    }
+    Ok(out)
+}
+
+impl WireMsg {
+    /// The tag byte this message encodes under.
+    pub fn tag(&self) -> u8 {
+        match self {
+            WireMsg::ShuffleRequest { .. } => TAG_SHUFFLE_REQUEST,
+            WireMsg::ShuffleReply { .. } => TAG_SHUFFLE_REPLY,
+            WireMsg::ProfileRequest => TAG_PROFILE_REQUEST,
+            WireMsg::ProfileReply { .. } => TAG_PROFILE_REPLY,
+            WireMsg::AggPush { .. } => TAG_AGG_PUSH,
+            WireMsg::AggReply { .. } => TAG_AGG_REPLY,
+        }
+    }
+
+    /// Serializes to the canonical payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(self.tag());
+        match self {
+            WireMsg::ShuffleRequest { descriptors } | WireMsg::ShuffleReply { descriptors } => {
+                put_descriptors(&mut w, descriptors);
+            }
+            WireMsg::ProfileRequest => {}
+            WireMsg::ProfileReply { profiles } => put_profiles(&mut w, profiles),
+            WireMsg::AggPush { table } | WireMsg::AggReply { table } => table.save(&mut w),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a payload. Q-table messages need the receiver's
+    /// [`QParams`] to shape the table before restoring into it (the
+    /// wire carries values, not hyper-parameters the whole cluster
+    /// already agrees on).
+    pub fn decode(payload: &[u8], params: QParams) -> Result<WireMsg, SnapshotError> {
+        let mut r = Reader::new(payload);
+        let tag = r.get_u8()?;
+        let msg = match tag {
+            TAG_SHUFFLE_REQUEST => WireMsg::ShuffleRequest {
+                descriptors: get_descriptors(&mut r)?,
+            },
+            TAG_SHUFFLE_REPLY => WireMsg::ShuffleReply {
+                descriptors: get_descriptors(&mut r)?,
+            },
+            TAG_PROFILE_REQUEST => WireMsg::ProfileRequest,
+            TAG_PROFILE_REPLY => WireMsg::ProfileReply {
+                profiles: get_profiles(&mut r)?,
+            },
+            TAG_AGG_PUSH | TAG_AGG_REPLY => {
+                let mut table = Box::new(QTablePair::new(params));
+                table.restore(&mut r)?;
+                if tag == TAG_AGG_PUSH {
+                    WireMsg::AggPush { table }
+                } else {
+                    WireMsg::AggReply { table }
+                }
+            }
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown wire message tag {other}"
+                )))
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after wire message",
+                r.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+/// The tag byte of an encoded payload (0 for an empty payload, which no
+/// encoder produces).
+pub fn payload_tag(payload: &[u8]) -> u8 {
+    payload.first().copied().unwrap_or(0)
+}
+
+/// Whether `tag` names a request-type message — one whose delivery is a
+/// request/reply round trip subject to the fault model. Replies travel
+/// inside that round trip, so the driver delivers them unconditionally.
+pub fn tag_is_request(tag: u8) -> bool {
+    matches!(
+        tag,
+        TAG_SHUFFLE_REQUEST | TAG_PROFILE_REQUEST | TAG_AGG_PUSH
+    )
+}
+
+/// The per-kind telemetry counter an encoded payload accrues under.
+pub fn tag_counter(tag: u8) -> Option<&'static str> {
+    match tag {
+        TAG_SHUFFLE_REQUEST => Some("wire.shuffle.req"),
+        TAG_SHUFFLE_REPLY => Some("wire.shuffle.reply"),
+        TAG_PROFILE_REQUEST => Some("wire.profile.req"),
+        TAG_PROFILE_REPLY => Some("wire.profile.reply"),
+        TAG_AGG_PUSH => Some("wire.agg.push"),
+        TAG_AGG_REPLY => Some("wire.agg.reply"),
+        _ => None,
+    }
+}
+
+/// An outgoing message from a node: destination plus typed payload.
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message itself (encoded by the transport before routing).
+    pub msg: WireMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMsg) {
+        let bytes = msg.encode();
+        assert_eq!(payload_tag(&bytes), msg.tag());
+        let back = WireMsg::decode(&bytes, QParams::default()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn shuffle_messages_round_trip() {
+        let ds = vec![
+            Descriptor { node: 3, age: 0 },
+            Descriptor { node: 9, age: 17 },
+        ];
+        roundtrip(WireMsg::ShuffleRequest {
+            descriptors: ds.clone(),
+        });
+        roundtrip(WireMsg::ShuffleReply { descriptors: ds });
+        roundtrip(WireMsg::ShuffleRequest {
+            descriptors: vec![],
+        });
+    }
+
+    #[test]
+    fn profile_messages_round_trip() {
+        roundtrip(WireMsg::ProfileRequest);
+        let profiles = vec![
+            VmProfile {
+                current: Resources::new(0.25, 0.5),
+                avg: RunningAvg::from_parts(7, Resources::new(0.3, 0.4)),
+            },
+            VmProfile {
+                current: Resources::new(0.0, 0.0),
+                avg: RunningAvg::from_parts(0, Resources::new(0.0, 0.0)),
+            },
+        ];
+        roundtrip(WireMsg::ProfileReply { profiles });
+    }
+
+    #[test]
+    fn table_messages_round_trip_bit_exact() {
+        use glap_cluster::Resources;
+        use glap_qlearn::{PmState, VmAction};
+        let mut table = QTablePair::new(QParams::default());
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        table.out.set(s, a, -0.0);
+        table.r#in.set(s, a, 1.25e-3);
+        let msg = WireMsg::AggPush {
+            table: Box::new(table.clone()),
+        };
+        let bytes = msg.encode();
+        let back = WireMsg::decode(&bytes, QParams::default()).unwrap();
+        let WireMsg::AggPush { table: t } = back else {
+            panic!("wrong variant");
+        };
+        let (mut w1, mut w2) = (Writer::new(), Writer::new());
+        table.save(&mut w1);
+        t.save(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+        roundtrip(WireMsg::AggReply {
+            table: Box::new(table),
+        });
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(WireMsg::decode(&[], QParams::default()).is_err());
+        assert!(WireMsg::decode(&[99], QParams::default()).is_err());
+        // Trailing garbage after a valid message.
+        let mut bytes = WireMsg::ProfileRequest.encode();
+        bytes.push(0);
+        assert!(WireMsg::decode(&bytes, QParams::default()).is_err());
+        // Truncated descriptor list.
+        let bytes = WireMsg::ShuffleRequest {
+            descriptors: vec![Descriptor { node: 1, age: 2 }],
+        }
+        .encode();
+        assert!(WireMsg::decode(&bytes[..bytes.len() - 2], QParams::default()).is_err());
+    }
+
+    #[test]
+    fn request_reply_classification() {
+        assert!(tag_is_request(TAG_SHUFFLE_REQUEST));
+        assert!(tag_is_request(TAG_PROFILE_REQUEST));
+        assert!(tag_is_request(TAG_AGG_PUSH));
+        assert!(!tag_is_request(TAG_SHUFFLE_REPLY));
+        assert!(!tag_is_request(TAG_PROFILE_REPLY));
+        assert!(!tag_is_request(TAG_AGG_REPLY));
+    }
+}

@@ -2,9 +2,8 @@
 //! the paper's claims: convergence of the aggregation phase (Figure 5)
 //! and the Theorem 1 normality property of gossip-averaged values.
 
-use glap::{aggregation_round, train, unified_table, GlapConfig, TrainPhase};
+use glap::prelude::*;
 use glap_cluster::Resources;
-use glap_cyclon::CyclonOverlay;
 use glap_experiments::{build_world, Algorithm, Scenario};
 use glap_metrics::{jarque_bera, mean};
 use glap_qlearn::{PmState, QParams, QTablePair, VmAction};
@@ -106,8 +105,8 @@ fn theorem1_gossip_averages_tend_toward_normality() {
     // A *few* rounds only: full convergence would collapse the variance
     // entirely; Theorem 1 is about the distribution en route.
     for _ in 0..4 {
-        overlay.run_round(&mut rng);
-        aggregation_round(&mut tables, &mut overlay, &mut rng);
+        overlay.run_round(&mut rng, RoundIo::default());
+        aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::default());
     }
     let after = values(&tables);
     let jb_after = jarque_bera(&after);
