@@ -137,6 +137,17 @@ pub fn aggregation_round<R: Rng>(
                     continue;
                 }
             }
+            if let Some(tracer) = tracer {
+                if tracer.is_on() {
+                    // Unified wire accounting: the push leg carrying p's
+                    // trained set is transmitted at attempt time.
+                    tracer.add("net.msgs", 1);
+                    tracer.add(
+                        "net.bytes_tx",
+                        tables[p as usize].trained_pairs() as u64 * ENTRY_BYTES,
+                    );
+                }
+            }
             let delivered = match net.as_deref_mut() {
                 Some(net) => net.request(p, q).is_ok(),
                 None => true,
@@ -145,11 +156,15 @@ pub fn aggregation_round<R: Rng>(
                 if let Some(tracer) = tracer {
                     if tracer.is_on() {
                         // Push–pull ships both trained sets, one per leg.
-                        let pairs = (tables[p as usize].trained_pairs()
-                            + tables[q as usize].trained_pairs())
-                            as u64;
+                        let p_pairs = tables[p as usize].trained_pairs() as u64;
+                        let q_pairs = tables[q as usize].trained_pairs() as u64;
+                        let pairs = p_pairs + q_pairs;
                         tracer.add("agg.bytes", pairs * ENTRY_BYTES);
                         tracer.add("agg.merges", 1);
+                        // Pull leg completes the round trip.
+                        tracer.add("net.msgs", 1);
+                        tracer.add("net.bytes_tx", q_pairs * ENTRY_BYTES);
+                        tracer.add("net.bytes_rx", pairs * ENTRY_BYTES);
                     }
                     tracer.emit(EventKind::MergeApplied { a: p, b: q });
                 }

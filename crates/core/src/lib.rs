@@ -54,8 +54,8 @@ pub use learning::{
 };
 pub use policy::{synthetic_table, GlapPolicy, RetrainConfig, StopReason, TableStore};
 pub use trainer::{
-    retrain_in_place, train, train_traced, train_traced_with_threads, train_unified, unified_table,
-    TrainPhase, TrainReport,
+    retrain_in_place, train, train_instrumented, train_traced, train_traced_with_threads,
+    train_unified, unified_table, TrainPhase, TrainReport,
 };
 
 // Workspace-level re-exports: the protocol stack a consumer of `glap`
@@ -81,8 +81,8 @@ pub mod prelude {
     pub use crate::learning::{gather_profiles_into, is_eligible, local_train_with};
     pub use crate::policy::{GlapPolicy, RetrainConfig, StopReason, TableStore};
     pub use crate::trainer::{
-        train, train_traced, train_traced_with_threads, train_unified, unified_table, TrainPhase,
-        TrainReport,
+        train, train_instrumented, train_traced, train_traced_with_threads, train_unified,
+        unified_table, TrainPhase, TrainReport,
     };
     pub use glap_cyclon::{CyclonNode, CyclonOverlay, Descriptor, PendingShuffle, RoundIo};
     pub use glap_dcsim::{
@@ -90,6 +90,7 @@ pub mod prelude {
         save_rng, splitmix64, stream_rng, ConsolidationPolicy, Delivery, FaultProfile,
         NetworkModel, RoundCtx, SimRng, Stream,
     };
+    pub use glap_profile::Profiler;
     pub use glap_qlearn::{PmState, QParams, QTable, QTablePair, VmAction};
     pub use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
     pub use glap_telemetry::{EventKind, Phase, Tracer};

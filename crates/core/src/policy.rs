@@ -30,6 +30,18 @@ use glap_telemetry::{AbortReason, EventKind, Tracer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Modelled size of an exchange-opening request: the initiator ships its
+/// load vector (3 × f64 utilization) plus id and round tag.
+const EXCHANGE_REQ_BYTES: u64 = 32;
+/// Modelled size of the exchange-opening reply: the partner's load vector
+/// and its decision bit.
+const EXCHANGE_REPLY_BYTES: u64 = 32;
+/// Modelled size of a per-VM transfer handshake request: VM id plus its
+/// current and near-future demand vectors.
+const HANDSHAKE_REQ_BYTES: u64 = 52;
+/// Modelled size of the handshake acknowledgement.
+const HANDSHAKE_REPLY_BYTES: u64 = 4;
+
 /// Where a PM finds its Q-tables.
 #[derive(Debug, Clone)]
 pub enum TableStore {
@@ -264,7 +276,11 @@ impl GlapPolicy {
         // the state copy starts. If it crashed since the exchange opened
         // (or the handshake is lost), the transfer — and the surrounding
         // eviction loop — aborts cleanly, leaving the VM on `src`.
-        if !net.is_up(dst.0) || !net.request(src.0, dst.0).is_ok() {
+        if !net.is_up(dst.0)
+            || !net
+                .request_payload(src.0, dst.0, HANDSHAKE_REQ_BYTES, HANDSHAKE_REPLY_BYTES)
+                .is_ok()
+        {
             tracer.emit(EventKind::MigrationAborted {
                 from: src.0,
                 to: dst.0,
@@ -513,7 +529,10 @@ impl ConsolidationPolicy for GlapPolicy {
             }
             // Open the push–pull exchange with one request/reply; a lost
             // or timed-out opening skips the pairing this round.
-            if !net.request(p.0, q.0).is_ok() {
+            if !net
+                .request_payload(p.0, q.0, EXCHANGE_REQ_BYTES, EXCHANGE_REPLY_BYTES)
+                .is_ok()
+            {
                 continue;
             }
             tracer.emit(EventKind::ExchangeOpened { p: p.0, q: q.0 });
@@ -961,6 +980,7 @@ mod tests {
     #[test]
     fn checkpointed_policy_resumes_byte_identically() {
         use glap_dcsim::{run_simulation_resumable, SimRng};
+        use glap_profile::Profiler;
 
         let trace = |vm: VmId, r: u64| {
             Resources::splat((0.2 + 0.1 * ((vm.0 + r as u32) % 5) as f64).min(1.0))
@@ -984,6 +1004,7 @@ mod tests {
                     rounds,
                     &mut net,
                     &Tracer::off(),
+                    &Profiler::off(),
                     rng,
                     call_init,
                     0,

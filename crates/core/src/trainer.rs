@@ -15,7 +15,8 @@ use crate::learning::{
 use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
 use glap_cyclon::{CyclonNode, CyclonOverlay, RoundIo};
 use glap_dcsim::{stream_rng, SimRng, Stream};
-use glap_par::parallel_for_each;
+use glap_par::parallel_for_each_timed;
+use glap_profile::Profiler;
 use glap_qlearn::QTablePair;
 use glap_telemetry::{ConvergenceMonitor, EventKind, OverlayHealth, Phase, Tracer};
 use rand::Rng;
@@ -198,6 +199,39 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
     tracer: &Tracer,
     threads: Option<usize>,
 ) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
+    train_instrumented(
+        dc,
+        trace,
+        cfg,
+        master_seed,
+        record_similarity,
+        tracer,
+        threads,
+        &Profiler::off(),
+    )
+}
+
+/// [`train_traced_with_threads`] with a wall-clock [`Profiler`]
+/// attached. Spans: `train` → `learn_round` {`workload_step`,
+/// `shuffle`, `fanout`, `local_train` (+ per-worker
+/// `worker_busy`/`worker_idle` samples), `similarity`, `convergence`}
+/// and `agg_round` {`shuffle`, `merge`, `similarity`, `convergence`}.
+///
+/// Profiling is strictly observational (the profiler reads no
+/// randomness and feeds nothing back), so results are byte-identical
+/// with it on or off — the `integration_profile` suite pins this.
+#[allow(clippy::too_many_arguments)]
+pub fn train_instrumented<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    record_similarity: bool,
+    tracer: &Tracer,
+    threads: Option<usize>,
+    profiler: &Profiler,
+) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
+    let _train_span = profiler.span("train");
     cfg.validate().expect("invalid GLAP config");
     let n = dc.n_pms();
     let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
@@ -226,13 +260,21 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
     // ---- Learning phase (WOG) -------------------------------------
     tracer.set_phase(Phase::Learning);
     for round in 0..cfg.learning_rounds {
+        let _round_span = profiler.span("learn_round");
         tracer.begin_round(round as u64);
-        dc.step(trace);
-        overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
+        {
+            let _s = profiler.span("workload_step");
+            dc.step(trace);
+        }
+        {
+            let _s = profiler.span("shuffle");
+            overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
+        }
         {
             // Eligibility is decided up front from the shared snapshot;
             // the workers then only touch their own task's state plus
             // the read-only data-center view and liveness mask.
+            let fanout_span = profiler.span("fanout");
             let view = dc.view();
             let (nodes, alive) = overlay.split_mut();
             let mut tasks: Vec<LearnTask<'_>> = tables
@@ -250,7 +292,9 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
                     scratch: scr,
                 })
                 .collect();
-            parallel_for_each(&mut tasks, threads, |t| {
+            drop(fanout_span);
+            let train_span = profiler.span("local_train");
+            let timing = parallel_for_each_timed(&mut tasks, threads, |t| {
                 let neighbor = CyclonOverlay::random_alive_peer_in(t.node, alive, t.rng).map(PmId);
                 gather_profiles_into(
                     view,
@@ -267,12 +311,23 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
                     &mut t.scratch.idxs,
                 );
             });
+            if profiler.is_on() {
+                for w in &timing.workers {
+                    profiler.record_concurrent_ns("worker_busy", w.busy_ns);
+                    profiler.record_concurrent_ns(
+                        "worker_idle",
+                        timing.wall_ns.saturating_sub(w.busy_ns),
+                    );
+                }
+            }
+            drop(train_span);
             for t in &tasks {
                 trained[t.pm.0 as usize] = true;
                 report.updates += 2 * cfg.learning_iterations as u64;
             }
         }
         if record_similarity {
+            let _s = profiler.span("similarity");
             let sim = mean_pairwise_similarity(
                 &tables,
                 &overlay,
@@ -282,6 +337,7 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
             report.similarity.push((TrainPhase::Learning, round, sim));
         }
         if tracer.is_on() {
+            let _s = profiler.span("convergence");
             sample_convergence(
                 &mut monitor,
                 tracer,
@@ -298,10 +354,23 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
     // ---- Aggregation phase (WG) ------------------------------------
     tracer.set_phase(Phase::Aggregation);
     for round in 0..cfg.aggregation_rounds {
+        let _round_span = profiler.span("agg_round");
         tracer.begin_round(round as u64);
-        overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
-        aggregation_round(&mut tables, &mut overlay, &mut learn_rng, AggIo::default());
+        {
+            let _s = profiler.span("shuffle");
+            overlay.run_round(&mut overlay_rng, RoundIo::traced(tracer));
+        }
+        {
+            let _s = profiler.span("merge");
+            aggregation_round(
+                &mut tables,
+                &mut overlay,
+                &mut learn_rng,
+                AggIo::traced(tracer),
+            );
+        }
         if record_similarity {
+            let _s = profiler.span("similarity");
             let sim = mean_pairwise_similarity(
                 &tables,
                 &overlay,
@@ -313,6 +382,7 @@ pub fn train_traced_with_threads<D: DemandSource + ?Sized>(
                 .push((TrainPhase::Aggregation, round, sim));
         }
         if tracer.is_on() {
+            let _s = profiler.span("convergence");
             sample_convergence(
                 &mut monitor,
                 tracer,

@@ -209,6 +209,12 @@ impl CyclonOverlay {
                 continue;
             };
             let target = pending.target as usize;
+            if let Some(tracer) = io.tracer {
+                // Unified wire accounting: the request leg is transmitted
+                // at attempt time whether or not it arrives.
+                tracer.add("net.msgs", 1);
+                tracer.add("net.bytes_tx", pending.sent.len() as u64 * DESCRIPTOR_BYTES);
+            }
             let delivered = match io.contact.as_mut() {
                 Some(f) => f(i as NodeId, pending.target),
                 None => true,
@@ -235,6 +241,13 @@ impl CyclonOverlay {
                 tracer.add("cyclon.shuffles", 1);
                 tracer.add(
                     "cyclon.bytes",
+                    (pending.sent.len() + reply.len()) as u64 * DESCRIPTOR_BYTES,
+                );
+                // Reply leg of the completed round trip.
+                tracer.add("net.msgs", 1);
+                tracer.add("net.bytes_tx", reply.len() as u64 * DESCRIPTOR_BYTES);
+                tracer.add(
+                    "net.bytes_rx",
                     (pending.sent.len() + reply.len()) as u64 * DESCRIPTOR_BYTES,
                 );
             }

@@ -10,6 +10,7 @@
 use crate::net::NetworkModel;
 use crate::rng::{stream_rng, SimRng, Stream};
 use glap_cluster::{DataCenter, DemandSource};
+use glap_profile::Profiler;
 use glap_snapshot::{Reader, SnapshotError, Writer};
 use glap_telemetry::{Phase, Tracer};
 
@@ -148,6 +149,40 @@ pub fn run_simulation_traced<D, P>(
     D: DemandSource + ?Sized,
     P: ConsolidationPolicy + ?Sized,
 {
+    run_simulation_profiled(
+        dc,
+        trace,
+        policy,
+        observers,
+        rounds,
+        master_seed,
+        net,
+        tracer,
+        &Profiler::off(),
+    );
+}
+
+/// Like [`run_simulation_traced`], but with a wall-clock [`Profiler`]
+/// attached: each round is a `sim_round` span with `workload_step`,
+/// `net_begin`, `policy_round` and `observers` children (plus
+/// per-request `net_request` samples recorded by the network model).
+/// Profiling is observational only — it reads no RNG and emits no
+/// telemetry — so results are byte-identical with it on or off.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_profiled<D, P>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    policy: &mut P,
+    observers: &mut [&mut dyn Observer],
+    rounds: u64,
+    master_seed: u64,
+    net: &mut NetworkModel,
+    tracer: &Tracer,
+    profiler: &Profiler,
+) where
+    D: DemandSource + ?Sized,
+    P: ConsolidationPolicy + ?Sized,
+{
     let mut rng = stream_rng(master_seed, Stream::Policy);
     run_simulation_resumable(
         dc,
@@ -157,6 +192,7 @@ pub fn run_simulation_traced<D, P>(
         rounds,
         net,
         tracer,
+        profiler,
         &mut rng,
         true,
         0,
@@ -211,6 +247,7 @@ pub fn run_simulation_resumable<D, P>(
     rounds: u64,
     net: &mut NetworkModel,
     tracer: &Tracer,
+    profiler: &Profiler,
     rng: &mut SimRng,
     call_init: bool,
     checkpoint_every: u64,
@@ -221,31 +258,46 @@ where
     P: ConsolidationPolicy + ?Sized,
 {
     net.set_tracer(tracer.clone());
+    net.set_profiler(profiler.clone());
     dc.set_tracer(tracer.clone());
     tracer.set_phase(Phase::Run);
     if call_init {
         policy.init(dc, rng);
     }
     for _ in 0..rounds {
+        let _round_span = profiler.span("sim_round");
         let round = dc.round();
         tracer.begin_round(round);
-        dc.step(trace);
-        net.begin_round(round);
-        let mut ctx = RoundCtx {
-            round,
-            dc: &mut *dc,
-            rng: &mut *rng,
-            churn_events: 0,
-            net: &mut *net,
-            tracer,
-        };
-        policy.round(&mut ctx);
+        {
+            let _s = profiler.span("workload_step");
+            dc.step(trace);
+        }
+        {
+            let _s = profiler.span("net_begin");
+            net.begin_round(round);
+        }
+        {
+            let _s = profiler.span("policy_round");
+            let mut ctx = RoundCtx {
+                round,
+                dc: &mut *dc,
+                rng: &mut *rng,
+                churn_events: 0,
+                net: &mut *net,
+                tracer,
+            };
+            policy.round(&mut ctx);
+        }
         debug_assert!(dc.check_invariants().is_ok());
-        for obs in observers.iter_mut() {
-            obs.on_round_end(round, dc);
+        {
+            let _s = profiler.span("observers");
+            for obs in observers.iter_mut() {
+                obs.on_round_end(round, dc);
+            }
         }
         tracer.end_round();
         if checkpoint_every > 0 && dc.round().is_multiple_of(checkpoint_every) {
+            let _s = profiler.span("checkpoint");
             let mut policy_state = Writer::new();
             policy.save_state(&mut policy_state);
             checkpoint(&CheckpointArgs {
@@ -451,6 +503,7 @@ mod tests {
             12,
             &mut net,
             &Tracer::off(),
+            &Profiler::off(),
             &mut rng,
             true,
             5,
@@ -506,6 +559,7 @@ mod tests {
             7,
             &mut net2,
             &Tracer::off(),
+            &Profiler::off(),
             &mut rng2,
             false,
             5,
@@ -552,6 +606,7 @@ mod tests {
             10,
             &mut net,
             &Tracer::off(),
+            &Profiler::off(),
             &mut rng,
             true,
             4,

@@ -30,9 +30,11 @@
 //! stream.
 
 use crate::rng::{stream_rng, SimRng, Stream};
+use glap_profile::Profiler;
 use glap_telemetry::{EventKind, MsgOp, Tracer};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
+use std::time::Instant;
 
 /// Uniform one-way link latency in milliseconds, sampled per message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +193,8 @@ pub struct NetworkModel {
     pub stats: NetStats,
     /// Event tracer (off by default; never touches the RNG).
     tracer: Tracer,
+    /// Wall-clock profiler (off by default; observational only).
+    profiler: Profiler,
 }
 
 impl NetworkModel {
@@ -206,6 +210,7 @@ impl NetworkModel {
             rng: SimRng::seed_from_u64(0),
             stats: NetStats::default(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -220,6 +225,7 @@ impl NetworkModel {
             rng: stream_rng(master_seed, Stream::Network),
             stats: NetStats::default(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -227,6 +233,14 @@ impl NetworkModel {
     /// attached tracer never changes delivery outcomes.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a wall-clock profiler: every [`send`](NetworkModel::send)
+    /// / [`request`](NetworkModel::request) records its in-model time as
+    /// a `net_send` / `net_request` sample under the caller's open span.
+    /// Profiling reads no randomness and never changes outcomes.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Number of modelled nodes.
@@ -324,6 +338,18 @@ impl NetworkModel {
     /// One-way, fire-and-forget message. No timeout applies: a delivered
     /// send arrives eventually within the round.
     pub fn send(&mut self, from: u32, to: u32) -> Delivery {
+        if self.profiler.is_on() {
+            let t0 = Instant::now();
+            let d = self.send_inner(from, to);
+            self.profiler
+                .record_ns("net_send", t0.elapsed().as_nanos() as u64);
+            d
+        } else {
+            self.send_inner(from, to)
+        }
+    }
+
+    fn send_inner(&mut self, from: u32, to: u32) -> Delivery {
         self.stats.attempts += 1;
         // The liveness check precedes the ideal fast path so that
         // `force_crash` works even on an ideal-profile network; it reads
@@ -369,6 +395,43 @@ impl NetworkModel {
     /// for the reply and gives up past the profile timeout. Either leg
     /// can be dropped; a crashed target never answers.
     pub fn request(&mut self, from: u32, to: u32) -> Delivery {
+        if self.profiler.is_on() {
+            let t0 = Instant::now();
+            let d = self.request_inner(from, to);
+            self.profiler
+                .record_ns("net_request", t0.elapsed().as_nanos() as u64);
+            d
+        } else {
+            self.request_inner(from, to)
+        }
+    }
+
+    /// [`request`](NetworkModel::request) with payload accounting: the
+    /// request/reply byte sizes are routed into the unified
+    /// `net.msgs` / `net.bytes_tx` / `net.bytes_rx` telemetry counters —
+    /// the same namespace the node runtime reports real wire bytes
+    /// under — so sim-side and transport-backed runs are comparable.
+    /// Request bytes count as transmitted at attempt time; the reply
+    /// (and received bytes) only on a completed round trip.
+    pub fn request_payload(
+        &mut self,
+        from: u32,
+        to: u32,
+        req_bytes: u64,
+        reply_bytes: u64,
+    ) -> Delivery {
+        self.tracer.add("net.msgs", 1);
+        self.tracer.add("net.bytes_tx", req_bytes);
+        let d = self.request(from, to);
+        if d.is_ok() {
+            self.tracer.add("net.msgs", 1);
+            self.tracer.add("net.bytes_tx", reply_bytes);
+            self.tracer.add("net.bytes_rx", req_bytes + reply_bytes);
+        }
+        d
+    }
+
+    fn request_inner(&mut self, from: u32, to: u32) -> Delivery {
         self.stats.attempts += 1;
         if !self.up[to as usize] {
             self.stats.to_down += 1;

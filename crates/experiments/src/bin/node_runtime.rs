@@ -16,7 +16,9 @@
 //! (`--checkpoint-every`/`--stop-at-round`/`--resume`) interrupt and
 //! resume the *training* phase.
 
-use glap_experiments::{parse_or_exit, rounds_csv, run_node_scenario, Algorithm, Scenario};
+use glap_experiments::{
+    parse_or_exit, rounds_csv, run_node_scenario_instrumented, Algorithm, Scenario,
+};
 
 fn main() {
     let cli = parse_or_exit();
@@ -37,11 +39,14 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create checkpoint directory");
     }
 
-    let outcome = run_node_scenario(&sc, cli.transport, cli.threads, &tracer, &opts)
-        .unwrap_or_else(|e| {
-            eprintln!("{}: {e}", sc.id());
-            std::process::exit(1);
-        });
+    let profiler = cli.profiler();
+    let outcome =
+        run_node_scenario_instrumented(&sc, cli.transport, cli.threads, &tracer, &opts, &profiler)
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", sc.id());
+                std::process::exit(1);
+            });
+    cli.finish_profile(&format!("{}_node", sc.id()), &profiler);
     tracer.flush();
     cli.write_counters(&tracer).expect("write counter CSVs");
 

@@ -1,0 +1,98 @@
+//! The perf-regression gate: re-measures the hot-path suite and compares
+//! each median against the committed `BENCH_profile.json` baseline,
+//! exiting nonzero when any scenario slowed past the tolerance.
+//!
+//! ```text
+//! perf_gate                      # default tolerance 1.0 (fail past 2x)
+//! perf_gate --tolerance 0.25     # fail past 1.25x the baseline
+//! GLAP_BENCH_BUDGET_MS=1000 perf_gate   # steadier medians
+//! ```
+//!
+//! The measured run is also written to `<out>/perf_gate_measured.json`
+//! (same `glap-bench-v1` schema as the baseline) so CI can upload it as
+//! an artifact; refresh the committed baseline with `bench_refresh`.
+
+use glap_experiments::{git_rev, parse_or_exit, run_suite};
+use glap_profile::{compare, fmt_ns, Baseline};
+
+/// Per-case sampling budget: `GLAP_BENCH_BUDGET_MS`, else 300ms (the
+/// same default as the in-repo criterion stub).
+fn budget_ms() -> u64 {
+    std::env::var("GLAP_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn main() {
+    let cli = parse_or_exit();
+    let baseline_path = std::path::Path::new("BENCH_profile.json");
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {} ({e}); regenerate it with bench_refresh",
+            baseline_path.display()
+        );
+        std::process::exit(2);
+    });
+    let baseline = Baseline::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", baseline_path.display());
+        std::process::exit(2);
+    });
+
+    let budget = budget_ms();
+    eprintln!(
+        "measuring {} scenarios ({budget}ms budget each) against baseline rev {}…",
+        baseline.benchmarks.len(),
+        baseline.git_rev
+    );
+    let measured = run_suite(budget);
+    let outcomes = compare(&baseline, &measured, cli.tolerance);
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "measured", "ratio"
+    );
+    let mut regressed = false;
+    for o in &outcomes {
+        let (base, verdict) = match o.baseline_ns {
+            Some(ns) => (
+                fmt_ns(ns),
+                if o.regressed {
+                    regressed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                },
+            ),
+            None => ("-".to_string(), "no baseline"),
+        };
+        println!(
+            "{:<28} {:>12} {:>12} {:>7.2}x  {verdict}",
+            o.name,
+            base,
+            fmt_ns(o.measured_ns),
+            o.ratio,
+        );
+    }
+
+    std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
+    let out = Baseline {
+        suite: "profile".to_string(),
+        git_rev: git_rev(),
+        budget_ms: budget,
+        benchmarks: measured,
+    };
+    let path = cli.out_dir.join("perf_gate_measured.json");
+    std::fs::write(&path, out.to_json()).expect("write measured JSON");
+    eprintln!("wrote {}", path.display());
+
+    if regressed {
+        eprintln!(
+            "perf gate FAILED: at least one scenario slowed past {:.0}% of baseline \
+             (override with --tolerance, refresh with bench_refresh)",
+            100.0 * (1.0 + cli.tolerance)
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf gate passed (tolerance {:.2})", cli.tolerance);
+}

@@ -3,12 +3,21 @@
 //! gossip exchange, O(view) peer sampling, O(|VMs|) decision making), so
 //! total simulation cost should grow linearly with the cluster while a
 //! centralized algorithm like PABFD (global scans per round) grows
-//! super-linearly. This binary measures wall-clock per simulated round
-//! across cluster sizes for GLAP and PABFD.
+//! super-linearly.
+//!
+//! All timing comes from the wall-clock profiler's span tree — the same
+//! instrumentation `--profile` exposes — rather than ad-hoc stopwatch
+//! calls: the measured day is the `measured_day` span, training is the
+//! `train` span, and the learning phase's *effective parallel speedup*
+//! is the per-worker busy time (`worker_busy`, summed across workers)
+//! over the `local_train` wall time it was compressed into.
 
-use glap_experiments::{fnum, parse_or_exit, run_scenario, Algorithm, Scenario, TextTable};
+use glap_experiments::{
+    fnum, parse_or_exit, run_scenario_instrumented, Algorithm, CheckpointOpts, Scenario, TextTable,
+};
 use glap_par::resolve_threads;
-use std::time::Instant;
+use glap_profile::Profiler;
+use glap_telemetry::Tracer;
 
 fn main() {
     let cli = parse_or_exit();
@@ -29,6 +38,8 @@ fn main() {
         "total_s",
         "ms_per_round",
         "us_per_pm_round",
+        "train_s",
+        "learn_speedup",
         "migrations",
     ]);
     for &size in &sizes {
@@ -38,20 +49,47 @@ fn main() {
                 glap: cli.grid.glap,
                 ..Scenario::paper(size, ratio, 0, algorithm)
             };
-            let start = Instant::now();
-            let r = run_scenario(&sc);
-            let elapsed = start.elapsed().as_secs_f64();
-            let ms_per_round = elapsed * 1000.0 / rounds as f64;
+            // A fresh enabled profiler per cell: its root span covers
+            // exactly this scenario run.
+            let profiler = Profiler::enabled();
+            let (result, _) = run_scenario_instrumented(
+                &sc,
+                &Tracer::off(),
+                &CheckpointOpts::default(),
+                &profiler,
+                cli.progress,
+            )
+            .expect("no checkpoint I/O configured");
+            let r = result.expect("runs to completion");
+            let report = profiler.snapshot();
+            let total_s = report.total_ns as f64 / 1e9;
+            let day_ns = report.span("measured_day").map_or(0, |s| s.total_ns);
+            let ms_per_round = day_ns as f64 / 1e6 / rounds as f64;
+            let train_ns = report.span("build_policy/train").map_or(0, |s| s.total_ns);
+            // Effective learning-phase speedup: total worker busy time /
+            // the wall time of the parallel local-training sections. 1.0
+            // means sequential; `threads` means perfect scaling.
+            let speedup = match (
+                report.span("build_policy/train/learn_round/local_train"),
+                report.span("build_policy/train/learn_round/local_train/worker_busy"),
+            ) {
+                (Some(wall), Some(busy)) if wall.total_ns > 0 => {
+                    busy.total_ns as f64 / wall.total_ns as f64
+                }
+                _ => 0.0,
+            };
             table.row([
                 size.to_string(),
                 algorithm.label().to_string(),
-                fnum(elapsed),
+                fnum(total_s),
                 fnum(ms_per_round),
                 fnum(ms_per_round * 1000.0 / size as f64),
+                fnum(train_ns as f64 / 1e9),
+                fnum(speedup),
                 r.collector.total_migrations().to_string(),
             ]);
             if cli.verbose {
-                eprintln!("{} at {size} PMs: {elapsed:.1}s", algorithm.label());
+                eprintln!("{} at {size} PMs: {total_s:.1}s", algorithm.label());
             }
         }
     }
@@ -64,7 +102,10 @@ fn main() {
     println!(
         "\nnote: the per-PM-per-round cost column is the scalability claim — flat for \
          GLAP (constant gossip work per PM), growing with size for the centralized \
-         PABFD (its placement scans all hosts for every migrating VM)."
+         PABFD (its placement scans all hosts for every migrating VM). learn_speedup \
+         is the learning phase's effective parallelism (worker busy time over wall \
+         time, from the profiler's span tree): 1.0 = sequential, {threads} = perfect \
+         scaling on this worker count."
     );
     let path = cli.out_dir.join("scalability_eval.csv");
     table.save_csv(&path).expect("write CSV");

@@ -13,7 +13,7 @@
 //! concatenating `part1.jsonl` + `part2.jsonl` reproduces the trace of
 //! an uninterrupted run byte for byte, as do the rounds/counters CSVs.
 
-use glap_experiments::{parse_or_exit, rounds_csv, run_scenario_checkpointed, Algorithm, Scenario};
+use glap_experiments::{parse_or_exit, rounds_csv, run_scenario_instrumented, Algorithm, Scenario};
 
 fn main() {
     let cli = parse_or_exit();
@@ -34,10 +34,13 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create checkpoint directory");
     }
 
-    let (result, _) = run_scenario_checkpointed(&sc, &tracer, &opts).unwrap_or_else(|e| {
-        eprintln!("{}: {e}", sc.id());
-        std::process::exit(1);
-    });
+    let profiler = cli.profiler();
+    let (result, _) = run_scenario_instrumented(&sc, &tracer, &opts, &profiler, cli.progress)
+        .unwrap_or_else(|e| {
+            eprintln!("{}: {e}", sc.id());
+            std::process::exit(1);
+        });
+    cli.finish_profile(&sc.id(), &profiler);
     tracer.flush();
     cli.write_counters(&tracer).expect("write counter CSVs");
 

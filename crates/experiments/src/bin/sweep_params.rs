@@ -3,8 +3,12 @@
 //! DESIGN.md §6 calls out. Each (α, γ) cell trains and runs a full
 //! consolidation day on the identical world.
 
-use glap_experiments::{fnum, parse_or_exit, run_scenario, Algorithm, Scenario, TextTable};
+use glap_experiments::{
+    fnum, parse_or_exit, run_scenario_instrumented, Algorithm, CheckpointOpts, Scenario, TextTable,
+};
+use glap_profile::SweepProgress;
 use glap_qlearn::QParams;
+use glap_telemetry::Tracer;
 
 fn main() {
     let cli = parse_or_exit();
@@ -22,6 +26,10 @@ fn main() {
     let size = cli.grid.sizes.first().copied().unwrap_or(200);
     let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
 
+    // One profiler across every cell: the sweep's total span tree shows
+    // where the whole grid spends its time, cell after cell.
+    let profiler = cli.profiler();
+    let ticker = SweepProgress::new(alphas.len() * gammas.len() * cli.grid.reps, cli.progress);
     for &alpha in &alphas {
         for &gamma in &gammas {
             let mut glap = cli.grid.glap;
@@ -42,7 +50,16 @@ fn main() {
                     vm_mix: Default::default(),
                     fault: Default::default(),
                 };
-                let r = run_scenario(&sc);
+                let (result, _) = run_scenario_instrumented(
+                    &sc,
+                    &Tracer::off(),
+                    &CheckpointOpts::default(),
+                    &profiler,
+                    false,
+                )
+                .expect("no checkpoint I/O configured");
+                let r = result.expect("runs to completion");
+                ticker.cell_done(&format!("a{alpha}-g{gamma}-r{rep}"));
                 frac += r.collector.mean_overloaded_fraction();
                 migs += r.collector.total_migrations() as f64;
                 active += r.collector.mean_active_pms();
@@ -70,6 +87,7 @@ fn main() {
          agent to only consider the current rewards'); large α makes Q-values chase the \
          latest episode ('deterministic action')."
     );
+    cli.finish_profile("sweep_params", &profiler);
     let path = cli.out_dir.join("sweep_params.csv");
     table.save_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());

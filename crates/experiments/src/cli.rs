@@ -5,6 +5,7 @@ use crate::noderun::TransportKind;
 use crate::runner::CheckpointOpts;
 use crate::scenario::{Algorithm, Grid};
 use glap_dcsim::FaultProfile;
+use glap_profile::Profiler;
 use glap_telemetry::{JsonlSink, Tracer};
 use std::path::PathBuf;
 
@@ -48,6 +49,16 @@ pub struct Cli {
     /// Write the serialized post-training Q-tables here
     /// (`node_runtime`: the CI byte-identity artifact).
     pub dump_tables: Option<PathBuf>,
+    /// Wall-clock profiling: print the per-phase breakdown and write a
+    /// `profile_*.json` artifact.
+    pub profile: bool,
+    /// Override path for the profile JSON artifact.
+    pub profile_out: Option<PathBuf>,
+    /// Live stderr heartbeat (round rate, ETA, sweep cell).
+    pub progress: bool,
+    /// `perf_gate`: allowed slowdown over the committed baseline
+    /// (1.0 = 100%, i.e. regress only past 2× the baseline).
+    pub tolerance: f64,
 }
 
 impl Default for Cli {
@@ -70,6 +81,10 @@ impl Default for Cli {
             crash_rate: 0.0,
             recovery_rate: 0.0,
             dump_tables: None,
+            profile: false,
+            profile_out: None,
+            progress: false,
+            tolerance: 1.0,
         }
     }
 }
@@ -116,6 +131,46 @@ impl Cli {
     /// default runs stay byte-identical to the ideal-network path).
     pub fn fault(&self) -> FaultProfile {
         FaultProfile::faulty(self.drop_prob, self.crash_rate, self.recovery_rate)
+    }
+
+    /// Builds the profiler requested by `--profile`: enabled (span tree
+    /// rooted now) or [`Profiler::off`] (zero overhead). Profiling is
+    /// strictly observational — results are byte-identical either way.
+    pub fn profiler(&self) -> Profiler {
+        if self.profile {
+            Profiler::enabled()
+        } else {
+            Profiler::off()
+        }
+    }
+
+    /// Finishes a profiled run: prints the per-phase breakdown to stdout
+    /// and writes the JSON artifact (`--profile-out`, defaulting to
+    /// `<out_dir>/profile_<stem>.json`). No-op when `--profile` was not
+    /// given. Returns the artifact path when one was written.
+    pub fn finish_profile(&self, stem: &str, profiler: &Profiler) -> Option<PathBuf> {
+        if !profiler.is_on() {
+            return None;
+        }
+        let report = profiler.snapshot();
+        print!("{}", report.render());
+        let path = self
+            .profile_out
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join(format!("profile_{stem}.json")));
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => {
+                eprintln!("profile written to {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("cannot write profile {}: {e}", path.display());
+                None
+            }
+        }
     }
 
     /// The checkpoint/resume options requested by the snapshot flags.
@@ -178,6 +233,13 @@ pub const USAGE: &str = "options:
   --recover p         per-round crashed-PM recovery probability (default 0)
   --dump-tables file  node_runtime: write the serialized post-training
                       Q-tables (the sim-vs-channel comparison artifact)
+  --profile           print a per-phase wall-clock breakdown after the run
+                      and write a profile_*.json artifact (observational:
+                      results stay byte-identical)
+  --profile-out file  override the profile artifact path
+  --progress          live stderr heartbeat: round rate, ETA, sweep cell
+  --tolerance x       perf_gate: allowed slowdown over the baseline
+                      (default 1.0 = fail only past 2x)
 ";
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
@@ -272,6 +334,17 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             }
             "--dump-tables" => {
                 cli.dump_tables = Some(PathBuf::from(need(&mut it, "--dump-tables")?));
+            }
+            "--profile" => cli.profile = true,
+            "--profile-out" => {
+                cli.profile = true;
+                cli.profile_out = Some(PathBuf::from(need(&mut it, "--profile-out")?));
+            }
+            "--progress" => cli.progress = true,
+            "--tolerance" => {
+                cli.tolerance = need(&mut it, "--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
@@ -394,6 +467,23 @@ mod tests {
         assert_eq!(off.transport, TransportKind::Sim);
         assert!(off.fault().is_ideal());
         assert!(parse(args("--transport carrier-pigeon")).is_err());
+    }
+
+    #[test]
+    fn profile_and_progress_flags() {
+        let cli = parse(args("--profile --progress --tolerance 0.25")).unwrap();
+        assert!(cli.profile);
+        assert!(cli.progress);
+        assert_eq!(cli.tolerance, 0.25);
+        assert!(cli.profiler().is_on());
+        let cli = parse(args("--profile-out p.json")).unwrap();
+        assert!(cli.profile, "--profile-out implies --profile");
+        assert_eq!(cli.profile_out, Some(PathBuf::from("p.json")));
+        let off = parse(args("")).unwrap();
+        assert!(!off.profile && !off.progress);
+        assert_eq!(off.tolerance, 1.0);
+        assert!(!off.profiler().is_on());
+        assert!(off.finish_profile("x", &off.profiler()).is_none());
     }
 
     #[test]

@@ -8,9 +8,11 @@ use crate::cli::Cli;
 use crate::pool::parallel_map;
 use crate::report::{fnum, TextTable};
 use crate::runner::{build_world, run_scenario, run_scenario_checkpointed, CheckpointOpts};
+
 use crate::scenario::{Algorithm, Grid, Scenario};
-use glap::{train_traced, GlapConfig, TrainPhase};
+use glap::{train_instrumented, GlapConfig, TrainPhase};
 use glap_metrics::{p10_median_p90, RunResult};
+use glap_profile::{Profiler, SweepProgress};
 use glap_snapshot::{read_snapshot_file, write_atomic};
 use glap_telemetry::{Phase, Tracer};
 use std::path::Path;
@@ -45,12 +47,27 @@ pub fn run_grid(
     threads: Option<usize>,
     verbose: bool,
 ) -> Vec<(Scenario, RunResult)> {
+    run_grid_progress(grid, algorithms, threads, verbose, false)
+}
+
+/// [`run_grid`] with an optional live stderr sweep ticker (`--progress`):
+/// each finished cell logs completion count, rate and ETA. Observational
+/// only — results are identical with it on or off.
+pub fn run_grid_progress(
+    grid: &Grid,
+    algorithms: &[Algorithm],
+    threads: Option<usize>,
+    verbose: bool,
+    progress: bool,
+) -> Vec<(Scenario, RunResult)> {
     let scenarios = grid.scenarios(algorithms);
     if verbose {
         eprintln!("running {} scenarios…", scenarios.len());
     }
+    let ticker = SweepProgress::new(scenarios.len(), progress);
     let results = parallel_map(scenarios.clone(), threads, |sc| {
         let r = run_scenario(sc);
+        ticker.cell_done(&sc.id());
         if verbose {
             eprintln!(
                 "  {}: active={} overloaded(med)={} migrations={} slav={:.3e}",
@@ -165,7 +182,7 @@ pub fn run_grid_with(
             };
             run_grid_checkpointed(grid, algorithms, cli.threads, cli.verbose, every, dir)
         }
-        None => run_grid(grid, algorithms, cli.threads, cli.verbose),
+        None => run_grid_progress(grid, algorithms, cli.threads, cli.verbose, cli.progress),
     }
 }
 
@@ -212,6 +229,20 @@ pub fn fig5_convergence(
     glap: GlapConfig,
     seed_base: u64,
 ) -> FigureOutput {
+    fig5_convergence_profiled(n_pms, ratios, glap, seed_base, &Profiler::off())
+}
+
+/// [`fig5_convergence`] with a wall-clock [`Profiler`]: each ratio's
+/// training runs under a `fig5_ratio` span with the full `train` span
+/// tree below it. Observational only — the figure data is byte-identical
+/// with profiling on or off.
+pub fn fig5_convergence_profiled(
+    n_pms: usize,
+    ratios: &[usize],
+    glap: GlapConfig,
+    seed_base: u64,
+    profiler: &Profiler,
+) -> FigureOutput {
     let mut table = TextTable::new(["ratio", "phase", "cycle", "cosine_similarity"]);
     let mut finals = Vec::new();
     for &ratio in ratios {
@@ -226,17 +257,24 @@ pub fn fig5_convergence(
             vm_mix: Default::default(),
             fault: Default::default(),
         };
-        let (mut dc, mut trace) = build_world(&sc);
+        let ratio_span = profiler.span("fig5_ratio");
+        let (mut dc, mut trace) = {
+            let _s = profiler.span("build_world");
+            build_world(&sc)
+        };
         // A counting tracer turns on the convergence monitor without any
         // sink I/O; its divergence series cross-checks the Figure 5 data.
-        let (_tables, report, monitor) = train_traced(
+        let (_tables, report, monitor) = train_instrumented(
             &mut dc,
             &mut trace,
             &glap,
             sc.policy_seed() ^ seed_base,
             true,
             &Tracer::counting(),
+            None,
+            profiler,
         );
+        drop(ratio_span);
         for (phase, cycle, sim) in &report.similarity {
             let phase_name = match phase {
                 TrainPhase::Learning => "WOG",

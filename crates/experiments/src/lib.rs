@@ -17,6 +17,7 @@ pub mod churn;
 pub mod cli;
 pub mod figures;
 pub mod noderun;
+pub mod perf;
 pub mod pool;
 pub mod replay;
 pub mod report;
@@ -30,18 +31,20 @@ pub use checkpoint::{
 pub use churn::{build_churn_world, run_churn_scenario, ChurnConfig};
 pub use cli::{parse_or_exit, Cli};
 pub use figures::{
-    ablation_summary, fig10_energy, fig5_convergence, fig6_packing, fig7_overloaded,
-    fig8_migrations, fig9_cumulative, run_grid, run_grid_checkpointed, run_grid_with, table1_sla,
-    FigureOutput,
+    ablation_summary, fig10_energy, fig5_convergence, fig5_convergence_profiled, fig6_packing,
+    fig7_overloaded, fig8_migrations, fig9_cumulative, run_grid, run_grid_checkpointed,
+    run_grid_progress, run_grid_with, table1_sla, FigureOutput,
 };
 pub use noderun::{
-    encode_tables, node_checkpoint_path, run_node_scenario, NodeRunOutcome, TransportKind,
+    encode_tables, node_checkpoint_path, run_node_scenario, run_node_scenario_instrumented,
+    NodeRunOutcome, TransportKind,
 };
+pub use perf::{git_rev, hotpath_records, run_suite, snapshot_records, PerfCase, PERF_SUITE};
 pub use pool::parallel_map;
 pub use replay::{replay_digest, ReplayDigest, RoundDigest};
 pub use report::{downsample, fnum, rounds_csv, sparkline, TextTable};
 pub use runner::{
-    build_policy, build_policy_traced, build_world, run_scenario, run_scenario_checkpointed,
-    run_scenario_traced, CheckpointOpts,
+    build_policy, build_policy_instrumented, build_policy_traced, build_world, run_scenario,
+    run_scenario_checkpointed, run_scenario_instrumented, run_scenario_traced, CheckpointOpts,
 };
 pub use scenario::{Algorithm, Grid, Scenario, VmMix};

@@ -30,9 +30,10 @@ use glap::prelude::{
 use glap::{unified_table, GlapPolicy, TableStore};
 use glap_baselines::bfd_baseline;
 use glap_cluster::DataCenter;
-use glap_dcsim::run_simulation_traced;
+use glap_dcsim::run_simulation_profiled;
 use glap_metrics::{MetricsCollector, RunResult};
 use glap_node::{ChannelTransport, NodeRuntime, SimTransport, Transport};
+use glap_profile::Profiler;
 use glap_snapshot::{read_snapshot_file, write_atomic, SnapshotBuilder};
 use glap_workload::{MaterializedTrace, OffsetTrace};
 use std::path::{Path, PathBuf};
@@ -94,6 +95,7 @@ pub fn encode_tables(tables: &[QTablePair]) -> Vec<u8> {
 
 /// Trains the fleet over `transport`, honoring the checkpoint options.
 /// Returns `None` when `--stop-at-round` interrupted training.
+#[allow(clippy::too_many_arguments)]
 fn train_over<T: Transport>(
     transport: T,
     cfg: &GlapConfig,
@@ -102,7 +104,9 @@ fn train_over<T: Transport>(
     trace: &mut MaterializedTrace,
     tracer: &Tracer,
     opts: &CheckpointOpts,
+    profiler: &Profiler,
 ) -> Result<Option<Vec<QTablePair>>, SnapshotError> {
+    let _train_span = profiler.span("node_train");
     let seed = sc.policy_seed();
     let net = NetworkModel::new(
         sc.n_pms,
@@ -110,6 +114,7 @@ fn train_over<T: Transport>(
         splitmix64(seed ^ TRAIN_NET_SALT),
     );
     let mut rt = NodeRuntime::new(transport, cfg, net, seed, dc);
+    rt.set_profiler(profiler.clone());
     if let Some(path) = &opts.resume {
         let snap = read_snapshot_file(path)?;
         let id = snap.section("meta")?.get_str()?;
@@ -171,6 +176,23 @@ pub fn run_node_scenario(
     tracer: &Tracer,
     opts: &CheckpointOpts,
 ) -> Result<NodeRunOutcome, SnapshotError> {
+    run_node_scenario_instrumented(sc, transport, threads, tracer, opts, &Profiler::off())
+}
+
+/// [`run_node_scenario`] with a wall-clock [`Profiler`]: transport-backed
+/// training runs under a `node_train` span (per-round `node_learn_round`
+/// / `node_agg_round` children with per-message `transport_dispatch`
+/// samples), the measured day under `measured_day` with the engine's
+/// `sim_round` tree. Observational only — tables, metrics and telemetry
+/// stay byte-identical with profiling on or off.
+pub fn run_node_scenario_instrumented(
+    sc: &Scenario,
+    transport: TransportKind,
+    threads: Option<usize>,
+    tracer: &Tracer,
+    opts: &CheckpointOpts,
+    profiler: &Profiler,
+) -> Result<NodeRunOutcome, SnapshotError> {
     let (mut dc, trace) = build_world(sc);
     let mut table_bytes = None;
     let mut policy = match sc.algorithm {
@@ -194,6 +216,7 @@ pub fn run_node_scenario(
                     &mut train_trace,
                     tracer,
                     opts,
+                    profiler,
                 )?,
                 TransportKind::Channel => train_over(
                     ChannelTransport::new(sc.n_pms, &cfg, seed, threads),
@@ -203,6 +226,7 @@ pub fn run_node_scenario(
                     &mut train_trace,
                     tracer,
                     opts,
+                    profiler,
                 )?,
             };
             let Some(tables) = tables else {
@@ -226,10 +250,11 @@ pub fn run_node_scenario(
     };
 
     // The measured day, exactly as `run_scenario_traced` runs it.
+    let day_span = profiler.span("measured_day");
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let mut collector = MetricsCollector::new();
     let mut net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
-    run_simulation_traced(
+    run_simulation_profiled(
         &mut dc,
         &mut day,
         policy.as_mut(),
@@ -238,7 +263,9 @@ pub fn run_node_scenario(
         sc.policy_seed(),
         &mut net,
         tracer,
+        profiler,
     );
+    drop(day_span);
 
     let mut result = RunResult::from_run(sc.algorithm.label(), collector, &dc);
     result.bfd_bins = bfd_baseline(&dc);

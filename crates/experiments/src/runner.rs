@@ -4,7 +4,7 @@
 
 use crate::checkpoint::{checkpoint_path, encode_checkpoint, resume_scenario};
 use crate::scenario::{Algorithm, Scenario};
-use glap::{train_traced, unified_table, GlapPolicy, TableStore};
+use glap::{train_instrumented, unified_table, GlapPolicy, TableStore};
 use glap_baselines::{
     bfd_baseline, EcoCloudConfig, EcoCloudPolicy, GrmpConfig, GrmpPolicy, PabfdConfig, PabfdPolicy,
 };
@@ -14,6 +14,7 @@ use glap_dcsim::{
     ConsolidationPolicy, NetworkModel, Observer, Stream,
 };
 use glap_metrics::{MetricsCollector, RunResult};
+use glap_profile::{Heartbeat, Profiler};
 use glap_snapshot::{read_snapshot_file, write_atomic, SnapshotError};
 use glap_telemetry::{ConvergenceMonitor, Tracer};
 use glap_workload::{GoogleLikeTraceGen, MaterializedTrace, OffsetTrace};
@@ -60,6 +61,19 @@ pub fn build_policy_traced(
     trace: &MaterializedTrace,
     tracer: &Tracer,
 ) -> (Box<dyn ConsolidationPolicy>, Option<ConvergenceMonitor>) {
+    build_policy_instrumented(sc, dc, trace, tracer, &Profiler::off())
+}
+
+/// [`build_policy_traced`] with a wall-clock [`Profiler`] threaded into
+/// GLAP pre-training (the `train` span tree). Observational only:
+/// results are byte-identical with profiling on or off.
+pub fn build_policy_instrumented(
+    sc: &Scenario,
+    dc: &DataCenter,
+    trace: &MaterializedTrace,
+    tracer: &Tracer,
+    profiler: &Profiler,
+) -> (Box<dyn ConsolidationPolicy>, Option<ConvergenceMonitor>) {
     match sc.algorithm {
         Algorithm::Grmp => (Box::new(GrmpPolicy::new(GrmpConfig::default())), None),
         Algorithm::EcoCloud => (
@@ -77,13 +91,15 @@ pub fn build_policy_traced(
             }
             let mut train_dc = dc.clone();
             let mut train_trace = trace.clone();
-            let (tables, _report, monitor) = train_traced(
+            let (tables, _report, monitor) = train_instrumented(
                 &mut train_dc,
                 &mut train_trace,
                 &cfg,
                 sc.policy_seed(),
                 false,
                 tracer,
+                None,
+                profiler,
             );
             let store = if sc.algorithm == Algorithm::GlapNoAggregation {
                 TableStore::PerPm(tables)
@@ -184,8 +200,35 @@ pub fn run_scenario_checkpointed(
     tracer: &Tracer,
     opts: &CheckpointOpts,
 ) -> Result<(Option<RunResult>, Option<ConvergenceMonitor>), SnapshotError> {
+    run_scenario_instrumented(sc, tracer, opts, &Profiler::off(), false)
+}
+
+/// An observer relaying round completions to the `--progress` stderr
+/// heartbeat. Writes to stderr only and reads nothing back — the
+/// simulation cannot observe it.
+struct HeartbeatObserver(Heartbeat);
+
+impl Observer for HeartbeatObserver {
+    fn on_round_end(&mut self, round: u64, _dc: &mut DataCenter) {
+        self.0.tick(round + 1);
+    }
+}
+
+/// [`run_scenario_checkpointed`] with a wall-clock [`Profiler`] threaded
+/// through pre-training, the engine and the network model, plus an
+/// optional live stderr heartbeat. Both are strictly observational:
+/// results are byte-identical whatever their setting (pinned by the
+/// `integration_profile` suite).
+pub fn run_scenario_instrumented(
+    sc: &Scenario,
+    tracer: &Tracer,
+    opts: &CheckpointOpts,
+    profiler: &Profiler,
+    progress: bool,
+) -> Result<(Option<RunResult>, Option<ConvergenceMonitor>), SnapshotError> {
     let (mut dc, trace, mut net, mut rng, mut policy, collector, rounds_done, monitor, call_init);
     if let Some(path) = &opts.resume {
+        let _s = profiler.span("resume_load");
         let snap = read_snapshot_file(path)?;
         let resumed = resume_scenario(sc, &snap, tracer)?;
         dc = resumed.dc;
@@ -198,8 +241,14 @@ pub fn run_scenario_checkpointed(
         monitor = None;
         call_init = false;
     } else {
-        (dc, trace) = build_world(sc);
-        let (p, m) = build_policy_traced(sc, &dc, &trace, tracer);
+        {
+            let _s = profiler.span("build_world");
+            (dc, trace) = build_world(sc);
+        }
+        let (p, m) = {
+            let _s = profiler.span("build_policy");
+            build_policy_instrumented(sc, &dc, &trace, tracer, profiler)
+        };
         policy = p;
         monitor = m;
         net = NetworkModel::new(sc.n_pms, sc.fault.clone(), sc.policy_seed());
@@ -214,6 +263,12 @@ pub fn run_scenario_checkpointed(
     let mut day = OffsetTrace::new(&trace, sc.glap.learning_rounds as u64);
     let shared = Rc::new(RefCell::new(collector));
     let mut observer = SharedCollector(shared.clone());
+    let hb = if progress {
+        Heartbeat::new(&sc.id(), sc.rounds)
+    } else {
+        Heartbeat::off()
+    };
+    let mut hb_observer = HeartbeatObserver(hb);
     let hook_collector = shared.clone();
     let ckpt_file = opts.dir.as_ref().map(|d| checkpoint_path(d, sc));
     let mut hook = move |args: &CheckpointArgs<'_>| -> Result<(), SnapshotError> {
@@ -223,19 +278,23 @@ pub fn run_scenario_checkpointed(
             None => Ok(()),
         }
     };
+    let day_span = profiler.span("measured_day");
     run_simulation_resumable(
         &mut dc,
         &mut day,
         policy.as_mut(),
-        &mut [&mut observer],
+        &mut [&mut observer, &mut hb_observer],
         rounds_left,
         &mut net,
         tracer,
+        profiler,
         &mut rng,
         call_init,
         opts.every,
         &mut hook,
     )?;
+    drop(day_span);
+    hb_observer.0.finish();
     drop(observer);
     drop(hook);
     let collector = Rc::try_unwrap(shared)

@@ -30,8 +30,10 @@ use glap::prelude::{
 };
 use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
 use glap_cyclon::NodeId;
+use glap_profile::Profiler;
 use rand::seq::SliceRandom;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Drives a fleet of nodes behind any [`Transport`] through GLAP's
 /// two training phases. See the module docs.
@@ -48,6 +50,8 @@ pub struct NodeRuntime<T: Transport> {
     aggregation_done: u64,
     profile_buf: Vec<VmProfile>,
     sched_buf: Vec<NodeId>,
+    /// Wall-clock profiler (off by default; observational only).
+    profiler: Profiler,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -74,6 +78,7 @@ impl<T: Transport> NodeRuntime<T> {
             aggregation_done: 0,
             profile_buf: Vec::new(),
             sched_buf: Vec::new(),
+            profiler: Profiler::off(),
         };
         let mut boot_rng = stream_rng(master_seed, Stream::Overlay);
         let ids: Vec<NodeId> = (0..n as NodeId).collect();
@@ -89,6 +94,13 @@ impl<T: Transport> NodeRuntime<T> {
                 .dispatch(id, NodeInput::Bootstrap { peers: pool });
         }
         rt
+    }
+
+    /// Attaches a wall-clock profiler: rounds record phase spans and
+    /// `transact` records per-message `transport_dispatch` samples.
+    /// Profiling reads no randomness and never changes delivery fates.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Learning rounds completed so far.
@@ -116,54 +128,79 @@ impl<T: Transport> NodeRuntime<T> {
         source: &mut D,
         tracer: &Tracer,
     ) {
+        let round_span = self.profiler.span("node_learn_round");
         tracer.set_phase(Phase::Learning);
         tracer.begin_round(self.learning_done);
         self.net.begin_round(self.learning_done);
-        dc.step(source);
-        for id in 0..self.transport.n_nodes() as NodeId {
-            if !self.active[id as usize] {
-                continue;
+        {
+            let _s = self.profiler.span("workload_step");
+            dc.step(source);
+        }
+        {
+            let _s = self.profiler.span("world_push");
+            for id in 0..self.transport.n_nodes() as NodeId {
+                if !self.active[id as usize] {
+                    continue;
+                }
+                let pm = PmId(id);
+                dc.pm_profiles_into(pm, &mut self.profile_buf);
+                let input = NodeInput::SetWorld {
+                    profiles: self.profile_buf.clone(),
+                    eligible: is_eligible(dc, pm, &self.cfg),
+                };
+                self.transport.dispatch(id, input);
             }
-            let pm = PmId(id);
-            dc.pm_profiles_into(pm, &mut self.profile_buf);
-            let input = NodeInput::SetWorld {
-                profiles: self.profile_buf.clone(),
-                eligible: is_eligible(dc, pm, &self.cfg),
-            };
-            self.transport.dispatch(id, input);
         }
         self.draw_schedule();
         let sched = std::mem::take(&mut self.sched_buf);
-        for &p in &sched {
-            self.transact(p, NodeInput::Tick(TickKind::Shuffle), tracer);
+        {
+            let _s = self.profiler.span("shuffle");
+            for &p in &sched {
+                self.transact(p, NodeInput::Tick(TickKind::Shuffle), tracer);
+            }
         }
-        for &p in &sched {
-            self.transact(p, NodeInput::Tick(TickKind::LearnRequest), tracer);
+        {
+            let _s = self.profiler.span("learn_exchange");
+            for &p in &sched {
+                self.transact(p, NodeInput::Tick(TickKind::LearnRequest), tracer);
+            }
         }
         self.sched_buf = sched;
-        self.transport.train_all();
+        {
+            let _s = self.profiler.span("train_all");
+            self.transport.train_all();
+        }
         self.learning_done += 1;
         tracer.end_round();
+        drop(round_span);
     }
 
     /// One aggregation round (Algorithm 2): shuffle, then push–pull
     /// table merges.
     pub fn aggregation_round(&mut self, tracer: &Tracer) {
+        let round_span = self.profiler.span("node_agg_round");
         tracer.set_phase(Phase::Aggregation);
         tracer.begin_round(self.aggregation_done);
         self.net
             .begin_round(self.learning_done + self.aggregation_done);
         self.draw_schedule();
         let sched = std::mem::take(&mut self.sched_buf);
-        for &p in &sched {
-            self.transact(p, NodeInput::Tick(TickKind::Shuffle), tracer);
+        {
+            let _s = self.profiler.span("shuffle");
+            for &p in &sched {
+                self.transact(p, NodeInput::Tick(TickKind::Shuffle), tracer);
+            }
         }
-        for &p in &sched {
-            self.transact(p, NodeInput::Tick(TickKind::Aggregate), tracer);
+        {
+            let _s = self.profiler.span("aggregate");
+            for &p in &sched {
+                self.transact(p, NodeInput::Tick(TickKind::Aggregate), tracer);
+            }
         }
         self.sched_buf = sched;
         self.aggregation_done += 1;
         tracer.end_round();
+        drop(round_span);
     }
 
     /// This round's activation order: alive nodes, shuffled by the
@@ -186,8 +223,16 @@ impl<T: Transport> NodeRuntime<T> {
     /// Replies are delivered unconditionally: they ride the request's
     /// round trip, whose fate was already drawn.
     fn transact(&mut self, origin: NodeId, input: NodeInput, tracer: &Tracer) {
+        let profiling = self.profiler.is_on();
+        let mut dispatch_ns = 0u64;
+        let mut dispatches = 0u64;
         let mut queue: VecDeque<(NodeId, Routed)> = VecDeque::new();
+        let t0 = profiling.then(Instant::now);
         let outs = self.transport.dispatch(origin, input);
+        if let Some(t0) = t0 {
+            dispatch_ns += t0.elapsed().as_nanos() as u64;
+            dispatches += 1;
+        }
         queue.push_back((origin, outs));
         // Table-push attempt counter for MergeRetried events (the
         // cascade retries at most AGGREGATION_MAX_ATTEMPTS times).
@@ -195,8 +240,9 @@ impl<T: Transport> NodeRuntime<T> {
         while let Some((from, outs)) = queue.pop_front() {
             for (to, payload) in outs {
                 let tag = payload_tag(&payload);
-                tracer.add("wire.msgs", 1);
-                tracer.add("wire.bytes", payload.len() as u64);
+                let bytes = payload.len() as u64;
+                tracer.add("net.msgs", 1);
+                tracer.add("net.bytes_tx", bytes);
                 if let Some(counter) = tag_counter(tag) {
                     tracer.add(counter, 1);
                 }
@@ -212,6 +258,7 @@ impl<T: Transport> NodeRuntime<T> {
                     }
                 };
                 if delivered {
+                    tracer.add("net.bytes_rx", bytes);
                     match tag {
                         // A delivered reply completes its exchange.
                         TAG_SHUFFLE_REPLY => {
@@ -220,9 +267,14 @@ impl<T: Transport> NodeRuntime<T> {
                         TAG_AGG_REPLY => tracer.emit(EventKind::MergeApplied { a: to, b: from }),
                         _ => {}
                     }
+                    let t0 = profiling.then(Instant::now);
                     let next = self
                         .transport
                         .dispatch(to, NodeInput::Deliver { from, payload });
+                    if let Some(t0) = t0 {
+                        dispatch_ns += t0.elapsed().as_nanos() as u64;
+                        dispatches += 1;
+                    }
                     queue.push_back((to, next));
                 } else {
                     match tag {
@@ -236,6 +288,7 @@ impl<T: Transport> NodeRuntime<T> {
                         }
                         _ => {}
                     }
+                    let t0 = profiling.then(Instant::now);
                     let next = self.transport.dispatch(
                         from,
                         NodeInput::Failed {
@@ -244,9 +297,17 @@ impl<T: Transport> NodeRuntime<T> {
                             target_down,
                         },
                     );
+                    if let Some(t0) = t0 {
+                        dispatch_ns += t0.elapsed().as_nanos() as u64;
+                        dispatches += 1;
+                    }
                     queue.push_back((from, next));
                 }
             }
+        }
+        if profiling && dispatches > 0 {
+            self.profiler
+                .record_ns_n("transport_dispatch", dispatch_ns, dispatches);
         }
     }
 }

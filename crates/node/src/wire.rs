@@ -4,7 +4,7 @@
 //! Both transports route *encoded* payloads — [`SimTransport`]
 //! (crate::SimTransport) included — so the byte stream a run puts on the
 //! wire is identical whichever transport carries it, and the driver's
-//! `wire.bytes` telemetry counter measures real serialized payload
+//! `net.bytes_tx` telemetry counter measures real serialized payload
 //! sizes, not estimates.
 //!
 //! Format: a one-byte message tag followed by the tag-specific body.

@@ -27,6 +27,29 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-worker execution stats from one [`parallel_for_each_timed`]
+/// pool run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTiming {
+    /// Wall time this worker spent inside `f`, nanoseconds.
+    pub busy_ns: u64,
+    /// Items this worker processed.
+    pub items: u64,
+}
+
+/// Pool-level timing from one [`parallel_for_each_timed`] run: the
+/// pool's wall time plus each worker's busy split. `wall_ns -
+/// busy_ns` per worker is idle (spawn/join skew and load imbalance).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolTiming {
+    /// Wall time of the whole pool run, nanoseconds.
+    pub wall_ns: u64,
+    /// One entry per worker, in chunk order (a single entry on the
+    /// sequential path).
+    pub workers: Vec<WorkerTiming>,
+}
 
 /// Process-wide default worker count; 0 means "not set".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -138,37 +161,70 @@ where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
+    let _ = parallel_for_each_timed(items, threads, f);
+}
+
+/// [`parallel_for_each`] that also reports pool wall time and each
+/// worker's busy time — the profiler's per-worker busy/idle split.
+/// Same chunking, same execution order, same panic semantics; the only
+/// addition is two monotonic clock reads per worker, so the untimed
+/// wrapper simply discards the result.
+pub fn parallel_for_each_timed<T, F>(items: &mut [T], threads: Option<usize>, f: F) -> PoolTiming
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
     let n = items.len();
     if n == 0 {
-        return;
+        return PoolTiming::default();
     }
+    let wall0 = Instant::now();
     let threads = resolve_threads(threads).clamp(1, n);
     if threads == 1 {
         for item in items {
             f(item);
         }
-        return;
+        let busy = wall0.elapsed().as_nanos() as u64;
+        return PoolTiming {
+            wall_ns: busy,
+            workers: vec![WorkerTiming {
+                busy_ns: busy,
+                items: n as u64,
+            }],
+        };
     }
 
     let chunk = n.div_ceil(threads);
     let f = &f;
+    let mut workers = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
             .map(|part| {
                 scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let items = part.len() as u64;
                     for item in part {
                         f(item);
+                    }
+                    WorkerTiming {
+                        busy_ns: t0.elapsed().as_nanos() as u64,
+                        items,
                     }
                 })
             })
             .collect();
         for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+            match h.join() {
+                Ok(timing) => workers.push(timing),
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    PoolTiming {
+        wall_ns: wall0.elapsed().as_nanos() as u64,
+        workers,
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +356,32 @@ mod tests {
         assert!(resolve_threads(None) >= 1, "bad env falls through");
         std::env::remove_var("GLAP_THREADS");
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn timed_for_each_reports_all_workers_and_items() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let timing = parallel_for_each_timed(&mut items, Some(4), |x| *x += 1);
+        assert_eq!(items, (1..101).collect::<Vec<_>>());
+        assert_eq!(timing.workers.len(), 4);
+        assert_eq!(timing.workers.iter().map(|w| w.items).sum::<u64>(), 100);
+        for w in &timing.workers {
+            assert!(w.busy_ns <= timing.wall_ns);
+        }
+    }
+
+    #[test]
+    fn timed_for_each_sequential_path_has_one_worker() {
+        let mut items = vec![1u8, 2, 3];
+        let timing = parallel_for_each_timed(&mut items, Some(1), |x| *x *= 2);
+        assert_eq!(items, vec![2, 4, 6]);
+        assert_eq!(timing.workers.len(), 1);
+        assert_eq!(timing.workers[0].items, 3);
+        assert_eq!(timing.workers[0].busy_ns, timing.wall_ns);
+        assert_eq!(
+            parallel_for_each_timed(&mut Vec::<u8>::new(), None, |_| {}),
+            PoolTiming::default()
+        );
     }
 
     #[test]

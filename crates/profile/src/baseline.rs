@@ -1,0 +1,242 @@
+//! The uniform `BENCH_*.json` schema and the regression-gate
+//! comparison.
+//!
+//! Every committed baseline file carries the same four facts per
+//! benchmark — name, scenario, median ns, iterations — plus the git
+//! revision and time budget it was measured under. `bench_refresh`
+//! writes these; `perf_gate` reads them back and compares fresh
+//! medians under a tolerance.
+
+use crate::json::{escape, Json};
+use std::fmt::Write as _;
+
+/// Schema tag written into every `BENCH_*.json`.
+const SCHEMA: &str = "glap-bench-v1";
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable benchmark id, e.g. `learn_phase_256pms`.
+    pub name: String,
+    /// Human description of the measured scenario.
+    pub scenario: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Iterations the median was taken over.
+    pub iterations: u64,
+}
+
+/// A committed baseline file: a suite of [`BenchRecord`]s plus
+/// provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Suite id, e.g. `profile`, `hotpath`, `snapshot`.
+    pub suite: String,
+    /// `git rev-parse --short HEAD` at measurement time (or `unknown`).
+    pub git_rev: String,
+    /// Per-benchmark time budget the medians were measured under, ms.
+    pub budget_ms: u64,
+    /// The measurements.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl Baseline {
+    /// Serializes to the `glap-bench-v1` JSON document (pretty, one
+    /// benchmark per line — these files are committed and diffed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"suite\": {},", escape(&self.suite));
+        let _ = writeln!(out, "  \"git_rev\": {},", escape(&self.git_rev));
+        let _ = writeln!(out, "  \"budget_ms\": {},", self.budget_ms);
+        let _ = writeln!(out, "  \"benchmarks\": [");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            let comma = if i + 1 < self.benchmarks.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"scenario\": {}, \"median_ns\": {}, \"iterations\": {}}}{comma}",
+                escape(&b.name),
+                escape(&b.scenario),
+                b.median_ns,
+                b.iterations,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a `glap-bench-v1` document.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let v = Json::parse(text)?;
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!("not a {SCHEMA} document"));
+        }
+        let suite = v
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("missing suite")?
+            .to_string();
+        let git_rev = v
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let budget_ms = v.get("budget_ms").and_then(Json::as_u64).unwrap_or(0);
+        let mut benchmarks = Vec::new();
+        for b in v
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or("missing benchmarks")?
+        {
+            benchmarks.push(BenchRecord {
+                name: b
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("benchmark missing name")?
+                    .to_string(),
+                scenario: b
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                median_ns: b
+                    .get("median_ns")
+                    .and_then(Json::as_u64)
+                    .ok_or("benchmark missing median_ns")?,
+                iterations: b.get("iterations").and_then(Json::as_u64).unwrap_or(1),
+            });
+        }
+        Ok(Baseline {
+            suite,
+            git_rev,
+            budget_ms,
+            benchmarks,
+        })
+    }
+
+    /// Finds a benchmark by name.
+    pub fn find(&self, name: &str) -> Option<&BenchRecord> {
+        self.benchmarks.iter().find(|b| b.name == name)
+    }
+}
+
+/// One benchmark's gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Benchmark id.
+    pub name: String,
+    /// Committed baseline median, ns (`None` when the baseline lacks
+    /// this benchmark — reported, never a regression).
+    pub baseline_ns: Option<u64>,
+    /// Freshly measured median, ns.
+    pub measured_ns: u64,
+    /// `measured / baseline` (1.0 when no baseline).
+    pub ratio: f64,
+    /// Whether the measurement exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares fresh measurements against a committed baseline.
+///
+/// `tolerance` is the allowed fractional slowdown: 1.0 means "fail
+/// only past 2× the baseline median" — deliberately generous, because
+/// baselines are measured on whatever machine ran `bench_refresh`
+/// last.
+pub fn compare(baseline: &Baseline, measured: &[BenchRecord], tolerance: f64) -> Vec<GateOutcome> {
+    measured
+        .iter()
+        .map(|m| match baseline.find(&m.name) {
+            Some(b) => {
+                let ratio = m.median_ns as f64 / b.median_ns.max(1) as f64;
+                GateOutcome {
+                    name: m.name.clone(),
+                    baseline_ns: Some(b.median_ns),
+                    measured_ns: m.median_ns,
+                    ratio,
+                    regressed: ratio > 1.0 + tolerance,
+                }
+            }
+            None => GateOutcome {
+                name: m.name.clone(),
+                baseline_ns: None,
+                measured_ns: m.median_ns,
+                ratio: 1.0,
+                regressed: false,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            suite: "profile".into(),
+            git_rev: "abc1234".into(),
+            budget_ms: 200,
+            benchmarks: vec![
+                BenchRecord {
+                    name: "learn_phase_256pms".into(),
+                    scenario: "one learning round, 256 PMs".into(),
+                    median_ns: 1_000_000,
+                    iterations: 40,
+                },
+                BenchRecord {
+                    name: "dc_step_1024pms".into(),
+                    scenario: "one workload step, 1024 PMs".into(),
+                    median_ns: 50_000,
+                    iterations: 900,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        assert_eq!(Baseline::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn compare_flags_only_past_tolerance() {
+        let base = sample();
+        let measured = vec![
+            BenchRecord {
+                name: "learn_phase_256pms".into(),
+                scenario: String::new(),
+                median_ns: 1_400_000, // 1.4x: inside 1.0 tolerance
+                iterations: 10,
+            },
+            BenchRecord {
+                name: "dc_step_1024pms".into(),
+                scenario: String::new(),
+                median_ns: 150_000, // 3x: regression
+                iterations: 10,
+            },
+            BenchRecord {
+                name: "brand_new".into(),
+                scenario: String::new(),
+                median_ns: 1,
+                iterations: 1,
+            },
+        ];
+        let out = compare(&base, &measured, 1.0);
+        assert!(!out[0].regressed);
+        assert!(out[1].regressed);
+        assert!(!out[2].regressed);
+        assert_eq!(out[2].baseline_ns, None);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        assert!(Baseline::from_json("{\"schema\":\"nope\"}").is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Live stderr progress: per-round heartbeat and sweep-cell ticker.
+//!
+//! Both write to stderr only — stdout stays reserved for reports and
+//! tables, and the byte-compared CSV/JSONL artifacts never see any of
+//! this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Minimum gap between heartbeat lines, so a fast small run does not
+/// spam the terminal.
+const MIN_INTERVAL: Duration = Duration::from_millis(200);
+
+#[derive(Debug)]
+struct HbState {
+    label: String,
+    total: u64,
+    started: Instant,
+    last_print: Option<Instant>,
+}
+
+/// A single-run progress heartbeat: `[label] round 123/720  41.2/s
+/// ETA 14s`, rewritten in place on stderr.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    inner: Option<HbState>,
+}
+
+impl Heartbeat {
+    /// A disabled heartbeat: every call is a no-op.
+    pub fn off() -> Heartbeat {
+        Heartbeat { inner: None }
+    }
+
+    /// A live heartbeat for a run of `total` rounds.
+    pub fn new(label: &str, total: u64) -> Heartbeat {
+        Heartbeat {
+            inner: Some(HbState {
+                label: label.to_string(),
+                total,
+                started: Instant::now(),
+                last_print: None,
+            }),
+        }
+    }
+
+    /// Whether this heartbeat prints.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reports `done` rounds complete; prints at most once per 200ms.
+    pub fn tick(&mut self, done: u64) {
+        let Some(s) = &mut self.inner else { return };
+        let now = Instant::now();
+        if s.last_print
+            .is_some_and(|t| now.duration_since(t) < MIN_INTERVAL)
+        {
+            return;
+        }
+        s.last_print = Some(now);
+        let elapsed = now.duration_since(s.started).as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = if rate > 0.0 && done < s.total {
+            format!("{:.0}s", (s.total - done) as f64 / rate)
+        } else {
+            "-".to_string()
+        };
+        eprint!(
+            "\r[{}] round {}/{}  {:.1}/s  ETA {}    ",
+            s.label, done, s.total, rate, eta
+        );
+    }
+
+    /// Ends the heartbeat line (newline on stderr if anything printed).
+    pub fn finish(&mut self) {
+        if let Some(s) = &self.inner {
+            if s.last_print.is_some() {
+                eprintln!();
+            }
+        }
+        self.inner = None;
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Sweep-cell progress shared across worker threads: each completed
+/// cell logs `[sweep] 7/32 GLAP-500x2-r1  0.8 cells/s  ETA 31s`.
+#[derive(Debug)]
+pub struct SweepProgress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+}
+
+impl SweepProgress {
+    /// A ticker over `total` cells; silent unless `enabled`.
+    pub fn new(total: usize, enabled: bool) -> SweepProgress {
+        SweepProgress {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Marks one cell finished (thread-safe) and logs progress.
+    /// Returns the number of cells completed so far.
+    pub fn cell_done(&self, label: &str) -> usize {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+            let rate = done as f64 / elapsed;
+            let eta = if done < self.total {
+                format!("{:.0}s", (self.total - done) as f64 / rate)
+            } else {
+                "done".to_string()
+            };
+            eprintln!(
+                "[sweep] {}/{} {}  {:.2} cells/s  ETA {}",
+                done, self.total, label, rate, eta
+            );
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_heartbeat_is_inert() {
+        let mut hb = Heartbeat::off();
+        assert!(!hb.is_on());
+        hb.tick(5);
+        hb.finish();
+    }
+
+    #[test]
+    fn live_heartbeat_counts_without_panicking() {
+        let mut hb = Heartbeat::new("test", 10);
+        assert!(hb.is_on());
+        for i in 0..10 {
+            hb.tick(i);
+        }
+        hb.finish();
+        assert!(!hb.is_on());
+    }
+
+    #[test]
+    fn sweep_progress_counts_across_threads() {
+        let p = SweepProgress::new(8, false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    p.cell_done("a");
+                    p.cell_done("b");
+                });
+            }
+        });
+        assert_eq!(p.done.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,62 @@
+//! Budgeted median-of-N timing for the bench suites.
+
+use std::time::Instant;
+
+/// Iteration backstop so a mis-budgeted microbenchmark cannot spin
+/// forever collecting samples.
+const MAX_ITERS: usize = 100_000;
+
+/// What [`measure_median`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Iterations measured (≥ 3).
+    pub iterations: u64,
+}
+
+/// Times `f` repeatedly for roughly `budget_ms` milliseconds (one
+/// unmeasured warm-up call first) and returns the median
+/// per-iteration wall time. At least 3 iterations always run, so even
+/// a single slow call yields a defensible median.
+pub fn measure_median<F: FnMut()>(budget_ms: u64, mut f: F) -> Measurement {
+    f(); // warm-up: first call pays allocation/cache setup
+    let mut samples: Vec<u64> = Vec::new();
+    let start = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+        let budget_spent = start.elapsed().as_millis() as u64 >= budget_ms;
+        if (budget_spent && samples.len() >= 3) || samples.len() >= MAX_ITERS {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    Measurement {
+        median_ns: samples[samples.len() / 2],
+        iterations: samples.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_least_three_iterations() {
+        let mut calls = 0u64;
+        let m = measure_median(0, || calls += 1);
+        assert!(m.iterations >= 3);
+        // warm-up call + measured iterations
+        assert_eq!(calls, m.iterations + 1);
+    }
+
+    #[test]
+    fn median_is_positive_for_real_work() {
+        let m = measure_median(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(m.median_ns > 0);
+    }
+}

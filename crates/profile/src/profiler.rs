@@ -1,0 +1,337 @@
+//! The span-tree profiler core.
+
+use crate::report::{percentile, ProfileReport, SpanStats};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Per-span sample retention cap. Counts and totals stay exact past the
+/// cap; percentiles are computed over the first `SAMPLE_CAP` samples
+/// (plenty for per-round phases, and a hard memory bound for
+/// per-message recordings).
+const SAMPLE_CAP: usize = 16_384;
+
+#[derive(Debug)]
+struct SpanNode {
+    name: String,
+    children: Vec<usize>,
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    samples: Vec<u64>,
+    /// Samples from concurrent workers: they overlap in wall time, so
+    /// their sum may legitimately exceed the parent span's total.
+    concurrent: bool,
+}
+
+impl SpanNode {
+    fn new(name: &str, concurrent: bool) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            children: Vec::new(),
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            samples: Vec::new(),
+            concurrent,
+        }
+    }
+
+    fn record(&mut self, sample_ns: u64, count: u64) {
+        self.count += count;
+        self.total_ns += sample_ns;
+        self.max_ns = self.max_ns.max(sample_ns);
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(sample_ns);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProfCore {
+    epoch: Instant,
+    nodes: Vec<SpanNode>,
+    /// Open-span stack; `stack[0]` is the root, which never closes.
+    stack: Vec<usize>,
+}
+
+impl ProfCore {
+    /// Finds or creates `name` among the children of `parent`.
+    fn child(&mut self, parent: usize, name: &str, concurrent: bool) -> usize {
+        if let Some(&idx) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode::new(name, concurrent));
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+}
+
+/// A hierarchical wall-clock profiler.
+///
+/// Mirrors the telemetry `Tracer` calling convention: the disabled
+/// profiler ([`Profiler::off`]) is a `None` inner and every method is a
+/// single branch, so instrumentation stays in production code paths at
+/// zero cost. The enabled profiler builds a span tree rooted at an
+/// implicit `run` span opened at construction time.
+///
+/// Profiling is **observational only**: nothing read from the clock
+/// ever flows back into simulation state, so runs are byte-identical
+/// with profiling on or off (CI-enforced).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Rc<RefCell<ProfCore>>>,
+}
+
+impl Profiler {
+    /// The disabled profiler: every call is a no-op.
+    pub fn off() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// An enabled profiler; the root `run` span starts now.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            inner: Some(Rc::new(RefCell::new(ProfCore {
+                epoch: Instant::now(),
+                nodes: vec![SpanNode::new("run", false)],
+                stack: vec![0],
+            }))),
+        }
+    }
+
+    /// Whether samples are being collected.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name` under the innermost open span. The
+    /// returned guard records the elapsed time and closes the span on
+    /// drop.
+    #[must_use = "the span is timed until the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(core) = &self.inner else {
+            return SpanGuard(None);
+        };
+        let idx = {
+            let mut c = core.borrow_mut();
+            let top = *c.stack.last().expect("root span never closes");
+            let idx = c.child(top, name, false);
+            c.stack.push(idx);
+            idx
+        };
+        SpanGuard(Some(OpenSpan {
+            prof: self.clone(),
+            idx,
+            start: Instant::now(),
+        }))
+    }
+
+    /// Records one externally measured sample of `ns` nanoseconds as a
+    /// child of the innermost open span.
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        self.record_inner(name, ns, 1, false);
+    }
+
+    /// Records an aggregate of `count` occurrences totalling `ns`
+    /// nanoseconds (one retained sample). Use for ultra-hot paths where
+    /// a per-occurrence sample would be waste.
+    pub fn record_ns_n(&self, name: &str, ns: u64, count: u64) {
+        self.record_inner(name, ns, count, false);
+    }
+
+    /// Records a sample from a concurrent worker. Identical to
+    /// [`record_ns`](Profiler::record_ns) except the span is flagged so
+    /// report consumers know sibling samples overlap in wall time (and
+    /// may sum past the parent).
+    pub fn record_concurrent_ns(&self, name: &str, ns: u64) {
+        self.record_inner(name, ns, 1, true);
+    }
+
+    fn record_inner(&self, name: &str, ns: u64, count: u64, concurrent: bool) {
+        if let Some(core) = &self.inner {
+            let mut c = core.borrow_mut();
+            let top = *c.stack.last().expect("root span never closes");
+            let idx = c.child(top, name, concurrent);
+            c.nodes[idx].record(ns, count);
+        }
+    }
+
+    /// The number of spans currently open below the root — 0 when every
+    /// enter has been matched by an exit (well-formedness invariant).
+    pub fn open_spans(&self) -> usize {
+        match &self.inner {
+            Some(core) => core.borrow().stack.len() - 1,
+            None => 0,
+        }
+    }
+
+    /// Snapshots the span tree into a [`ProfileReport`]. The root total
+    /// is the wall time elapsed since [`Profiler::enabled`]; spans are
+    /// listed pre-order. Returns an empty report when disabled.
+    pub fn snapshot(&self) -> ProfileReport {
+        let Some(core) = &self.inner else {
+            return ProfileReport {
+                total_ns: 0,
+                spans: Vec::new(),
+            };
+        };
+        let c = core.borrow();
+        let total_ns = (c.epoch.elapsed().as_nanos() as u64).max(1);
+        let mut spans = Vec::with_capacity(c.nodes.len());
+        // Pre-order walk carrying (node, depth, path-prefix, parent total).
+        let mut work: Vec<(usize, usize, String, u64)> = vec![(0, 0, String::new(), total_ns)];
+        while let Some((idx, depth, prefix, parent_ns)) = work.pop() {
+            let node = &c.nodes[idx];
+            let total = if idx == 0 { total_ns } else { node.total_ns };
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            let mut sorted = node.samples.clone();
+            sorted.sort_unstable();
+            spans.push(SpanStats {
+                name: node.name.clone(),
+                path: path.clone(),
+                depth,
+                count: node.count,
+                total_ns: total,
+                p50_ns: percentile(&sorted, 0.50),
+                p95_ns: percentile(&sorted, 0.95),
+                max_ns: if idx == 0 { total_ns } else { node.max_ns },
+                pct_of_total: 100.0 * total as f64 / total_ns as f64,
+                pct_of_parent: 100.0 * total as f64 / parent_ns.max(1) as f64,
+                concurrent: node.concurrent,
+            });
+            // Children in recorded order (reverse-pushed: `work` is a stack).
+            for &ch in node.children.iter().rev() {
+                work.push((ch, depth + 1, path.clone(), total));
+            }
+        }
+        ProfileReport { total_ns, spans }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    prof: Profiler,
+    idx: usize,
+    start: Instant,
+}
+
+/// RAII guard for an open profiler span; see [`Profiler::span`].
+#[derive(Debug)]
+#[must_use = "the span is timed until the guard drops"]
+pub struct SpanGuard(Option<OpenSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else { return };
+        let ns = open.start.elapsed().as_nanos() as u64;
+        if let Some(core) = &open.prof.inner {
+            let mut c = core.borrow_mut();
+            debug_assert_eq!(
+                c.stack.last().copied(),
+                Some(open.idx),
+                "span guards must drop in reverse open order"
+            );
+            // Tolerate mis-nesting in release builds: unwind to this span.
+            while c.stack.len() > 1 && c.stack.last().copied() != Some(open.idx) {
+                c.stack.pop();
+            }
+            if c.stack.len() > 1 {
+                c.stack.pop();
+            }
+            c.nodes[open.idx].record(ns, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_profiler_is_inert() {
+        let p = Profiler::off();
+        assert!(!p.is_on());
+        {
+            let _s = p.span("anything");
+            p.record_ns("x", 5);
+        }
+        assert_eq!(p.open_spans(), 0);
+        let report = p.snapshot();
+        assert!(report.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_merge_by_name() {
+        let p = Profiler::enabled();
+        for _ in 0..3 {
+            let _outer = p.span("outer");
+            let _inner = p.span("inner");
+        }
+        assert_eq!(p.open_spans(), 0);
+        let r = p.snapshot();
+        let outer = r.span("outer").unwrap();
+        let inner = r.span("outer/inner").unwrap();
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 3);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(inner.total_ns <= outer.total_ns);
+        assert!(outer.total_ns <= r.total_ns);
+    }
+
+    #[test]
+    fn record_ns_lands_under_open_span() {
+        let p = Profiler::enabled();
+        {
+            let _s = p.span("phase");
+            p.record_ns("leaf", 100);
+            p.record_ns("leaf", 300);
+            p.record_ns_n("bulk", 1_000, 50);
+            p.record_concurrent_ns("worker_busy", 10);
+        }
+        let r = p.snapshot();
+        let leaf = r.span("phase/leaf").unwrap();
+        assert_eq!(leaf.count, 2);
+        assert_eq!(leaf.total_ns, 400);
+        assert_eq!(leaf.max_ns, 300);
+        assert_eq!(leaf.p50_ns, 100);
+        assert_eq!(leaf.max_ns, 300);
+        let bulk = r.span("phase/bulk").unwrap();
+        assert_eq!(bulk.count, 50);
+        assert_eq!(bulk.total_ns, 1_000);
+        assert!(!bulk.concurrent);
+        assert!(r.span("phase/worker_busy").unwrap().concurrent);
+    }
+
+    #[test]
+    fn open_spans_reports_unclosed_guards() {
+        let p = Profiler::enabled();
+        let s1 = p.span("a");
+        let s2 = p.span("b");
+        assert_eq!(p.open_spans(), 2);
+        drop(s2);
+        assert_eq!(p.open_spans(), 1);
+        drop(s1);
+        assert_eq!(p.open_spans(), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_core() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        {
+            let _s = q.span("via_clone");
+        }
+        assert_eq!(p.snapshot().span("via_clone").unwrap().count, 1);
+    }
+}

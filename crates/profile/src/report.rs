@@ -1,0 +1,285 @@
+//! Finished profile snapshots: text rendering and the JSON artifact
+//! codec.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Schema tag written into every `profile_*.json`.
+const SCHEMA: &str = "glap-profile-v1";
+
+/// Aggregated statistics for one span in the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Leaf name, e.g. `learn_round`.
+    pub name: String,
+    /// Slash-joined path from the root, e.g. `train/learn_round`.
+    pub path: String,
+    /// Tree depth; the root `run` span is 0.
+    pub depth: usize,
+    /// Number of recorded enters (or aggregated occurrences).
+    pub count: u64,
+    /// Summed nanoseconds across all samples. For the root this is the
+    /// wall time from profiler creation to snapshot.
+    pub total_ns: u64,
+    /// Median over retained samples (0 when no samples).
+    pub p50_ns: u64,
+    /// 95th percentile over retained samples.
+    pub p95_ns: u64,
+    /// Largest single sample.
+    pub max_ns: u64,
+    /// `total_ns` as a percentage of the root span.
+    pub pct_of_total: f64,
+    /// `total_ns` as a percentage of the parent span.
+    pub pct_of_parent: f64,
+    /// Samples came from concurrent workers: siblings overlap in wall
+    /// time, so this span (and its siblings) may sum past the parent.
+    pub concurrent: bool,
+}
+
+/// A finished profile: the span tree flattened pre-order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Wall time covered by the root span, in nanoseconds.
+    pub total_ns: u64,
+    /// All spans, pre-order; `spans[0]` is the root when non-empty.
+    pub spans: Vec<SpanStats>,
+}
+
+impl ProfileReport {
+    /// Looks a span up by its slash-joined path (relative to the root,
+    /// which itself is path `run`).
+    pub fn span(&self, path: &str) -> Option<&SpanStats> {
+        let full = format!("run/{path}");
+        self.spans.iter().find(|s| s.path == full || s.path == path)
+    }
+
+    /// Fraction of the root wall time covered by depth-1 spans — the
+    /// "phase times sum to ≥ 90% of the run" acceptance metric.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.depth == 1)
+            .map(|s| s.total_ns)
+            .sum();
+        covered as f64 / self.total_ns as f64
+    }
+
+    /// Renders the indented per-phase breakdown for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "── profile ── total {} ── phase coverage {:.1}% ──",
+            fmt_ns(self.total_ns),
+            100.0 * self.coverage()
+        );
+        let _ = writeln!(
+            out,
+            "{:<38} {:>8} {:>10} {:>6} {:>9} {:>9} {:>9}",
+            "span", "count", "total", "% run", "p50", "p95", "max"
+        );
+        for s in &self.spans {
+            if s.depth == 0 {
+                continue;
+            }
+            let indent = "  ".repeat(s.depth - 1);
+            let marker = if s.concurrent { "~" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<38} {:>8} {:>10} {:>5.1}% {:>9} {:>9} {:>9}",
+                format!("{indent}{}{marker}", s.name),
+                s.count,
+                fmt_ns(s.total_ns),
+                s.pct_of_total,
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.max_ns),
+            );
+        }
+        if self.spans.iter().any(|s| s.concurrent) {
+            let _ = writeln!(out, "(~ concurrent workers: samples overlap in wall time)");
+        }
+        out
+    }
+
+    /// Serializes the report to the `glap-profile-v1` JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{SCHEMA}\",\"total_ns\":{},\"coverage\":{},\"spans\":[",
+            self.total_ns,
+            self.coverage()
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":{},\"name\":{},\"depth\":{},\"count\":{},\"total_ns\":{},\
+                 \"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{},\"pct_of_total\":{},\
+                 \"pct_of_parent\":{},\"concurrent\":{}}}",
+                json::escape(&s.path),
+                json::escape(&s.name),
+                s.depth,
+                s.count,
+                s.total_ns,
+                s.p50_ns,
+                s.p95_ns,
+                s.max_ns,
+                s.pct_of_total,
+                s.pct_of_parent,
+                s.concurrent,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a `glap-profile-v1` JSON artifact back into a report.
+    pub fn from_json(text: &str) -> Result<ProfileReport, String> {
+        let v = Json::parse(text)?;
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!("not a {SCHEMA} document"));
+        }
+        let total_ns = v
+            .get("total_ns")
+            .and_then(Json::as_u64)
+            .ok_or("missing total_ns")?;
+        let mut spans = Vec::new();
+        for s in v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing spans")?
+        {
+            let str_field = |k: &str| -> Result<String, String> {
+                Ok(s.get(k)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("span missing {k}"))?
+                    .to_string())
+            };
+            let u64_field = |k: &str| -> Result<u64, String> {
+                s.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("span missing {k}"))
+            };
+            let f64_field = |k: &str| -> Result<f64, String> {
+                s.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("span missing {k}"))
+            };
+            spans.push(SpanStats {
+                path: str_field("path")?,
+                name: str_field("name")?,
+                depth: u64_field("depth")? as usize,
+                count: u64_field("count")?,
+                total_ns: u64_field("total_ns")?,
+                p50_ns: u64_field("p50_ns")?,
+                p95_ns: u64_field("p95_ns")?,
+                max_ns: u64_field("max_ns")?,
+                pct_of_total: f64_field("pct_of_total")?,
+                pct_of_parent: f64_field("pct_of_parent")?,
+                concurrent: s.get("concurrent").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        Ok(ProfileReport { total_ns, spans })
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample slice.
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Human-readable nanosecond formatting (`412ns`, `3.1µs`, `52.4ms`,
+/// `1.23s`).
+pub fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profiler;
+
+    fn sample_report() -> ProfileReport {
+        let p = Profiler::enabled();
+        {
+            let _t = p.span("train");
+            for _ in 0..4 {
+                let _r = p.span("learn_round");
+                p.record_ns("local_train", 1_000);
+            }
+        }
+        {
+            let _d = p.span("day");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        p.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let parsed = ProfileReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ProfileReport::from_json("{}").is_err());
+        assert!(ProfileReport::from_json("not json").is_err());
+        assert!(ProfileReport::from_json("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn render_lists_every_span() {
+        let r = sample_report();
+        let text = r.render();
+        assert!(text.contains("learn_round"));
+        assert!(text.contains("local_train"));
+        assert!(text.contains("% run"));
+    }
+
+    #[test]
+    fn coverage_counts_depth_one_only() {
+        let r = sample_report();
+        let c = r.coverage();
+        assert!(c > 0.0 && c <= 1.0, "coverage {c}");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10, 20, 30, 40];
+        assert_eq!(percentile(&s, 0.50), 20);
+        assert_eq!(percentile(&s, 0.95), 40);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.95), 7);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(412), "412ns");
+        assert_eq!(fmt_ns(3_100), "3.1µs");
+        assert_eq!(fmt_ns(52_400_000), "52.4ms");
+        assert_eq!(fmt_ns(1_230_000_000), "1.23s");
+    }
+}

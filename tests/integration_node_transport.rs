@@ -133,7 +133,12 @@ fn wire_bytes_are_counted() {
     )
     .unwrap();
     let csv = tracer.counters_csv();
-    for counter in ["wire.msgs", "wire.bytes", "wire.shuffle.req"] {
+    for counter in [
+        "net.msgs",
+        "net.bytes_tx",
+        "net.bytes_rx",
+        "wire.shuffle.req",
+    ] {
         assert!(csv.contains(counter), "missing counter {counter}:\n{csv}");
     }
 }
