@@ -1,0 +1,279 @@
+//! Per-peer versioned diffs with full-table fallback. Lossless: every
+//! completed exchange leaves both sides bitwise where the legacy dense
+//! exchange would have.
+//!
+//! ## State and versions
+//!
+//! For each peer the codec keeps the *baseline*: the merged table both
+//! sides held when their last exchange completed, plus a version counter.
+//! Both sides update the baseline at completion, so versions advance in
+//! lockstep; a `DELTA` push carries the sender's version and the receiver
+//! reconstructs the sender's exact current table as `baseline + diff`.
+//! First contact (no baseline) sends a sparse `FULL` table instead.
+//!
+//! On version mismatch — possible only if one side lost state, e.g. a
+//! restored snapshot from a different point — the receiver does *not*
+//! merge; it clears the baseline and replies `STALE_FULL` with its own
+//! table so both sides resynchronize (counted as `codec.fallbacks`).
+//!
+//! ## Exactness across interleavings
+//!
+//! The initiator also records the table it pushed (`in_flight`). The reply
+//! diff is computed against exactly that table, so `apply_reply`
+//! reconstructs the responder's merged result bitwise and *overwrites* the
+//! initiator's pair with it — matching the legacy `table = *merged`
+//! semantics even when other exchanges merged into the initiator while the
+//! reply was in flight. Diffs additionally encode removals (entries the
+//! sender's visited set dropped relative to the baseline, which that same
+//! overwrite can cause), keeping reconstruction exact in every
+//! interleaving the node transport can produce.
+
+use crate::sparse::{get_diff, get_sparse_into, put_diff, put_sparse};
+use crate::{
+    expect_exhausted, read_header_expecting, subtag, CodecKind, CodedHeader, PeerId, TableCodec,
+};
+use glap_qlearn::{QTable, QTablePair};
+use glap_snapshot::{Reader, SnapshotError, Writer};
+use std::collections::BTreeMap;
+
+/// The per-peer shared table state delta and priority codecs diff against.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerBaseline {
+    /// Exchange counter, advanced in lockstep on both sides.
+    pub version: u64,
+    /// φ_out as of the last completed exchange.
+    pub out: QTable,
+    /// φ_in as of the last completed exchange.
+    pub r#in: QTable,
+}
+
+pub(crate) fn save_baselines(peers: &BTreeMap<PeerId, PeerBaseline>, w: &mut Writer) {
+    w.put_usize(peers.len());
+    for (&peer, base) in peers {
+        w.put_u32(peer);
+        w.put_u64(base.version);
+        put_sparse(w, &base.out);
+        put_sparse(w, &base.r#in);
+    }
+}
+
+pub(crate) fn restore_baselines(
+    r: &mut Reader<'_>,
+) -> Result<BTreeMap<PeerId, PeerBaseline>, SnapshotError> {
+    let n = r.get_usize()?;
+    let mut peers = BTreeMap::new();
+    for _ in 0..n {
+        let peer = r.get_u32()?;
+        let version = r.get_u64()?;
+        let mut out = QTable::new();
+        get_sparse_into(r, &mut out)?;
+        let mut r#in = QTable::new();
+        get_sparse_into(r, &mut r#in)?;
+        if peers
+            .insert(peer, PeerBaseline { version, out, r#in })
+            .is_some()
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "duplicate peer {peer} in codec snapshot"
+            )));
+        }
+    }
+    Ok(peers)
+}
+
+/// The delta (lossless diff) codec.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaCodec {
+    peers: BTreeMap<PeerId, PeerBaseline>,
+    /// Table contents as of each not-yet-answered push, keyed by peer.
+    in_flight: BTreeMap<PeerId, (QTable, QTable)>,
+}
+
+impl DeltaCodec {
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        save_baselines(&self.peers, w);
+        w.put_usize(self.in_flight.len());
+        for (&peer, (out, r#in)) in &self.in_flight {
+            w.put_u32(peer);
+            put_sparse(w, out);
+            put_sparse(w, r#in);
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.peers = restore_baselines(r)?;
+        self.in_flight.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let peer = r.get_u32()?;
+            let mut out = QTable::new();
+            get_sparse_into(r, &mut out)?;
+            let mut r#in = QTable::new();
+            get_sparse_into(r, &mut r#in)?;
+            if self.in_flight.insert(peer, (out, r#in)).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate in-flight peer {peer} in codec snapshot"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges the reconstructed pusher table into `own`, records the new
+    /// baseline, and encodes the reply diff (merged vs. what the pusher
+    /// already has).
+    fn merge_and_reply(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        mut pusher: QTablePair,
+        new_version: u64,
+    ) -> Vec<u8> {
+        let pushed = (pusher.out.clone(), pusher.r#in.clone());
+        QTablePair::merge_symmetric(own, &mut pusher);
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Delta, subtag::DELTA, 0.0, &mut w);
+        w.put_u64(new_version);
+        put_diff(&mut w, &own.out, &pushed.0);
+        put_diff(&mut w, &own.r#in, &pushed.1);
+        self.peers.insert(
+            peer,
+            PeerBaseline {
+                version: new_version,
+                out: own.out.clone(),
+                r#in: own.r#in.clone(),
+            },
+        );
+        w.into_bytes()
+    }
+}
+
+impl TableCodec for DeltaCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Delta
+    }
+
+    fn encode_push(&mut self, peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        self.in_flight
+            .insert(peer, (table.out.clone(), table.r#in.clone()));
+        let mut w = Writer::new();
+        match self.peers.get(&peer) {
+            None => {
+                CodedHeader::write(CodecKind::Delta, subtag::FULL, 0.0, &mut w);
+                put_sparse(&mut w, &table.out);
+                put_sparse(&mut w, &table.r#in);
+            }
+            Some(base) => {
+                CodedHeader::write(CodecKind::Delta, subtag::DELTA, 0.0, &mut w);
+                w.put_u64(base.version);
+                put_diff(&mut w, &table.out, &base.out);
+                put_diff(&mut w, &table.r#in, &base.r#in);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn apply_push(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let mut r = Reader::new(body);
+        let h = read_header_expecting(&mut r, CodecKind::Delta)?;
+        match h.subtag {
+            subtag::FULL => {
+                let mut pusher = QTablePair::new(own.params);
+                get_sparse_into(&mut r, &mut pusher.out)?;
+                get_sparse_into(&mut r, &mut pusher.r#in)?;
+                expect_exhausted(&r)?;
+                Ok(self.merge_and_reply(peer, own, pusher, 1))
+            }
+            subtag::DELTA => {
+                let version = r.get_u64()?;
+                let fresh = matches!(self.peers.get(&peer), Some(b) if b.version == version);
+                if fresh {
+                    let base = self.peers.get(&peer).expect("checked above");
+                    let out = get_diff(&mut r, &base.out)?;
+                    let r#in = get_diff(&mut r, &base.r#in)?;
+                    expect_exhausted(&r)?;
+                    let mut pusher = QTablePair::new(own.params);
+                    pusher.out = out;
+                    pusher.r#in = r#in;
+                    Ok(self.merge_and_reply(peer, own, pusher, version + 1))
+                } else {
+                    // Stale baseline: validate the body shape but do not
+                    // merge — reply with our full table so both sides
+                    // resynchronize on the next exchange.
+                    get_diff(&mut r, &QTable::new())?;
+                    get_diff(&mut r, &QTable::new())?;
+                    expect_exhausted(&r)?;
+                    self.peers.remove(&peer);
+                    let mut w = Writer::new();
+                    CodedHeader::write(CodecKind::Delta, subtag::STALE_FULL, 0.0, &mut w);
+                    put_sparse(&mut w, &own.out);
+                    put_sparse(&mut w, &own.r#in);
+                    Ok(w.into_bytes())
+                }
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "delta codec cannot apply subtag {other} as a push"
+            ))),
+        }
+    }
+
+    fn apply_reply(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError> {
+        let mut r = Reader::new(body);
+        let h = read_header_expecting(&mut r, CodecKind::Delta)?;
+        match h.subtag {
+            subtag::DELTA => {
+                let (pushed_out, pushed_in) = self.in_flight.remove(&peer).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!(
+                        "delta reply from {peer} without a push in flight"
+                    ))
+                })?;
+                let version = r.get_u64()?;
+                let out = get_diff(&mut r, &pushed_out)?;
+                let r#in = get_diff(&mut r, &pushed_in)?;
+                expect_exhausted(&r)?;
+                // Adopt the responder's merged result wholesale — the
+                // legacy `table = *merged` semantics.
+                own.out = out;
+                own.r#in = r#in;
+                self.peers.insert(
+                    peer,
+                    PeerBaseline {
+                        version,
+                        out: own.out.clone(),
+                        r#in: own.r#in.clone(),
+                    },
+                );
+                Ok(())
+            }
+            subtag::STALE_FULL => {
+                self.in_flight.remove(&peer);
+                let mut theirs = QTablePair::new(own.params);
+                get_sparse_into(&mut r, &mut theirs.out)?;
+                get_sparse_into(&mut r, &mut theirs.r#in)?;
+                expect_exhausted(&r)?;
+                // One-sided merge: the responder did not merge our push,
+                // but averaging their table in is still diameter-safe.
+                QTablePair::merge_symmetric(own, &mut theirs);
+                self.peers.remove(&peer);
+                Ok(())
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "delta codec cannot apply subtag {other} as a reply"
+            ))),
+        }
+    }
+
+    fn push_failed(&mut self, peer: PeerId) {
+        self.in_flight.remove(&peer);
+    }
+}

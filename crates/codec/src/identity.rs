@@ -1,0 +1,61 @@
+//! Bit-exact dense payloads: the table's checkpoint encoding behind a
+//! coded header.
+//!
+//! Integration layers special-case [`CodecKind::Identity`] onto the legacy
+//! verbatim-table wire path, so this implementation is exercised by
+//! benchmarks and the sweep harness rather than production exchanges — it
+//! exists so every [`CodecKind`] has a uniform [`TableCodec`] behind it
+//! and the dense encoding has a measured encode/decode cost.
+
+use crate::{
+    expect_exhausted, read_header_expecting, subtag, CodecKind, CodedHeader, PeerId, TableCodec,
+};
+use glap_qlearn::QTablePair;
+use glap_snapshot::{Checkpointable, Reader, SnapshotError, Writer};
+
+/// The identity (dense, lossless) codec. Stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityCodec;
+
+impl TableCodec for IdentityCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Identity
+    }
+
+    fn encode_push(&mut self, _peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Identity, subtag::FULL, 0.0, &mut w);
+        table.save(&mut w);
+        w.into_bytes()
+    }
+
+    fn apply_push(
+        &mut self,
+        _peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let mut r = Reader::new(body);
+        read_header_expecting(&mut r, CodecKind::Identity)?;
+        let mut incoming = QTablePair::default();
+        incoming.restore(&mut r)?;
+        expect_exhausted(&r)?;
+        QTablePair::merge_symmetric(own, &mut incoming);
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Identity, subtag::FULL, 0.0, &mut w);
+        own.save(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    fn apply_reply(
+        &mut self,
+        _peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError> {
+        let mut r = Reader::new(body);
+        read_header_expecting(&mut r, CodecKind::Identity)?;
+        own.restore(&mut r)?;
+        expect_exhausted(&r)
+    }
+}

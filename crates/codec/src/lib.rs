@@ -1,0 +1,480 @@
+//! # glap-codec — bandwidth-lean gossip payload codecs
+//!
+//! A gossip exchange in GLAP ships a full [`QTablePair`] — 2×6561 `f64`
+//! entries plus bitmaps, ~105 KB per leg — even though trained tables are
+//! sparse and consecutive exchanges with the same peer differ in a handful
+//! of entries. This crate factors the *payload representation* of the
+//! push–pull merge (Algorithm 2) out of the protocol: a [`TableCodec`]
+//! chooses what bytes cross the wire, while the merge semantics (average
+//! shared entries, adopt one-sided entries) stay fixed.
+//!
+//! Four implementations, selected by [`CodecKind`]:
+//!
+//! * **Identity** — the dense checkpoint encoding, bit-exact. The default;
+//!   integration layers keep the legacy verbatim-table path for it so
+//!   behavior is byte-identical to a codec-less build.
+//! * **Delta** — per-peer diff against the table version last exchanged
+//!   with that peer, with a sparse full-table fallback on first contact or
+//!   version mismatch. Lossless: a delta-coded cluster converges to
+//!   bitwise the same tables as an identity one.
+//! * **Quantized** — `f64`→`u16` fixed-point with a per-row (per-block)
+//!   scale, stateless, with the measured worst-case dequantization error
+//!   declared in every payload header for bounded-error accounting.
+//! * **Priority** — top-k highest-divergence table rows first (divergence
+//!   scored against the per-peer baseline), remainder deferred to later
+//!   exchanges; eventually-complete under repeated contact.
+//!
+//! ## Protocol shape
+//!
+//! One exchange is push → reply, mediated entirely through the codec:
+//!
+//! ```text
+//! A: body = codec.encode_push(B, &table)          // choose representation
+//! B: reply = codec.apply_push(A, &mut own, body)  // decode, merge, encode reply
+//! A: codec.apply_reply(B, &mut own, reply)        // decode, adopt merged state
+//! A: codec.push_failed(B)                         // instead, when the push is dropped
+//! ```
+//!
+//! Every coded body starts with a self-describing 11-byte [`CodedHeader`]
+//! (wire version, codec kind, payload subtag, declared error bound) so
+//! transports can account `codec.*` telemetry without holding codec state.
+//!
+//! Per-peer state (delta baselines, priority baselines, in-flight pushes)
+//! lives inside the codec value and is checkpointable; maps are ordered so
+//! snapshot bytes are deterministic.
+
+mod delta;
+mod identity;
+mod priority;
+mod quantized;
+mod sparse;
+
+pub use delta::DeltaCodec;
+pub use identity::IdentityCodec;
+pub use priority::{PriorityCodec, DEFAULT_PRIORITY_REGIONS, NUM_REGIONS};
+pub use quantized::QuantizedCodec;
+
+use glap_qlearn::QTablePair;
+use glap_snapshot::{Reader, SnapshotError, Writer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Peer identifier — matches `glap_node::NodeId` / the sim-path PM index.
+pub type PeerId = u32;
+
+/// Wire-format version byte leading every coded payload. Bumped on any
+/// incompatible change to a codec's body layout.
+pub const CODEC_WIRE_VERSION: u8 = 1;
+
+/// Framing overhead a coded body pays on the node wire relative to its
+/// body length: 1 tag byte plus the u64 length prefix of `put_bytes`.
+pub const WIRE_OVERHEAD: usize = 9;
+
+/// Payload subtags: what a coded body contains, independent of codec kind.
+pub mod subtag {
+    /// Complete table contents (first contact, or an identity payload).
+    pub const FULL: u8 = 0;
+    /// Versioned diff against the shared per-peer baseline.
+    pub const DELTA: u8 = 1;
+    /// Version-mismatch fallback: the responder's full table, sent in
+    /// place of a merge so both sides can resynchronize baselines.
+    pub const STALE_FULL: u8 = 2;
+    /// Fixed-point quantized table contents.
+    pub const QUANT: u8 = 3;
+    /// A top-k selection of table rows at full precision.
+    pub const REGIONS: u8 = 4;
+}
+
+/// Which payload codec a cluster runs. Uniform across the fleet: codecs
+/// negotiate nothing, so mixing kinds is a configuration error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// Dense, bit-exact payloads (legacy wire behavior).
+    #[default]
+    Identity,
+    /// Per-peer versioned diffs; lossless.
+    Delta,
+    /// Per-row fixed-point quantization; lossy with a declared bound.
+    Quantized,
+    /// Top-k divergent rows per exchange; partial but eventually complete.
+    Priority,
+}
+
+/// All kinds, in wire-tag order — sweep binaries iterate this.
+pub const ALL_CODEC_KINDS: [CodecKind; 4] = [
+    CodecKind::Identity,
+    CodecKind::Delta,
+    CodecKind::Quantized,
+    CodecKind::Priority,
+];
+
+impl CodecKind {
+    /// Stable one-byte wire tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            CodecKind::Identity => 0,
+            CodecKind::Delta => 1,
+            CodecKind::Quantized => 2,
+            CodecKind::Priority => 3,
+        }
+    }
+
+    /// Inverse of [`as_u8`](Self::as_u8).
+    pub fn from_u8(v: u8) -> Option<CodecKind> {
+        match v {
+            0 => Some(CodecKind::Identity),
+            1 => Some(CodecKind::Delta),
+            2 => Some(CodecKind::Quantized),
+            3 => Some(CodecKind::Priority),
+            _ => None,
+        }
+    }
+
+    /// CLI / CSV label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecKind::Identity => "identity",
+            CodecKind::Delta => "delta",
+            CodecKind::Quantized => "quantized",
+            CodecKind::Priority => "priority",
+        }
+    }
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for CodecKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "identity" => Ok(CodecKind::Identity),
+            "delta" => Ok(CodecKind::Delta),
+            "quantized" => Ok(CodecKind::Quantized),
+            "priority" => Ok(CodecKind::Priority),
+            other => Err(format!(
+                "unknown codec {other:?} (expected identity|delta|quantized|priority)"
+            )),
+        }
+    }
+}
+
+/// The self-describing prefix of every coded payload body.
+///
+/// Transports peek this to validate payloads and account `codec.*`
+/// counters (bytes saved, fallbacks, max quantization error) without any
+/// per-peer codec state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodedHeader {
+    /// Which codec produced the body.
+    pub kind: CodecKind,
+    /// Body layout, one of [`subtag`].
+    pub subtag: u8,
+    /// Declared worst-case absolute error any single adopted entry can
+    /// carry relative to the sender's exact value. 0 for lossless bodies.
+    pub err_bound: f64,
+}
+
+impl CodedHeader {
+    /// Serialized length: version, kind, subtag, error bound.
+    pub const LEN: usize = 11;
+
+    pub(crate) fn write(kind: CodecKind, subtag: u8, err_bound: f64, w: &mut Writer) {
+        w.put_u8(CODEC_WIRE_VERSION);
+        w.put_u8(kind.as_u8());
+        w.put_u8(subtag);
+        w.put_f64(err_bound);
+    }
+
+    /// Parses and validates the header without consuming the body.
+    pub fn peek(body: &[u8]) -> Result<CodedHeader, SnapshotError> {
+        let mut r = Reader::new(body);
+        Self::read(&mut r)
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<CodedHeader, SnapshotError> {
+        let version = r.get_u8()?;
+        if version != CODEC_WIRE_VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "unsupported codec wire version {version}"
+            )));
+        }
+        let kind = CodecKind::from_u8(r.get_u8()?)
+            .ok_or_else(|| SnapshotError::Corrupt("unknown codec kind".into()))?;
+        let tag = r.get_u8()?;
+        if tag > subtag::REGIONS {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown codec subtag {tag}"
+            )));
+        }
+        let err_bound = r.get_f64()?;
+        if !err_bound.is_finite() || err_bound < 0.0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid codec error bound {err_bound}"
+            )));
+        }
+        Ok(CodedHeader {
+            kind,
+            subtag: tag,
+            err_bound,
+        })
+    }
+}
+
+pub(crate) fn read_header_expecting(
+    r: &mut Reader<'_>,
+    kind: CodecKind,
+) -> Result<CodedHeader, SnapshotError> {
+    let h = CodedHeader::read(r)?;
+    if h.kind != kind {
+        return Err(SnapshotError::Corrupt(format!(
+            "codec kind mismatch: payload is {}, local codec is {kind}",
+            h.kind
+        )));
+    }
+    Ok(h)
+}
+
+pub(crate) fn expect_exhausted(r: &Reader<'_>) -> Result<(), SnapshotError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after coded payload",
+            r.remaining()
+        )))
+    }
+}
+
+/// Length of the legacy (identity) wire payload for one table push: the
+/// 1-byte wire tag plus the dense checkpoint body. Constant — the dense
+/// encoding's size does not depend on table contents — so it doubles as
+/// the byte baseline `codec.bytes_saved` is accounted against.
+pub fn identity_payload_len() -> usize {
+    static LEN: OnceLock<usize> = OnceLock::new();
+    *LEN.get_or_init(|| {
+        use glap_snapshot::Checkpointable;
+        let mut w = Writer::new();
+        QTablePair::default().save(&mut w);
+        1 + w.len()
+    })
+}
+
+/// One side of the codec-mediated push–pull exchange.
+///
+/// Implementations own all per-peer state; the driver only routes bytes.
+/// State is mutated exclusively in `apply_push` / `apply_reply` (i.e. at
+/// the moment an exchange completes on this side), so a dropped push needs
+/// no rollback beyond [`push_failed`](Self::push_failed) clearing any
+/// in-flight bookkeeping.
+pub trait TableCodec {
+    /// Which kind this codec is.
+    fn kind(&self) -> CodecKind;
+
+    /// Encodes this node's table for a push to `peer`.
+    fn encode_push(&mut self, peer: PeerId, table: &QTablePair) -> Vec<u8>;
+
+    /// Responder side: decodes a push from `peer`, merges it into `own`,
+    /// and returns the coded reply body.
+    fn apply_push(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError>;
+
+    /// Initiator side: decodes `peer`'s reply to our push and folds the
+    /// merged state into `own`.
+    fn apply_reply(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError>;
+
+    /// The push encoded for `peer` was dropped (or the peer is down);
+    /// discard any in-flight bookkeeping for it.
+    fn push_failed(&mut self, _peer: PeerId) {}
+}
+
+/// Enum dispatch over the four codecs. An enum (not `dyn`) so holders such
+/// as `NodeCore` keep `Clone + Debug` and checkpoint bytes stay concrete.
+#[derive(Debug, Clone)]
+pub enum AnyCodec {
+    /// Dense bit-exact payloads.
+    Identity(IdentityCodec),
+    /// Per-peer versioned diffs.
+    Delta(DeltaCodec),
+    /// Per-row fixed-point quantization.
+    Quantized(QuantizedCodec),
+    /// Top-k divergent rows.
+    Priority(PriorityCodec),
+}
+
+impl AnyCodec {
+    /// A fresh codec of the given kind with default parameters.
+    pub fn new(kind: CodecKind) -> AnyCodec {
+        match kind {
+            CodecKind::Identity => AnyCodec::Identity(IdentityCodec),
+            CodecKind::Delta => AnyCodec::Delta(DeltaCodec::default()),
+            CodecKind::Quantized => AnyCodec::Quantized(QuantizedCodec),
+            CodecKind::Priority => AnyCodec::Priority(PriorityCodec::default()),
+        }
+    }
+
+    /// Serializes codec state (kind tag + per-peer baselines). Ordered
+    /// maps make this deterministic for byte-identity checks.
+    pub fn save(&self, w: &mut Writer) {
+        w.put_u8(self.kind().as_u8());
+        match self {
+            AnyCodec::Identity(_) | AnyCodec::Quantized(_) => {}
+            AnyCodec::Delta(c) => c.save_state(w),
+            AnyCodec::Priority(c) => c.save_state(w),
+        }
+    }
+
+    /// Restores codec state saved by [`save`](Self::save). The stored kind
+    /// must match this codec's configured kind.
+    pub fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let stored = CodecKind::from_u8(r.get_u8()?)
+            .ok_or_else(|| SnapshotError::Corrupt("unknown codec kind in snapshot".into()))?;
+        if stored != self.kind() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot codec kind {stored} does not match configured {}",
+                self.kind()
+            )));
+        }
+        match self {
+            AnyCodec::Identity(_) | AnyCodec::Quantized(_) => Ok(()),
+            AnyCodec::Delta(c) => c.restore_state(r),
+            AnyCodec::Priority(c) => c.restore_state(r),
+        }
+    }
+}
+
+impl TableCodec for AnyCodec {
+    fn kind(&self) -> CodecKind {
+        match self {
+            AnyCodec::Identity(c) => c.kind(),
+            AnyCodec::Delta(c) => c.kind(),
+            AnyCodec::Quantized(c) => c.kind(),
+            AnyCodec::Priority(c) => c.kind(),
+        }
+    }
+
+    fn encode_push(&mut self, peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        match self {
+            AnyCodec::Identity(c) => c.encode_push(peer, table),
+            AnyCodec::Delta(c) => c.encode_push(peer, table),
+            AnyCodec::Quantized(c) => c.encode_push(peer, table),
+            AnyCodec::Priority(c) => c.encode_push(peer, table),
+        }
+    }
+
+    fn apply_push(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        match self {
+            AnyCodec::Identity(c) => c.apply_push(peer, own, body),
+            AnyCodec::Delta(c) => c.apply_push(peer, own, body),
+            AnyCodec::Quantized(c) => c.apply_push(peer, own, body),
+            AnyCodec::Priority(c) => c.apply_push(peer, own, body),
+        }
+    }
+
+    fn apply_reply(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError> {
+        match self {
+            AnyCodec::Identity(c) => c.apply_reply(peer, own, body),
+            AnyCodec::Delta(c) => c.apply_reply(peer, own, body),
+            AnyCodec::Quantized(c) => c.apply_reply(peer, own, body),
+            AnyCodec::Priority(c) => c.apply_reply(peer, own, body),
+        }
+    }
+
+    fn push_failed(&mut self, peer: PeerId) {
+        match self {
+            AnyCodec::Identity(c) => c.push_failed(peer),
+            AnyCodec::Delta(c) => c.push_failed(peer),
+            AnyCodec::Quantized(c) => c.push_failed(peer),
+            AnyCodec::Priority(c) => c.push_failed(peer),
+        }
+    }
+}
+
+/// One codec instance per PM for the sim-path `aggregation_round`, where
+/// the whole fleet's tables live in one slice and exchanges complete
+/// atomically.
+#[derive(Debug, Clone)]
+pub struct FleetCodecs {
+    kind: CodecKind,
+    codecs: Vec<AnyCodec>,
+}
+
+impl FleetCodecs {
+    /// One fresh codec per PM.
+    pub fn new(n: usize, kind: CodecKind) -> FleetCodecs {
+        FleetCodecs {
+            kind,
+            codecs: (0..n).map(|_| AnyCodec::new(kind)).collect(),
+        }
+    }
+
+    /// The uniform codec kind.
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// PM `p` encodes a push for PM `q`.
+    pub fn encode_push(&mut self, p: usize, q: usize, tables: &[QTablePair]) -> Vec<u8> {
+        self.codecs[p].encode_push(q as PeerId, &tables[p])
+    }
+
+    /// Completes a delivered exchange: `q` applies `p`'s push and `p`
+    /// applies the reply. Returns the reply body (for byte accounting).
+    pub fn complete(
+        &mut self,
+        p: usize,
+        q: usize,
+        tables: &mut [QTablePair],
+        push: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let (cp, cq) = pair_mut(&mut self.codecs, p, q);
+        let (tp, tq) = pair_mut(tables, p, q);
+        let reply = cq.apply_push(p as PeerId, tq, push)?;
+        cp.apply_reply(q as PeerId, tp, &reply)?;
+        Ok(reply)
+    }
+
+    /// The push from `p` to `q` was dropped.
+    pub fn push_failed(&mut self, p: usize, q: usize) {
+        self.codecs[p].push_failed(q as PeerId);
+    }
+}
+
+fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "push-pull exchange with self");
+    if i < j {
+        let (lo, hi) = xs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,408 @@
+//! Priority gossip: spend each exchange's bandwidth on the table regions
+//! that diverged most since the last exchange with that peer, deferring
+//! the rest to later rounds (after Frey et al.'s differentiated-
+//! consistency gossip).
+//!
+//! A *region* is one Q-table row (81 entries); a pair has
+//! [`NUM_REGIONS`] = 162 of them (φ_out rows first, then φ_in). Each push
+//! selects the top-k regions by divergence against the per-peer baseline —
+//! the sum of |current − baseline| over the row, with a small floor for
+//! entries the baseline has never seen so new knowledge always scores —
+//! and sends those rows at full `f64` precision. The responder merges
+//! them with the usual average/adopt rule and replies with the merged
+//! contents of the *same* regions; both sides then advance the baseline
+//! for exactly the exchanged regions, so their divergence drops to ~zero
+//! and the next exchange naturally rotates to other rows. Under repeated
+//! contact the union of exchanges covers every divergent region
+//! (⌈162/k⌉ exchanges suffice when nothing else changes), which the
+//! eventually-complete proptest pins.
+//!
+//! Partial merges stay diameter-safe: every adopted value either already
+//! exists at the peer or is a pairwise average, the same operations
+//! Theorem 1's non-increasing-diameter argument covers — a region left
+//! unsent merely keeps its current (in-hull) values.
+//!
+//! First contact falls back to a sparse full-table exchange; a version
+//! mismatch resynchronizes via `STALE_FULL` exactly like the delta codec.
+
+use crate::delta::{restore_baselines, save_baselines, PeerBaseline};
+use crate::sparse::get_sparse_into;
+use crate::sparse::put_sparse;
+use crate::{
+    expect_exhausted, read_header_expecting, subtag, CodecKind, CodedHeader, PeerId, TableCodec,
+};
+use glap_qlearn::{QTable, QTablePair, NUM_STATES};
+use glap_snapshot::{Reader, SnapshotError, Writer};
+use std::collections::BTreeMap;
+
+/// Regions per table pair: 81 φ_out rows + 81 φ_in rows.
+pub const NUM_REGIONS: usize = 2 * NUM_STATES;
+
+/// Default top-k regions per exchange (~10% of the pair per push).
+pub const DEFAULT_PRIORITY_REGIONS: usize = 16;
+
+/// Divergence floor for entries the baseline has never seen: guarantees a
+/// region holding only new-but-zero-valued knowledge still gets scheduled.
+const MIN_NEW_ENTRY_SCORE: f64 = 1e-12;
+
+/// The priority (top-k divergent rows) codec.
+#[derive(Debug, Clone)]
+pub struct PriorityCodec {
+    k: usize,
+    peers: BTreeMap<PeerId, PeerBaseline>,
+}
+
+impl Default for PriorityCodec {
+    fn default() -> Self {
+        PriorityCodec::new(DEFAULT_PRIORITY_REGIONS)
+    }
+}
+
+fn tables_of(pair: &QTablePair, region: usize) -> (&QTable, usize) {
+    if region < NUM_STATES {
+        (&pair.out, region)
+    } else {
+        (&pair.r#in, region - NUM_STATES)
+    }
+}
+
+fn region_score(cur: &QTable, base: &QTable, row: usize) -> f64 {
+    let (cv, cb) = (cur.raw_values(), cur.raw_visited());
+    let (bv, bb) = (base.raw_values(), base.raw_visited());
+    let mut score = 0.0;
+    for i in row * NUM_STATES..(row + 1) * NUM_STATES {
+        if cb[i] {
+            if bb[i] {
+                score += (cv[i] - bv[i]).abs();
+            } else {
+                score += cv[i].abs().max(MIN_NEW_ENTRY_SCORE);
+            }
+        }
+    }
+    score
+}
+
+/// `u16 region, u8 count, count × (u8 offset, f64 value)` — every visited
+/// entry of the row, offsets ascending.
+fn put_region(w: &mut Writer, t: &QTable, region: usize, row: usize) {
+    let visited = t.raw_visited();
+    let values = t.raw_values();
+    let base_i = row * NUM_STATES;
+    let count = (0..NUM_STATES).filter(|&o| visited[base_i + o]).count();
+    w.put_u16(region as u16);
+    w.put_u8(count as u8);
+    for o in 0..NUM_STATES {
+        if visited[base_i + o] {
+            w.put_u8(o as u8);
+            w.put_f64(values[base_i + o]);
+        }
+    }
+}
+
+type Regions = Vec<(usize, Vec<(usize, f64)>)>;
+
+fn get_regions(r: &mut Reader<'_>) -> Result<Regions, SnapshotError> {
+    let n = r.get_u16()? as usize;
+    if n > NUM_REGIONS {
+        return Err(SnapshotError::Corrupt(format!(
+            "priority payload claims {n} regions (max {NUM_REGIONS})"
+        )));
+    }
+    let mut regions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let region = r.get_u16()? as usize;
+        if region >= NUM_REGIONS {
+            return Err(SnapshotError::Corrupt(format!(
+                "priority region {region} out of range"
+            )));
+        }
+        let count = r.get_u8()? as usize;
+        if count > NUM_STATES {
+            return Err(SnapshotError::Corrupt(format!(
+                "priority region claims {count} entries (max {NUM_STATES})"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let o = r.get_u8()? as usize;
+            if o >= NUM_STATES {
+                return Err(SnapshotError::Corrupt(format!(
+                    "priority entry offset {o} out of range"
+                )));
+            }
+            entries.push((o, r.get_f64()?));
+        }
+        regions.push((region, entries));
+    }
+    Ok(regions)
+}
+
+impl PriorityCodec {
+    /// A codec sending at most `k` regions per exchange.
+    pub fn new(k: usize) -> PriorityCodec {
+        PriorityCodec {
+            k: k.clamp(1, NUM_REGIONS),
+            peers: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.k);
+        save_baselines(&self.peers, w);
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let k = r.get_usize()?;
+        if k == 0 || k > NUM_REGIONS {
+            return Err(SnapshotError::Corrupt(format!(
+                "priority k {k} out of range in snapshot"
+            )));
+        }
+        self.k = k;
+        self.peers = restore_baselines(r)?;
+        Ok(())
+    }
+
+    /// Top-k regions by divergence, deterministically ordered (score
+    /// descending, region index ascending); zero-score regions are never
+    /// sent.
+    fn select_regions(&self, table: &QTablePair, base: &PeerBaseline) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> = (0..NUM_REGIONS)
+            .filter_map(|region| {
+                let (cur, row) = tables_of(table, region);
+                let base_t = if region < NUM_STATES {
+                    &base.out
+                } else {
+                    &base.r#in
+                };
+                let score = region_score(cur, base_t, row);
+                (score > 0.0).then_some((score, region))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.truncate(self.k);
+        scored.into_iter().map(|(_, region)| region).collect()
+    }
+
+    fn stale_reply(&mut self, peer: PeerId, own: &QTablePair) -> Vec<u8> {
+        self.peers.remove(&peer);
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Priority, subtag::STALE_FULL, 0.0, &mut w);
+        put_sparse(&mut w, &own.out);
+        put_sparse(&mut w, &own.r#in);
+        w.into_bytes()
+    }
+}
+
+/// Sets every listed entry into the pair (adopt-exactly, no averaging).
+fn adopt_regions(pair: &mut QTablePair, regions: &Regions) {
+    for (region, entries) in regions {
+        let (t, row) = if *region < NUM_STATES {
+            (&mut pair.out, *region)
+        } else {
+            (&mut pair.r#in, *region - NUM_STATES)
+        };
+        for &(o, v) in entries {
+            t.set_index(row * NUM_STATES + o, v);
+        }
+    }
+}
+
+/// Copies the pair's current contents of `region` into the baseline.
+fn refresh_baseline_region(base: &mut PeerBaseline, pair: &QTablePair, region: usize) {
+    let (src, row) = tables_of(pair, region);
+    let dst = if region < NUM_STATES {
+        &mut base.out
+    } else {
+        &mut base.r#in
+    };
+    let visited = src.raw_visited();
+    let values = src.raw_values();
+    for i in row * NUM_STATES..(row + 1) * NUM_STATES {
+        if visited[i] {
+            dst.set_index(i, values[i]);
+        }
+    }
+}
+
+impl TableCodec for PriorityCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Priority
+    }
+
+    fn encode_push(&mut self, peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self.peers.get(&peer) {
+            None => {
+                CodedHeader::write(CodecKind::Priority, subtag::FULL, 0.0, &mut w);
+                put_sparse(&mut w, &table.out);
+                put_sparse(&mut w, &table.r#in);
+            }
+            Some(base) => {
+                let regions = self.select_regions(table, base);
+                CodedHeader::write(CodecKind::Priority, subtag::REGIONS, 0.0, &mut w);
+                w.put_u64(base.version);
+                w.put_u16(regions.len() as u16);
+                for &region in &regions {
+                    let (t, row) = tables_of(table, region);
+                    put_region(&mut w, t, region, row);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn apply_push(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let mut r = Reader::new(body);
+        let h = read_header_expecting(&mut r, CodecKind::Priority)?;
+        match h.subtag {
+            subtag::FULL => {
+                let mut pusher = QTablePair::new(own.params);
+                get_sparse_into(&mut r, &mut pusher.out)?;
+                get_sparse_into(&mut r, &mut pusher.r#in)?;
+                expect_exhausted(&r)?;
+                QTablePair::merge_symmetric(own, &mut pusher);
+                let mut w = Writer::new();
+                CodedHeader::write(CodecKind::Priority, subtag::FULL, 0.0, &mut w);
+                put_sparse(&mut w, &own.out);
+                put_sparse(&mut w, &own.r#in);
+                // The reply is our full merged table, so the baseline (=
+                // exactly what crossed the wire) is our merged table.
+                self.peers.insert(
+                    peer,
+                    PeerBaseline {
+                        version: 1,
+                        out: own.out.clone(),
+                        r#in: own.r#in.clone(),
+                    },
+                );
+                Ok(w.into_bytes())
+            }
+            subtag::REGIONS => {
+                let version = r.get_u64()?;
+                let regions = get_regions(&mut r)?;
+                expect_exhausted(&r)?;
+                if !matches!(self.peers.get(&peer), Some(b) if b.version == version) {
+                    return Ok(self.stale_reply(peer, own));
+                }
+                // Merge the pushed entries: average shared, adopt new.
+                for (region, entries) in &regions {
+                    let (t, row) = if *region < NUM_STATES {
+                        (&mut own.out, *region)
+                    } else {
+                        (&mut own.r#in, *region - NUM_STATES)
+                    };
+                    for &(o, v) in entries {
+                        let i = row * NUM_STATES + o;
+                        if t.raw_visited()[i] {
+                            t.set_index(i, (t.raw_values()[i] + v) / 2.0);
+                        } else {
+                            t.set_index(i, v);
+                        }
+                    }
+                }
+                // Reply with the merged contents of the same regions and
+                // advance the baseline for exactly those regions.
+                let new_version = version + 1;
+                let mut w = Writer::new();
+                CodedHeader::write(CodecKind::Priority, subtag::REGIONS, 0.0, &mut w);
+                w.put_u64(new_version);
+                w.put_u16(regions.len() as u16);
+                let base = self.peers.get_mut(&peer).expect("checked above");
+                for (region, _) in &regions {
+                    let (t, row) = tables_of(own, *region);
+                    put_region(&mut w, t, *region, row);
+                    refresh_baseline_region(base, own, *region);
+                }
+                base.version = new_version;
+                Ok(w.into_bytes())
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "priority codec cannot apply subtag {other} as a push"
+            ))),
+        }
+    }
+
+    fn apply_reply(
+        &mut self,
+        peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError> {
+        let mut r = Reader::new(body);
+        let h = read_header_expecting(&mut r, CodecKind::Priority)?;
+        match h.subtag {
+            subtag::FULL => {
+                // Reply to our first-contact full push: the responder's
+                // merged table. Adopt every entry; the baseline is the
+                // wire content itself (not `own`, which may hold entries
+                // the responder has not seen).
+                let mut merged = QTablePair::new(own.params);
+                get_sparse_into(&mut r, &mut merged.out)?;
+                get_sparse_into(&mut r, &mut merged.r#in)?;
+                expect_exhausted(&r)?;
+                let (mv, mb) = (merged.out.raw_values(), merged.out.raw_visited());
+                for i in 0..NUM_STATES * NUM_STATES {
+                    if mb[i] {
+                        own.out.set_index(i, mv[i]);
+                    }
+                }
+                let (mv, mb) = (merged.r#in.raw_values(), merged.r#in.raw_visited());
+                for i in 0..NUM_STATES * NUM_STATES {
+                    if mb[i] {
+                        own.r#in.set_index(i, mv[i]);
+                    }
+                }
+                self.peers.insert(
+                    peer,
+                    PeerBaseline {
+                        version: 1,
+                        out: merged.out,
+                        r#in: merged.r#in,
+                    },
+                );
+                Ok(())
+            }
+            subtag::REGIONS => {
+                let version = r.get_u64()?;
+                let regions = get_regions(&mut r)?;
+                expect_exhausted(&r)?;
+                adopt_regions(own, &regions);
+                let base = self.peers.entry(peer).or_insert_with(|| PeerBaseline {
+                    version,
+                    out: QTable::new(),
+                    r#in: QTable::new(),
+                });
+                base.version = version;
+                for (region, entries) in &regions {
+                    let (t, row) = if *region < NUM_STATES {
+                        (&mut base.out, *region)
+                    } else {
+                        (&mut base.r#in, *region - NUM_STATES)
+                    };
+                    for &(o, v) in entries {
+                        t.set_index(row * NUM_STATES + o, v);
+                    }
+                }
+                Ok(())
+            }
+            subtag::STALE_FULL => {
+                let mut theirs = QTablePair::new(own.params);
+                get_sparse_into(&mut r, &mut theirs.out)?;
+                get_sparse_into(&mut r, &mut theirs.r#in)?;
+                expect_exhausted(&r)?;
+                QTablePair::merge_symmetric(own, &mut theirs);
+                self.peers.remove(&peer);
+                Ok(())
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "priority codec cannot apply subtag {other} as a reply"
+            ))),
+        }
+    }
+}

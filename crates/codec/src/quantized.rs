@@ -1,0 +1,180 @@
+//! Fixed-point table payloads: each value is sent as a `u16` offset into a
+//! per-row `[min, max]` range (the "per-block scale"), cutting an entry
+//! from 10 bytes (sparse index + `f64`) to 3.
+//!
+//! The codec is stateless and lossy. Every payload header declares the
+//! *measured* worst-case dequantization error of its own contents (max
+//! |exact − dequantized| over all encoded entries), so transports can
+//! account a sound `codec.q_err_max` bound without trusting an a-priori
+//! formula. A merge that adopts a dequantized value perturbs it by at most
+//! that bound relative to the exact exchange; the bandwidth sweep feeds
+//! the bound into the `ConvergenceMonitor`'s diameter-monotonicity check
+//! as a tolerance.
+
+use crate::{
+    expect_exhausted, read_header_expecting, subtag, CodecKind, CodedHeader, PeerId, TableCodec,
+};
+use glap_qlearn::{QTable, QTablePair, NUM_STATES};
+use glap_snapshot::{Reader, SnapshotError, Writer};
+
+const Q_MAX: f64 = u16::MAX as f64;
+
+/// The quantized (per-row fixed-point) codec. Stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantizedCodec;
+
+/// `u16 n_rows; n_rows × (u8 row, u8 count, f64 min, f64 scale,
+/// count × (u8 offset, u16 q))`, rows and offsets ascending.
+/// Returns the encoded block and its measured max dequantization error.
+pub(crate) fn encode_table(t: &QTable) -> (Vec<u8>, f64) {
+    let visited = t.raw_visited();
+    let values = t.raw_values();
+    let mut w = Writer::new();
+    let n_rows = (0..NUM_STATES)
+        .filter(|row| (0..NUM_STATES).any(|o| visited[row * NUM_STATES + o]))
+        .count();
+    w.put_u16(n_rows as u16);
+    let mut err_max = 0.0f64;
+    for row in 0..NUM_STATES {
+        let base_i = row * NUM_STATES;
+        let mut count = 0usize;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for o in 0..NUM_STATES {
+            if visited[base_i + o] {
+                count += 1;
+                min = min.min(values[base_i + o]);
+                max = max.max(values[base_i + o]);
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        let scale = if max > min { (max - min) / Q_MAX } else { 0.0 };
+        w.put_u8(row as u8);
+        w.put_u8(count as u8);
+        w.put_f64(min);
+        w.put_f64(scale);
+        for o in 0..NUM_STATES {
+            if visited[base_i + o] {
+                let v = values[base_i + o];
+                let q = if scale > 0.0 {
+                    ((v - min) / scale).round().clamp(0.0, Q_MAX) as u16
+                } else {
+                    0
+                };
+                err_max = err_max.max((v - dequantize(min, scale, q)).abs());
+                w.put_u8(o as u8);
+                w.put_u16(q);
+            }
+        }
+    }
+    (w.into_bytes(), err_max)
+}
+
+#[inline]
+fn dequantize(min: f64, scale: f64, q: u16) -> f64 {
+    min + q as f64 * scale
+}
+
+/// Applies a quantized block onto `t`, setting every encoded entry.
+pub(crate) fn decode_table_into(block: &[u8], t: &mut QTable) -> Result<(), SnapshotError> {
+    let mut r = Reader::new(block);
+    let n_rows = r.get_u16()? as usize;
+    if n_rows > NUM_STATES {
+        return Err(SnapshotError::Corrupt(format!(
+            "quantized table claims {n_rows} rows (max {NUM_STATES})"
+        )));
+    }
+    for _ in 0..n_rows {
+        let row = r.get_u8()? as usize;
+        let count = r.get_u8()? as usize;
+        if row >= NUM_STATES || count == 0 || count > NUM_STATES {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid quantized row {row} with {count} entries"
+            )));
+        }
+        let min = r.get_f64()?;
+        let scale = r.get_f64()?;
+        if !min.is_finite() || !scale.is_finite() || scale < 0.0 {
+            return Err(SnapshotError::Corrupt(
+                "non-finite quantization parameters".into(),
+            ));
+        }
+        for _ in 0..count {
+            let o = r.get_u8()? as usize;
+            if o >= NUM_STATES {
+                return Err(SnapshotError::Corrupt(format!(
+                    "quantized entry offset {o} out of range"
+                )));
+            }
+            let q = r.get_u16()?;
+            t.set_index(row * NUM_STATES + o, dequantize(min, scale, q));
+        }
+    }
+    expect_exhausted(&r)
+}
+
+fn encode_pair(own: &QTablePair) -> Vec<u8> {
+    let (out_block, out_err) = encode_table(&own.out);
+    let (in_block, in_err) = encode_table(&own.r#in);
+    let mut w = Writer::new();
+    CodedHeader::write(
+        CodecKind::Quantized,
+        subtag::QUANT,
+        out_err.max(in_err),
+        &mut w,
+    );
+    w.put_bytes(&out_block);
+    w.put_bytes(&in_block);
+    w.into_bytes()
+}
+
+fn decode_pair_into(body: &[u8], out: &mut QTable, r#in: &mut QTable) -> Result<(), SnapshotError> {
+    let mut r = Reader::new(body);
+    let h = read_header_expecting(&mut r, CodecKind::Quantized)?;
+    if h.subtag != subtag::QUANT {
+        return Err(SnapshotError::Corrupt(format!(
+            "quantized codec cannot apply subtag {}",
+            h.subtag
+        )));
+    }
+    let out_block = r.get_bytes()?;
+    let in_block = r.get_bytes()?;
+    expect_exhausted(&r)?;
+    decode_table_into(&out_block, out)?;
+    decode_table_into(&in_block, r#in)
+}
+
+impl TableCodec for QuantizedCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Quantized
+    }
+
+    fn encode_push(&mut self, _peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        encode_pair(table)
+    }
+
+    fn apply_push(
+        &mut self,
+        _peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let mut pusher = QTablePair::new(own.params);
+        decode_pair_into(body, &mut pusher.out, &mut pusher.r#in)?;
+        QTablePair::merge_symmetric(own, &mut pusher);
+        Ok(encode_pair(own))
+    }
+
+    fn apply_reply(
+        &mut self,
+        _peer: PeerId,
+        own: &mut QTablePair,
+        body: &[u8],
+    ) -> Result<(), SnapshotError> {
+        // The responder's merged table is a superset of what we pushed;
+        // adopting every encoded entry mirrors the legacy overwrite up to
+        // the declared quantization error.
+        decode_pair_into(body, &mut own.out, &mut own.r#in)
+    }
+}

@@ -1,0 +1,109 @@
+//! Sparse and diff encodings of a [`QTable`], shared by the delta and
+//! priority codecs.
+//!
+//! Entries are addressed by flat index `s.index() * NUM_STATES +
+//! a.index()` (a `u16`: tables have 81×81 = 6561 entries) and always
+//! written in ascending index order, so identical tables encode to
+//! identical bytes.
+
+use glap_qlearn::{QTable, NUM_STATES};
+use glap_snapshot::{Reader, SnapshotError, Writer};
+
+/// Flat entries per table.
+pub(crate) const TABLE_ENTRIES: usize = NUM_STATES * NUM_STATES;
+
+/// `u32 count, count × (u16 index, f64 value)` over all visited entries.
+pub(crate) fn put_sparse(w: &mut Writer, t: &QTable) {
+    let visited = t.raw_visited();
+    let values = t.raw_values();
+    w.put_u32(t.visited_count() as u32);
+    for i in 0..TABLE_ENTRIES {
+        if visited[i] {
+            w.put_u16(i as u16);
+            w.put_f64(values[i]);
+        }
+    }
+}
+
+/// Applies a sparse block onto `t`: every listed entry is set (and marked
+/// visited). Entries absent from the block are left untouched.
+pub(crate) fn get_sparse_into(r: &mut Reader<'_>, t: &mut QTable) -> Result<(), SnapshotError> {
+    let count = r.get_u32()? as usize;
+    if count > TABLE_ENTRIES {
+        return Err(SnapshotError::Corrupt(format!(
+            "sparse table claims {count} entries (max {TABLE_ENTRIES})"
+        )));
+    }
+    for _ in 0..count {
+        let i = r.get_u16()? as usize;
+        if i >= TABLE_ENTRIES {
+            return Err(SnapshotError::Corrupt(format!(
+                "sparse table entry index {i} out of range"
+            )));
+        }
+        t.set_index(i, r.get_f64()?);
+    }
+    Ok(())
+}
+
+/// Diff of `new` against `old`:
+/// `u32 n_removed, n_removed × u16 index, u32 n_upserts, n_upserts ×
+/// (u16 index, f64 value)`.
+///
+/// Removals (visited in `old`, not in `new`) are rare — a node's visited
+/// set only shrinks when a push–pull reply overwrites interleaved merges —
+/// but encoding them keeps baseline reconstruction exact in every
+/// interleaving, which the delta codec's losslessness depends on.
+pub(crate) fn put_diff(w: &mut Writer, new: &QTable, old: &QTable) {
+    let (nv, nb) = (new.raw_values(), new.raw_visited());
+    let (ov, ob) = (old.raw_values(), old.raw_visited());
+    let n_removed = (0..TABLE_ENTRIES).filter(|&i| ob[i] && !nb[i]).count();
+    w.put_u32(n_removed as u32);
+    for i in 0..TABLE_ENTRIES {
+        if ob[i] && !nb[i] {
+            w.put_u16(i as u16);
+        }
+    }
+    let n_upserts = (0..TABLE_ENTRIES)
+        .filter(|&i| nb[i] && (!ob[i] || nv[i].to_bits() != ov[i].to_bits()))
+        .count();
+    w.put_u32(n_upserts as u32);
+    for i in 0..TABLE_ENTRIES {
+        if nb[i] && (!ob[i] || nv[i].to_bits() != ov[i].to_bits()) {
+            w.put_u16(i as u16);
+            w.put_f64(nv[i]);
+        }
+    }
+}
+
+/// Reconstructs `base` + diff into a fresh table: base entries not listed
+/// as removed, then upserts applied on top. Bitwise-exact inverse of
+/// [`put_diff`] (`get_diff(base, diff(new, base)) == new`).
+pub(crate) fn get_diff(r: &mut Reader<'_>, base: &QTable) -> Result<QTable, SnapshotError> {
+    let n_removed = r.get_u32()? as usize;
+    if n_removed > TABLE_ENTRIES {
+        return Err(SnapshotError::Corrupt(format!(
+            "diff claims {n_removed} removals (max {TABLE_ENTRIES})"
+        )));
+    }
+    let mut removed = Vec::with_capacity(n_removed);
+    for _ in 0..n_removed {
+        let i = r.get_u16()? as usize;
+        if i >= TABLE_ENTRIES {
+            return Err(SnapshotError::Corrupt(format!(
+                "diff removal index {i} out of range"
+            )));
+        }
+        removed.push(i);
+    }
+    let mut out = QTable::new();
+    let (bv, bb) = (base.raw_values(), base.raw_visited());
+    for i in 0..TABLE_ENTRIES {
+        if bb[i] && removed.binary_search(&i).is_err() {
+            out.set_index(i, bv[i]);
+        }
+    }
+    // The upsert half of a diff shares the sparse-block wire shape.
+    get_sparse_into(r, &mut out)?;
+    Ok(out)
+}

@@ -1,0 +1,419 @@
+//! Unit and property tests for the codec crate.
+//!
+//! The reference semantics every codec is measured against is the legacy
+//! dense push–pull: the responder merges symmetrically, the initiator
+//! adopts the merged pair wholesale.
+
+use crate::quantized::{decode_table_into, encode_table};
+use crate::*;
+use glap_qlearn::{QTable, QTablePair, NUM_STATES};
+use glap_snapshot::{Checkpointable, Reader, Writer};
+use proptest::prelude::*;
+
+const ENTRIES: usize = NUM_STATES * NUM_STATES;
+
+fn build_table(entries: &[(usize, f64)]) -> QTable {
+    let mut t = QTable::new();
+    for &(i, v) in entries {
+        t.set_index(i % ENTRIES, v);
+    }
+    t
+}
+
+fn build_pair(out: &[(usize, f64)], r#in: &[(usize, f64)]) -> QTablePair {
+    QTablePair {
+        out: build_table(out),
+        r#in: build_table(r#in),
+        ..QTablePair::default()
+    }
+}
+
+fn pair_bytes(p: &QTablePair) -> Vec<u8> {
+    let mut w = Writer::new();
+    p.save(&mut w);
+    w.into_bytes()
+}
+
+/// The legacy exchange: B merges symmetrically, A adopts the merged pair.
+fn legacy_exchange(a: &mut QTablePair, b: &mut QTablePair) {
+    let mut incoming = a.clone();
+    QTablePair::merge_symmetric(b, &mut incoming);
+    *a = incoming;
+}
+
+/// One full codec-mediated exchange A→B; returns (push, reply) bodies.
+fn codec_exchange(
+    ca: &mut AnyCodec,
+    cb: &mut AnyCodec,
+    a: &mut QTablePair,
+    b: &mut QTablePair,
+) -> (Vec<u8>, Vec<u8>) {
+    let push = ca.encode_push(1, a);
+    let reply = cb.apply_push(0, b, &push).expect("apply_push");
+    ca.apply_reply(1, a, &reply).expect("apply_reply");
+    (push, reply)
+}
+
+fn entry_strategy() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..ENTRIES, -5.0f64..5.0), 0..150)
+}
+
+#[test]
+fn header_round_trips_and_rejects_garbage() {
+    let mut w = Writer::new();
+    CodedHeader::write(CodecKind::Quantized, subtag::QUANT, 0.25, &mut w);
+    let body = w.into_bytes();
+    assert_eq!(body.len(), CodedHeader::LEN);
+    let h = CodedHeader::peek(&body).unwrap();
+    assert_eq!(h.kind, CodecKind::Quantized);
+    assert_eq!(h.subtag, subtag::QUANT);
+    assert_eq!(h.err_bound, 0.25);
+
+    let mut bad = body.clone();
+    bad[0] = 99; // version
+    assert!(CodedHeader::peek(&bad).is_err());
+    let mut bad = body.clone();
+    bad[1] = 7; // kind
+    assert!(CodedHeader::peek(&bad).is_err());
+    let mut bad = body.clone();
+    bad[2] = 42; // subtag
+    assert!(CodedHeader::peek(&bad).is_err());
+    assert!(CodedHeader::peek(&body[..4]).is_err()); // truncated
+}
+
+#[test]
+fn codec_kind_labels_round_trip() {
+    for kind in ALL_CODEC_KINDS {
+        assert_eq!(kind.label().parse::<CodecKind>().unwrap(), kind);
+        assert_eq!(CodecKind::from_u8(kind.as_u8()), Some(kind));
+    }
+    assert!("zstd".parse::<CodecKind>().is_err());
+}
+
+#[test]
+fn identity_payload_len_is_dense_and_constant() {
+    let len = identity_payload_len();
+    // Dense pair: 2 tables × (6561 f64 + 6561 bool bitmap) dominate.
+    assert!(len > 2 * ENTRIES * 8);
+    assert_eq!(len, identity_payload_len());
+}
+
+#[test]
+fn delta_first_contact_then_delta_then_fallback() {
+    let mut a = build_pair(&[(0, 1.0), (100, -2.0)], &[(7, 0.5)]);
+    let mut b = build_pair(&[(0, 3.0)], &[(9, 1.5)]);
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::FULL);
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+
+    a.out.set_index(200, 4.0);
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::DELTA);
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+    // A tiny change costs a tiny payload.
+    assert!(push.len() < identity_payload_len() / 100);
+
+    // B loses its codec state: the next delta push must fall back.
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    a.out.set_index(300, 5.0);
+    let before_b = b.clone();
+    let (push, reply) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::DELTA);
+    assert_eq!(
+        CodedHeader::peek(&reply).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    // The responder did not merge the stale push...
+    assert_eq!(pair_bytes(&b), pair_bytes(&before_b));
+    // ...and the next exchange resynchronizes losslessly.
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::FULL);
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+}
+
+#[test]
+fn delta_reply_overwrites_interleaved_merges_like_legacy() {
+    // A pushes to B; before the reply lands, C's exchange merges into A.
+    // Legacy semantics: the reply overwrites A with the A–B merge,
+    // discarding the C merge. The delta codec must reproduce that exactly.
+    let mut a = build_pair(&[(1, 1.0), (2, 2.0)], &[]);
+    let mut b = build_pair(&[(2, 4.0), (3, 3.0)], &[]);
+    let mut c = build_pair(&[(4, -1.0)], &[(5, 2.5)]);
+
+    let mut la = a.clone();
+    let mut lb = b.clone();
+    let mut lc = c.clone();
+
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    let mut cc = AnyCodec::new(CodecKind::Delta);
+
+    // Establish baselines so the interesting second round uses diffs.
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    legacy_exchange(&mut la, &mut lb);
+    a.out.set_index(10, 7.0);
+    la.out.set_index(10, 7.0);
+
+    // Interleaved: A's push to B is encoded, then C pushes into A, then
+    // B's reply lands at A.
+    let push_ab = ca.encode_push(1, &a);
+    let push_ca = cc.encode_push(0, &c);
+    let reply_ac = ca.apply_push(2, &mut a, &push_ca).unwrap();
+    cc.apply_reply(0, &mut c, &reply_ac).unwrap();
+    let reply_ab = cb.apply_push(0, &mut b, &push_ab).unwrap();
+    ca.apply_reply(1, &mut a, &reply_ab).unwrap();
+
+    // Legacy with the same interleaving.
+    let la_at_push = la.clone();
+    legacy_exchange(&mut lc, &mut la);
+    let mut incoming = la_at_push;
+    QTablePair::merge_symmetric(&mut lb, &mut incoming);
+    la = incoming;
+
+    assert_eq!(pair_bytes(&a), pair_bytes(&la));
+    assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+    assert_eq!(pair_bytes(&c), pair_bytes(&lc));
+
+    // The overwrite dropped C's entries from A, but A's baseline with C
+    // still has them — the next A→C diff must encode removals to stay
+    // bitwise faithful to legacy.
+    let push_ac = ca.encode_push(2, &a);
+    let reply_ca = cc.apply_push(0, &mut c, &push_ac).unwrap();
+    ca.apply_reply(2, &mut a, &reply_ca).unwrap();
+    legacy_exchange(&mut la, &mut lc);
+    assert_eq!(pair_bytes(&a), pair_bytes(&la));
+    assert_eq!(pair_bytes(&c), pair_bytes(&lc));
+
+    // And the next A–B delta exchange still reproduces legacy bitwise.
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    legacy_exchange(&mut la, &mut lb);
+    assert_eq!(pair_bytes(&a), pair_bytes(&la));
+    assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+}
+
+#[test]
+fn delta_state_checkpoint_round_trips() {
+    let mut a = build_pair(&[(1, 1.0)], &[(2, -2.0)]);
+    let mut b = build_pair(&[(3, 3.0)], &[]);
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+
+    let mut w = Writer::new();
+    ca.save(&mut w);
+    let bytes = w.into_bytes();
+    let mut restored = AnyCodec::new(CodecKind::Delta);
+    let mut r = Reader::new(&bytes);
+    restored.restore(&mut r).unwrap();
+    assert!(r.is_exhausted());
+    let mut w2 = Writer::new();
+    restored.save(&mut w2);
+    assert_eq!(bytes, w2.into_bytes());
+
+    // Restoring into the wrong kind is rejected.
+    let mut wrong = AnyCodec::new(CodecKind::Priority);
+    assert!(wrong.restore(&mut Reader::new(&bytes)).is_err());
+
+    // The restored codec continues losslessly where the original would.
+    a.out.set_index(50, 9.0);
+    let mut la = a.clone();
+    let mut lb = b.clone();
+    codec_exchange(&mut restored, &mut cb, &mut a, &mut b);
+    legacy_exchange(&mut la, &mut lb);
+    assert_eq!(pair_bytes(&a), pair_bytes(&la));
+    assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+}
+
+#[test]
+fn priority_rotates_regions_and_converges() {
+    let mut a = QTablePair::default();
+    let mut b = QTablePair::default();
+    for i in 0..ENTRIES {
+        if i % 3 == 0 {
+            a.out.set_index(i, i as f64 * 0.01);
+        }
+        if i % 5 == 0 {
+            a.r#in.set_index(i, -(i as f64) * 0.02);
+        }
+    }
+    let mut ca = AnyCodec::new(CodecKind::Priority);
+    let mut cb = AnyCodec::new(CodecKind::Priority);
+
+    // First contact ships the full table.
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::FULL);
+    assert_eq!(b.out.visited_count(), a.out.visited_count());
+
+    // Diverge every row, then let top-k rotation catch B up.
+    for i in 0..ENTRIES {
+        if i % 3 == 0 {
+            a.out.set_index(i, i as f64 * 0.01 + 1.0);
+        }
+    }
+    let rounds = NUM_REGIONS / DEFAULT_PRIORITY_REGIONS + 2;
+    let mut regions_pushed = Vec::new();
+    for _ in 0..rounds {
+        let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        let h = CodedHeader::peek(&push).unwrap();
+        assert_eq!(h.subtag, subtag::REGIONS);
+        // Payloads stay small relative to the dense exchange.
+        assert!(push.len() < identity_payload_len() / 4);
+        regions_pushed.push(push.len());
+    }
+    // Every entry A knows is now at B…
+    for i in 0..ENTRIES {
+        if a.out.raw_visited()[i] {
+            assert!(b.out.raw_visited()[i], "entry {i} never reached B");
+        }
+    }
+    // …and both sides agree (each divergent region was pushed, merged,
+    // and adopted back).
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+    // Late rounds degrade to near-empty payloads once synced.
+    assert!(regions_pushed.last().unwrap() < regions_pushed.first().unwrap());
+}
+
+#[test]
+fn quantized_table_block_respects_declared_error() {
+    let t = build_table(&[(0, 1.0), (1, 1.0 + 1e-7), (80, -3.0), (6560, 1000.0)]);
+    let (block, err) = encode_table(&t);
+    let mut d = QTable::new();
+    decode_table_into(&block, &mut d).unwrap();
+    assert_eq!(d.visited_count(), t.visited_count());
+    for i in 0..ENTRIES {
+        if t.raw_visited()[i] {
+            let diff = (t.raw_values()[i] - d.raw_values()[i]).abs();
+            assert!(diff <= err, "entry {i}: {diff} > declared {err}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identity codec exchanges are bitwise the legacy exchange.
+    #[test]
+    fn identity_exchange_is_lossless(
+        ao in entry_strategy(), ai in entry_strategy(),
+        bo in entry_strategy(), bi in entry_strategy(),
+    ) {
+        let mut a = build_pair(&ao, &ai);
+        let mut b = build_pair(&bo, &bi);
+        let mut la = a.clone();
+        let mut lb = b.clone();
+        let mut ca = AnyCodec::new(CodecKind::Identity);
+        let mut cb = AnyCodec::new(CodecKind::Identity);
+        codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        legacy_exchange(&mut la, &mut lb);
+        prop_assert_eq!(pair_bytes(&a), pair_bytes(&la));
+        prop_assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+    }
+
+    /// Delta exchanges — full, then diffs across mutations — reproduce the
+    /// legacy exchange down to snapshot bytes.
+    #[test]
+    fn delta_exchanges_are_lossless(
+        ao in entry_strategy(), ai in entry_strategy(),
+        bo in entry_strategy(), bi in entry_strategy(),
+        m1 in entry_strategy(), m2 in entry_strategy(),
+    ) {
+        let mut a = build_pair(&ao, &ai);
+        let mut b = build_pair(&bo, &bi);
+        let mut la = a.clone();
+        let mut lb = b.clone();
+        let mut ca = AnyCodec::new(CodecKind::Delta);
+        let mut cb = AnyCodec::new(CodecKind::Delta);
+        for muts in [&m1, &m2] {
+            codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+            legacy_exchange(&mut la, &mut lb);
+            prop_assert_eq!(pair_bytes(&a), pair_bytes(&la));
+            prop_assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+            for &(i, v) in muts.iter() {
+                a.out.set_index(i % ENTRIES, v);
+                la.out.set_index(i % ENTRIES, v);
+            }
+        }
+        codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        legacy_exchange(&mut la, &mut lb);
+        prop_assert_eq!(pair_bytes(&a), pair_bytes(&la));
+        prop_assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+    }
+
+    /// Quantized blocks decode within the declared max-error bound.
+    #[test]
+    fn quantized_within_declared_bound(entries in entry_strategy()) {
+        let t = build_table(&entries);
+        let (block, err) = encode_table(&t);
+        let mut d = QTable::new();
+        decode_table_into(&block, &mut d).unwrap();
+        prop_assert_eq!(d.visited_count(), t.visited_count());
+        for i in 0..ENTRIES {
+            if t.raw_visited()[i] {
+                prop_assert!(d.raw_visited()[i]);
+                let diff = (t.raw_values()[i] - d.raw_values()[i]).abs();
+                prop_assert!(diff <= err, "entry {}: {} > declared {}", i, diff, err);
+            }
+        }
+        // And the full exchange declares the same bound in its header.
+        let pair = build_pair(&entries, &entries);
+        let mut ca = AnyCodec::new(CodecKind::Quantized);
+        let body = ca.encode_push(1, &pair);
+        let h = CodedHeader::peek(&body).unwrap();
+        prop_assert!(h.err_bound >= err);
+    }
+
+    /// Priority gossip is eventually complete: the union of enough
+    /// exchanges covers every entry the sender knows.
+    #[test]
+    fn priority_eventually_complete(
+        ao in entry_strategy(), ai in entry_strategy(),
+        bo in entry_strategy(), bi in entry_strategy(),
+        muts in entry_strategy(),
+    ) {
+        let mut a = build_pair(&ao, &ai);
+        let mut b = build_pair(&bo, &bi);
+        let mut ca = AnyCodec::new(CodecKind::Priority);
+        let mut cb = AnyCodec::new(CodecKind::Priority);
+        codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        for &(i, v) in &muts {
+            a.out.set_index(i % ENTRIES, v);
+            a.r#in.set_index((i * 7) % ENTRIES, -v);
+        }
+        let rounds = NUM_REGIONS / DEFAULT_PRIORITY_REGIONS + 2;
+        for _ in 0..rounds {
+            codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        }
+        for i in 0..ENTRIES {
+            if a.out.raw_visited()[i] {
+                prop_assert!(b.out.raw_visited()[i], "out entry {} never reached B", i);
+            }
+            if a.r#in.raw_visited()[i] {
+                prop_assert!(b.r#in.raw_visited()[i], "in entry {} never reached B", i);
+            }
+        }
+        prop_assert_eq!(pair_bytes(&a), pair_bytes(&b));
+    }
+
+    /// The sim-path fleet helper mirrors the pairwise exchange exactly.
+    #[test]
+    fn fleet_complete_matches_pairwise(
+        ao in entry_strategy(), bo in entry_strategy(),
+    ) {
+        let tables = vec![build_pair(&ao, &[]), build_pair(&bo, &[])];
+        let mut fleet = FleetCodecs::new(2, CodecKind::Delta);
+        let mut fleet_tables = tables.clone();
+        let push = fleet.encode_push(0, 1, &fleet_tables);
+        fleet.complete(0, 1, &mut fleet_tables, &push).unwrap();
+
+        let mut a = tables[0].clone();
+        let mut b = tables[1].clone();
+        let mut ca = AnyCodec::new(CodecKind::Delta);
+        let mut cb = AnyCodec::new(CodecKind::Delta);
+        codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+        prop_assert_eq!(pair_bytes(&fleet_tables[0]), pair_bytes(&a));
+        prop_assert_eq!(pair_bytes(&fleet_tables[1]), pair_bytes(&b));
+    }
+}

@@ -8,6 +8,7 @@
 //! per-pair value converges (to a normal distribution around the mean of
 //! the contributions); Figure 5 measures convergence as cosine similarity.
 
+use glap_codec::{subtag, CodedHeader, FleetCodecs};
 use glap_cyclon::CyclonOverlay;
 use glap_dcsim::NetworkModel;
 use glap_qlearn::QTablePair;
@@ -52,6 +53,14 @@ pub struct AggIo<'a> {
     /// randomness — the merge outcome for any seed is identical with or
     /// without it.
     pub tracer: Option<&'a Tracer>,
+    /// Payload codec state: when present, every exchange is encoded
+    /// through the per-PM codecs (actual bytes on the wire replace the
+    /// entry-count estimate, and `codec.*` counters are accounted).
+    /// `None` — the default — keeps the legacy verbatim-merge path
+    /// bit-identical. Callers pass codecs only for non-identity kinds:
+    /// an identity `FleetCodecs` merges to identical tables but accounts
+    /// dense payload bytes instead of the estimate.
+    pub codec: Option<&'a mut FleetCodecs>,
 }
 
 impl<'a> AggIo<'a> {
@@ -59,15 +68,15 @@ impl<'a> AggIo<'a> {
     pub fn net(net: &'a mut NetworkModel) -> Self {
         AggIo {
             net: Some(net),
-            tracer: None,
+            ..AggIo::default()
         }
     }
 
     /// An ideal-network round with an event tracer.
     pub fn traced(tracer: &'a Tracer) -> Self {
         AggIo {
-            net: None,
             tracer: Some(tracer),
+            ..AggIo::default()
         }
     }
 
@@ -76,6 +85,39 @@ impl<'a> AggIo<'a> {
         AggIo {
             net: Some(net),
             tracer: Some(tracer),
+            ..AggIo::default()
+        }
+    }
+
+    /// Routes every exchange through `codecs` (builder-style).
+    pub fn with_codec(mut self, codecs: &'a mut FleetCodecs) -> Self {
+        self.codec = Some(codecs);
+        self
+    }
+}
+
+/// Accounts `codec.*` counters for one coded payload body: bytes saved
+/// versus the dense identity payload, full-table and stale-fallback
+/// counts, and the running maximum declared quantization error (stored
+/// as a monotone counter in units of 1e-9).
+fn account_codec_payload(tracer: &Tracer, body: &[u8]) {
+    let Ok(header) = CodedHeader::peek(body) else {
+        return;
+    };
+    let identity = glap_codec::identity_payload_len() as u64;
+    let wire = (body.len() + glap_codec::WIRE_OVERHEAD) as u64;
+    tracer.add("codec.payloads", 1);
+    tracer.add("codec.bytes_saved", identity.saturating_sub(wire));
+    match header.subtag {
+        subtag::FULL => tracer.add("codec.full_payloads", 1),
+        subtag::STALE_FULL => tracer.add("codec.fallbacks", 1),
+        _ => {}
+    }
+    if header.err_bound > 0.0 {
+        let scaled = (header.err_bound * 1e9).ceil() as u64;
+        let prev = tracer.counter_total("codec.q_err_max_1e9");
+        if scaled > prev {
+            tracer.add("codec.q_err_max_1e9", scaled - prev);
         }
     }
 }
@@ -101,7 +143,11 @@ pub fn aggregation_round<R: Rng>(
     rng: &mut R,
     io: AggIo<'_>,
 ) -> AggregationRoundStats {
-    let AggIo { mut net, tracer } = io;
+    let AggIo {
+        mut net,
+        tracer,
+        mut codec,
+    } = io;
     let n = tables.len();
     let mut stats = AggregationRoundStats::default();
     let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
@@ -137,15 +183,31 @@ pub fn aggregation_round<R: Rng>(
                     continue;
                 }
             }
+            // Coded exchanges encode at attempt time: the push leg is
+            // transmitted (and its bytes spent, its codec state
+            // advanced) whether or not delivery succeeds.
+            let push = codec
+                .as_deref_mut()
+                .map(|codecs| codecs.encode_push(p as usize, q as usize, tables));
             if let Some(tracer) = tracer {
                 if tracer.is_on() {
                     // Unified wire accounting: the push leg carrying p's
                     // trained set is transmitted at attempt time.
                     tracer.add("net.msgs", 1);
-                    tracer.add(
-                        "net.bytes_tx",
-                        tables[p as usize].trained_pairs() as u64 * ENTRY_BYTES,
-                    );
+                    match &push {
+                        // Actual bytes on the wire (body + framing).
+                        Some(body) => {
+                            tracer.add(
+                                "net.bytes_tx",
+                                (body.len() + glap_codec::WIRE_OVERHEAD) as u64,
+                            );
+                            account_codec_payload(tracer, body);
+                        }
+                        None => tracer.add(
+                            "net.bytes_tx",
+                            tables[p as usize].trained_pairs() as u64 * ENTRY_BYTES,
+                        ),
+                    }
                 }
             }
             let delivered = match net.as_deref_mut() {
@@ -153,24 +215,50 @@ pub fn aggregation_round<R: Rng>(
                 None => true,
             };
             if delivered {
-                if let Some(tracer) = tracer {
-                    if tracer.is_on() {
-                        // Push–pull ships both trained sets, one per leg.
-                        let p_pairs = tables[p as usize].trained_pairs() as u64;
-                        let q_pairs = tables[q as usize].trained_pairs() as u64;
-                        let pairs = p_pairs + q_pairs;
-                        tracer.add("agg.bytes", pairs * ENTRY_BYTES);
-                        tracer.add("agg.merges", 1);
-                        // Pull leg completes the round trip.
-                        tracer.add("net.msgs", 1);
-                        tracer.add("net.bytes_tx", q_pairs * ENTRY_BYTES);
-                        tracer.add("net.bytes_rx", pairs * ENTRY_BYTES);
+                match (codec.as_deref_mut(), push) {
+                    (Some(codecs), Some(push)) => {
+                        let reply = codecs
+                            .complete(p as usize, q as usize, tables, &push)
+                            .expect("codec produced an unappliable payload");
+                        if let Some(tracer) = tracer {
+                            if tracer.is_on() {
+                                let push_bytes = (push.len() + glap_codec::WIRE_OVERHEAD) as u64;
+                                let reply_bytes = (reply.len() + glap_codec::WIRE_OVERHEAD) as u64;
+                                tracer.add("agg.bytes", push_bytes + reply_bytes);
+                                tracer.add("agg.merges", 1);
+                                // Pull leg completes the round trip.
+                                tracer.add("net.msgs", 1);
+                                tracer.add("net.bytes_tx", reply_bytes);
+                                tracer.add("net.bytes_rx", push_bytes + reply_bytes);
+                                account_codec_payload(tracer, &reply);
+                            }
+                            tracer.emit(EventKind::MergeApplied { a: p, b: q });
+                        }
                     }
-                    tracer.emit(EventKind::MergeApplied { a: p, b: q });
+                    _ => {
+                        if let Some(tracer) = tracer {
+                            if tracer.is_on() {
+                                // Push–pull ships both trained sets, one per leg.
+                                let p_pairs = tables[p as usize].trained_pairs() as u64;
+                                let q_pairs = tables[q as usize].trained_pairs() as u64;
+                                let pairs = p_pairs + q_pairs;
+                                tracer.add("agg.bytes", pairs * ENTRY_BYTES);
+                                tracer.add("agg.merges", 1);
+                                // Pull leg completes the round trip.
+                                tracer.add("net.msgs", 1);
+                                tracer.add("net.bytes_tx", q_pairs * ENTRY_BYTES);
+                                tracer.add("net.bytes_rx", pairs * ENTRY_BYTES);
+                            }
+                            tracer.emit(EventKind::MergeApplied { a: p, b: q });
+                        }
+                        merge_pair(tables, p as usize, q as usize);
+                    }
                 }
-                merge_pair(tables, p as usize, q as usize);
                 stats.merges += 1;
                 break;
+            }
+            if let Some(codecs) = codec.as_deref_mut() {
+                codecs.push_failed(p as usize, q as usize);
             }
             stats.dropped += 1;
             if let Some(tracer) = tracer {
@@ -357,6 +445,64 @@ mod tests {
             (exact - sampled).abs() < 0.2,
             "exact {exact} sampled {sampled}"
         );
+    }
+
+    fn table_bytes(t: &QTablePair) -> Vec<u8> {
+        use glap_snapshot::Checkpointable;
+        let mut w = glap_snapshot::Writer::new();
+        t.save(&mut w);
+        w.into_bytes()
+    }
+
+    fn run_rounds(n: usize, codec: Option<glap_codec::CodecKind>, lossy: bool) -> Vec<QTablePair> {
+        use glap_dcsim::FaultProfile;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let mut codecs = codec.map(|k| FleetCodecs::new(n, k));
+        let mut net = lossy.then(|| NetworkModel::new(n, FaultProfile::lossy(0.2), 77));
+        for _ in 0..10 {
+            o.run_round(&mut rng, RoundIo::default());
+            let mut io = AggIo::default();
+            if let Some(net) = net.as_mut() {
+                io.net = Some(net);
+            }
+            if let Some(codecs) = codecs.as_mut() {
+                io = io.with_codec(codecs);
+            }
+            aggregation_round(&mut tables, &mut o, &mut rng, io);
+        }
+        tables
+    }
+
+    #[test]
+    fn delta_coded_rounds_match_legacy_bitwise() {
+        // The delta codec is lossless and its exchange semantics mirror
+        // the legacy symmetric merge, so coded sim-path rounds must be
+        // bit-identical — tables included — for the same RNG draws.
+        for lossy in [false, true] {
+            let legacy = run_rounds(24, None, lossy);
+            let delta = run_rounds(24, Some(glap_codec::CodecKind::Delta), lossy);
+            for (a, b) in legacy.iter().zip(&delta) {
+                assert_eq!(table_bytes(a), table_bytes(b), "lossy={lossy}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_codecs_still_drive_similarity_up() {
+        use glap_codec::CodecKind;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let o = overlay(24, &mut rng);
+        for kind in [CodecKind::Quantized, CodecKind::Priority] {
+            let tables = run_rounds(24, Some(kind), false);
+            let sim = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+            assert!(sim > 0.999, "{kind}: similarity after coded rounds {sim}");
+            for t in &tables {
+                assert!(t.out.raw_values().iter().all(|v| v.is_finite()));
+                assert!(t.r#in.raw_values().iter().all(|v| v.is_finite()));
+            }
+        }
     }
 
     #[test]

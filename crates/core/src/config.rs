@@ -1,5 +1,6 @@
 //! GLAP configuration.
 
+use glap_codec::CodecKind;
 use glap_qlearn::QParams;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,9 @@ pub struct GlapConfig {
     pub cyclon_cache: usize,
     /// Cyclon shuffle length.
     pub cyclon_shuffle: usize,
+    /// Payload codec for aggregation-phase table exchanges. The default
+    /// ([`CodecKind::Identity`]) keeps the legacy bit-exact wire behavior.
+    pub codec: CodecKind,
 }
 
 impl Default for GlapConfig {
@@ -41,6 +45,7 @@ impl Default for GlapConfig {
             profile_duplication: 2,
             cyclon_cache: 8,
             cyclon_shuffle: 4,
+            codec: CodecKind::default(),
         }
     }
 }

@@ -61,6 +61,7 @@ pub use trainer::{
 // Workspace-level re-exports: the protocol stack a consumer of `glap`
 // almost always needs next, reachable as `glap::cyclon::…` etc. instead
 // of a four-crate dependency list.
+pub use glap_codec as codec;
 pub use glap_cyclon as cyclon;
 pub use glap_dcsim as dcsim;
 pub use glap_qlearn as qlearn;
@@ -84,6 +85,7 @@ pub mod prelude {
         train, train_instrumented, train_traced, train_traced_with_threads, train_unified,
         unified_table, TrainPhase, TrainReport,
     };
+    pub use glap_codec::{AnyCodec, CodecKind, FleetCodecs, TableCodec};
     pub use glap_cyclon::{CyclonNode, CyclonOverlay, Descriptor, PendingShuffle, RoundIo};
     pub use glap_dcsim::{
         node_rng, restore_rng, run_simulation, run_simulation_resumable, run_simulation_traced,

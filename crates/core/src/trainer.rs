@@ -13,6 +13,7 @@ use crate::learning::{
     local_train_with, required_duplication,
 };
 use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
+use glap_codec::{CodecKind, FleetCodecs};
 use glap_cyclon::{CyclonNode, CyclonOverlay, RoundIo};
 use glap_dcsim::{stream_rng, SimRng, Stream};
 use glap_par::parallel_for_each_timed;
@@ -353,6 +354,10 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
 
     // ---- Aggregation phase (WG) ------------------------------------
     tracer.set_phase(Phase::Aggregation);
+    // Per-PM codec state persists across the whole phase (deltas diff
+    // against the last completed exchange). Identity stays on the
+    // legacy verbatim-merge path — bit-identical tables and telemetry.
+    let mut codecs = (cfg.codec != CodecKind::Identity).then(|| FleetCodecs::new(n, cfg.codec));
     for round in 0..cfg.aggregation_rounds {
         let _round_span = profiler.span("agg_round");
         tracer.begin_round(round as u64);
@@ -362,12 +367,11 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
         }
         {
             let _s = profiler.span("merge");
-            aggregation_round(
-                &mut tables,
-                &mut overlay,
-                &mut learn_rng,
-                AggIo::traced(tracer),
-            );
+            let mut io = AggIo::traced(tracer);
+            if let Some(codecs) = codecs.as_mut() {
+                io = io.with_codec(codecs);
+            }
+            aggregation_round(&mut tables, &mut overlay, &mut learn_rng, io);
         }
         if record_similarity {
             let _s = profiler.span("similarity");
@@ -455,9 +459,14 @@ pub fn retrain_in_place<R: Rng>(
             local_train(table, &profiles, cfg.learning_iterations, rng);
         }
     }
+    let mut codecs = (cfg.codec != CodecKind::Identity).then(|| FleetCodecs::new(n, cfg.codec));
     for _ in 0..cfg.aggregation_rounds {
         overlay.run_round(rng, RoundIo::default());
-        aggregation_round(&mut tables, &mut overlay, rng, AggIo::default());
+        let mut io = AggIo::default();
+        if let Some(codecs) = codecs.as_mut() {
+            io = io.with_codec(codecs);
+        }
+        aggregation_round(&mut tables, &mut overlay, rng, io);
     }
     unified_table(&tables)
 }

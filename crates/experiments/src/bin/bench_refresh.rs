@@ -4,7 +4,8 @@
 //!
 //! * `BENCH_profile.json`  — the perf-gate suite (what `perf_gate` reads);
 //! * `BENCH_hotpath.json`  — the four hot loops at 1024/4096 PMs;
-//! * `BENCH_snapshot.json` — checkpoint encode/decode/restore/CRC.
+//! * `BENCH_snapshot.json` — checkpoint encode/decode/restore/CRC;
+//! * `BENCH_codec.json`    — gossip payload codec encode/exchange costs.
 //!
 //! ```text
 //! bench_refresh                       # all suites, 300ms budget each
@@ -16,7 +17,9 @@
 //! class of machine CI runs on, and re-refresh after intentional
 //! performance changes so the gate tracks the new normal.
 
-use glap_experiments::{git_rev, hotpath_records, parse_or_exit, run_suite, snapshot_records};
+use glap_experiments::{
+    codec_records, git_rev, hotpath_records, parse_or_exit, run_suite, snapshot_records,
+};
 use glap_profile::Baseline;
 use std::path::Path;
 
@@ -56,6 +59,7 @@ fn main() {
         ("profile", run_suite(budget)),
         ("hotpath", hotpath_records(budget)),
         ("snapshot", snapshot_records(budget)),
+        ("codec", codec_records(budget)),
     ] {
         let baseline = Baseline {
             suite: suite.to_string(),

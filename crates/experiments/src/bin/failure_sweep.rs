@@ -60,6 +60,9 @@ struct CellResult {
     migrations: u64,
     mean_active: f64,
     convergence_rounds: usize,
+    /// Gossip bytes pushed / received during the convergence run.
+    bytes_tx: u64,
+    bytes_rx: u64,
     delivered_frac: f64,
 }
 
@@ -79,25 +82,44 @@ fn divergent_table(rng: &mut impl Rng) -> QTablePair {
 }
 
 /// Aggregation rounds until fully divergent tables reach 0.999 mean
-/// pairwise cosine similarity over `profile`, or the cap.
-fn convergence_rounds(n: usize, profile: &FaultProfile, seed: u64) -> usize {
+/// pairwise cosine similarity over `profile`, or the cap — plus the
+/// gossip bytes pushed (`net.bytes_tx`) and received (`net.bytes_rx`)
+/// getting there, under the configured payload codec.
+fn convergence_rounds(
+    n: usize,
+    profile: &FaultProfile,
+    seed: u64,
+    codec: CodecKind,
+) -> (usize, u64, u64) {
     let mut rng = stream_rng(seed, Stream::Custom(77));
     let mut overlay = CyclonOverlay::new(n, 8, 4);
     overlay.bootstrap_random(&mut rng);
     let mut tables: Vec<QTablePair> = (0..n).map(|_| divergent_table(&mut rng)).collect();
     let mut net = NetworkModel::new(n, profile.clone(), seed);
+    let tracer = Tracer::counting();
+    let mut codecs = (codec != CodecKind::Identity).then(|| FleetCodecs::new(n, codec));
+    let mut rounds = CONVERGENCE_CAP;
     for round in 0..CONVERGENCE_CAP {
         if mean_pairwise_similarity(&tables, &overlay, usize::MAX, &mut rng) > 0.999 {
-            return round;
+            rounds = round;
+            break;
         }
         net.begin_round(round as u64);
         overlay.run_round(
             &mut rng,
             RoundIo::contact(&mut |a, b| net.request(a, b).is_ok()),
         );
-        aggregation_round(&mut tables, &mut overlay, &mut rng, AggIo::net(&mut net));
+        let mut io = AggIo::full(&mut net, &tracer);
+        if let Some(codecs) = codecs.as_mut() {
+            io = io.with_codec(codecs);
+        }
+        aggregation_round(&mut tables, &mut overlay, &mut rng, io);
     }
-    CONVERGENCE_CAP
+    (
+        rounds,
+        tracer.counter_total("net.bytes_tx"),
+        tracer.counter_total("net.bytes_rx"),
+    )
 }
 
 fn run_cell(sc: &Scenario) -> CellResult {
@@ -123,6 +145,8 @@ fn run_cell(sc: &Scenario) -> CellResult {
     } else {
         net.stats.delivered as f64 / net.stats.attempts as f64
     };
+    let (conv_rounds, bytes_tx, bytes_rx) =
+        convergence_rounds(sc.n_pms, &profile, sc.policy_seed(), sc.glap.codec);
     CellResult {
         drop_rate: profile.drop_prob,
         crash_rate: profile.crash_rate,
@@ -130,7 +154,9 @@ fn run_cell(sc: &Scenario) -> CellResult {
         slav: sla.slav,
         migrations: collector.total_migrations(),
         mean_active: collector.mean_active_pms(),
-        convergence_rounds: convergence_rounds(sc.n_pms, &profile, sc.policy_seed()),
+        convergence_rounds: conv_rounds,
+        bytes_tx,
+        bytes_rx,
         delivered_frac,
     }
 }
@@ -167,6 +193,8 @@ fn main() {
         "migrations",
         "mean_active_pms",
         "agg_convergence_rounds",
+        "bytes_tx",
+        "bytes_rx",
         "delivered_frac",
     ]);
     for r in &results {
@@ -178,6 +206,8 @@ fn main() {
             r.migrations.to_string(),
             fnum(r.mean_active),
             r.convergence_rounds.to_string(),
+            r.bytes_tx.to_string(),
+            r.bytes_rx.to_string(),
             fnum(r.delivered_frac),
         ]);
     }

@@ -41,6 +41,8 @@ fn main() {
         "train_s",
         "learn_speedup",
         "migrations",
+        "bytes_tx",
+        "bytes_rx",
     ]);
     for &size in &sizes {
         for algorithm in [Algorithm::Glap, Algorithm::Pabfd] {
@@ -50,11 +52,14 @@ fn main() {
                 ..Scenario::paper(size, ratio, 0, algorithm)
             };
             // A fresh enabled profiler per cell: its root span covers
-            // exactly this scenario run.
+            // exactly this scenario run. The counting tracer feeds the
+            // bytes columns; counting is observational (results are
+            // byte-identical with it on or off).
             let profiler = Profiler::enabled();
+            let tracer = Tracer::counting();
             let (result, _) = run_scenario_instrumented(
                 &sc,
-                &Tracer::off(),
+                &tracer,
                 &CheckpointOpts::default(),
                 &profiler,
                 cli.progress,
@@ -87,6 +92,8 @@ fn main() {
                 fnum(train_ns as f64 / 1e9),
                 fnum(speedup),
                 r.collector.total_migrations().to_string(),
+                tracer.counter_total("net.bytes_tx").to_string(),
+                tracer.counter_total("net.bytes_rx").to_string(),
             ]);
             if cli.verbose {
                 eprintln!("{} at {size} PMs: {total_s:.1}s", algorithm.label());
@@ -105,7 +112,8 @@ fn main() {
          PABFD (its placement scans all hosts for every migrating VM). learn_speedup \
          is the learning phase's effective parallelism (worker busy time over wall \
          time, from the profiler's span tree): 1.0 = sequential, {threads} = perfect \
-         scaling on this worker count."
+         scaling on this worker count. bytes_tx/bytes_rx count the gossip traffic \
+         (per-PM traffic should stay flat with size; --codec shrinks it)."
     );
     let path = cli.out_dir.join("scalability_eval.csv");
     table.save_csv(&path).expect("write CSV");

@@ -210,6 +210,8 @@ pub const USAGE: &str = "options:
   --rounds n          measured rounds                    (default 720)
   --train n           GLAP learning rounds               (default 100)
   --agg n             GLAP aggregation rounds            (default 30)
+  --codec kind        aggregation payload codec: identity (bit-exact legacy
+                      wire, default), delta, quantized, or priority
   --threads n         worker threads for the scenario grid and the in-training
                       per-PM pool (default: GLAP_THREADS env var, else all
                       cores; results are byte-identical at any thread count)
@@ -287,6 +289,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--agg: {e}"))?;
             }
+            "--codec" => cli.grid.glap.codec = need(&mut it, "--codec")?.parse()?,
             "--threads" => {
                 cli.threads = Some(
                     need(&mut it, "--threads")?
@@ -415,6 +418,26 @@ mod tests {
         let cli = parse(args("--train 42 --agg 17")).unwrap();
         assert_eq!(cli.grid.glap.learning_rounds, 42);
         assert_eq!(cli.grid.glap.aggregation_rounds, 17);
+    }
+
+    #[test]
+    fn codec_flag_parses_all_kinds() {
+        use glap::prelude::CodecKind;
+        assert_eq!(
+            parse(args("")).unwrap().grid.glap.codec,
+            CodecKind::Identity
+        );
+        for (s, kind) in [
+            ("identity", CodecKind::Identity),
+            ("delta", CodecKind::Delta),
+            ("quantized", CodecKind::Quantized),
+            ("priority", CodecKind::Priority),
+        ] {
+            let cli = parse(args(&format!("--codec {s}"))).unwrap();
+            assert_eq!(cli.grid.glap.codec, kind);
+        }
+        assert!(parse(args("--codec morse")).is_err());
+        assert!(parse(args("--codec")).is_err());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use noderun::{
     encode_tables, node_checkpoint_path, run_node_scenario, run_node_scenario_instrumented,
     NodeRunOutcome, TransportKind,
 };
-pub use perf::{git_rev, hotpath_records, run_suite, snapshot_records, PerfCase, PERF_SUITE};
+pub use perf::{
+    codec_records, git_rev, hotpath_records, run_suite, snapshot_records, PerfCase, PERF_SUITE,
+};
 pub use pool::parallel_map;
 pub use replay::{replay_digest, ReplayDigest, RoundDigest};
 pub use report::{downsample, fnum, rounds_csv, sparkline, TextTable};

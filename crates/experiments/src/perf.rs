@@ -128,6 +128,102 @@ fn measure_policy_round(budget_ms: u64) -> Measurement {
     measure_policy_round_at(256, budget_ms)
 }
 
+/// Two realistically sparse trained tables (distinct PMs of a shortly
+/// trained world) for the codec measurements.
+fn trained_table_pair(n: usize) -> (glap_qlearn::QTablePair, glap_qlearn::QTablePair) {
+    let mut dc = world(n);
+    let cfg = GlapConfig {
+        learning_rounds: 2,
+        aggregation_rounds: 0,
+        learning_iterations: 20,
+        ..Default::default()
+    };
+    let (tables, _) = train(&mut dc, &mut wave, &cfg, 42, false);
+    let a = tables
+        .iter()
+        .find(|t| t.trained_pairs() > 0)
+        .cloned()
+        .expect("some PM trained");
+    let b = tables
+        .iter()
+        .rev()
+        .find(|t| t.trained_pairs() > 0)
+        .cloned()
+        .expect("some PM trained");
+    (a, b)
+}
+
+/// One primed codec pair: a completed exchange so the stateful codecs
+/// (delta, priority) measure their steady state, not first contact.
+fn primed_codecs(
+    kind: CodecKind,
+    ta: &mut glap_qlearn::QTablePair,
+    tb: &mut glap_qlearn::QTablePair,
+) -> (AnyCodec, AnyCodec) {
+    let mut ca = AnyCodec::new(kind);
+    let mut cb = AnyCodec::new(kind);
+    let push = ca.encode_push(1, ta);
+    let reply = cb.apply_push(0, tb, &push).expect("codec push applies");
+    ca.apply_reply(1, ta, &reply).expect("codec reply applies");
+    (ca, cb)
+}
+
+fn measure_codec_encode(kind: CodecKind, budget_ms: u64) -> Measurement {
+    let (mut ta, mut tb) = trained_table_pair(256);
+    let (mut ca, _cb) = primed_codecs(kind, &mut ta, &mut tb);
+    measure_median(budget_ms, || {
+        let body = ca.encode_push(1, &ta);
+        // Undo the in-flight bookkeeping so every iteration encodes the
+        // same steady state.
+        ca.push_failed(1);
+        std::hint::black_box(body);
+    })
+}
+
+fn measure_codec_exchange(kind: CodecKind, budget_ms: u64) -> Measurement {
+    let (mut ta, mut tb) = trained_table_pair(256);
+    let (mut ca, mut cb) = primed_codecs(kind, &mut ta, &mut tb);
+    measure_median(budget_ms, || {
+        // Full ping-pong exchange: encode, decode + merge + reply
+        // encode, reply decode + apply. Tables converge and stay
+        // converged, so iterations measure the steady state.
+        let push = ca.encode_push(1, &ta);
+        let reply = cb
+            .apply_push(0, &mut tb, &push)
+            .expect("codec push applies");
+        ca.apply_reply(1, &mut ta, &reply)
+            .expect("codec reply applies");
+    })
+}
+
+fn measure_codec_exchange_delta(budget_ms: u64) -> Measurement {
+    measure_codec_exchange(CodecKind::Delta, budget_ms)
+}
+
+/// The codec suite — encode cost and full exchange (encode + decode +
+/// merge + reply) cost per codec kind, on realistically sparse trained
+/// tables — what `bench_refresh` writes into `BENCH_codec.json`.
+pub fn codec_records(budget_ms: u64) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for &kind in &glap::codec::ALL_CODEC_KINDS {
+        let enc = measure_codec_encode(kind, budget_ms);
+        let ex = measure_codec_exchange(kind, budget_ms);
+        out.push(BenchRecord {
+            name: format!("codec_encode_{}", kind.label()),
+            scenario: format!("encode one {kind} push payload, trained 256-PM tables"),
+            median_ns: enc.median_ns,
+            iterations: enc.iterations,
+        });
+        out.push(BenchRecord {
+            name: format!("codec_exchange_{}", kind.label()),
+            scenario: format!("one full {kind}-coded push-pull exchange (encode/decode both legs)"),
+            median_ns: ex.median_ns,
+            iterations: ex.iterations,
+        });
+    }
+    out
+}
+
 /// One gate scenario: a named setup + timed closure.
 pub struct PerfCase {
     /// Benchmark name, matching a `BENCH_profile.json` entry.
@@ -159,6 +255,11 @@ pub const PERF_SUITE: &[PerfCase] = &[
         name: "policy_round_256pms",
         scenario: "one GLAP consolidation round over a stepped world, 256 PMs",
         run: measure_policy_round,
+    },
+    PerfCase {
+        name: "codec_exchange_delta_256pms",
+        scenario: "one delta-coded push-pull exchange (encode/decode both legs), 256-PM tables",
+        run: measure_codec_exchange_delta,
     },
 ];
 

@@ -25,6 +25,7 @@ use glap::prelude::{
     PendingShuffle, Reader, SimRng, SnapshotError, Stream, Writer, AGGREGATION_MAX_ATTEMPTS,
 };
 use glap_cluster::VmProfile;
+use glap_codec::{AnyCodec, CodecKind, TableCodec};
 use glap_cyclon::NodeId;
 use glap_qlearn::QTablePair;
 
@@ -107,6 +108,10 @@ pub struct NodeCore {
     agg_attempts: usize,
     /// Bellman updates applied (2 per training iteration).
     updates: u64,
+    /// Payload codec (and its per-peer state) for aggregation exchanges.
+    /// Identity nodes keep the legacy verbatim-table wire path and never
+    /// touch this beyond checkpointing its (empty) state.
+    codec: AnyCodec,
     train_buf: Vec<VmProfile>,
     idx_buf: Vec<usize>,
 }
@@ -129,6 +134,7 @@ impl NodeCore {
             pending_train: false,
             agg_attempts: 0,
             updates: 0,
+            codec: AnyCodec::new(cfg.codec),
             train_buf: Vec::new(),
             idx_buf: Vec::new(),
         }
@@ -278,6 +284,22 @@ impl NodeCore {
                 self.table = *table;
                 Vec::new()
             }
+            WireMsg::AggPushCoded { body } => {
+                let reply = self
+                    .codec
+                    .apply_push(from, &mut self.table, &body)
+                    .expect("transport delivered an unappliable coded push");
+                vec![Outgoing {
+                    to: from,
+                    msg: WireMsg::AggReplyCoded { body: reply },
+                }]
+            }
+            WireMsg::AggReplyCoded { body } => {
+                self.codec
+                    .apply_reply(from, &mut self.table, &body)
+                    .expect("transport delivered an unappliable coded reply");
+                Vec::new()
+            }
         }
     }
 
@@ -298,7 +320,10 @@ impl NodeCore {
                 }
                 Vec::new()
             }
-            wire::TAG_AGG_PUSH => {
+            wire::TAG_AGG_PUSH | wire::TAG_AGG_PUSH_CODED => {
+                if tag == wire::TAG_AGG_PUSH_CODED {
+                    self.codec.push_failed(to);
+                }
                 if target_down {
                     self.cyclon.remove(to);
                 }
@@ -319,12 +344,21 @@ impl NodeCore {
 
     fn push_table(&mut self) -> Vec<Outgoing> {
         match self.cyclon.random_peer(&mut self.rng) {
-            Some(peer) => vec![Outgoing {
-                to: peer,
-                msg: WireMsg::AggPush {
-                    table: Box::new(self.table.clone()),
-                },
-            }],
+            Some(peer) => {
+                // Identity keeps the legacy verbatim-table path so a
+                // default run stays byte-identical on the wire; the other
+                // codecs route through the coded payload tags.
+                let msg = if self.cfg.codec == CodecKind::Identity {
+                    WireMsg::AggPush {
+                        table: Box::new(self.table.clone()),
+                    }
+                } else {
+                    WireMsg::AggPushCoded {
+                        body: self.codec.encode_push(peer, &self.table),
+                    }
+                };
+                vec![Outgoing { to: peer, msg }]
+            }
             None => Vec::new(),
         }
     }
@@ -377,6 +411,7 @@ impl Checkpointable for NodeCore {
         w.put_bool(self.pending_train);
         w.put_usize(self.agg_attempts);
         w.put_u64(self.updates);
+        self.codec.save(w);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
@@ -407,6 +442,7 @@ impl Checkpointable for NodeCore {
         self.pending_train = r.get_bool()?;
         self.agg_attempts = r.get_usize()?;
         self.updates = r.get_u64()?;
+        self.codec.restore(r)?;
         Ok(())
     }
 }

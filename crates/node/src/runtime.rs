@@ -21,8 +21,8 @@
 use crate::core::{NodeInput, TickKind};
 use crate::transport::{Routed, Transport};
 use crate::wire::{
-    payload_tag, tag_counter, tag_is_request, TAG_AGG_PUSH, TAG_AGG_REPLY, TAG_SHUFFLE_REPLY,
-    TAG_SHUFFLE_REQUEST,
+    coded_header, payload_tag, tag_counter, tag_is_request, TAG_AGG_PUSH, TAG_AGG_PUSH_CODED,
+    TAG_AGG_REPLY, TAG_AGG_REPLY_CODED, TAG_SHUFFLE_REPLY, TAG_SHUFFLE_REQUEST,
 };
 use glap::prelude::{
     is_eligible, restore_rng, save_rng, stream_rng, Checkpointable, Delivery, EventKind,
@@ -116,6 +116,12 @@ impl<T: Transport> NodeRuntime<T> {
     /// Tears down the runtime, yielding per-node Q-tables in id order.
     pub fn into_tables(self) -> Vec<glap_qlearn::QTablePair> {
         self.transport.into_tables()
+    }
+
+    /// Read-only access to the transport (e.g. for inspecting tables
+    /// mid-run from experiment drivers).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// One learning round (Algorithm 1): step the workload, push each
@@ -246,6 +252,9 @@ impl<T: Transport> NodeRuntime<T> {
                 if let Some(counter) = tag_counter(tag) {
                     tracer.add(counter, 1);
                 }
+                if let Some(header) = coded_header(&payload) {
+                    account_coded(tracer, bytes, &header);
+                }
                 let (delivered, target_down) = if !tag_is_request(tag) {
                     (true, false)
                 } else if !self.active[to as usize] {
@@ -264,7 +273,9 @@ impl<T: Transport> NodeRuntime<T> {
                         TAG_SHUFFLE_REPLY => {
                             tracer.emit(EventKind::ShuffleCompleted { from: to, to: from })
                         }
-                        TAG_AGG_REPLY => tracer.emit(EventKind::MergeApplied { a: to, b: from }),
+                        TAG_AGG_REPLY | TAG_AGG_REPLY_CODED => {
+                            tracer.emit(EventKind::MergeApplied { a: to, b: from })
+                        }
                         _ => {}
                     }
                     let t0 = profiling.then(Instant::now);
@@ -279,7 +290,7 @@ impl<T: Transport> NodeRuntime<T> {
                 } else {
                     match tag {
                         TAG_SHUFFLE_REQUEST => tracer.emit(EventKind::ShuffleFailed { from, to }),
-                        TAG_AGG_PUSH => {
+                        TAG_AGG_PUSH | TAG_AGG_PUSH_CODED => {
                             agg_attempt += 1;
                             tracer.emit(EventKind::MergeRetried {
                                 pm: from,
@@ -308,6 +319,29 @@ impl<T: Transport> NodeRuntime<T> {
         if profiling && dispatches > 0 {
             self.profiler
                 .record_ns_n("transport_dispatch", dispatch_ns, dispatches);
+        }
+    }
+}
+
+/// Accounts `codec.*` telemetry for one coded aggregation payload:
+/// bytes saved versus the legacy verbatim-table message, full-table and
+/// stale-fallback payload counts, and the running maximum declared
+/// quantization error (stored as a monotone counter in units of 1e-9 so
+/// it fits the add-only u64 counter model).
+fn account_coded(tracer: &Tracer, wire_bytes: u64, header: &glap_codec::CodedHeader) {
+    let identity = glap_codec::identity_payload_len() as u64;
+    tracer.add("codec.payloads", 1);
+    tracer.add("codec.bytes_saved", identity.saturating_sub(wire_bytes));
+    match header.subtag {
+        glap_codec::subtag::FULL => tracer.add("codec.full_payloads", 1),
+        glap_codec::subtag::STALE_FULL => tracer.add("codec.fallbacks", 1),
+        _ => {}
+    }
+    if header.err_bound > 0.0 {
+        let scaled = (header.err_bound * 1e9).ceil() as u64;
+        let prev = tracer.counter_total("codec.q_err_max_1e9");
+        if scaled > prev {
+            tracer.add("codec.q_err_max_1e9", scaled - prev);
         }
     }
 }

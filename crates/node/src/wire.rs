@@ -30,6 +30,13 @@ pub const TAG_PROFILE_REPLY: u8 = 4;
 pub const TAG_AGG_PUSH: u8 = 5;
 /// See [`TAG_SHUFFLE_REQUEST`].
 pub const TAG_AGG_REPLY: u8 = 6;
+/// Codec-coded aggregation push: a [`glap_codec::CodedHeader`]-prefixed
+/// body produced by the cluster's configured [`TableCodec`]
+/// (`glap_codec::TableCodec`). Only non-identity codecs use these tags —
+/// the identity codec keeps the legacy [`TAG_AGG_PUSH`] path verbatim.
+pub const TAG_AGG_PUSH_CODED: u8 = 7;
+/// See [`TAG_AGG_PUSH_CODED`].
+pub const TAG_AGG_REPLY_CODED: u8 = 8;
 
 /// One protocol message between two nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +68,19 @@ pub enum WireMsg {
     AggReply {
         /// The merged tables the initiator adopts.
         table: Box<QTablePair>,
+    },
+    /// Codec-coded aggregation push (delta / quantized / priority): an
+    /// opaque, self-describing coded body the receiver's codec state
+    /// interprets. Versioned via the body's leading
+    /// [`CodedHeader`](glap_codec::CodedHeader).
+    AggPushCoded {
+        /// The coded body (header + codec-specific payload).
+        body: Vec<u8>,
+    },
+    /// Codec-coded aggregation reply.
+    AggReplyCoded {
+        /// The coded body (header + codec-specific payload).
+        body: Vec<u8>,
     },
 }
 
@@ -137,6 +157,8 @@ impl WireMsg {
             WireMsg::ProfileReply { .. } => TAG_PROFILE_REPLY,
             WireMsg::AggPush { .. } => TAG_AGG_PUSH,
             WireMsg::AggReply { .. } => TAG_AGG_REPLY,
+            WireMsg::AggPushCoded { .. } => TAG_AGG_PUSH_CODED,
+            WireMsg::AggReplyCoded { .. } => TAG_AGG_REPLY_CODED,
         }
     }
 
@@ -151,6 +173,9 @@ impl WireMsg {
             WireMsg::ProfileRequest => {}
             WireMsg::ProfileReply { profiles } => put_profiles(&mut w, profiles),
             WireMsg::AggPush { table } | WireMsg::AggReply { table } => table.save(&mut w),
+            WireMsg::AggPushCoded { body } | WireMsg::AggReplyCoded { body } => {
+                w.put_bytes(body);
+            }
         }
         w.into_bytes()
     }
@@ -182,6 +207,18 @@ impl WireMsg {
                     WireMsg::AggReply { table }
                 }
             }
+            TAG_AGG_PUSH_CODED | TAG_AGG_REPLY_CODED => {
+                let body = r.get_bytes()?;
+                // The codec interprets the body later; validate its
+                // self-describing header here so corrupt payloads are
+                // rejected at the same layer as every other message.
+                glap_codec::CodedHeader::peek(&body)?;
+                if tag == TAG_AGG_PUSH_CODED {
+                    WireMsg::AggPushCoded { body }
+                } else {
+                    WireMsg::AggReplyCoded { body }
+                }
+            }
             other => {
                 return Err(SnapshotError::Corrupt(format!(
                     "unknown wire message tag {other}"
@@ -210,7 +247,7 @@ pub fn payload_tag(payload: &[u8]) -> u8 {
 pub fn tag_is_request(tag: u8) -> bool {
     matches!(
         tag,
-        TAG_SHUFFLE_REQUEST | TAG_PROFILE_REQUEST | TAG_AGG_PUSH
+        TAG_SHUFFLE_REQUEST | TAG_PROFILE_REQUEST | TAG_AGG_PUSH | TAG_AGG_PUSH_CODED
     )
 }
 
@@ -223,8 +260,26 @@ pub fn tag_counter(tag: u8) -> Option<&'static str> {
         TAG_PROFILE_REPLY => Some("wire.profile.reply"),
         TAG_AGG_PUSH => Some("wire.agg.push"),
         TAG_AGG_REPLY => Some("wire.agg.reply"),
+        TAG_AGG_PUSH_CODED => Some("wire.agg.push_coded"),
+        TAG_AGG_REPLY_CODED => Some("wire.agg.reply_coded"),
         _ => None,
     }
+}
+
+/// The coded header of a coded aggregation payload (`None` for legacy
+/// tags or malformed bodies). Lets the transport driver account `codec.*`
+/// counters from bytes alone, without per-peer codec state.
+pub fn coded_header(payload: &[u8]) -> Option<glap_codec::CodedHeader> {
+    if !matches!(
+        payload_tag(payload),
+        TAG_AGG_PUSH_CODED | TAG_AGG_REPLY_CODED
+    ) {
+        return None;
+    }
+    // Skip the tag byte and the u64 length prefix `put_bytes` wrote.
+    payload
+        .get(9..)
+        .and_then(|body| glap_codec::CodedHeader::peek(body).ok())
 }
 
 /// An outgoing message from a node: destination plus typed payload.
@@ -325,8 +380,161 @@ mod tests {
         assert!(tag_is_request(TAG_SHUFFLE_REQUEST));
         assert!(tag_is_request(TAG_PROFILE_REQUEST));
         assert!(tag_is_request(TAG_AGG_PUSH));
+        assert!(tag_is_request(TAG_AGG_PUSH_CODED));
         assert!(!tag_is_request(TAG_SHUFFLE_REPLY));
         assert!(!tag_is_request(TAG_PROFILE_REPLY));
         assert!(!tag_is_request(TAG_AGG_REPLY));
+        assert!(!tag_is_request(TAG_AGG_REPLY_CODED));
+    }
+
+    fn coded_body(kind: u8, subtag: u8, err: f64, junk: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(1); // CODEC_WIRE_VERSION
+        w.put_u8(kind);
+        w.put_u8(subtag);
+        w.put_f64(err);
+        let mut body = w.into_bytes();
+        body.extend_from_slice(junk);
+        body
+    }
+
+    #[test]
+    fn coded_messages_round_trip_and_validate_headers() {
+        let body = coded_body(1, 1, 0.0, &[1, 2, 3]);
+        roundtrip(WireMsg::AggPushCoded { body: body.clone() });
+        roundtrip(WireMsg::AggReplyCoded { body: body.clone() });
+
+        let msg = WireMsg::AggPushCoded { body: body.clone() };
+        let bytes = msg.encode();
+        let h = coded_header(&bytes).expect("valid coded header");
+        assert_eq!(h.kind, glap_codec::CodecKind::Delta);
+        assert_eq!(h.subtag, glap_codec::subtag::DELTA);
+        assert!(coded_header(&WireMsg::ProfileRequest.encode()).is_none());
+
+        // A coded message whose body fails header validation is rejected
+        // at decode time.
+        for bad in [
+            coded_body(9, 1, 0.0, &[]),           // unknown kind
+            coded_body(1, 77, 0.0, &[]),          // unknown subtag
+            coded_body(1, 1, f64::INFINITY, &[]), // invalid error bound
+            vec![1, 1],                           // truncated header
+        ] {
+            let bytes = WireMsg::AggPushCoded { body: bad }.encode();
+            assert!(WireMsg::decode(&bytes, QParams::default()).is_err());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_descriptors() -> impl Strategy<Value = Vec<Descriptor>> {
+        proptest::collection::vec(
+            (0u32..1024, 0u32..64).prop_map(|(node, age)| Descriptor { node, age }),
+            0..12,
+        )
+    }
+
+    fn arb_profiles() -> impl Strategy<Value = Vec<VmProfile>> {
+        proptest::collection::vec(
+            (
+                0.0f64..1.0,
+                0.0f64..1.0,
+                0u64..100,
+                0.0f64..1.0,
+                0.0f64..1.0,
+            )
+                .prop_map(|(c, m, n, ac, am)| VmProfile {
+                    current: Resources::new(c, m),
+                    avg: RunningAvg::from_parts(n, Resources::new(ac, am)),
+                }),
+            0..8,
+        )
+    }
+
+    fn arb_table() -> impl Strategy<Value = Box<QTablePair>> {
+        proptest::collection::vec((0usize..6561, -5.0f64..5.0), 0..60).prop_map(|entries| {
+            let mut t = QTablePair::new(QParams::default());
+            for (i, v) in entries {
+                t.out.set_index(i, v);
+                t.r#in.set_index((i * 13) % 6561, -v);
+            }
+            Box::new(t)
+        })
+    }
+
+    fn arb_coded_body() -> impl Strategy<Value = Vec<u8>> {
+        (
+            0u8..4,
+            0u8..5,
+            0.0f64..1.0,
+            proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..64),
+        )
+            .prop_map(|(kind, subtag, err, junk)| {
+                let mut w = Writer::new();
+                w.put_u8(1);
+                w.put_u8(kind);
+                w.put_u8(subtag);
+                w.put_f64(err);
+                let mut body = w.into_bytes();
+                body.extend_from_slice(&junk);
+                body
+            })
+    }
+
+    fn arb_msg() -> impl Strategy<Value = WireMsg> {
+        prop_oneof![
+            arb_descriptors().prop_map(|descriptors| WireMsg::ShuffleRequest { descriptors }),
+            arb_descriptors().prop_map(|descriptors| WireMsg::ShuffleReply { descriptors }),
+            Just(WireMsg::ProfileRequest),
+            arb_profiles().prop_map(|profiles| WireMsg::ProfileReply { profiles }),
+            arb_table().prop_map(|table| WireMsg::AggPush { table }),
+            arb_table().prop_map(|table| WireMsg::AggReply { table }),
+            arb_coded_body().prop_map(|body| WireMsg::AggPushCoded { body }),
+            arb_coded_body().prop_map(|body| WireMsg::AggReplyCoded { body }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every message round-trips, and the same payload with *any*
+        /// trailing bytes appended is rejected — a decode that succeeds
+        /// must have consumed the payload exactly.
+        #[test]
+        fn decode_rejects_trailing_bytes(
+            msg in arb_msg(),
+            junk in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 1..16),
+        ) {
+            let bytes = msg.encode();
+            let back = WireMsg::decode(&bytes, QParams::default()).unwrap();
+            prop_assert_eq!(&back, &msg);
+            let mut padded = bytes;
+            padded.extend_from_slice(&junk);
+            prop_assert!(WireMsg::decode(&padded, QParams::default()).is_err());
+        }
+
+        /// Truncating a valid payload anywhere may not panic and (except
+        /// at full length) may not decode successfully.
+        #[test]
+        fn decode_rejects_truncations(msg in arb_msg(), cut in 0usize..10_000) {
+            let bytes = msg.encode();
+            let cut = cut % bytes.len();
+            prop_assert!(WireMsg::decode(&bytes[..cut], QParams::default()).is_err());
+        }
+
+        /// Arbitrary byte soup never panics the decoder, and anything it
+        /// *does* accept re-encodes to exactly the input bytes (the wire
+        /// format is canonical).
+        #[test]
+        fn decode_is_total_and_canonical(
+            bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..200),
+        ) {
+            if let Ok(msg) = WireMsg::decode(&bytes, QParams::default()) {
+                prop_assert_eq!(msg.encode(), bytes);
+            }
+        }
     }
 }

@@ -262,6 +262,25 @@ impl QTable {
     pub fn raw_values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Flat read-only view of the visited bitmap, parallel to
+    /// [`raw_values`](Self::raw_values) (sparse wire codecs).
+    pub fn raw_visited(&self) -> &[bool] {
+        &self.visited
+    }
+
+    /// Directly sets the entry at flat index `i`
+    /// (= `s.index() * NUM_STATES + a.index()`), marking it visited.
+    /// Index-based twin of [`set`](Self::set) for codecs that address
+    /// entries by wire offset.
+    #[inline]
+    pub fn set_index(&mut self, i: usize, value: f64) {
+        if !self.visited[i] {
+            self.visited[i] = true;
+            self.n_visited += 1;
+        }
+        self.values[i] = value;
+    }
 }
 
 /// A PM's learned knowledge: the φ_out/φ_in tables plus hyperparameters
