@@ -26,7 +26,28 @@
 //! reply was in flight. Diffs additionally encode removals (entries the
 //! sender's visited set dropped relative to the baseline, which that same
 //! overwrite can cause), keeping reconstruction exact in every
-//! interleaving the node transport can produce.
+//! interleaving a serialized push→reply transport can produce.
+//!
+//! ## Crossed exchanges
+//!
+//! The lockstep-version scheme assumes exchanges with one peer complete
+//! one at a time. If both sides push to each other concurrently (A→B and
+//! B→A in the same round), each completion installs *its own* merged
+//! table as the baseline — two different tables at the same version when
+//! a third party's merge interleaves — and the next `DELTA` would
+//! reconstruct a wrong table while the version check still passes. Two
+//! guards close that hole:
+//!
+//! * A push arriving while this side has its own push to the same peer in
+//!   flight is answered `STALE_FULL` without merging: both sides drop the
+//!   baseline and resynchronize via `FULL` on next contact (exact
+//!   arithmetic throughout — the fallback merges full `f64` tables, it
+//!   just spends full-table bytes).
+//! * Every `DELTA` push carries a content hash of the sender's baseline
+//!   next to the version. Mismatched baselines at equal versions — any
+//!   desync path the in-flight check does not see — are detected on
+//!   receipt and take the same `STALE_FULL` fallback instead of silently
+//!   breaking the lossless guarantee.
 
 use crate::sparse::{get_diff, get_sparse_into, put_diff, put_sparse};
 use crate::{
@@ -45,6 +66,32 @@ pub(crate) struct PeerBaseline {
     pub out: QTable,
     /// φ_in as of the last completed exchange.
     pub r#in: QTable,
+}
+
+#[inline]
+fn fnv_mix(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Content hash of a baseline table pair (visited entries: index + value
+/// bits, FNV-1a). Carried alongside the version in every `DELTA` push so
+/// mismatched baselines at equal versions are detected instead of
+/// reconstructing a wrong table.
+pub(crate) fn baseline_hash(out: &QTable, r#in: &QTable) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in [out, r#in] {
+        let (values, visited) = (t.raw_values(), t.raw_visited());
+        for (i, &v) in values.iter().enumerate() {
+            if visited[i] {
+                fnv_mix(&mut h, i as u64);
+                fnv_mix(&mut h, v.to_bits());
+            }
+        }
+    }
+    h
 }
 
 pub(crate) fn save_baselines(peers: &BTreeMap<PeerId, PeerBaseline>, w: &mut Writer) {
@@ -146,6 +193,18 @@ impl DeltaCodec {
         );
         w.into_bytes()
     }
+
+    /// Declines to merge a push: drops the baseline and replies with our
+    /// full table so both sides resynchronize (counted as
+    /// `codec.fallbacks` by the transports).
+    fn stale_reply(&mut self, peer: PeerId, own: &QTablePair) -> Vec<u8> {
+        self.peers.remove(&peer);
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Delta, subtag::STALE_FULL, 0.0, &mut w);
+        put_sparse(&mut w, &own.out);
+        put_sparse(&mut w, &own.r#in);
+        w.into_bytes()
+    }
 }
 
 impl TableCodec for DeltaCodec {
@@ -166,6 +225,7 @@ impl TableCodec for DeltaCodec {
             Some(base) => {
                 CodedHeader::write(CodecKind::Delta, subtag::DELTA, 0.0, &mut w);
                 w.put_u64(base.version);
+                w.put_u64(baseline_hash(&base.out, &base.r#in));
                 put_diff(&mut w, &table.out, &base.out);
                 put_diff(&mut w, &table.r#in, &base.r#in);
             }
@@ -187,11 +247,24 @@ impl TableCodec for DeltaCodec {
                 get_sparse_into(&mut r, &mut pusher.out)?;
                 get_sparse_into(&mut r, &mut pusher.r#in)?;
                 expect_exhausted(&r)?;
+                if self.in_flight.contains_key(&peer) {
+                    // Crossed exchange (module docs): completing both
+                    // legs would install divergent baselines at the same
+                    // version, so decline and resynchronize.
+                    return Ok(self.stale_reply(peer, own));
+                }
                 Ok(self.merge_and_reply(peer, own, pusher, 1))
             }
             subtag::DELTA => {
                 let version = r.get_u64()?;
-                let fresh = matches!(self.peers.get(&peer), Some(b) if b.version == version);
+                let hash = r.get_u64()?;
+                let crossed = self.in_flight.contains_key(&peer);
+                let fresh = !crossed
+                    && matches!(
+                        self.peers.get(&peer),
+                        Some(b) if b.version == version
+                            && baseline_hash(&b.out, &b.r#in) == hash
+                    );
                 if fresh {
                     let base = self.peers.get(&peer).expect("checked above");
                     let out = get_diff(&mut r, &base.out)?;
@@ -202,18 +275,14 @@ impl TableCodec for DeltaCodec {
                     pusher.r#in = r#in;
                     Ok(self.merge_and_reply(peer, own, pusher, version + 1))
                 } else {
-                    // Stale baseline: validate the body shape but do not
-                    // merge — reply with our full table so both sides
+                    // Stale or mismatched baseline, or a crossed
+                    // exchange: validate the body shape but do not merge
+                    // — reply with our full table so both sides
                     // resynchronize on the next exchange.
                     get_diff(&mut r, &QTable::new())?;
                     get_diff(&mut r, &QTable::new())?;
                     expect_exhausted(&r)?;
-                    self.peers.remove(&peer);
-                    let mut w = Writer::new();
-                    CodedHeader::write(CodecKind::Delta, subtag::STALE_FULL, 0.0, &mut w);
-                    put_sparse(&mut w, &own.out);
-                    put_sparse(&mut w, &own.r#in);
-                    Ok(w.into_bytes())
+                    Ok(self.stale_reply(peer, own))
                 }
             }
             other => Err(SnapshotError::Corrupt(format!(
@@ -274,6 +343,11 @@ impl TableCodec for DeltaCodec {
     }
 
     fn push_failed(&mut self, peer: PeerId) {
+        self.in_flight.remove(&peer);
+    }
+
+    fn reset_peer(&mut self, peer: PeerId) {
+        self.peers.remove(&peer);
         self.in_flight.remove(&peer);
     }
 }

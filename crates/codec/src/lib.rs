@@ -301,6 +301,13 @@ pub trait TableCodec {
     /// The push encoded for `peer` was dropped (or the peer is down);
     /// discard any in-flight bookkeeping for it.
     fn push_failed(&mut self, _peer: PeerId) {}
+
+    /// Discards *all* per-peer state for `peer` — baselines and in-flight
+    /// bookkeeping. Hosts call this after an `apply_push`/`apply_reply`
+    /// error to abandon the exchange cleanly: with no baseline left, the
+    /// next contact with that peer resynchronizes via `FULL`/`STALE_FULL`
+    /// instead of trusting state the failed decode may have skewed.
+    fn reset_peer(&mut self, _peer: PeerId) {}
 }
 
 /// Enum dispatch over the four codecs. An enum (not `dyn`) so holders such
@@ -411,6 +418,15 @@ impl TableCodec for AnyCodec {
             AnyCodec::Delta(c) => c.push_failed(peer),
             AnyCodec::Quantized(c) => c.push_failed(peer),
             AnyCodec::Priority(c) => c.push_failed(peer),
+        }
+    }
+
+    fn reset_peer(&mut self, peer: PeerId) {
+        match self {
+            AnyCodec::Identity(c) => c.reset_peer(peer),
+            AnyCodec::Delta(c) => c.reset_peer(peer),
+            AnyCodec::Quantized(c) => c.reset_peer(peer),
+            AnyCodec::Priority(c) => c.reset_peer(peer),
         }
     }
 }

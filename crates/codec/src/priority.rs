@@ -24,6 +24,16 @@
 //!
 //! First contact falls back to a sparse full-table exchange; a version
 //! mismatch resynchronizes via `STALE_FULL` exactly like the delta codec.
+//!
+//! Crossed exchanges (both sides pushing to each other concurrently)
+//! share the delta codec's hazard: each completion would install its own
+//! merged contents as the baseline, leaving the two sides with different
+//! baselines at the same version — divergence would then be scored
+//! against a table that never crossed the wire. The codec tracks which
+//! peers it has a push in flight to and answers a crossed push with
+//! `STALE_FULL` instead of merging, so both sides drop the baseline and
+//! resynchronize via a full exchange on next contact (merges stay
+//! in-hull throughout; the cost is one full-table fallback).
 
 use crate::delta::{restore_baselines, save_baselines, PeerBaseline};
 use crate::sparse::get_sparse_into;
@@ -33,7 +43,7 @@ use crate::{
 };
 use glap_qlearn::{QTable, QTablePair, NUM_STATES};
 use glap_snapshot::{Reader, SnapshotError, Writer};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Regions per table pair: 81 φ_out rows + 81 φ_in rows.
 pub const NUM_REGIONS: usize = 2 * NUM_STATES;
@@ -50,6 +60,9 @@ const MIN_NEW_ENTRY_SCORE: f64 = 1e-12;
 pub struct PriorityCodec {
     k: usize,
     peers: BTreeMap<PeerId, PeerBaseline>,
+    /// Peers with a not-yet-answered push from this side (crossed-
+    /// exchange detection; see the module docs).
+    in_flight: BTreeSet<PeerId>,
 }
 
 impl Default for PriorityCodec {
@@ -143,12 +156,17 @@ impl PriorityCodec {
         PriorityCodec {
             k: k.clamp(1, NUM_REGIONS),
             peers: BTreeMap::new(),
+            in_flight: BTreeSet::new(),
         }
     }
 
     pub(crate) fn save_state(&self, w: &mut Writer) {
         w.put_usize(self.k);
         save_baselines(&self.peers, w);
+        w.put_usize(self.in_flight.len());
+        for &peer in &self.in_flight {
+            w.put_u32(peer);
+        }
     }
 
     pub(crate) fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
@@ -160,6 +178,15 @@ impl PriorityCodec {
         }
         self.k = k;
         self.peers = restore_baselines(r)?;
+        self.in_flight.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            if !self.in_flight.insert(r.get_u32()?) {
+                return Err(SnapshotError::Corrupt(
+                    "duplicate in-flight peer in priority snapshot".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -231,6 +258,7 @@ impl TableCodec for PriorityCodec {
     }
 
     fn encode_push(&mut self, peer: PeerId, table: &QTablePair) -> Vec<u8> {
+        self.in_flight.insert(peer);
         let mut w = Writer::new();
         match self.peers.get(&peer) {
             None => {
@@ -266,6 +294,12 @@ impl TableCodec for PriorityCodec {
                 get_sparse_into(&mut r, &mut pusher.out)?;
                 get_sparse_into(&mut r, &mut pusher.r#in)?;
                 expect_exhausted(&r)?;
+                if self.in_flight.contains(&peer) {
+                    // Crossed exchange (module docs): decline to merge
+                    // and resynchronize rather than install divergent
+                    // baselines at the same version.
+                    return Ok(self.stale_reply(peer, own));
+                }
                 QTablePair::merge_symmetric(own, &mut pusher);
                 let mut w = Writer::new();
                 CodedHeader::write(CodecKind::Priority, subtag::FULL, 0.0, &mut w);
@@ -287,7 +321,9 @@ impl TableCodec for PriorityCodec {
                 let version = r.get_u64()?;
                 let regions = get_regions(&mut r)?;
                 expect_exhausted(&r)?;
-                if !matches!(self.peers.get(&peer), Some(b) if b.version == version) {
+                if self.in_flight.contains(&peer)
+                    || !matches!(self.peers.get(&peer), Some(b) if b.version == version)
+                {
                     return Ok(self.stale_reply(peer, own));
                 }
                 // Merge the pushed entries: average shared, adopt new.
@@ -336,6 +372,7 @@ impl TableCodec for PriorityCodec {
     ) -> Result<(), SnapshotError> {
         let mut r = Reader::new(body);
         let h = read_header_expecting(&mut r, CodecKind::Priority)?;
+        self.in_flight.remove(&peer);
         match h.subtag {
             subtag::FULL => {
                 // Reply to our first-contact full push: the responder's
@@ -404,5 +441,14 @@ impl TableCodec for PriorityCodec {
                 "priority codec cannot apply subtag {other} as a reply"
             ))),
         }
+    }
+
+    fn push_failed(&mut self, peer: PeerId) {
+        self.in_flight.remove(&peer);
+    }
+
+    fn reset_peer(&mut self, peer: PeerId) {
+        self.peers.remove(&peer);
+        self.in_flight.remove(&peer);
     }
 }

@@ -100,6 +100,16 @@ pub(crate) fn decode_table_into(block: &[u8], t: &mut QTable) -> Result<(), Snap
                 "non-finite quantization parameters".into(),
             ));
         }
+        // Finite min/scale can still reconstruct to ±inf (e.g. scale
+        // ~1e304): reject the row unless its largest reconstructible
+        // value is finite, so no decoded entry can inject a non-finite
+        // value into a Q-table. Dequantization is monotone in q, so the
+        // q = u16::MAX endpoint bounds every entry of the row.
+        if !dequantize(min, scale, u16::MAX).is_finite() {
+            return Err(SnapshotError::Corrupt(format!(
+                "quantized row range overflows: min {min}, scale {scale}"
+            )));
+        }
         for _ in 0..count {
             let o = r.get_u8()? as usize;
             if o >= NUM_STATES {
@@ -174,7 +184,19 @@ impl TableCodec for QuantizedCodec {
     ) -> Result<(), SnapshotError> {
         // The responder's merged table is a superset of what we pushed;
         // adopting every encoded entry mirrors the legacy overwrite up to
-        // the declared quantization error.
-        decode_pair_into(body, &mut own.out, &mut own.r#in)
+        // the declared quantization error. Decode into a scratch pair
+        // first so a corrupt body leaves `own` untouched rather than
+        // half-applied.
+        let mut merged = QTablePair::new(own.params);
+        decode_pair_into(body, &mut merged.out, &mut merged.r#in)?;
+        for (dst, src) in [(&mut own.out, &merged.out), (&mut own.r#in, &merged.r#in)] {
+            let (values, visited) = (src.raw_values(), src.raw_visited());
+            for (i, &v) in values.iter().enumerate() {
+                if visited[i] {
+                    dst.set_index(i, v);
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -277,6 +277,174 @@ fn priority_rotates_regions_and_converges() {
 }
 
 #[test]
+fn delta_crossed_pushes_fall_back_and_resync() {
+    // A and B push to each other in the same round while a third party's
+    // merge has made their would-be merged tables differ. Without the
+    // in-flight guard both completions would install different baselines
+    // at the same version and the next DELTA would silently reconstruct
+    // a wrong table (the REVIEW desync scenario).
+    let mut a = build_pair(&[(1, 1.0), (2, 2.0)], &[]);
+    let mut b = build_pair(&[(2, 4.0), (3, 3.0)], &[]);
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    a.out.set_index(10, 7.0);
+    b.out.set_index(11, -7.0);
+
+    // Both pushes are encoded before either lands.
+    let push_ab = ca.encode_push(1, &a);
+    let push_ba = cb.encode_push(0, &b);
+    // A third party merges into A while the pushes are in flight.
+    let mut c = build_pair(&[(20, 5.0)], &[]);
+    let mut cc = AnyCodec::new(CodecKind::Delta);
+    let push_ca = cc.encode_push(0, &c);
+    let reply_ac = ca.apply_push(2, &mut a, &push_ca).unwrap();
+    cc.apply_reply(0, &mut c, &reply_ac).unwrap();
+    // Each side receives the other's crossed push: both must decline
+    // with STALE_FULL instead of merging.
+    let reply_ba = cb.apply_push(0, &mut b, &push_ab).unwrap();
+    let reply_ab = ca.apply_push(1, &mut a, &push_ba).unwrap();
+    assert_eq!(
+        CodedHeader::peek(&reply_ba).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    assert_eq!(
+        CodedHeader::peek(&reply_ab).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    ca.apply_reply(1, &mut a, &reply_ba).unwrap();
+    cb.apply_reply(0, &mut b, &reply_ab).unwrap();
+
+    // Both sides dropped the baseline: the next push resynchronizes via
+    // FULL and leaves the pair bitwise identical — no silent desync.
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::FULL);
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+
+    // And delta exchanges from the fresh baseline are lossless again.
+    a.out.set_index(30, 9.0);
+    let mut la = a.clone();
+    let mut lb = b.clone();
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::DELTA);
+    legacy_exchange(&mut la, &mut lb);
+    assert_eq!(pair_bytes(&a), pair_bytes(&la));
+    assert_eq!(pair_bytes(&b), pair_bytes(&lb));
+}
+
+#[test]
+fn delta_hash_mismatch_at_equal_version_falls_back() {
+    // The second guard: a DELTA push whose version matches but whose
+    // baseline hash does not (any desync path the in-flight check cannot
+    // see) must take the STALE_FULL fallback, not merge.
+    let mut a = build_pair(&[(1, 1.0)], &[(2, -2.0)]);
+    let mut b = build_pair(&[(3, 3.0)], &[]);
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    // After first contact both baselines equal the merged pair == `a`.
+    let good_hash = crate::delta::baseline_hash(&a.out, &a.r#in);
+
+    let forge_push = |hash: u64, a: &QTablePair| {
+        let mut w = Writer::new();
+        CodedHeader::write(CodecKind::Delta, subtag::DELTA, 0.0, &mut w);
+        w.put_u64(1); // version matches B's baseline
+        w.put_u64(hash);
+        crate::sparse::put_diff(&mut w, &a.out, &a.out); // empty diffs
+        crate::sparse::put_diff(&mut w, &a.r#in, &a.r#in);
+        w.into_bytes()
+    };
+
+    let before_b = b.clone();
+    let reply = cb
+        .apply_push(0, &mut b, &forge_push(good_hash ^ 1, &a))
+        .unwrap();
+    assert_eq!(
+        CodedHeader::peek(&reply).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    assert_eq!(pair_bytes(&b), pair_bytes(&before_b));
+
+    // The same body with the matching hash merges normally (B re-learns
+    // the baseline on its next FULL contact; rebuild it first).
+    let mut cb = AnyCodec::new(CodecKind::Delta);
+    let mut ca = AnyCodec::new(CodecKind::Delta);
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    let good_hash = crate::delta::baseline_hash(&a.out, &a.r#in);
+    let reply = cb
+        .apply_push(0, &mut b, &forge_push(good_hash, &a))
+        .unwrap();
+    assert_eq!(CodedHeader::peek(&reply).unwrap().subtag, subtag::DELTA);
+}
+
+#[test]
+fn quantized_rejects_overflowing_row_range() {
+    // Header-valid payload whose finite min/scale still reconstruct to
+    // ±inf at the top of the u16 range must be rejected wholesale, so no
+    // non-finite value can enter a Q-table.
+    let mut w = Writer::new();
+    w.put_u16(1); // n_rows
+    w.put_u8(0); // row
+    w.put_u8(1); // count
+    w.put_f64(1e308); // min (finite)
+    w.put_f64(1e304); // scale (finite); min + 65535·scale → inf
+    w.put_u8(0); // offset
+    w.put_u16(u16::MAX);
+    let block = w.into_bytes();
+    let mut t = QTable::new();
+    assert!(decode_table_into(&block, &mut t).is_err());
+    assert_eq!(t.visited_count(), 0);
+
+    // A full coded reply with such a row must leave `own` untouched.
+    let mut body = Writer::new();
+    CodedHeader::write(CodecKind::Quantized, subtag::QUANT, 0.0, &mut body);
+    body.put_bytes(&block);
+    body.put_bytes(&block);
+    let body = body.into_bytes();
+    let mut own = build_pair(&[(5, 2.0)], &[(6, -1.0)]);
+    let before = pair_bytes(&own);
+    let mut cq = AnyCodec::new(CodecKind::Quantized);
+    assert!(cq.apply_push(0, &mut own, &body).is_err());
+    assert!(cq.apply_reply(0, &mut own, &body).is_err());
+    assert_eq!(pair_bytes(&own), before);
+}
+
+#[test]
+fn priority_crossed_pushes_fall_back_and_resync() {
+    // The priority codec shares the delta codec's lockstep-baseline
+    // assumption; crossed REGIONS pushes must decline and resynchronize
+    // rather than install divergent baselines at equal versions.
+    let mut a = build_pair(&[(1, 1.0), (100, 4.0)], &[(7, 0.5)]);
+    let mut b = build_pair(&[(2, 2.0)], &[(9, 1.5)]);
+    let mut ca = AnyCodec::new(CodecKind::Priority);
+    let mut cb = AnyCodec::new(CodecKind::Priority);
+    codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    a.out.set_index(10, 7.0);
+    b.out.set_index(11, -7.0);
+
+    let push_ab = ca.encode_push(1, &a);
+    let push_ba = cb.encode_push(0, &b);
+    let reply_ba = cb.apply_push(0, &mut b, &push_ab).unwrap();
+    let reply_ab = ca.apply_push(1, &mut a, &push_ba).unwrap();
+    assert_eq!(
+        CodedHeader::peek(&reply_ba).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    assert_eq!(
+        CodedHeader::peek(&reply_ab).unwrap().subtag,
+        subtag::STALE_FULL
+    );
+    ca.apply_reply(1, &mut a, &reply_ba).unwrap();
+    cb.apply_reply(0, &mut b, &reply_ab).unwrap();
+
+    // Baselines dropped on both sides: next contact is a full exchange
+    // and both sides converge bitwise.
+    let (push, _) = codec_exchange(&mut ca, &mut cb, &mut a, &mut b);
+    assert_eq!(CodedHeader::peek(&push).unwrap().subtag, subtag::FULL);
+    assert_eq!(pair_bytes(&a), pair_bytes(&b));
+}
+
+#[test]
 fn quantized_table_block_respects_declared_error() {
     let t = build_table(&[(0, 1.0), (1, 1.0 + 1e-7), (80, -3.0), (6560, 1000.0)]);
     let (block, err) = encode_table(&t);

@@ -112,6 +112,10 @@ pub struct NodeCore {
     /// Identity nodes keep the legacy verbatim-table wire path and never
     /// touch this beyond checkpointing its (empty) state.
     codec: AnyCodec,
+    /// Coded aggregation bodies the codec rejected (diagnostic only, not
+    /// checkpointed): each one dropped its exchange and reset the peer's
+    /// codec state instead of crashing the node.
+    codec_errors: u64,
     train_buf: Vec<VmProfile>,
     idx_buf: Vec<usize>,
 }
@@ -135,6 +139,7 @@ impl NodeCore {
             agg_attempts: 0,
             updates: 0,
             codec: AnyCodec::new(cfg.codec),
+            codec_errors: 0,
             train_buf: Vec::new(),
             idx_buf: Vec::new(),
         }
@@ -158,6 +163,12 @@ impl NodeCore {
     /// Bellman updates this node has applied.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Coded aggregation bodies this node's codec rejected (each dropped
+    /// its exchange and resynchronized the peer instead of panicking).
+    pub fn codec_errors(&self) -> u64 {
+        self.codec_errors
     }
 
     /// Current Cyclon view size (diagnostics).
@@ -285,19 +296,34 @@ impl NodeCore {
                 Vec::new()
             }
             WireMsg::AggPushCoded { body } => {
-                let reply = self
-                    .codec
-                    .apply_push(from, &mut self.table, &body)
-                    .expect("transport delivered an unappliable coded push");
-                vec![Outgoing {
-                    to: from,
-                    msg: WireMsg::AggReplyCoded { body: reply },
-                }]
+                match self.codec.apply_push(from, &mut self.table, &body) {
+                    Ok(reply) => vec![Outgoing {
+                        to: from,
+                        msg: WireMsg::AggReplyCoded { body: reply },
+                    }],
+                    Err(_) => {
+                        // A body the codec cannot apply — version or
+                        // baseline skew, a malformed payload — drops the
+                        // exchange instead of crashing the node: send no
+                        // reply and clear the peer's codec state so the
+                        // next contact resyncs via FULL/STALE_FULL. The
+                        // driver counts the missing reply under
+                        // `codec.decode_errors`.
+                        self.drop_coded_exchange(from)
+                    }
+                }
             }
             WireMsg::AggReplyCoded { body } => {
-                self.codec
+                if self
+                    .codec
                     .apply_reply(from, &mut self.table, &body)
-                    .expect("transport delivered an unappliable coded reply");
+                    .is_err()
+                {
+                    // Same recovery as the push side: our table is left
+                    // as-is (no partial merge escapes the codec) and the
+                    // peer's codec state is dropped for a clean resync.
+                    self.drop_coded_exchange(from);
+                }
                 Vec::new()
             }
         }
@@ -340,6 +366,16 @@ impl NodeCore {
             // fails them independently.
             _ => Vec::new(),
         }
+    }
+
+    /// Recovery path for a coded aggregation body the codec rejected:
+    /// count it and wipe the peer's codec state (baselines, in-flight
+    /// bookkeeping) so the next contact starts from a clean FULL /
+    /// STALE_FULL resync. Emits nothing — the exchange is abandoned.
+    fn drop_coded_exchange(&mut self, peer: NodeId) -> Vec<Outgoing> {
+        self.codec_errors += 1;
+        self.codec.reset_peer(peer);
+        Vec::new()
     }
 
     fn push_table(&mut self) -> Vec<Outgoing> {
@@ -598,6 +634,74 @@ mod tests {
         });
         assert_eq!(a.view_size(), before - 1);
         assert!(!a.cyclon.neighbors().any(|p| p == out[0].to));
+    }
+
+    fn bootstrapped_with_codec(id: NodeId, codec: CodecKind) -> NodeCore {
+        let config = GlapConfig { codec, ..cfg() };
+        let mut node = NodeCore::new(id, &config, 42);
+        node.handle(NodeInput::Bootstrap {
+            peers: (0..8).filter(|&p| p != id).collect(),
+        });
+        node
+    }
+
+    #[test]
+    fn rejected_coded_push_drops_exchange_without_panicking() {
+        let mut b = bootstrapped_with_codec(1, CodecKind::Delta);
+        let before = {
+            let mut w = Writer::new();
+            b.table().save(&mut w);
+            w.into_bytes()
+        };
+        // A coded body the codec cannot apply (garbage past the wire
+        // layer) must be swallowed: no reply, no panic, table untouched.
+        let out = b.on_message(
+            0,
+            WireMsg::AggPushCoded {
+                body: vec![0xFF; 16],
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(b.codec_errors(), 1);
+        let mut w = Writer::new();
+        b.table().save(&mut w);
+        assert_eq!(w.into_bytes(), before);
+
+        // The node keeps aggregating normally afterwards.
+        let mut a = bootstrapped_with_codec(0, CodecKind::Delta);
+        a.set_world(vec![profile(0.1)], true);
+        a.on_tick(TickKind::LearnRequest);
+        a.on_tick(TickKind::TrainLocal);
+        let pushes = a.on_tick(TickKind::Aggregate);
+        assert_eq!(pushes.len(), 1);
+        assert!(matches!(pushes[0].msg, WireMsg::AggPushCoded { .. }));
+        // Route the push to B regardless of which peer A drew.
+        let replies = b.on_message(0, pushes[0].msg.clone());
+        assert_eq!(replies.len(), 1);
+        a.on_message(pushes[0].to, replies[0].msg.clone());
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        a.table().save(&mut wa);
+        b.table().save(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn rejected_coded_reply_drops_exchange_without_panicking() {
+        let mut a = bootstrapped_with_codec(0, CodecKind::Delta);
+        let out = a.on_tick(TickKind::Aggregate);
+        assert_eq!(out.len(), 1);
+        // A reply with no decodable codec body — and, after the reset, a
+        // well-formed reply with no push in flight — are both dropped.
+        let out2 = a.on_message(
+            out[0].to,
+            WireMsg::AggReplyCoded {
+                body: vec![0xFF; 16],
+            },
+        );
+        assert!(out2.is_empty());
+        assert_eq!(a.codec_errors(), 1);
+        // The peer's in-flight state was reset: the node can push again.
+        assert!(!a.on_tick(TickKind::Aggregate).is_empty());
     }
 
     #[test]

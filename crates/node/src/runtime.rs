@@ -286,6 +286,14 @@ impl<T: Transport> NodeRuntime<T> {
                         dispatch_ns += t0.elapsed().as_nanos() as u64;
                         dispatches += 1;
                     }
+                    // A delivered coded push is always answered — unless
+                    // the responder's codec rejected the body and dropped
+                    // the exchange (`NodeCore::drop_coded_exchange`).
+                    // Zero in healthy runs: both transports only carry
+                    // payloads our own encoders produced.
+                    if tag == TAG_AGG_PUSH_CODED && next.is_empty() {
+                        tracer.add("codec.decode_errors", 1);
+                    }
                     queue.push_back((to, next));
                 } else {
                     match tag {
