@@ -143,8 +143,8 @@ impl EcoCloudPolicy {
         if relief && self.cfg.wake_on_pressure {
             let sleeping: Option<PmId> = dc
                 .pms()
-                .find(|p| !p.is_active() && net.is_up(p.id.0))
-                .map(|p| p.id);
+                .find(|p| !p.is_active() && net.is_up(p.id().0))
+                .map(|p| p.id());
             if let Some(dst) = sleeping {
                 dc.wake(dst);
                 dc.migrate(vm, dst).expect("freshly woken PM is active");
@@ -180,7 +180,7 @@ impl ConsolidationPolicy for EcoCloudPolicy {
             if dc.pm(p).is_overloaded() || u_cpu > self.cfg.t2 {
                 // High-threshold migration: move the smallest VM that
                 // helps until at or below T2 (one per round — gradual).
-                let vm = dc.pm(p).vms.iter().copied().min_by(|&a, &b| {
+                let vm = dc.pm(p).vms().iter().copied().min_by(|&a, &b| {
                     dc.vm(a)
                         .current
                         .total()
@@ -192,7 +192,7 @@ impl ConsolidationPolicy for EcoCloudPolicy {
                 }
             } else if u_cpu < self.cfg.t1 && rng.gen::<f64>() < self.migrate_low_prob(u_cpu) {
                 // Low-threshold migration: evacuate one random VM.
-                let vms = &dc.pm(p).vms;
+                let vms = dc.pm(p).vms();
                 let vm = vms[rng.gen_range(0..vms.len())];
                 self.place(dc, net, p, vm, rng, false, tracer);
                 if dc.sleep_if_empty(p) {
@@ -204,8 +204,8 @@ impl ConsolidationPolicy for EcoCloudPolicy {
         // PM's management agent cannot take that decision).
         let empties: Vec<PmId> = dc
             .pms()
-            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id.0))
-            .map(|p| p.id)
+            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id().0))
+            .map(|p| p.id())
             .collect();
         for p in empties {
             dc.sleep_if_empty(p);

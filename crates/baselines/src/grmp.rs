@@ -66,7 +66,7 @@ impl GrmpPolicy {
         tracer: &Tracer,
     ) -> usize {
         let cap = Resources::splat(self.cfg.threshold);
-        let mut vms: Vec<VmId> = dc.pm(src).vms.clone();
+        let mut vms: Vec<VmId> = dc.pm(src).vms().to_vec();
         // Largest total demand first — aggressive packing.
         vms.sort_by(|&a, &b| {
             dc.vm(b)
@@ -140,7 +140,7 @@ impl ConsolidationPolicy for GrmpPolicy {
         self.overlay.bootstrap_random(rng);
         for pm in dc.pms() {
             if !pm.is_active() {
-                self.overlay.set_dead(pm.id.0);
+                self.overlay.set_dead(pm.id().0);
             }
         }
     }

@@ -224,8 +224,8 @@ impl PabfdPolicy {
                     // Wake a sleeping (and reachable) host if any.
                     let sleeping = dc
                         .pms()
-                        .find(|p| !p.is_active() && net.is_up(p.id.0))
-                        .map(|p| p.id);
+                        .find(|p| !p.is_active() && net.is_up(p.id().0))
+                        .map(|p| p.id());
                     if let Some(pm) = sleeping {
                         dc.wake(pm);
                         dc.migrate(vm, pm).expect("woken host is active");
@@ -254,8 +254,8 @@ impl ConsolidationPolicy for PabfdPolicy {
         // 1. Record CPU history of active hosts (the central monitor;
         //    unreachable hosts report nothing this round).
         for pm in dc.pms() {
-            if pm.is_active() && net.is_up(pm.id.0) {
-                let h = &mut self.history[pm.id.index()];
+            if pm.is_active() && net.is_up(pm.id().0) {
+                let h = &mut self.history[pm.id().index()];
                 if h.len() == self.cfg.history {
                     h.remove(0);
                 }
@@ -275,7 +275,7 @@ impl ConsolidationPolicy for PabfdPolicy {
             if projected <= t_u {
                 continue;
             }
-            let mut vms: Vec<VmId> = dc.pm(pm).vms.clone();
+            let mut vms: Vec<VmId> = dc.pm(pm).vms().to_vec();
             // MMT: smallest memory footprint first (fastest migration).
             vms.sort_by(|&a, &b| {
                 dc.vm(a)
@@ -313,7 +313,7 @@ impl ConsolidationPolicy for PabfdPolicy {
                 .expect("finite")
         });
         for pm in under.clone() {
-            let vms: Vec<VmId> = dc.pm(pm).vms.clone();
+            let vms: Vec<VmId> = dc.pm(pm).vms().to_vec();
             let failed = self.place_all(dc, net, vms, &under);
             // If anything failed, those VMs stayed put (place_all does not
             // move what it cannot place) and the host stays on.
@@ -324,8 +324,8 @@ impl ConsolidationPolicy for PabfdPolicy {
         // 4. Switch off emptied (and reachable) hosts.
         let empties: Vec<PmId> = dc
             .pms()
-            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id.0))
-            .map(|p| p.id)
+            .filter(|p| p.is_active() && p.is_empty() && net.is_up(p.id().0))
+            .map(|p| p.id())
             .collect();
         for pm in empties {
             dc.sleep_if_empty(pm);

@@ -1,0 +1,256 @@
+//! CSR-style placement arena: one flat slab for every PM's hosted-VM list.
+//!
+//! At 100k+ PMs, per-PM `Vec<VmId>`s mean one heap allocation per machine
+//! and a pointer chase per access. The arena instead block-allocates each
+//! PM's list inside a single `Vec<VmId>` slab, CSR-style: per-PM
+//! `(offset, len, capacity)` triples index into the slab, blocks are
+//! power-of-two sized and recycled through per-size-class free lists when
+//! a list outgrows its block. Element *order* within a list exactly
+//! replicates the `Vec` semantics the simulation was built on (`push` to
+//! the back, `swap_remove` by position), so every consumer — placement,
+//! migration, π_out scans, snapshots — observes byte-identical lists; only
+//! the memory layout changed.
+
+use crate::ids::VmId;
+
+/// Smallest non-empty block capacity (a power of two). Lists grow
+/// 0 → 4 → 8 → … exactly like small `Vec`s do.
+const MIN_CAP: usize = 4;
+
+/// Flat block-allocated storage for `n` variable-length `VmId` lists.
+#[derive(Debug, Clone)]
+pub(crate) struct PlacementArena {
+    /// Block start of each list within `slab` (meaningless while `cap == 0`).
+    off: Vec<usize>,
+    /// Live length of each list.
+    len: Vec<usize>,
+    /// Block capacity of each list: zero or a power of two ≥ [`MIN_CAP`].
+    cap: Vec<usize>,
+    /// The single shared slab all blocks are carved from.
+    slab: Vec<VmId>,
+    /// Recycled blocks by size class: `free[c]` holds offsets of free
+    /// blocks of capacity `1 << c`.
+    free: Vec<Vec<usize>>,
+}
+
+impl PlacementArena {
+    /// An arena of `n` empty lists.
+    pub(crate) fn new(n: usize) -> Self {
+        PlacementArena {
+            off: vec![0; n],
+            len: vec![0; n],
+            cap: vec![0; n],
+            slab: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of lists.
+    #[inline]
+    pub(crate) fn lists(&self) -> usize {
+        self.len.len()
+    }
+
+    /// List `i` as a slice, in insertion/`swap_remove` order.
+    #[inline]
+    pub(crate) fn slice(&self, i: usize) -> &[VmId] {
+        &self.slab[self.off[i]..self.off[i] + self.len[i]]
+    }
+
+    /// Length of list `i`.
+    #[inline]
+    pub(crate) fn len(&self, i: usize) -> usize {
+        self.len[i]
+    }
+
+    /// Position of `vm` in list `i`, if present (linear scan — lists are
+    /// a handful of VMs).
+    #[inline]
+    pub(crate) fn position(&self, i: usize, vm: VmId) -> Option<usize> {
+        self.slice(i).iter().position(|&v| v == vm)
+    }
+
+    /// Appends `vm` to the back of list `i` (the `Vec::push` equivalent).
+    pub(crate) fn push(&mut self, i: usize, vm: VmId) {
+        if self.len[i] == self.cap[i] {
+            self.grow(i);
+        }
+        self.slab[self.off[i] + self.len[i]] = vm;
+        self.len[i] += 1;
+    }
+
+    /// Removes position `pos` of list `i` by swapping the last element in
+    /// (the `Vec::swap_remove` equivalent — same resulting order).
+    pub(crate) fn swap_remove(&mut self, i: usize, pos: usize) -> VmId {
+        let n = self.len[i];
+        assert!(pos < n, "swap_remove out of bounds");
+        let base = self.off[i];
+        let removed = self.slab[base + pos];
+        self.slab[base + pos] = self.slab[base + n - 1];
+        self.len[i] = n - 1;
+        removed
+    }
+
+    /// Doubles list `i`'s block (or allocates its first), recycling a
+    /// free block of the right class when one exists.
+    fn grow(&mut self, i: usize) {
+        let old_cap = self.cap[i];
+        let new_cap = if old_cap == 0 { MIN_CAP } else { old_cap * 2 };
+        let class = new_cap.trailing_zeros() as usize;
+        if self.free.len() <= class {
+            self.free.resize_with(class + 1, Vec::new);
+        }
+        let new_off = match self.free[class].pop() {
+            Some(off) => off,
+            None => {
+                let off = self.slab.len();
+                self.slab.resize(off + new_cap, VmId(u32::MAX));
+                off
+            }
+        };
+        let old_off = self.off[i];
+        let live = self.len[i];
+        self.slab.copy_within(old_off..old_off + live, new_off);
+        if old_cap > 0 {
+            self.free[old_cap.trailing_zeros() as usize].push(old_off);
+        }
+        self.off[i] = new_off;
+        self.cap[i] = new_cap;
+    }
+
+    /// Empties every list and returns all blocks to a pristine arena
+    /// (checkpoint restore rebuilds placements from the snapshot).
+    pub(crate) fn reset(&mut self) {
+        self.off.iter_mut().for_each(|o| *o = 0);
+        self.len.iter_mut().for_each(|l| *l = 0);
+        self.cap.iter_mut().for_each(|c| *c = 0);
+        self.slab.clear();
+        self.free.iter_mut().for_each(Vec::clear);
+    }
+
+    /// Structural self-check: block bounds, capacity classes, and full
+    /// accounting of the slab between live blocks and free lists with no
+    /// overlap. O(total blocks · log) — debug/test use.
+    pub(crate) fn check(&self) -> Result<(), String> {
+        let mut blocks: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.lists() {
+            if self.len[i] > self.cap[i] {
+                return Err(format!(
+                    "arena list {i}: len {} > cap {}",
+                    self.len[i], self.cap[i]
+                ));
+            }
+            if self.cap[i] > 0 {
+                if !self.cap[i].is_power_of_two() || self.cap[i] < MIN_CAP {
+                    return Err(format!("arena list {i}: bad capacity {}", self.cap[i]));
+                }
+                blocks.push((self.off[i], self.cap[i]));
+            } else if self.len[i] > 0 {
+                return Err(format!("arena list {i}: non-empty with zero capacity"));
+            }
+        }
+        for (class, list) in self.free.iter().enumerate() {
+            for &off in list {
+                blocks.push((off, 1 << class));
+            }
+        }
+        blocks.sort_unstable();
+        let mut covered = 0usize;
+        for (off, cap) in blocks {
+            if off != covered {
+                return Err(format!(
+                    "arena block at {off} (cap {cap}) {} slab cursor {covered}",
+                    if off < covered {
+                        "overlaps"
+                    } else {
+                        "leaves a gap before"
+                    }
+                ));
+            }
+            covered = off + cap;
+        }
+        if covered != self.slab.len() {
+            return Err(format!(
+                "arena accounts {covered} slab slots of {}",
+                self.slab.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_slice_preserve_order() {
+        let mut a = PlacementArena::new(2);
+        for k in 0..10 {
+            a.push(0, VmId(k));
+        }
+        a.push(1, VmId(100));
+        assert_eq!(a.len(0), 10);
+        assert_eq!(a.slice(0)[3], VmId(3));
+        assert_eq!(a.slice(1), &[VmId(100)]);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn swap_remove_matches_vec_semantics() {
+        let mut a = PlacementArena::new(1);
+        let mut model: Vec<VmId> = Vec::new();
+        for k in 0..9 {
+            a.push(0, VmId(k));
+            model.push(VmId(k));
+        }
+        for pos in [2, 0, 5, 3] {
+            assert_eq!(a.swap_remove(0, pos), model.swap_remove(pos));
+            assert_eq!(a.slice(0), &model[..]);
+        }
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn grown_blocks_are_recycled() {
+        let mut a = PlacementArena::new(3);
+        // Grow list 0 through several classes, then empty it: its blocks
+        // never shrink, but list 1 growing later reuses the freed ones.
+        for k in 0..20 {
+            a.push(0, VmId(k));
+        }
+        let slab_after_growth = a.slab.len();
+        for k in 0..20 {
+            a.push(1, VmId(200 + k));
+        }
+        a.check().unwrap();
+        // Freed intermediate blocks of list 0 (caps 4, 8, 16) were reused
+        // by list 1's growth chain, so the slab grew by less than another
+        // full 4+8+16+32 chain.
+        assert!(a.slab.len() < slab_after_growth + 4 + 8 + 16 + 32);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn reset_returns_to_pristine() {
+        let mut a = PlacementArena::new(2);
+        for k in 0..12 {
+            a.push(0, VmId(k));
+        }
+        a.reset();
+        assert_eq!(a.len(0), 0);
+        assert_eq!(a.slab.len(), 0);
+        a.check().unwrap();
+        a.push(0, VmId(7));
+        assert_eq!(a.slice(0), &[VmId(7)]);
+        a.check().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_remove out of bounds")]
+    fn swap_remove_bounds_checked() {
+        let mut a = PlacementArena::new(1);
+        a.push(0, VmId(1));
+        a.swap_remove(0, 1);
+    }
+}

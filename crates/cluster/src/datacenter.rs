@@ -7,9 +7,15 @@
 //! from a [`DemandSource`] (a workload trace), migrations are accounted with
 //! the same duration/energy/degradation model, and SLA counters advance the
 //! same way for all policies.
+//!
+//! PM state is stored struct-of-arrays (see [`PmStore`](crate::pm)) with a
+//! CSR-style placement arena and a sorted active-set index: `pm(id)` hands
+//! out a [`PmRef`] read handle, `active_pm_count` is O(1), and the
+//! per-round scans (`step`'s SLA tick, `overloaded_pm_count`) visit only
+//! active machines — sleeping PMs cost nothing per round.
 
 use crate::ids::{PmId, VmId};
-use crate::pm::{Pm, PmSpec, PowerState};
+use crate::pm::{PmRef, PmSpec, PmStore, PowerState};
 use crate::power::{MigrationModel, PowerModel};
 use crate::resources::Resources;
 use crate::topology::Topology;
@@ -112,7 +118,7 @@ pub enum MigrationError {
 pub struct DataCenter {
     cfg: DataCenterConfig,
     power: PowerModel,
-    pms: Vec<Pm>,
+    pms: PmStore,
     vms: Vec<Vm>,
     round: u64,
     /// Migrations performed since the last [`DataCenter::take_migrations`].
@@ -132,11 +138,10 @@ pub struct DataCenter {
 impl DataCenter {
     /// Creates a data center with `cfg.n_pms` active, empty PMs and no VMs.
     pub fn new(cfg: DataCenterConfig) -> Self {
-        let pms = (0..cfg.n_pms).map(|i| Pm::new(PmId(i as u32))).collect();
         DataCenter {
             power: PowerModel::from_spec(&cfg.pm_spec),
+            pms: PmStore::new(cfg.n_pms),
             cfg,
-            pms,
             vms: Vec::new(),
             round: 0,
             pending_migrations: Vec::new(),
@@ -192,10 +197,10 @@ impl DataCenter {
         self.vms.len()
     }
 
-    /// Immutable PM access.
+    /// Immutable PM access: a `Copy` handle over the SoA store.
     #[inline]
-    pub fn pm(&self, id: PmId) -> &Pm {
-        &self.pms[id.index()]
+    pub fn pm(&self, id: PmId) -> PmRef<'_> {
+        self.pms.pm(id)
     }
 
     /// Immutable VM access.
@@ -205,8 +210,8 @@ impl DataCenter {
     }
 
     /// Iterates over all PMs.
-    pub fn pms(&self) -> impl Iterator<Item = &Pm> {
-        self.pms.iter()
+    pub fn pms(&self) -> impl Iterator<Item = PmRef<'_>> {
+        (0..self.pms.len()).map(|i| self.pms.pm(PmId(i as u32)))
     }
 
     /// Collects the demand profiles of every VM hosted on `pm` into
@@ -216,7 +221,7 @@ impl DataCenter {
     /// never touches the data-center model.
     pub fn pm_profiles_into(&self, pm: PmId, buf: &mut Vec<VmProfile>) {
         buf.clear();
-        for &vm in &self.pm(pm).vms {
+        for &vm in self.pm(pm).vms() {
             buf.push(self.vm(vm).profile());
         }
     }
@@ -226,22 +231,26 @@ impl DataCenter {
         self.vms.iter()
     }
 
-    /// Ids of all active PMs.
+    /// Ids of all active PMs, ascending — served from the maintained
+    /// active-set index, so the cost is O(active), not O(n).
     pub fn active_pm_ids(&self) -> impl Iterator<Item = PmId> + '_ {
-        self.pms.iter().filter(|p| p.is_active()).map(|p| p.id)
+        self.pms.active_ids().iter().copied()
     }
 
-    /// Count of active PMs.
+    /// Count of active PMs — O(1) from the active-set index.
+    #[inline]
     pub fn active_pm_count(&self) -> usize {
-        self.pms.iter().filter(|p| p.is_active()).count()
+        self.pms.active_ids().len()
     }
 
     /// Count of overloaded PMs (aggregate demand at/over capacity in at
-    /// least one resource).
+    /// least one resource). Scans only the active set: sleeping PMs host
+    /// nothing and cannot be overloaded.
     pub fn overloaded_pm_count(&self) -> usize {
         self.pms
+            .active_ids()
             .iter()
-            .filter(|p| p.is_active() && p.is_overloaded())
+            .filter(|&&p| self.pms.pm(p).is_overloaded())
             .count()
     }
 
@@ -262,7 +271,7 @@ impl DataCenter {
                 let vm = &self.vms[vm_id.index()];
                 (vm.current, vm.avg.value())
             };
-            self.pms[host.index()].detach(vm_id, current, avg);
+            self.pms.detach(host, vm_id, current, avg);
         }
         let vm = &mut self.vms[vm_id.index()];
         vm.host = None;
@@ -277,15 +286,12 @@ impl DataCenter {
     pub fn place(&mut self, vm_id: VmId, pm_id: PmId) {
         assert!(!self.vms[vm_id.index()].departed, "placing a departed VM");
         assert!(self.vms[vm_id.index()].host.is_none(), "VM already placed");
-        assert!(
-            self.pms[pm_id.index()].is_active(),
-            "placing on sleeping PM"
-        );
+        assert!(self.pms.is_active(pm_id.index()), "placing on sleeping PM");
         let (current, avg) = {
             let vm = &self.vms[vm_id.index()];
             (vm.current, vm.avg.value())
         };
-        self.pms[pm_id.index()].attach(vm_id, current, avg);
+        self.pms.attach(pm_id, vm_id, current, avg);
         self.vms[vm_id.index()].host = Some(pm_id);
     }
 
@@ -311,11 +317,12 @@ impl DataCenter {
 
     /// Advances one simulated round: pulls a fresh demand observation for
     /// every placed VM, folds each VM's demand change into its host's
-    /// cached aggregates in O(1), and advances SLA accounting. No
-    /// allocation and no rescan of the VM lists — `check_invariants`
-    /// cross-checks the caches against a full recomputation, and
-    /// [`Pm::detach`]'s zero-on-empty keeps floating-point drift from
-    /// ever accumulating past a PM's lifetime.
+    /// cached aggregates in O(1), and advances SLA accounting over the
+    /// active set only (sleeping PMs tick nothing, so skipping them is
+    /// exact). No allocation and no rescan of the VM lists —
+    /// `check_invariants` cross-checks the caches against a full
+    /// recomputation, and the store's zero-on-empty detach keeps
+    /// floating-point drift from ever accumulating past a PM's lifetime.
     pub fn step<D: DemandSource + ?Sized>(&mut self, source: &mut D) {
         let round = self.round;
         let secs = self.cfg.round_seconds;
@@ -326,13 +333,10 @@ impl DataCenter {
                 let old_avg = vm.avg.value();
                 let u = source.demand(vm.id, round);
                 vm.observe(u, secs);
-                pms[host.index()]
-                    .apply_demand_delta(vm.current - old_current, vm.avg.value() - old_avg);
+                pms.apply_demand_delta(host, vm.current - old_current, vm.avg.value() - old_avg);
             }
         }
-        for pm in pms.iter_mut() {
-            pm.tick_sla();
-        }
+        pms.tick_sla_active();
         self.round += 1;
     }
 
@@ -348,7 +352,7 @@ impl DataCenter {
         if from == to {
             return Err(MigrationError::SamePm);
         }
-        if !self.pms[to.index()].is_active() {
+        if !self.pms.is_active(to.index()) {
             return Err(MigrationError::DestinationSleeping);
         }
 
@@ -376,15 +380,15 @@ impl DataCenter {
             .cfg
             .migration
             .duration_s(mem_mb, self.cfg.pm_spec.net_mbps * bw_factor);
-        let src_util = self.pms[from.index()].utilization().cpu();
-        let dst_util = self.pms[to.index()].utilization().cpu();
+        let src_util = self.pm(from).utilization().cpu();
+        let dst_util = self.pm(to).utilization().cpu();
         let energy_j = self
             .cfg
             .migration
             .energy_j(&self.power, src_util, dst_util, tau_s);
 
-        self.pms[from.index()].detach(vm_id, current, avg_v);
-        self.pms[to.index()].attach(vm_id, current, avg_v);
+        self.pms.detach(from, vm_id, current, avg_v);
+        self.pms.attach(to, vm_id, current, avg_v);
         self.vms[vm_id.index()].host = Some(to);
         self.vms[vm_id.index()].record_migration(cpu_util_of_nominal, tau_s);
 
@@ -410,9 +414,8 @@ impl DataCenter {
     /// Switches an *empty* PM to sleep. Returns `false` (and does nothing)
     /// if the PM still hosts VMs or is already sleeping.
     pub fn sleep_if_empty(&mut self, pm: PmId) -> bool {
-        let p = &mut self.pms[pm.index()];
-        if p.is_active() && p.is_empty() {
-            p.power = PowerState::Sleeping;
+        if self.pms.is_active(pm.index()) && self.pm(pm).is_empty() {
+            self.pms.sleep(pm);
             self.tracer.emit(EventKind::PmSlept { pm: pm.0 });
             true
         } else {
@@ -422,11 +425,10 @@ impl DataCenter {
 
     /// Wakes a sleeping PM. Returns `false` if it was already active.
     pub fn wake(&mut self, pm: PmId) -> bool {
-        let p = &mut self.pms[pm.index()];
-        if p.is_active() {
+        if self.pms.is_active(pm.index()) {
             false
         } else {
-            p.power = PowerState::Active;
+            self.pms.wake(pm);
             self.pending_wake_ups += 1;
             self.tracer.emit(EventKind::PmWoke { pm: pm.0 });
             true
@@ -459,21 +461,30 @@ impl DataCenter {
     }
 
     /// Debug-time invariant check: every placed VM appears on exactly its
-    /// host's list, aggregates match, sleeping PMs are empty. Used by tests
-    /// and `debug_assert!`s in the harness.
+    /// host's list, the SoA demand aggregates match a from-scratch
+    /// recompute over the VM table, sleeping PMs are empty, the sorted
+    /// active-set index mirrors the power array, and the placement arena
+    /// fully accounts for its slab. Used by tests, checkpoint restore,
+    /// and `debug_assert!`s in the round-driving harness.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for pm in &self.pms {
+        self.pms.check()?;
+        for pm in self.pms() {
             if !pm.is_active() && !pm.is_empty() {
-                return Err(format!("{} sleeps but hosts {} VMs", pm.id, pm.vm_count()));
+                return Err(format!(
+                    "{} sleeps but hosts {} VMs",
+                    pm.id(),
+                    pm.vm_count()
+                ));
             }
             let mut sum = Resources::ZERO;
             let mut sum_avg = Resources::ZERO;
-            for &vm in &pm.vms {
+            for &vm in pm.vms() {
                 let v = &self.vms[vm.index()];
-                if v.host != Some(pm.id) {
+                if v.host != Some(pm.id()) {
                     return Err(format!(
                         "{vm} listed on {} but hosted on {:?}",
-                        pm.id, v.host
+                        pm.id(),
+                        v.host
                     ));
                 }
                 sum += v.current;
@@ -482,17 +493,17 @@ impl DataCenter {
             if (sum.cpu() - pm.demand().cpu()).abs() > 1e-6
                 || (sum.mem() - pm.demand().mem()).abs() > 1e-6
             {
-                return Err(format!("{} aggregate drift", pm.id));
+                return Err(format!("{} aggregate drift", pm.id()));
             }
             if (sum_avg.cpu() - pm.avg_demand().cpu()).abs() > 1e-6
                 || (sum_avg.mem() - pm.avg_demand().mem()).abs() > 1e-6
             {
-                return Err(format!("{} average-aggregate drift", pm.id));
+                return Err(format!("{} average-aggregate drift", pm.id()));
             }
         }
         for vm in &self.vms {
             if let Some(host) = vm.host {
-                if !self.pms[host.index()].vms.contains(&vm.id) {
+                if self.pms.pm(host).vms().iter().all(|&v| v != vm.id) {
                     return Err(format!(
                         "{} claims host {host} which does not list it",
                         vm.id
@@ -506,9 +517,9 @@ impl DataCenter {
     /// A read-only, `Sync` view of the world for worker threads.
     ///
     /// `&DataCenter` itself is not `Sync` (it holds a single-threaded
-    /// [`Tracer`] handle); the view borrows only the PM and VM tables —
-    /// all the learning phase reads — so the trainer can fan per-PM
-    /// training out over a pool while the tracer stays on the
+    /// [`Tracer`] handle); the view borrows only the PM store and VM
+    /// table — all the learning phase reads — so the trainer can fan
+    /// per-PM training out over a pool while the tracer stays on the
     /// coordinating thread.
     #[inline]
     pub fn view(&self) -> DcView<'_> {
@@ -519,20 +530,20 @@ impl DataCenter {
     }
 }
 
-/// Immutable snapshot borrow of the PM/VM tables (see
+/// Immutable snapshot borrow of the PM store and VM table (see
 /// [`DataCenter::view`]). `Copy`, `Send` and `Sync`: plain shared
 /// references to plain data.
 #[derive(Clone, Copy)]
 pub struct DcView<'a> {
-    pms: &'a [Pm],
+    pms: &'a PmStore,
     vms: &'a [Vm],
 }
 
 impl<'a> DcView<'a> {
     /// Immutable PM access.
     #[inline]
-    pub fn pm(&self, id: PmId) -> &'a Pm {
-        &self.pms[id.index()]
+    pub fn pm(&self, id: PmId) -> PmRef<'a> {
+        self.pms.pm(id)
     }
 
     /// Immutable VM access.
@@ -558,6 +569,13 @@ impl<'a> DcView<'a> {
 /// a recomputation on restore could differ from the accumulated values
 /// in the last floating-point bits, and resume must continue the exact
 /// byte stream of the uninterrupted run.
+///
+/// The byte layout is the v1 format from before the struct-of-arrays
+/// refactor, unchanged: per-PM state is written in id order exactly as
+/// the per-PM heap objects used to serialize, so pre-refactor snapshots
+/// (`tests/fixtures/format_v1.snap` pins this) restore green and
+/// post-refactor snapshots are byte-identical to what the old layout
+/// would have produced.
 impl Checkpointable for DataCenter {
     fn save(&self, w: &mut Writer) {
         w.put_u64(self.round);
@@ -574,16 +592,16 @@ impl Checkpointable for DataCenter {
             w.put_f64(m.energy_j);
         }
         w.put_usize(self.pms.len());
-        for pm in &self.pms {
+        for pm in self.pms() {
             w.put_bool(pm.is_active());
-            w.put_u64(pm.active_rounds);
-            w.put_u64(pm.saturated_rounds);
+            w.put_u64(pm.active_rounds());
+            w.put_u64(pm.saturated_rounds());
             w.put_f64(pm.demand().cpu());
             w.put_f64(pm.demand().mem());
             w.put_f64(pm.avg_demand().cpu());
             w.put_f64(pm.avg_demand().mem());
-            w.put_usize(pm.vms.len());
-            for vm in &pm.vms {
+            w.put_usize(pm.vms().len());
+            for vm in pm.vms() {
                 w.put_u32(vm.0);
             }
         }
@@ -634,19 +652,28 @@ impl Checkpointable for DataCenter {
             )));
         }
         let n_vms_total = self.vms.len();
-        for pm in &mut self.pms {
-            pm.power = if r.get_bool()? {
-                PowerState::Active
-            } else {
-                PowerState::Sleeping
-            };
-            pm.active_rounds = r.get_u64()?;
-            pm.saturated_rounds = r.get_u64()?;
+        // Repopulate the SoA arrays in snapshot (= id) order; placement
+        // lists are rebuilt into a pristine arena so the element order in
+        // every list is exactly the serialized order.
+        self.pms.reset_placements();
+        for i in 0..n_pms {
+            let pm = PmId(i as u32);
+            self.pms.set_power_raw(
+                pm,
+                if r.get_bool()? {
+                    PowerState::Active
+                } else {
+                    PowerState::Sleeping
+                },
+            );
+            let active_rounds = r.get_u64()?;
+            let saturated_rounds = r.get_u64()?;
+            self.pms
+                .set_sla_counters(pm, active_rounds, saturated_rounds);
             let current = Resources::new(r.get_f64()?, r.get_f64()?);
             let avg = Resources::new(r.get_f64()?, r.get_f64()?);
-            pm.set_aggregates(current, avg);
+            self.pms.set_aggregates(pm, current, avg);
             let n = r.get_usize()?;
-            let mut vms = Vec::with_capacity(n.min(n_vms_total));
             for _ in 0..n {
                 let id = r.get_u32()?;
                 if id as usize >= n_vms_total {
@@ -654,10 +681,10 @@ impl Checkpointable for DataCenter {
                         "snapshot references VM {id} beyond world size {n_vms_total}"
                     )));
                 }
-                vms.push(VmId(id));
+                self.pms.push_placement_raw(pm, VmId(id));
             }
-            pm.vms = vms;
         }
+        self.pms.rebuild_active();
 
         let n_vms = r.get_usize()?;
         if n_vms != n_vms_total {
@@ -807,6 +834,19 @@ mod tests {
     }
 
     #[test]
+    fn active_index_tracks_sleep_wake_in_order() {
+        let mut dc = small_dc(5, 0);
+        dc.sleep_if_empty(PmId(3));
+        dc.sleep_if_empty(PmId(0));
+        let active: Vec<PmId> = dc.active_pm_ids().collect();
+        assert_eq!(active, vec![PmId(1), PmId(2), PmId(4)]);
+        dc.wake(PmId(0));
+        let active: Vec<PmId> = dc.active_pm_ids().collect();
+        assert_eq!(active, vec![PmId(0), PmId(1), PmId(2), PmId(4)]);
+        dc.check_invariants().unwrap();
+    }
+
+    #[test]
     fn take_migrations_drains() {
         let mut dc = small_dc(2, 1);
         dc.place(VmId(0), PmId(0));
@@ -829,7 +869,7 @@ mod tests {
         dc.step(&mut src);
         assert_eq!(dc.overloaded_pm_count(), 1);
         assert!(dc.pm(PmId(0)).cpu_saturated());
-        assert_eq!(dc.pm(PmId(0)).saturated_rounds, 1);
+        assert_eq!(dc.pm(PmId(0)).saturated_rounds(), 1);
     }
 
     #[test]
@@ -917,7 +957,7 @@ mod tests {
         let to = PmId((from.0 + 1) % 4);
         a.migrate(VmId(0), to).unwrap();
         a.remove_vm(VmId(9));
-        let empty = a.pms().find(|p| p.is_empty()).map(|p| p.id);
+        let empty = a.pms().find(|p| p.is_empty()).map(|p| p.id());
         if let Some(empty) = empty {
             a.sleep_if_empty(empty);
         }

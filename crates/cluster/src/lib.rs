@@ -27,6 +27,7 @@
 //! assert_eq!(dc.round(), 1);
 //! ```
 
+mod arena;
 pub mod datacenter;
 pub mod ids;
 pub mod pm;
@@ -39,7 +40,7 @@ pub use datacenter::{
     DataCenter, DataCenterConfig, DcView, DemandSource, MigrationError, MigrationRecord,
 };
 pub use ids::{PmId, VmId};
-pub use pm::{Pm, PmSpec, PowerState};
+pub use pm::{PmRef, PmSpec, PowerState};
 pub use power::{MigrationModel, PowerModel};
 pub use resources::{Resource, Resources, RunningAvg, NUM_RESOURCES};
 pub use topology::{RackId, Topology};
@@ -51,7 +52,7 @@ pub mod prelude {
         DataCenter, DataCenterConfig, DemandSource, MigrationError, MigrationRecord,
     };
     pub use crate::ids::{PmId, VmId};
-    pub use crate::pm::{Pm, PmSpec, PowerState};
+    pub use crate::pm::{PmRef, PmSpec, PowerState};
     pub use crate::power::{MigrationModel, PowerModel};
     pub use crate::resources::{Resource, Resources, RunningAvg};
     pub use crate::topology::{RackId, Topology};

@@ -88,7 +88,7 @@ impl Topology {
         let mut active = vec![false; racks];
         for pm in dc.pms() {
             if pm.is_active() {
-                active[self.rack_of(pm.id).0 as usize] = true;
+                active[self.rack_of(pm.id()).0 as usize] = true;
             }
         }
         active.iter().filter(|&&a| a).count()
@@ -106,7 +106,7 @@ impl Topology {
         let mut occ = vec![0usize; racks];
         for pm in dc.pms() {
             if pm.is_active() {
-                occ[self.rack_of(pm.id).0 as usize] += 1;
+                occ[self.rack_of(pm.id()).0 as usize] += 1;
             }
         }
         occ

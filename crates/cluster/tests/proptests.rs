@@ -155,7 +155,7 @@ proptest! {
             dc.step(&mut src);
         }
         for pm in dc.pms() {
-            prop_assert!(pm.saturated_rounds <= pm.active_rounds);
+            prop_assert!(pm.saturated_rounds() <= pm.active_rounds());
         }
     }
 }

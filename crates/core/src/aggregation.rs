@@ -10,7 +10,7 @@
 
 use glap_codec::{subtag, CodedHeader, FleetCodecs};
 use glap_cyclon::CyclonOverlay;
-use glap_dcsim::NetworkModel;
+use glap_dcsim::{stream_rng, NetworkModel, Stream};
 use glap_qlearn::QTablePair;
 use glap_telemetry::{EventKind, Tracer};
 use rand::seq::SliceRandom;
@@ -275,6 +275,192 @@ pub fn aggregation_round<R: Rng>(
     stats
 }
 
+/// A raw pointer to one PM's table, handed to exactly one worker of a
+/// merge wave. Safety rests on the wave decomposition: every wave's
+/// pairs are vertex-disjoint, so no two tasks of one `parallel_for_each`
+/// ever alias a table.
+struct MergeTask {
+    a: *mut QTablePair,
+    b: *mut QTablePair,
+}
+// SAFETY: each task carries exclusive access to its two (disjoint)
+// tables for the duration of one wave; the pool joins before the next
+// wave is built.
+unsafe impl Send for MergeTask {}
+
+/// [`aggregation_round`] restructured for multi-core: partner selection
+/// fans out over per-PM RNG streams, and the merges are applied in
+/// vertex-disjoint *waves* that parallelize safely — with identical
+/// results, telemetry and counters at any thread count.
+///
+/// How determinism survives the sharding:
+///
+/// 1. **Selection.** One `round_seed` is drawn from the shared phase RNG
+///    (keeping its cursor, and therefore every later draw, checkpoint-
+///    compatible); each alive PM `p` then picks its partner from its own
+///    [`Stream::AggregationPm`]`(p)` stream, pruning dead view entries
+///    exactly like the serial pick. Draws no longer depend on activation
+///    order, so any number of workers computes the same partner vector.
+///    This per-PM re-seed is the one place the sharded round differs
+///    from the serial round for the *same* master seed — the same
+///    deliberate trade PR 5 made for the learning phase.
+/// 2. **Waves.** Exchanges are ordered by the shared-RNG shuffle (as
+///    serially) and decomposed greedily: a pair's wave is one past the
+///    latest wave touching either endpoint, so within a wave all pairs
+///    are vertex-disjoint and their symmetric merges commute — applying
+///    a wave in parallel is equivalent to applying its pairs in order.
+/// 3. **Emission.** Events and counters are emitted serially in exchange
+///    order by the coordinating thread (the tracer is single-threaded
+///    anyway). A pair's byte accounting must read its endpoints' tables
+///    *after* all earlier exchanges and *before* its own, so waves are
+///    applied lazily as the emission cursor reaches them; any pair from
+///    an earlier wave that sits *later* in exchange order is provably
+///    endpoint-disjoint from the current pair (sharing an endpoint would
+///    have forced it into a later wave), so early application cannot
+///    perturb the bytes the serial round would have reported.
+///
+/// Only ideal-network, uncoded rounds shard: fault randomness and codec
+/// state are inherently sequential, so callers keep those on
+/// [`aggregation_round`] (asserted here).
+pub fn aggregation_round_sharded<R: Rng>(
+    tables: &mut [QTablePair],
+    overlay: &mut CyclonOverlay,
+    rng: &mut R,
+    threads: Option<usize>,
+    io: AggIo<'_>,
+) -> AggregationRoundStats {
+    let AggIo {
+        mut net,
+        tracer,
+        codec,
+    } = io;
+    assert!(
+        codec.is_none(),
+        "coded exchanges are stateful per peer — use aggregation_round"
+    );
+    if let Some(net) = net.as_deref() {
+        assert!(
+            net.is_ideal(),
+            "fault randomness is sequential — use aggregation_round"
+        );
+    }
+    let n = tables.len();
+    let mut stats = AggregationRoundStats::default();
+
+    // Exchange order: the same shared-RNG shuffle the serial round uses.
+    let round_seed: u64 = rng.gen();
+    let mut order: Vec<u32> = (0..n as u32).filter(|&i| overlay.is_alive(i)).collect();
+    order.shuffle(rng);
+
+    // Parallel partner selection on disjoint overlay slots.
+    let (nodes, alive) = overlay.split_mut();
+    struct Select<'a> {
+        p: u32,
+        node: &'a mut glap_cyclon::CyclonNode,
+        picked: u32,
+    }
+    let mut slots: Vec<Select<'_>> = nodes
+        .iter_mut()
+        .enumerate()
+        .filter(|&(i, _)| alive[i])
+        .map(|(i, node)| Select {
+            p: i as u32,
+            node,
+            picked: u32::MAX,
+        })
+        .collect();
+    glap_par::parallel_for_each(&mut slots, threads, |s| {
+        let mut prng = stream_rng(round_seed, Stream::AggregationPm(s.p));
+        if let Some(q) = CyclonOverlay::random_alive_peer_in(s.node, alive, &mut prng) {
+            if q != s.p {
+                s.picked = q;
+            }
+        }
+    });
+    let mut picked = vec![u32::MAX; n];
+    for s in &slots {
+        picked[s.p as usize] = s.picked;
+    }
+    drop(slots);
+
+    // Pairs in exchange order, each tagged with its merge wave.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(order.len());
+    let mut wave: Vec<u32> = Vec::with_capacity(order.len());
+    let mut next_free = vec![0u32; n];
+    for &p in &order {
+        let q = picked[p as usize];
+        if q == u32::MAX {
+            continue;
+        }
+        let w = next_free[p as usize].max(next_free[q as usize]);
+        next_free[p as usize] = w + 1;
+        next_free[q as usize] = w + 1;
+        pairs.push((p, q));
+        wave.push(w);
+    }
+    let n_waves = wave.iter().copied().max().map_or(0, |w| w + 1);
+
+    // Wave → its pairs, in exchange order within the wave.
+    let mut by_wave: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_waves as usize];
+    for (k, &pq) in pairs.iter().enumerate() {
+        by_wave[wave[k] as usize].push(pq);
+    }
+
+    let base = tables.as_mut_ptr();
+    let apply_wave = |w: u32| {
+        // SAFETY: pairs of one wave are vertex-disjoint by construction,
+        // so every `MergeTask` points at two tables no other task (or
+        // the coordinating thread, which only builds tasks here) touches
+        // until the pool joins.
+        let mut tasks: Vec<MergeTask> = by_wave[w as usize]
+            .iter()
+            .map(|&(p, q)| MergeTask {
+                a: unsafe { base.add(p as usize) },
+                b: unsafe { base.add(q as usize) },
+            })
+            .collect();
+        glap_par::parallel_for_each(&mut tasks, threads, |t| unsafe {
+            QTablePair::merge_symmetric(&mut *t.a, &mut *t.b);
+        });
+    };
+
+    // Serial emission sweep in exchange order, applying waves lazily so
+    // byte accounting reads the same table states the serial round saw.
+    let mut applied = 0u32;
+    for (k, &(p, q)) in pairs.iter().enumerate() {
+        while applied < wave[k] {
+            apply_wave(applied);
+            applied += 1;
+        }
+        if let Some(tracer) = tracer {
+            if tracer.is_on() {
+                // Same per-exchange totals as the serial round: a
+                // push–pull round trip ships both trained sets.
+                let p_pairs = tables[p as usize].trained_pairs() as u64;
+                let q_pairs = tables[q as usize].trained_pairs() as u64;
+                let total = p_pairs + q_pairs;
+                tracer.add("net.msgs", 2);
+                tracer.add("net.bytes_tx", total * ENTRY_BYTES);
+                tracer.add("net.bytes_rx", total * ENTRY_BYTES);
+                tracer.add("agg.bytes", total * ENTRY_BYTES);
+                tracer.add("agg.merges", 1);
+            }
+        }
+        if let Some(net) = net.as_deref_mut() {
+            let _ = net.request(p, q);
+        }
+        if let Some(tracer) = tracer {
+            tracer.emit(EventKind::MergeApplied { a: p, b: q });
+        }
+        stats.merges += 1;
+    }
+    while applied < n_waves {
+        apply_wave(applied);
+        applied += 1;
+    }
+    stats
+}
+
 /// Symmetric push–pull merge of two PMs' tables: both end with the
 /// identical union/average result.
 pub fn merge_pair(tables: &mut [QTablePair], p: usize, q: usize) {
@@ -521,5 +707,105 @@ mod tests {
         }
         let sim = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
         assert!((sim - 1.0).abs() < 1e-12);
+    }
+
+    /// Ten sharded rounds over an ideal network; returns the table bytes,
+    /// the merge count and the network stats so callers can byte-compare
+    /// whole runs.
+    fn run_sharded_rounds(
+        n: usize,
+        threads: Option<usize>,
+        traced: bool,
+    ) -> (Vec<Vec<u8>>, u64, glap_dcsim::NetStats) {
+        let (tracer, _sink) = if traced {
+            let (t, s) = glap_telemetry::Tracer::memory();
+            (t, Some(s))
+        } else {
+            (glap_telemetry::Tracer::off(), None)
+        };
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let mut net = NetworkModel::ideal(n);
+        let mut merges = 0;
+        for _ in 0..10 {
+            o.run_round(&mut rng, RoundIo::default());
+            let stats = aggregation_round_sharded(
+                &mut tables,
+                &mut o,
+                &mut rng,
+                threads,
+                AggIo::full(&mut net, &tracer),
+            );
+            merges += stats.merges;
+        }
+        (tables.iter().map(table_bytes).collect(), merges, net.stats)
+    }
+
+    #[test]
+    fn sharded_rounds_are_thread_count_invariant() {
+        let one = run_sharded_rounds(32, Some(1), false);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                run_sharded_rounds(32, Some(threads), false),
+                one,
+                "threads={threads}"
+            );
+        }
+        assert!(one.1 > 0, "no merges happened");
+        assert_eq!(one.2.delivered, one.2.attempts);
+    }
+
+    #[test]
+    fn sharded_rounds_are_tracer_invariant() {
+        // Tracing reads no randomness, so attaching a tracer must not
+        // change a single table byte or delivery outcome.
+        assert_eq!(
+            run_sharded_rounds(32, Some(3), true),
+            run_sharded_rounds(32, Some(3), false)
+        );
+    }
+
+    #[test]
+    fn sharded_rounds_converge_and_preserve_mean() {
+        let n = 40;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let s = PmState::from_utilization(Resources::splat(0.5));
+        let a = VmAction::from_demand(Resources::splat(0.3));
+        let mean_before: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
+        let before = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        for _ in 0..15 {
+            o.run_round(&mut rng, RoundIo::default());
+            aggregation_round_sharded(&mut tables, &mut o, &mut rng, Some(4), AggIo::default());
+        }
+        let after = mean_pairwise_similarity(&tables, &o, usize::MAX, &mut rng);
+        assert!(
+            after > before,
+            "similarity did not rise: {before} → {after}"
+        );
+        assert!(after > 0.999, "tables did not converge: {after}");
+        let mean_after: f64 = tables.iter().map(|t| t.out.get(s, a)).sum::<f64>() / n as f64;
+        assert!(
+            (mean_after - mean_before).abs() < 0.05 * mean_before.abs().max(1.0),
+            "gossip averaging drifted: {mean_before} → {mean_after}"
+        );
+    }
+
+    #[test]
+    fn sharded_rounds_respect_dead_nodes() {
+        let n = 16;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut o = overlay(n, &mut rng);
+        let mut tables = seeded_tables(n, true);
+        let dead_bytes = table_bytes(&tables[3]);
+        o.set_dead(3);
+        for _ in 0..8 {
+            o.run_round(&mut rng, RoundIo::default());
+            aggregation_round_sharded(&mut tables, &mut o, &mut rng, Some(4), AggIo::default());
+        }
+        // A dead PM neither initiates nor answers: its table is untouched.
+        assert_eq!(table_bytes(&tables[3]), dead_bytes);
     }
 }

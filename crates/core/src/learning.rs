@@ -114,11 +114,11 @@ pub fn gather_profiles_into(
     profiles: &mut Vec<VmProfile>,
 ) {
     profiles.clear();
-    for &vm in &dc.pm(pm).vms {
+    for &vm in dc.pm(pm).vms() {
         profiles.push(dc.vm(vm).profile());
     }
     if let Some(nb) = neighbor {
-        for &vm in &dc.pm(nb).vms {
+        for &vm in dc.pm(nb).vms() {
             profiles.push(dc.vm(vm).profile());
         }
     }

@@ -6,7 +6,9 @@
 //! until the PMs' tables unify. Optionally records the mean pairwise cosine
 //! similarity each round, which regenerates Figure 5.
 
-use crate::aggregation::{aggregation_round, mean_pairwise_similarity, AggIo};
+use crate::aggregation::{
+    aggregation_round, aggregation_round_sharded, mean_pairwise_similarity, AggIo,
+};
 use crate::config::GlapConfig;
 use crate::learning::{
     duplicate_profiles, gather_profiles, gather_profiles_into, is_eligible, local_train,
@@ -242,7 +244,7 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
     overlay.bootstrap_random(&mut overlay_rng);
     for pm in dc.pms() {
         if !pm.is_active() {
-            overlay.set_dead(pm.id.0);
+            overlay.set_dead(pm.id().0);
         }
     }
 
@@ -367,11 +369,20 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
         }
         {
             let _s = profiler.span("merge");
-            let mut io = AggIo::traced(tracer);
             if let Some(codecs) = codecs.as_mut() {
-                io = io.with_codec(codecs);
+                let io = AggIo::traced(tracer).with_codec(codecs);
+                aggregation_round(&mut tables, &mut overlay, &mut learn_rng, io);
+            } else {
+                // Verbatim merges have no cross-exchange codec state, so
+                // the round shards across the worker pool.
+                aggregation_round_sharded(
+                    &mut tables,
+                    &mut overlay,
+                    &mut learn_rng,
+                    threads,
+                    AggIo::traced(tracer),
+                );
             }
-            aggregation_round(&mut tables, &mut overlay, &mut learn_rng, io);
         }
         if record_similarity {
             let _s = profiler.span("similarity");
@@ -439,7 +450,7 @@ pub fn retrain_in_place<R: Rng>(
     overlay.bootstrap_random(rng);
     for pm in dc.pms() {
         if !pm.is_active() {
-            overlay.set_dead(pm.id.0);
+            overlay.set_dead(pm.id().0);
         }
     }
     for _ in 0..passes {
@@ -570,7 +581,7 @@ mod tests {
         let mut dc = setup(10, 2);
         // Empty PM 0 by construction is unlikely; force-sleep an empty one
         // if any, otherwise skip.
-        let empty: Vec<PmId> = dc.pms().filter(|p| p.is_empty()).map(|p| p.id).collect();
+        let empty: Vec<PmId> = dc.pms().filter(|p| p.is_empty()).map(|p| p.id()).collect();
         for pm in &empty {
             dc.sleep_if_empty(*pm);
         }

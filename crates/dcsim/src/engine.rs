@@ -288,7 +288,14 @@ where
             };
             policy.round(&mut ctx);
         }
-        debug_assert!(dc.check_invariants().is_ok());
+        // Debug builds audit the flat cluster store after every policy
+        // round: placement/back-pointer consistency plus a from-scratch
+        // recompute of the incrementally maintained demand aggregates.
+        // Release builds skip it (it is a full O(VMs) sweep per round).
+        #[cfg(debug_assertions)]
+        if let Err(e) = dc.check_invariants() {
+            panic!("cluster invariants broken after round {round}: {e}");
+        }
         {
             let _s = profiler.span("observers");
             for obs in observers.iter_mut() {

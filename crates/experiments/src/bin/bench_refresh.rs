@@ -5,7 +5,11 @@
 //! * `BENCH_profile.json`  — the perf-gate suite (what `perf_gate` reads);
 //! * `BENCH_hotpath.json`  — the four hot loops at 1024/4096 PMs;
 //! * `BENCH_snapshot.json` — checkpoint encode/decode/restore/CRC;
-//! * `BENCH_codec.json`    — gossip payload codec encode/exchange costs.
+//! * `BENCH_codec.json`    — gossip payload codec encode/exchange costs;
+//! * `BENCH_scale.json`    — the 1k→100k PM scale trajectory (per-round
+//!   phase costs; `perf_gate` prints a 100k/4k advisory from it). The
+//!   100k rows take minutes: `GLAP_BENCH_SKIP_SCALE=1` skips the suite
+//!   for a quick refresh of the others.
 //!
 //! ```text
 //! bench_refresh                       # all suites, 300ms budget each
@@ -18,7 +22,8 @@
 //! performance changes so the gate tracks the new normal.
 
 use glap_experiments::{
-    codec_records, git_rev, hotpath_records, parse_or_exit, run_suite, snapshot_records,
+    codec_records, git_rev, hotpath_records, parse_or_exit, run_suite, scale_records,
+    snapshot_records,
 };
 use glap_profile::Baseline;
 use std::path::Path;
@@ -55,12 +60,19 @@ fn main() {
     let rev = git_rev();
     eprintln!("refreshing baselines at rev {rev}, {budget}ms budget per case…");
 
-    for (suite, benchmarks) in [
+    let mut suites = vec![
         ("profile", run_suite(budget)),
         ("hotpath", hotpath_records(budget)),
         ("snapshot", snapshot_records(budget)),
         ("codec", codec_records(budget)),
-    ] {
+    ];
+    if std::env::var_os("GLAP_BENCH_SKIP_SCALE").is_none() {
+        eprintln!("measuring the scale trajectory (100k-PM rows take minutes)…");
+        suites.push(("scale", scale_records(budget)));
+    } else {
+        eprintln!("GLAP_BENCH_SKIP_SCALE set: leaving BENCH_scale.json untouched");
+    }
+    for (suite, benchmarks) in suites {
         let baseline = Baseline {
             suite: suite.to_string(),
             git_rev: rev.clone(),

@@ -75,6 +75,58 @@ fn main() {
         );
     }
 
+    // Scale advisory (never fails the gate): the committed 1k→100k
+    // trajectory's headline ratio — per-round learn+aggregation cost at
+    // 100k PMs over the 4k figure. The committed criterion is ≤ ~30x
+    // *on ≥4 cores* (size ratio 25x); the trajectory is measured
+    // serially, and the sharded learn/agg rounds carry a qualified ≥2x
+    // speedup on ≥4 cores (byte-identity pinned, so threads change only
+    // wall-clock), so the serial bound here is 60x. Past that, the
+    // flat-storage/sharded-sweep scaling regressed and the trajectory
+    // should be re-measured with bench_refresh.
+    if let Ok(text) = std::fs::read_to_string("BENCH_scale.json") {
+        match Baseline::from_json(&text) {
+            Ok(scale) => {
+                let ns_of = |name: &str| {
+                    scale
+                        .benchmarks
+                        .iter()
+                        .find(|b| b.name == name)
+                        .map(|b| b.median_ns)
+                };
+                match (
+                    ns_of("learn_plus_agg_round_4000pms"),
+                    ns_of("learn_plus_agg_round_100000pms"),
+                ) {
+                    (Some(at_4k), Some(at_100k)) if at_4k > 0 => {
+                        let ratio = at_100k as f64 / at_4k as f64;
+                        let verdict = if ratio <= 60.0 { "ok" } else { "ADVISORY" };
+                        println!(
+                            "scale: learn+agg per round {} @4k → {} @100k PMs \
+                             ({ratio:.1}x serial for 25x the PMs; ~{:.0}x on ≥4 cores \
+                             via the sharded rounds, target ≤30x there / ≤60x serial)  {verdict}",
+                            fmt_ns(at_4k),
+                            fmt_ns(at_100k),
+                            ratio / 2.0,
+                        );
+                        if ratio > 60.0 {
+                            eprintln!(
+                                "scale advisory: 100k/4k learn+agg ratio {ratio:.1}x exceeds the \
+                                 60x serial bound (30x on ≥4 cores) — scaling regressed \
+                                 (advisory only, gate unaffected)"
+                            );
+                        }
+                    }
+                    _ => eprintln!(
+                        "BENCH_scale.json lacks the 4k/100k learn_plus_agg rows; \
+                         re-run bench_refresh for the advisory"
+                    ),
+                }
+            }
+            Err(e) => eprintln!("BENCH_scale.json: {e} (advisory skipped)"),
+        }
+    }
+
     std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
     let out = Baseline {
         suite: "profile".to_string(),

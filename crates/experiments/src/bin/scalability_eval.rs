@@ -16,8 +16,13 @@ use glap_experiments::{
     fnum, parse_or_exit, run_scenario_instrumented, Algorithm, CheckpointOpts, Scenario, TextTable,
 };
 use glap_par::resolve_threads;
-use glap_profile::Profiler;
+use glap_profile::{alloc_stats, peak_rss_bytes, Profiler};
 use glap_telemetry::Tracer;
+
+// Count every heap allocation so the table can attribute allocator churn
+// to each cell. Observational: results are identical with or without it.
+#[global_allocator]
+static ALLOC: glap_profile::CountingAllocator = glap_profile::CountingAllocator;
 
 fn main() {
     let cli = parse_or_exit();
@@ -43,9 +48,13 @@ fn main() {
         "migrations",
         "bytes_tx",
         "bytes_rx",
+        "allocs",
+        "alloc_mb",
+        "peak_rss_mb",
     ]);
     for &size in &sizes {
         for algorithm in [Algorithm::Glap, Algorithm::Pabfd] {
+            let (allocs_before, alloc_bytes_before) = alloc_stats();
             let sc = Scenario {
                 rounds,
                 glap: cli.grid.glap,
@@ -94,6 +103,17 @@ fn main() {
                 r.collector.total_migrations().to_string(),
                 tracer.counter_total("net.bytes_tx").to_string(),
                 tracer.counter_total("net.bytes_rx").to_string(),
+                {
+                    let (allocs_after, _) = alloc_stats();
+                    (allocs_after - allocs_before).to_string()
+                },
+                {
+                    let (_, alloc_bytes_after) = alloc_stats();
+                    fnum((alloc_bytes_after - alloc_bytes_before) as f64 / 1e6)
+                },
+                // Process high-water mark *so far* — monotone across
+                // cells, so the largest size's row is the budget number.
+                peak_rss_bytes().map_or_else(|| "n/a".into(), |b| fnum(b as f64 / 1e6)),
             ]);
             if cli.verbose {
                 eprintln!("{} at {size} PMs: {total_s:.1}s", algorithm.label());
@@ -113,7 +133,10 @@ fn main() {
          is the learning phase's effective parallelism (worker busy time over wall \
          time, from the profiler's span tree): 1.0 = sequential, {threads} = perfect \
          scaling on this worker count. bytes_tx/bytes_rx count the gossip traffic \
-         (per-PM traffic should stay flat with size; --codec shrinks it)."
+         (per-PM traffic should stay flat with size; --codec shrinks it). allocs / \
+         alloc_mb are heap-allocator calls and requested MB attributed to the cell; \
+         peak_rss_mb is the process resident high-water mark so far (monotone — read \
+         the last row as the run's memory budget)."
     );
     let path = cli.out_dir.join("scalability_eval.csv");
     table.save_csv(&path).expect("write CSV");

@@ -40,7 +40,8 @@ pub use noderun::{
     NodeRunOutcome, TransportKind,
 };
 pub use perf::{
-    codec_records, git_rev, hotpath_records, run_suite, snapshot_records, PerfCase, PERF_SUITE,
+    codec_records, git_rev, hotpath_records, run_suite, scale_records, scale_records_at,
+    snapshot_records, PerfCase, PERF_SUITE, SCALE_SIZES,
 };
 pub use pool::parallel_map;
 pub use replay::{replay_digest, ReplayDigest, RoundDigest};

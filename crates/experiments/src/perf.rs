@@ -318,6 +318,169 @@ pub fn hotpath_records(budget_ms: u64) -> Vec<BenchRecord> {
     out
 }
 
+/// Per-round learning cost at `n` PMs, read from the profiler's
+/// `learn_round` spans of full `train_instrumented` calls.
+///
+/// The hotpath-suite `measure_learn_phase_at` times a whole
+/// 1-learning-round `train` per sample, which at gate sizes is fine but
+/// along the scale trajectory is dominated by per-call setup: the
+/// fleet's Q-table allocation (~118 KB per PM — 11.8 GB at 100k) is
+/// first-touch page-faulted, dropped, and re-faulted every iteration,
+/// which reads as super-linear per-round growth that real runs (one
+/// allocation amortized over every round) never see. Here each train
+/// call runs several learning rounds and each round's span is one
+/// sample, so the committed trajectory measures the round, not the
+/// allocator.
+fn measure_learn_round_at(n: usize, budget_ms: u64) -> Measurement {
+    const ROUNDS_PER_CALL: usize = 3;
+    let base = world(n);
+    let cfg = GlapConfig {
+        learning_rounds: ROUNDS_PER_CALL,
+        aggregation_rounds: 0,
+        learning_iterations: 200,
+        ..Default::default()
+    };
+    let mut samples_ns: Vec<u64> = Vec::new();
+    let t0 = std::time::Instant::now();
+    // One call already yields `ROUNDS_PER_CALL` round samples; keep
+    // re-running while the budget lasts for steadier medians at small n.
+    while samples_ns.is_empty() || t0.elapsed().as_millis() < budget_ms as u128 {
+        let profiler = Profiler::enabled();
+        let mut dc = base.clone();
+        train_instrumented(
+            &mut dc,
+            &mut wave,
+            &cfg,
+            42,
+            false,
+            &Tracer::off(),
+            None,
+            &profiler,
+        );
+        let report = profiler.snapshot();
+        let span = report
+            .span("train/learn_round")
+            .expect("train emits learn_round spans");
+        // p50 over this call's rounds: robust against the first round,
+        // which pays the tables' first-touch faults.
+        samples_ns.push(span.p50_ns);
+    }
+    samples_ns.sort_unstable();
+    Measurement {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        iterations: (samples_ns.len() * ROUNDS_PER_CALL) as u64,
+    }
+}
+
+/// Per-round consolidation cost at `n` PMs, read from the engine's
+/// `policy_round` spans — same rationale as [`measure_learn_round_at`]:
+/// the closure-timed variant re-clones the data center and policy every
+/// iteration, and along the trajectory that clone-and-drop churn grows
+/// faster than the round itself.
+fn measure_policy_round_at_scale(n: usize, budget_ms: u64) -> Measurement {
+    const ROUNDS_PER_CALL: u64 = 3;
+    let base = world(n);
+    let policy = GlapPolicy::with_shared_table(
+        GlapConfig::default(),
+        synthetic_table(&mut stream_rng(7, Stream::Custom(99))),
+    );
+    let tracer = Tracer::off();
+    let mut samples_ns: Vec<u64> = Vec::new();
+    let t0 = std::time::Instant::now();
+    while samples_ns.is_empty() || t0.elapsed().as_millis() < budget_ms as u128 {
+        let profiler = Profiler::enabled();
+        let mut dc = base.clone();
+        let mut pol = policy.clone();
+        let mut net = NetworkModel::ideal(n);
+        glap_dcsim::run_simulation_profiled(
+            &mut dc,
+            &mut wave,
+            &mut pol,
+            &mut [],
+            ROUNDS_PER_CALL,
+            7,
+            &mut net,
+            &tracer,
+            &profiler,
+        );
+        let report = profiler.snapshot();
+        let span = report
+            .span("sim_round/policy_round")
+            .expect("engine emits policy_round spans");
+        samples_ns.push(span.p50_ns);
+    }
+    samples_ns.sort_unstable();
+    Measurement {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        iterations: samples_ns.len() as u64 * ROUNDS_PER_CALL,
+    }
+}
+
+/// The scale-trajectory sizes committed in `BENCH_scale.json`: the
+/// 1k→100k PM sweep the flat-storage/sharded-sweep work targets.
+pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 16_000, 64_000, 100_000];
+
+/// The scale suite — per-round costs of the phase loops along the
+/// 1k→100k PM trajectory, what `bench_refresh` writes into
+/// `BENCH_scale.json`. Per size: one learning round (`learn_round`),
+/// one aggregation merge sweep (`aggregation_round`), their sum
+/// (`learn_plus_agg_round`, the scalability headline `perf_gate`
+/// advises on), one consolidation round (`policy_round`) and one
+/// workload step (`dc_step`). Linear growth in N is the target; the
+/// 100k/4k ratio of `learn_plus_agg_round` is the committed criterion
+/// (≤ ~30x, vs the 25x size ratio).
+pub fn scale_records(budget_ms: u64) -> Vec<BenchRecord> {
+    scale_records_at(SCALE_SIZES, budget_ms)
+}
+
+/// [`scale_records`] over an explicit size list (CI's 16k smoke run).
+pub fn scale_records_at(sizes: &[usize], budget_ms: u64) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let learn = measure_learn_round_at(n, budget_ms);
+        let agg = measure_aggregation_round_at(n, budget_ms);
+        let pol = measure_policy_round_at_scale(n, budget_ms);
+        let step = measure_dc_step_at(n, budget_ms);
+        let mk = |stem: &str, scenario: &str, m: &Measurement| BenchRecord {
+            name: format!("{stem}_{n}pms"),
+            scenario: scenario.to_string(),
+            median_ns: m.median_ns,
+            iterations: m.iterations,
+        };
+        out.push(mk(
+            "learn_round",
+            "one learning round (learn_round profiler span p50, learning_iterations=200; \
+             per-train setup amortized)",
+            &learn,
+        ));
+        out.push(mk(
+            "aggregation_round",
+            "one push-pull table merge sweep over the population",
+            &agg,
+        ));
+        out.push(mk(
+            "learn_plus_agg_round",
+            "one learning round plus one aggregation sweep (scalability headline)",
+            &Measurement {
+                median_ns: learn.median_ns + agg.median_ns,
+                iterations: learn.iterations.min(agg.iterations),
+            },
+        ));
+        out.push(mk(
+            "policy_round",
+            "one GLAP consolidation round (policy_round profiler span p50; \
+             per-run setup amortized)",
+            &pol,
+        ));
+        out.push(mk(
+            "dc_step",
+            "one workload step with incremental load bookkeeping",
+            &step,
+        ));
+    }
+    out
+}
+
 /// The snapshot suite (1024 PMs, faulty network, dense shared table) —
 /// what `bench_refresh` writes into `BENCH_snapshot.json`. Mirrors
 /// `glap-bench`'s `snapshot` bench: checkpoint encode, full-validation

@@ -1,0 +1,56 @@
+//! CI scale smoke: one 16k-PM cell of the scale trajectory under a
+//! wall-clock budget, with the 1k cell measured in the same process as
+//! the linearity reference.
+//!
+//! The full `BENCH_scale.json` refresh (through 100k PMs) takes minutes
+//! and runs on demand; this smoke fails fast on every push if per-round
+//! cost goes super-linear at a size debug CI can still afford. Ignored
+//! by default because the measured loops only make sense in release —
+//! CI runs `cargo test --release -- --ignored` for this file.
+
+use glap_experiments::scale_records_at;
+use std::time::Instant;
+
+#[test]
+#[ignore = "release-mode CI smoke (minutes in debug builds); run with --ignored"]
+fn sixteen_k_cell_stays_near_linear_within_budget() {
+    let t0 = Instant::now();
+    let records = scale_records_at(&[1_000, 16_000], 60);
+    // Five records per size, every one actually measured.
+    assert_eq!(records.len(), 10);
+    for r in &records {
+        assert!(r.median_ns > 0, "{} measured nothing", r.name);
+        assert!(r.iterations >= 3, "{} under-sampled", r.name);
+    }
+    let ns = |name: &str| {
+        records
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("missing record {name}"))
+            .median_ns as f64
+    };
+    // The committed criterion scaled down: 16x the PMs may cost at most
+    // ~30x per round (the 100k/4k advisory allows 30x for 25x). A
+    // super-linear blow-up — quadratic scans, per-PM allocation churn —
+    // trips this long before the 100k row would.
+    let ratio = ns("learn_plus_agg_round_16000pms") / ns("learn_plus_agg_round_1000pms");
+    let policy_ratio = ns("policy_round_16000pms") / ns("policy_round_1000pms");
+    eprintln!("scale smoke: learn+agg 16k/1k = {ratio:.1}x, policy 16k/1k = {policy_ratio:.1}x");
+    assert!(
+        ratio <= 30.0,
+        "learn+agg at 16k PMs costs {ratio:.1}x the 1k figure (16x the PMs)"
+    );
+    // Slightly looser than the headline: the 1k policy cell is ~1ms, so
+    // its round-to-round variance moves this ratio more. A quadratic
+    // sweep would land at ~256x, far past either bound.
+    assert!(
+        policy_ratio <= 35.0,
+        "policy round at 16k PMs costs {policy_ratio:.1}x the 1k figure"
+    );
+    // Wall-clock budget for the whole smoke (both cells, all loops).
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 300,
+        "scale smoke blew its wall-clock budget: {elapsed:?}"
+    );
+}

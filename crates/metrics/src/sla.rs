@@ -31,8 +31,8 @@ pub fn sla_metrics(dc: &DataCenter) -> SlaMetrics {
     let mut slavo_sum = 0.0;
     let mut n = 0usize;
     for pm in dc.pms() {
-        if pm.active_rounds > 0 {
-            slavo_sum += pm.saturated_rounds as f64 / pm.active_rounds as f64;
+        if pm.active_rounds() > 0 {
+            slavo_sum += pm.saturated_rounds() as f64 / pm.active_rounds() as f64;
             n += 1;
         }
     }

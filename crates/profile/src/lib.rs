@@ -35,11 +35,13 @@ mod baseline;
 mod heartbeat;
 pub mod json;
 mod measure;
+mod memory;
 mod profiler;
 mod report;
 
 pub use baseline::{compare, Baseline, BenchRecord, GateOutcome};
 pub use heartbeat::{Heartbeat, SweepProgress};
 pub use measure::{measure_median, Measurement};
+pub use memory::{alloc_stats, peak_rss_bytes, CountingAllocator};
 pub use profiler::{Profiler, SpanGuard};
 pub use report::{fmt_ns, ProfileReport, SpanStats};
