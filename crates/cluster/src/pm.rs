@@ -87,6 +87,14 @@ pub(crate) struct PmStore {
     /// full-population filter produced, so shuffles seeded from this
     /// list draw identically.
     active: Vec<PmId>,
+    /// Dedup flags for `dirty`: `dirty_flags[i]` ⇔ `PmId(i)` is queued.
+    dirty_flags: Vec<bool>,
+    /// PMs whose *eligibility inputs* (power state or demand aggregates)
+    /// changed since the last [`clear_dirty`](Self::clear_dirty) — the
+    /// event-driven feed of the learning-eligibility index. Every
+    /// mutation funnel marks here; order is unspecified (consumers
+    /// recompute per-PM flags, never iterate in a seeded order).
+    dirty: Vec<PmId>,
 }
 
 impl PmStore {
@@ -100,7 +108,33 @@ impl PmStore {
             saturated_rounds: vec![0; n],
             placement: PlacementArena::new(n),
             active: (0..n).map(|i| PmId(i as u32)).collect(),
+            dirty_flags: vec![false; n],
+            dirty: Vec::new(),
         }
+    }
+
+    /// Queues `i` for eligibility recomputation (dedup'd).
+    #[inline]
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.dirty_flags[i] {
+            self.dirty_flags[i] = true;
+            self.dirty.push(PmId(i as u32));
+        }
+    }
+
+    /// PMs dirtied since the last [`clear_dirty`](Self::clear_dirty).
+    #[inline]
+    pub(crate) fn dirty_ids(&self) -> &[PmId] {
+        &self.dirty
+    }
+
+    /// Empties the dirty queue (after the consumer recomputed the
+    /// queued PMs).
+    pub(crate) fn clear_dirty(&mut self) {
+        for k in 0..self.dirty.len() {
+            self.dirty_flags[self.dirty[k].index()] = false;
+        }
+        self.dirty.clear();
     }
 
     /// Number of PMs.
@@ -135,6 +169,7 @@ impl PmStore {
         self.placement.push(i, vm);
         self.used_current[i] += current;
         self.used_avg[i] += avg;
+        self.mark_dirty(i);
     }
 
     /// Removes a VM with the given demand aggregates (migration out).
@@ -152,6 +187,7 @@ impl PmStore {
             self.used_current[i] = Resources::ZERO;
             self.used_avg[i] = Resources::ZERO;
         }
+        self.mark_dirty(i);
     }
 
     /// Replaces the cached aggregates (checkpoint restore, which carries
@@ -160,6 +196,7 @@ impl PmStore {
     pub(crate) fn set_aggregates(&mut self, pm: PmId, current: Resources, avg: Resources) {
         self.used_current[pm.index()] = current;
         self.used_avg[pm.index()] = avg;
+        self.mark_dirty(pm.index());
     }
 
     /// Applies one hosted VM's demand change to the cached aggregates —
@@ -171,6 +208,7 @@ impl PmStore {
     pub(crate) fn apply_demand_delta(&mut self, pm: PmId, d_current: Resources, d_avg: Resources) {
         self.used_current[pm.index()] += d_current;
         self.used_avg[pm.index()] += d_avg;
+        self.mark_dirty(pm.index());
     }
 
     /// Advances the SLAVO accounting by one round. Sleeping PMs tick
@@ -193,6 +231,7 @@ impl PmStore {
         if let Ok(pos) = self.active.binary_search(&pm) {
             self.active.remove(pos);
         }
+        self.mark_dirty(pm.index());
     }
 
     /// Transitions a sleeping PM to active, maintaining the active index.
@@ -202,12 +241,14 @@ impl PmStore {
         if let Err(pos) = self.active.binary_search(&pm) {
             self.active.insert(pos, pm);
         }
+        self.mark_dirty(pm.index());
     }
 
     /// Overwrites a PM's power state without index maintenance; callers
     /// must finish with [`PmStore::rebuild_active`] (checkpoint restore).
     pub(crate) fn set_power_raw(&mut self, pm: PmId, power: PowerState) {
         self.power[pm.index()] = power;
+        self.mark_dirty(pm.index());
     }
 
     /// Sets the SLAVO counters directly (checkpoint restore).

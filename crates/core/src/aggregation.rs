@@ -288,64 +288,43 @@ struct MergeTask {
 // wave is built.
 unsafe impl Send for MergeTask {}
 
-/// [`aggregation_round`] restructured for multi-core: partner selection
-/// fans out over per-PM RNG streams, and the merges are applied in
-/// vertex-disjoint *waves* that parallelize safely — with identical
-/// results, telemetry and counters at any thread count.
-///
-/// How determinism survives the sharding:
-///
-/// 1. **Selection.** One `round_seed` is drawn from the shared phase RNG
-///    (keeping its cursor, and therefore every later draw, checkpoint-
-///    compatible); each alive PM `p` then picks its partner from its own
-///    [`Stream::AggregationPm`]`(p)` stream, pruning dead view entries
-///    exactly like the serial pick. Draws no longer depend on activation
-///    order, so any number of workers computes the same partner vector.
-///    This per-PM re-seed is the one place the sharded round differs
-///    from the serial round for the *same* master seed — the same
-///    deliberate trade PR 5 made for the learning phase.
-/// 2. **Waves.** Exchanges are ordered by the shared-RNG shuffle (as
-///    serially) and decomposed greedily: a pair's wave is one past the
-///    latest wave touching either endpoint, so within a wave all pairs
-///    are vertex-disjoint and their symmetric merges commute — applying
-///    a wave in parallel is equivalent to applying its pairs in order.
-/// 3. **Emission.** Events and counters are emitted serially in exchange
-///    order by the coordinating thread (the tracer is single-threaded
-///    anyway). A pair's byte accounting must read its endpoints' tables
-///    *after* all earlier exchanges and *before* its own, so waves are
-///    applied lazily as the emission cursor reaches them; any pair from
-///    an earlier wave that sits *later* in exchange order is provably
-///    endpoint-disjoint from the current pair (sharing an endpoint would
-///    have forced it into a later wave), so early application cannot
-///    perturb the bytes the serial round would have reported.
-///
-/// Only ideal-network, uncoded rounds shard: fault randomness and codec
-/// state are inherently sequential, so callers keep those on
-/// [`aggregation_round`] (asserted here).
-pub fn aggregation_round_sharded<R: Rng>(
-    tables: &mut [QTablePair],
+/// The deterministic schedule of one sharded aggregation round:
+/// partner selection plus greedy wave decomposition, computed without
+/// touching any tables. One plan drives every merge backend — the boxed
+/// [`aggregation_round_sharded`], the trainer's arena round and its
+/// fused learn+aggregate sweep — so all of them apply bit-identical
+/// merges in bit-identical order.
+#[derive(Debug, Clone, Default)]
+pub struct AggPlan {
+    /// Exchanges `(initiator, partner)` in serial activation order.
+    pub pairs: Vec<(u32, u32)>,
+    /// `wave[k]` is the merge wave of `pairs[k]`.
+    pub wave: Vec<u32>,
+    /// Wave → its pairs, exchange order within each wave. Pairs of one
+    /// wave are vertex-disjoint, so their symmetric merges commute and
+    /// may run in parallel; waves must be applied in index order.
+    pub by_wave: Vec<Vec<(u32, u32)>>,
+}
+
+impl AggPlan {
+    /// Number of merge waves.
+    pub fn n_waves(&self) -> u32 {
+        self.by_wave.len() as u32
+    }
+}
+
+/// Draws one sharded round's schedule (steps 1–2 of the determinism
+/// scheme documented on [`aggregation_round_sharded`]): a `round_seed`
+/// and the activation shuffle off the shared phase RNG, per-PM partner
+/// picks from [`Stream::AggregationPm`] streams (pruning dead view
+/// entries exactly like the serial pick — the one overlay mutation),
+/// then the greedy vertex-disjoint wave decomposition.
+pub fn build_agg_plan<R: Rng>(
     overlay: &mut CyclonOverlay,
     rng: &mut R,
     threads: Option<usize>,
-    io: AggIo<'_>,
-) -> AggregationRoundStats {
-    let AggIo {
-        mut net,
-        tracer,
-        codec,
-    } = io;
-    assert!(
-        codec.is_none(),
-        "coded exchanges are stateful per peer — use aggregation_round"
-    );
-    if let Some(net) = net.as_deref() {
-        assert!(
-            net.is_ideal(),
-            "fault randomness is sequential — use aggregation_round"
-        );
-    }
-    let n = tables.len();
-    let mut stats = AggregationRoundStats::default();
+) -> AggPlan {
+    let n = overlay.len();
 
     // Exchange order: the same shared-RNG shuffle the serial round uses.
     let round_seed: u64 = rng.gen();
@@ -405,6 +384,71 @@ pub fn aggregation_round_sharded<R: Rng>(
     for (k, &pq) in pairs.iter().enumerate() {
         by_wave[wave[k] as usize].push(pq);
     }
+    AggPlan {
+        pairs,
+        wave,
+        by_wave,
+    }
+}
+
+/// [`aggregation_round`] restructured for multi-core: partner selection
+/// fans out over per-PM RNG streams, and the merges are applied in
+/// vertex-disjoint *waves* that parallelize safely — with identical
+/// results, telemetry and counters at any thread count.
+///
+/// How determinism survives the sharding:
+///
+/// 1. **Selection.** One `round_seed` is drawn from the shared phase RNG
+///    (keeping its cursor, and therefore every later draw, checkpoint-
+///    compatible); each alive PM `p` then picks its partner from its own
+///    [`Stream::AggregationPm`]`(p)` stream, pruning dead view entries
+///    exactly like the serial pick. Draws no longer depend on activation
+///    order, so any number of workers computes the same partner vector.
+///    This per-PM re-seed is the one place the sharded round differs
+///    from the serial round for the *same* master seed — the same
+///    deliberate trade PR 5 made for the learning phase.
+/// 2. **Waves.** Exchanges are ordered by the shared-RNG shuffle (as
+///    serially) and decomposed greedily: a pair's wave is one past the
+///    latest wave touching either endpoint, so within a wave all pairs
+///    are vertex-disjoint and their symmetric merges commute — applying
+///    a wave in parallel is equivalent to applying its pairs in order.
+/// 3. **Emission.** Events and counters are emitted serially in exchange
+///    order by the coordinating thread (the tracer is single-threaded
+///    anyway). A pair's byte accounting must read its endpoints' tables
+///    *after* all earlier exchanges and *before* its own, so waves are
+///    applied lazily as the emission cursor reaches them; any pair from
+///    an earlier wave that sits *later* in exchange order is provably
+///    endpoint-disjoint from the current pair (sharing an endpoint would
+///    have forced it into a later wave), so early application cannot
+///    perturb the bytes the serial round would have reported.
+///
+/// Only ideal-network, uncoded rounds shard: fault randomness and codec
+/// state are inherently sequential, so callers keep those on
+/// [`aggregation_round`] (asserted here).
+pub fn aggregation_round_sharded<R: Rng>(
+    tables: &mut [QTablePair],
+    overlay: &mut CyclonOverlay,
+    rng: &mut R,
+    threads: Option<usize>,
+    io: AggIo<'_>,
+) -> AggregationRoundStats {
+    let AggIo {
+        mut net,
+        tracer,
+        codec,
+    } = io;
+    assert!(
+        codec.is_none(),
+        "coded exchanges are stateful per peer — use aggregation_round"
+    );
+    if let Some(net) = net.as_deref() {
+        assert!(
+            net.is_ideal(),
+            "fault randomness is sequential — use aggregation_round"
+        );
+    }
+    let mut stats = AggregationRoundStats::default();
+    let plan = build_agg_plan(overlay, rng, threads);
 
     let base = tables.as_mut_ptr();
     let apply_wave = |w: u32| {
@@ -412,7 +456,7 @@ pub fn aggregation_round_sharded<R: Rng>(
         // so every `MergeTask` points at two tables no other task (or
         // the coordinating thread, which only builds tasks here) touches
         // until the pool joins.
-        let mut tasks: Vec<MergeTask> = by_wave[w as usize]
+        let mut tasks: Vec<MergeTask> = plan.by_wave[w as usize]
             .iter()
             .map(|&(p, q)| MergeTask {
                 a: unsafe { base.add(p as usize) },
@@ -427,8 +471,8 @@ pub fn aggregation_round_sharded<R: Rng>(
     // Serial emission sweep in exchange order, applying waves lazily so
     // byte accounting reads the same table states the serial round saw.
     let mut applied = 0u32;
-    for (k, &(p, q)) in pairs.iter().enumerate() {
-        while applied < wave[k] {
+    for (k, &(p, q)) in plan.pairs.iter().enumerate() {
+        while applied < plan.wave[k] {
             apply_wave(applied);
             applied += 1;
         }
@@ -454,7 +498,7 @@ pub fn aggregation_round_sharded<R: Rng>(
         }
         stats.merges += 1;
     }
-    while applied < n_waves {
+    while applied < plan.n_waves() {
         apply_wave(applied);
         applied += 1;
     }

@@ -16,7 +16,7 @@
 
 use crate::config::GlapConfig;
 use glap_cluster::{DataCenter, DcView, PmId, Resources, VmProfile};
-use glap_qlearn::{PmState, QTablePair, VmAction};
+use glap_qlearn::{PmState, TrainTarget, VmAction};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -32,8 +32,13 @@ fn sum_current(profiles: &[VmProfile], idxs: &[usize]) -> Resources {
 
 /// Runs `iterations` simulated migration steps over `profiles`, updating
 /// `tables` in place. This is the inner loop of Algorithm 1 (lines 7–13).
-pub fn local_train<R: Rng + ?Sized>(
-    tables: &mut QTablePair,
+///
+/// Generic over the [`TrainTarget`] storage — a boxed
+/// [`QTablePair`](glap_qlearn::QTablePair) or an arena slot view — so
+/// both engines monomorphize the *same* loop and draw the *same* RNG
+/// sequence.
+pub fn local_train<T: TrainTarget, R: Rng + ?Sized>(
+    tables: &mut T,
     profiles: &[VmProfile],
     iterations: usize,
     rng: &mut R,
@@ -47,8 +52,8 @@ pub fn local_train<R: Rng + ?Sized>(
 /// rebuilding the shuffle vector per call. Draws the identical RNG
 /// sequence as [`local_train`] — the scratch is refilled with the same
 /// `0..len` contents before the first shuffle.
-pub fn local_train_with<R: Rng + ?Sized>(
-    tables: &mut QTablePair,
+pub fn local_train_with<T: TrainTarget, R: Rng + ?Sized>(
+    tables: &mut T,
     profiles: &[VmProfile],
     iterations: usize,
     rng: &mut R,
@@ -169,7 +174,7 @@ pub fn is_eligible(dc: &DataCenter, pm: PmId, cfg: &GlapConfig) -> bool {
 mod tests {
     use super::*;
     use glap_cluster::{DataCenterConfig, VmId, VmSpec};
-    use glap_qlearn::QParams;
+    use glap_qlearn::{QParams, QTablePair};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -7,20 +7,21 @@
 //! similarity each round, which regenerates Figure 5.
 
 use crate::aggregation::{
-    aggregation_round, aggregation_round_sharded, mean_pairwise_similarity, AggIo,
+    aggregation_round, aggregation_round_sharded, build_agg_plan, mean_pairwise_similarity, AggIo,
+    AggPlan,
 };
 use crate::config::GlapConfig;
 use crate::learning::{
     duplicate_profiles, gather_profiles, gather_profiles_into, is_eligible, local_train,
     local_train_with, required_duplication,
 };
-use glap_cluster::{DataCenter, DemandSource, PmId, VmProfile};
+use glap_cluster::{DataCenter, DcView, DemandSource, PmId, VmProfile};
 use glap_codec::{CodecKind, FleetCodecs};
 use glap_cyclon::{CyclonNode, CyclonOverlay, RoundIo};
 use glap_dcsim::{stream_rng, SimRng, Stream};
 use glap_par::parallel_for_each_timed;
 use glap_profile::Profiler;
-use glap_qlearn::QTablePair;
+use glap_qlearn::{PairCaches, QArena, QTablePair};
 use glap_telemetry::{ConvergenceMonitor, EventKind, OverlayHealth, Phase, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -236,6 +237,96 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
 ) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
     let _train_span = profiler.span("train");
     cfg.validate().expect("invalid GLAP config");
+    // The observational paths — similarity recording and event tracing —
+    // sample boxed tables mid-round, so they run the two-pass reference
+    // engine. Everything else runs the arena engine (flat slab storage,
+    // dirty-set eligibility, fused last-learn+first-aggregate round),
+    // which the fused-identity tests pin bit-equal to the reference.
+    if record_similarity || tracer.is_on() {
+        return train_two_pass_inner(
+            dc,
+            trace,
+            cfg,
+            master_seed,
+            record_similarity,
+            tracer,
+            threads,
+            profiler,
+        );
+    }
+    let mut ctx = TrainerCtx::new(dc, cfg, master_seed, threads);
+    if cfg.codec != CodecKind::Identity {
+        // Coded exchanges carry per-peer codec state and are inherently
+        // serial: learn on the arena, then aggregate through the legacy
+        // coded round — the same RNG cursor positions as the reference.
+        for _ in 0..cfg.learning_rounds {
+            ctx.learn_round(dc, trace, profiler);
+        }
+        let mut tables = ctx.arena.export();
+        let mut codecs = FleetCodecs::new(dc.n_pms(), cfg.codec);
+        for _ in 0..cfg.aggregation_rounds {
+            let _round_span = profiler.span("agg_round");
+            {
+                let _s = profiler.span("shuffle");
+                ctx.overlay.run_round(&mut ctx.overlay_rng, RoundIo::default());
+            }
+            let _s = profiler.span("merge");
+            aggregation_round(
+                &mut tables,
+                &mut ctx.overlay,
+                &mut ctx.learn_rng,
+                AggIo::default().with_codec(&mut codecs),
+            );
+        }
+        return (tables, ctx.report(), ConvergenceMonitor::new());
+    }
+    ctx.run_uncoded(dc, trace, profiler);
+    let tables = ctx.arena.export();
+    (tables, ctx.report(), ConvergenceMonitor::new())
+}
+
+/// The pre-arena two-pass engine, kept callable for the byte-identity
+/// suites: boxed per-PM tables, full-scan eligibility, separate learn
+/// and aggregate sweeps. [`train_instrumented`] routes the observational
+/// paths here; tests call it directly to pin the arena engine against
+/// it bit for bit.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn train_two_pass_reference<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    record_similarity: bool,
+    tracer: &Tracer,
+    threads: Option<usize>,
+    profiler: &Profiler,
+) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
+    let _train_span = profiler.span("train");
+    cfg.validate().expect("invalid GLAP config");
+    train_two_pass_inner(
+        dc,
+        trace,
+        cfg,
+        master_seed,
+        record_similarity,
+        tracer,
+        threads,
+        profiler,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_two_pass_inner<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    record_similarity: bool,
+    tracer: &Tracer,
+    threads: Option<usize>,
+    profiler: &Profiler,
+) -> (Vec<QTablePair>, TrainReport, ConvergenceMonitor) {
     let n = dc.n_pms();
     let mut tables: Vec<QTablePair> = (0..n).map(|_| QTablePair::new(cfg.qparams)).collect();
     let mut overlay = CyclonOverlay::new(n, cfg.cyclon_cache, cfg.cyclon_shuffle);
@@ -415,6 +506,389 @@ pub fn train_instrumented<D: DemandSource + ?Sized>(
     (tables, report, monitor)
 }
 
+/// Runs the arena training engine and returns the flat [`QArena`]
+/// directly — no boxed export, so the scale paths (benches, the 250k-PM
+/// smoke, `scalability_eval`) never pay the transient doubling of
+/// materializing `n` boxed pairs next to the slab. Storage backing
+/// honors `GLAP_ARENA_MMAP` (see [`glap_qlearn::slab`]).
+///
+/// Byte-for-byte the tables equal what [`train`] returns for the same
+/// inputs (with similarity recording off); the report is the same too.
+/// Only the uncoded path scales this way — coded runs go through
+/// [`train`] (asserted).
+pub fn train_arena<D: DemandSource + ?Sized>(
+    dc: &mut DataCenter,
+    trace: &mut D,
+    cfg: &GlapConfig,
+    master_seed: u64,
+    threads: Option<usize>,
+    profiler: &Profiler,
+) -> (QArena, TrainReport) {
+    let _train_span = profiler.span("train");
+    cfg.validate().expect("invalid GLAP config");
+    assert_eq!(
+        cfg.codec,
+        CodecKind::Identity,
+        "train_arena is the uncoded scale path; coded runs go through train()"
+    );
+    let mut ctx = TrainerCtx::new(dc, cfg, master_seed, threads);
+    ctx.run_uncoded(dc, trace, profiler);
+    let report = ctx.report();
+    (ctx.arena, report)
+}
+
+/// One eligible PM's unit of work for an arena learning round — the
+/// arena twin of [`LearnTask`], with the slab accessed through a shared
+/// [`ArenaPtr`](glap_qlearn::ArenaPtr) instead of a `&mut QTablePair`.
+struct ArenaLearnTask<'a> {
+    pm: PmId,
+    rng: &'a mut SimRng,
+    node: &'a mut CyclonNode,
+    scratch: &'a mut LearnScratch,
+    caches: &'a mut PairCaches,
+}
+
+/// Shared raw state of one fused sweep: every per-PM resource the
+/// train-on-first-touch path needs, as plain pointers so a wave task can
+/// claim its two endpoints without lifetime gymnastics.
+struct FusedShared {
+    arena: glap_qlearn::ArenaPtr,
+    caches: *mut PairCaches,
+    scratch: *mut LearnScratch,
+    rngs: *mut SimRng,
+    picks: *const u32,
+    eligible: *const bool,
+    touched: *mut bool,
+}
+
+// SAFETY: tasks of one wave touch vertex-disjoint PM indices, so no two
+// threads ever alias a PM's slots; the pool joins between waves.
+unsafe impl Send for FusedShared {}
+unsafe impl Sync for FusedShared {}
+
+impl FusedShared {
+    /// First touch of PM `p` in the fused sweep: run its local training
+    /// now if it is eligible and has not trained yet. Called before any
+    /// merge involving `p`, which is what makes the interleaving
+    /// byte-equal to train-everything-then-merge: training reads only
+    /// the PM's own table, RNG stream and the (frozen) data-center view.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own PM `p` exclusively for the duration of the
+    /// call (wave vertex-disjointness), and every pointer must outlive
+    /// it.
+    unsafe fn touch(&self, p: u32, view: DcView<'_>, dup: usize, iters: usize) {
+        let i = p as usize;
+        let touched = &mut *self.touched.add(i);
+        if *touched {
+            return;
+        }
+        *touched = true;
+        if !*self.eligible.add(i) {
+            return;
+        }
+        let rng = &mut *self.rngs.add(i);
+        let scr = &mut *self.scratch.add(i);
+        let caches = &mut *self.caches.add(i);
+        let pick = *self.picks.add(i);
+        let neighbor = (pick != u32::MAX).then_some(PmId(pick));
+        gather_profiles_into(view, PmId(p), neighbor, dup, &mut scr.profiles);
+        caches.reset();
+        let mut pair = self.arena.pair_mut(i, caches);
+        local_train_with(&mut pair, &scr.profiles, iters, rng, &mut scr.idxs);
+    }
+}
+
+/// The arena training engine: round-stage state over `{arena, overlay,
+/// RNG cursors, per-PM scratch}` with one method per round shape —
+/// plain learning round, plain aggregation round, and the fused
+/// last-learn+first-aggregate round (split into a prepare and an apply
+/// stage so a checkpoint can land between them).
+///
+/// Byte-identity with the two-pass reference holds stage by stage:
+/// training goes through the same [`TrainTarget`](glap_qlearn::
+/// TrainTarget) loop and kernels on the same per-PM RNG streams,
+/// eligibility comes from the dirty-set index (pinned equal to the full
+/// scan), and merges follow the same [`AggPlan`] wave semantics.
+struct TrainerCtx {
+    cfg: GlapConfig,
+    threads: Option<usize>,
+    arena: QArena,
+    caches: Vec<PairCaches>,
+    overlay: CyclonOverlay,
+    overlay_rng: SimRng,
+    learn_rng: SimRng,
+    pm_rngs: Vec<SimRng>,
+    scratch: Vec<LearnScratch>,
+    trained: Vec<bool>,
+    updates: u64,
+    /// Eligibility snapshot of the current round (fused path).
+    eligible: Vec<bool>,
+    /// Learning-neighbour pick per PM (`u32::MAX` = none), drawn before
+    /// the aggregation shuffle mutates the overlay views.
+    picks: Vec<u32>,
+    /// Whether the fused sweep has trained-or-skipped a PM yet.
+    touched: Vec<bool>,
+}
+
+impl TrainerCtx {
+    fn new(dc: &DataCenter, cfg: &GlapConfig, master_seed: u64, threads: Option<usize>) -> Self {
+        let n = dc.n_pms();
+        let mut overlay = CyclonOverlay::new(n, cfg.cyclon_cache, cfg.cyclon_shuffle);
+        let mut overlay_rng = stream_rng(master_seed, Stream::Overlay);
+        overlay.bootstrap_random(&mut overlay_rng);
+        for pm in dc.pms() {
+            if !pm.is_active() {
+                overlay.set_dead(pm.id().0);
+            }
+        }
+        TrainerCtx {
+            cfg: *cfg,
+            threads,
+            arena: QArena::from_env(n, cfg.qparams),
+            caches: (0..n).map(|_| PairCaches::default()).collect(),
+            overlay,
+            overlay_rng,
+            learn_rng: stream_rng(master_seed, Stream::Learning),
+            pm_rngs: (0..n)
+                .map(|i| stream_rng(master_seed, Stream::LearningPm(i as u32)))
+                .collect(),
+            scratch: (0..n).map(|_| LearnScratch::default()).collect(),
+            trained: vec![false; n],
+            updates: 0,
+            eligible: vec![false; n],
+            picks: vec![u32::MAX; n],
+            touched: vec![false; n],
+        }
+    }
+
+    /// The uncoded round schedule: when both phases have at least one
+    /// round, the last learning round and the first aggregation round
+    /// fuse into a single sweep that touches each Q-table once.
+    fn run_uncoded<D: DemandSource + ?Sized>(
+        &mut self,
+        dc: &mut DataCenter,
+        trace: &mut D,
+        profiler: &Profiler,
+    ) {
+        let fuse = self.cfg.learning_rounds >= 1 && self.cfg.aggregation_rounds >= 1;
+        for _ in 0..self.cfg.learning_rounds - usize::from(fuse) {
+            self.learn_round(dc, trace, profiler);
+        }
+        if fuse {
+            self.fused_round(dc, trace, profiler);
+        }
+        for _ in 0..self.cfg.aggregation_rounds - usize::from(fuse) {
+            self.agg_round(profiler);
+        }
+    }
+
+    fn report(&self) -> TrainReport {
+        TrainReport {
+            similarity: Vec::new(),
+            pms_trained: self.trained.iter().filter(|&&t| t).count(),
+            updates: self.updates,
+        }
+    }
+
+    /// One plain learning round — the arena twin of the reference loop
+    /// body, with eligibility from the data center's dirty-set index
+    /// instead of a full scan.
+    fn learn_round<D: DemandSource + ?Sized>(
+        &mut self,
+        dc: &mut DataCenter,
+        trace: &mut D,
+        profiler: &Profiler,
+    ) {
+        let _round_span = profiler.span("learn_round");
+        {
+            let _s = profiler.span("workload_step");
+            dc.step(trace);
+        }
+        {
+            let _s = profiler.span("shuffle");
+            self.overlay.run_round(&mut self.overlay_rng, RoundIo::default());
+        }
+        let fanout_span = profiler.span("fanout");
+        dc.refresh_eligibility(self.cfg.learning_threshold);
+        let elig = dc.eligible_flags();
+        let view = dc.view();
+        let ptr = self.arena.as_ptr();
+        let (nodes, alive) = self.overlay.split_mut();
+        let mut tasks: Vec<ArenaLearnTask<'_>> = self
+            .pm_rngs
+            .iter_mut()
+            .zip(nodes.iter_mut())
+            .zip(self.scratch.iter_mut())
+            .zip(self.caches.iter_mut())
+            .enumerate()
+            .filter(|&(i, _)| elig[i])
+            .map(|(i, (((rng, node), scratch), caches))| ArenaLearnTask {
+                pm: PmId(i as u32),
+                rng,
+                node,
+                scratch,
+                caches,
+            })
+            .collect();
+        drop(fanout_span);
+        let train_span = profiler.span("local_train");
+        let (dup, iters) = (self.cfg.profile_duplication, self.cfg.learning_iterations);
+        let timing = parallel_for_each_timed(&mut tasks, self.threads, |t| {
+            let neighbor = CyclonOverlay::random_alive_peer_in(t.node, alive, t.rng).map(PmId);
+            gather_profiles_into(view, t.pm, neighbor, dup, &mut t.scratch.profiles);
+            t.caches.reset();
+            // SAFETY: tasks carry disjoint PM indices, so this view is
+            // the only access to PM `pm`'s slots; the arena outlives the
+            // pool run.
+            let mut pair = unsafe { ptr.pair_mut(t.pm.0 as usize, t.caches) };
+            local_train_with(&mut pair, &t.scratch.profiles, iters, t.rng, &mut t.scratch.idxs);
+        });
+        if profiler.is_on() {
+            for w in &timing.workers {
+                profiler.record_concurrent_ns("worker_busy", w.busy_ns);
+                profiler
+                    .record_concurrent_ns("worker_idle", timing.wall_ns.saturating_sub(w.busy_ns));
+            }
+        }
+        drop(train_span);
+        for t in &tasks {
+            self.trained[t.pm.0 as usize] = true;
+            self.updates += 2 * iters as u64;
+        }
+    }
+
+    /// The fused last-learn + first-aggregate round.
+    fn fused_round<D: DemandSource + ?Sized>(
+        &mut self,
+        dc: &mut DataCenter,
+        trace: &mut D,
+        profiler: &Profiler,
+    ) {
+        let _round_span = profiler.span("fused_round");
+        let mut plan = self.fused_prepare(dc, trace, profiler);
+        self.fused_apply(dc, &mut plan, profiler);
+    }
+
+    /// Stage 1 of the fused round: everything that consumes shared
+    /// randomness, in exactly the reference order — workload step,
+    /// learning shuffle, learning-neighbour picks (the first draw of
+    /// each PM's stream this round, taken against the learning round's
+    /// overlay views *before* the aggregation shuffle mutates them),
+    /// aggregation shuffle, then the merge plan off the phase RNG.
+    fn fused_prepare<D: DemandSource + ?Sized>(
+        &mut self,
+        dc: &mut DataCenter,
+        trace: &mut D,
+        profiler: &Profiler,
+    ) -> AggPlan {
+        {
+            let _s = profiler.span("workload_step");
+            dc.step(trace);
+        }
+        {
+            let _s = profiler.span("shuffle");
+            self.overlay.run_round(&mut self.overlay_rng, RoundIo::default());
+        }
+        {
+            let _s = profiler.span("picks");
+            dc.refresh_eligibility(self.cfg.learning_threshold);
+            self.eligible.copy_from_slice(dc.eligible_flags());
+            let (nodes, alive) = self.overlay.split_mut();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                self.picks[i] = u32::MAX;
+                if !self.eligible[i] {
+                    continue;
+                }
+                if let Some(q) = CyclonOverlay::random_alive_peer_in(node, alive, &mut self.pm_rngs[i])
+                {
+                    self.picks[i] = q;
+                }
+            }
+        }
+        {
+            let _s = profiler.span("shuffle");
+            self.overlay.run_round(&mut self.overlay_rng, RoundIo::default());
+        }
+        let _s = profiler.span("plan");
+        build_agg_plan(&mut self.overlay, &mut self.learn_rng, self.threads)
+    }
+
+    /// Stage 2 of the fused round: the single sweep. Walks the merge
+    /// waves in order; each exchange first trains its two endpoints
+    /// (train-on-first-touch — the table is hot in cache when its merge
+    /// runs), then merges them. Eligible PMs no exchange touches train
+    /// in a tail pass. Equal to train-all-then-merge because a PM's
+    /// training precedes every merge involving it and reads nothing a
+    /// merge writes.
+    fn fused_apply(&mut self, dc: &DataCenter, plan: &mut AggPlan, profiler: &Profiler) {
+        let _span = profiler.span("fused_sweep");
+        let view = dc.view();
+        let (dup, iters) = (self.cfg.profile_duplication, self.cfg.learning_iterations);
+        for t in self.touched.iter_mut() {
+            *t = false;
+        }
+        let shared = FusedShared {
+            arena: self.arena.as_ptr(),
+            caches: self.caches.as_mut_ptr(),
+            scratch: self.scratch.as_mut_ptr(),
+            rngs: self.pm_rngs.as_mut_ptr(),
+            picks: self.picks.as_ptr(),
+            eligible: self.eligible.as_ptr(),
+            touched: self.touched.as_mut_ptr(),
+        };
+        for wave in plan.by_wave.iter_mut() {
+            glap_par::parallel_for_each(wave, self.threads, |&mut (p, q)| {
+                // SAFETY: pairs of one wave are vertex-disjoint, so this
+                // task owns PMs p and q (tables, caches, scratch, RNGs,
+                // touched flags) exclusively until the pool joins.
+                unsafe {
+                    shared.touch(p, view, dup, iters);
+                    shared.touch(q, view, dup, iters);
+                    shared.arena.merge_pms(p as usize, q as usize);
+                }
+            });
+        }
+        let mut tail: Vec<u32> = (0..self.touched.len() as u32)
+            .filter(|&i| self.eligible[i as usize] && !self.touched[i as usize])
+            .collect();
+        glap_par::parallel_for_each(&mut tail, self.threads, |&mut p| {
+            // SAFETY: tail indices are distinct and belong to no wave
+            // task (all waves have joined).
+            unsafe {
+                shared.touch(p, view, dup, iters);
+            }
+        });
+        for (i, &e) in self.eligible.iter().enumerate() {
+            if e {
+                self.trained[i] = true;
+                self.updates += 2 * iters as u64;
+            }
+        }
+    }
+
+    /// One plain aggregation round on the arena: shuffle, plan, merge
+    /// waves — no emission sweep (the arena engine runs untraced).
+    fn agg_round(&mut self, profiler: &Profiler) {
+        let _round_span = profiler.span("agg_round");
+        {
+            let _s = profiler.span("shuffle");
+            self.overlay.run_round(&mut self.overlay_rng, RoundIo::default());
+        }
+        let _s = profiler.span("merge");
+        let mut plan = build_agg_plan(&mut self.overlay, &mut self.learn_rng, self.threads);
+        let ptr = self.arena.as_ptr();
+        for wave in plan.by_wave.iter_mut() {
+            glap_par::parallel_for_each(wave, self.threads, |&mut (p, q)| {
+                // SAFETY: wave pairs are vertex-disjoint (see AggPlan);
+                // the arena outlives the pool run.
+                unsafe { ptr.merge_pms(p as usize, q as usize) }
+            });
+        }
+    }
+}
+
 /// Collapses per-PM tables into one unified table by merging everything —
 /// the fixed point the gossip converges to (union of keys, averaged
 /// values). Used to hand one shared table to the consolidation component
@@ -574,6 +1048,241 @@ mod tests {
             unified_table(&tables)
         };
         assert_eq!(run(9), run(9));
+    }
+
+    fn table_bytes(t: &QTablePair) -> Vec<u8> {
+        use glap_snapshot::Checkpointable;
+        let mut w = glap_snapshot::Writer::new();
+        t.save(&mut w);
+        w.into_bytes()
+    }
+
+    /// The arena engine (fused round, dirty-set eligibility, masked
+    /// merges, row-max caches) must reproduce the two-pass reference bit
+    /// for bit — at any thread count, with sleeping PMs in the mix, and
+    /// across the aggregation-round edge cases that disable fusion.
+    #[test]
+    fn arena_engine_matches_two_pass_reference_bitwise() {
+        for (agg_rounds, sleep_some) in [(10usize, false), (10, true), (0, false), (1, true)] {
+            let cfg = GlapConfig {
+                aggregation_rounds: agg_rounds,
+                ..small_cfg()
+            };
+            let reference = {
+                let mut dc = setup(25, 2);
+                if sleep_some {
+                    let empty: Vec<PmId> =
+                        dc.pms().filter(|p| p.is_empty()).map(|p| p.id()).collect();
+                    for pm in empty {
+                        dc.sleep_if_empty(pm);
+                    }
+                }
+                let (tables, report, _) = train_two_pass_reference(
+                    &mut dc,
+                    &mut wave_trace,
+                    &cfg,
+                    77,
+                    false,
+                    &Tracer::off(),
+                    Some(1),
+                    &Profiler::off(),
+                );
+                (
+                    tables.iter().map(table_bytes).collect::<Vec<_>>(),
+                    report.pms_trained,
+                    report.updates,
+                )
+            };
+            for threads in [1usize, 4] {
+                let mut dc = setup(25, 2);
+                if sleep_some {
+                    let empty: Vec<PmId> =
+                        dc.pms().filter(|p| p.is_empty()).map(|p| p.id()).collect();
+                    for pm in empty {
+                        dc.sleep_if_empty(pm);
+                    }
+                }
+                let (tables, report, _) = train_instrumented(
+                    &mut dc,
+                    &mut wave_trace,
+                    &cfg,
+                    77,
+                    false,
+                    &Tracer::off(),
+                    Some(threads),
+                    &Profiler::off(),
+                );
+                assert_eq!(
+                    tables.iter().map(table_bytes).collect::<Vec<_>>(),
+                    reference.0,
+                    "agg_rounds={agg_rounds} sleep={sleep_some} threads={threads}"
+                );
+                assert_eq!((report.pms_trained, report.updates), (reference.1, reference.2));
+            }
+        }
+    }
+
+    /// `train_arena` returns the same tables `train` exports, without
+    /// the boxed materialization.
+    #[test]
+    fn train_arena_matches_boxed_export() {
+        let cfg = small_cfg();
+        let boxed = {
+            let mut dc = setup(20, 2);
+            train(&mut dc, &mut wave_trace, &cfg, 13, false).0
+        };
+        let mut dc = setup(20, 2);
+        let (arena, report) =
+            train_arena(&mut dc, &mut wave_trace, &cfg, 13, None, &Profiler::off());
+        assert!(report.pms_trained > 0);
+        for (i, b) in boxed.iter().enumerate() {
+            assert_eq!(arena.export_pm(i), *b, "pm {i}");
+        }
+    }
+
+    /// Coded runs keep their pre-arena bytes: arena learning followed by
+    /// the legacy coded aggregation equals the reference end to end.
+    #[test]
+    fn coded_runs_match_two_pass_reference_bitwise() {
+        let cfg = GlapConfig {
+            codec: CodecKind::Delta,
+            ..small_cfg()
+        };
+        let reference = {
+            let mut dc = setup(20, 2);
+            let (tables, _, _) = train_two_pass_reference(
+                &mut dc,
+                &mut wave_trace,
+                &cfg,
+                5,
+                false,
+                &Tracer::off(),
+                None,
+                &Profiler::off(),
+            );
+            tables.iter().map(table_bytes).collect::<Vec<_>>()
+        };
+        let mut dc = setup(20, 2);
+        let (tables, _) = train(&mut dc, &mut wave_trace, &cfg, 5, false);
+        assert_eq!(tables.iter().map(table_bytes).collect::<Vec<_>>(), reference);
+    }
+
+    /// A checkpoint taken mid-fused-round — after the prepare stage
+    /// drew all shared randomness, before the sweep — fully captures the
+    /// remaining work: restoring the arena bytes and the per-PM RNG
+    /// cursors into a clobbered context and re-applying the plan matches
+    /// the uninterrupted run bit for bit.
+    #[test]
+    fn mid_fused_round_checkpoint_resumes_bitwise() {
+        use glap_dcsim::{restore_rng, save_rng};
+
+        let cfg = small_cfg();
+        let mut dc = setup(25, 2);
+        let mut ctx = TrainerCtx::new(&dc, &cfg, 21, Some(2));
+        for _ in 0..cfg.learning_rounds - 1 {
+            ctx.learn_round(&mut dc, &mut wave_trace, &Profiler::off());
+        }
+        let plan = ctx.fused_prepare(&mut dc, &mut wave_trace, &Profiler::off());
+
+        // Snapshot the mid-round state: every PM's pair plus every
+        // per-PM RNG cursor, through the real snapshot codec.
+        let mut w = glap_snapshot::Writer::new();
+        for i in 0..ctx.arena.len() {
+            ctx.arena.save_pm(i, &mut w);
+        }
+        for rng in &ctx.pm_rngs {
+            save_rng(rng, &mut w);
+        }
+        let snapshot = w.into_bytes();
+
+        // Uninterrupted run.
+        let mut plan_a = plan.clone();
+        ctx.fused_apply(&dc, &mut plan_a, &Profiler::off());
+        let want: Vec<QTablePair> = (0..ctx.arena.len()).map(|i| ctx.arena.export_pm(i)).collect();
+
+        // Clobber the mid-round state (the apply above mutated it), then
+        // restore from the snapshot and re-apply the same plan.
+        let mut r = glap_snapshot::Reader::new(&snapshot);
+        for i in 0..ctx.arena.len() {
+            ctx.arena.restore_pm(i, &mut r).unwrap();
+            ctx.caches[i].reset();
+        }
+        for rng in ctx.pm_rngs.iter_mut() {
+            *rng = restore_rng(&mut r).unwrap();
+        }
+        assert!(r.is_exhausted());
+        let mut plan_b = plan.clone();
+        ctx.fused_apply(&dc, &mut plan_b, &Profiler::off());
+        for (i, want) in want.iter().enumerate() {
+            assert_eq!(ctx.arena.export_pm(i), *want, "pm {i} diverged after resume");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// Property form of [`mid_fused_round_checkpoint_resumes_bitwise`]:
+        /// for random worlds, schedules, seeds and worker counts, a
+        /// checkpoint between the fused round's prepare and apply stages
+        /// resumes bit-identically.
+        #[test]
+        fn mid_fused_round_checkpoint_property(
+            seed in 0u64..1000,
+            n_pms in 8usize..32,
+            ratio in 1usize..4,
+            learning_rounds in 1usize..5,
+            threads_idx in 0usize..3,
+        ) {
+            use glap_dcsim::{restore_rng, save_rng};
+            use proptest::prelude::prop_assert_eq;
+
+            let threads = [1usize, 2, 4][threads_idx];
+
+            let cfg = GlapConfig {
+                learning_rounds,
+                aggregation_rounds: 2,
+                learning_iterations: 6,
+                ..Default::default()
+            };
+            let mut dc = setup(n_pms, ratio);
+            let mut trace = move |vm: VmId, r: u64| {
+                let x = 0.3 + 0.25 * ((r as f64 / 7.0) + f64::from(vm.0) + seed as f64).sin();
+                Resources::splat(x)
+            };
+            let mut ctx = TrainerCtx::new(&dc, &cfg, seed, Some(threads));
+            for _ in 0..cfg.learning_rounds - 1 {
+                ctx.learn_round(&mut dc, &mut trace, &Profiler::off());
+            }
+            let plan = ctx.fused_prepare(&mut dc, &mut trace, &Profiler::off());
+
+            let mut w = glap_snapshot::Writer::new();
+            for i in 0..ctx.arena.len() {
+                ctx.arena.save_pm(i, &mut w);
+            }
+            for rng in &ctx.pm_rngs {
+                save_rng(rng, &mut w);
+            }
+            let snapshot = w.into_bytes();
+
+            let mut plan_a = plan.clone();
+            ctx.fused_apply(&dc, &mut plan_a, &Profiler::off());
+            let want: Vec<QTablePair> =
+                (0..ctx.arena.len()).map(|i| ctx.arena.export_pm(i)).collect();
+
+            let mut r = glap_snapshot::Reader::new(&snapshot);
+            for i in 0..ctx.arena.len() {
+                ctx.arena.restore_pm(i, &mut r).unwrap();
+                ctx.caches[i].reset();
+            }
+            for rng in ctx.pm_rngs.iter_mut() {
+                *rng = restore_rng(&mut r).unwrap();
+            }
+            let mut plan_b = plan.clone();
+            ctx.fused_apply(&dc, &mut plan_b, &Profiler::off());
+            for (i, want) in want.iter().enumerate() {
+                prop_assert_eq!(&ctx.arena.export_pm(i), want, "pm {} diverged after resume", i);
+            }
+        }
     }
 
     #[test]

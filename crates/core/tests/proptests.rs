@@ -3,7 +3,7 @@
 //! and the consolidation policy never breaks world invariants.
 
 use glap::prelude::*;
-use glap::{local_train, synthetic_table};
+use glap::{local_train, synthetic_table, train_two_pass_reference};
 use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmProfile, VmSpec};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -151,6 +151,130 @@ proptest! {
 
         prop_assert_eq!(pair_bytes(&tables[0]), pair_bytes(&a_old));
         prop_assert_eq!(pair_bytes(&tables[1]), pair_bytes(&b_old));
+    }
+
+    /// The arena engine — flat Q-table slab, dirty-set eligibility and
+    /// the fused last-learn + first-aggregate sweep — reproduces the
+    /// two-pass reference engine bit for bit over random worlds, round
+    /// schedules, sleeping fleets and worker counts. Compared on the
+    /// encoded table bytes, so a single flipped sign bit fails.
+    #[test]
+    fn fused_engine_matches_two_pass_reference_bitwise(
+        seed in 0u64..1000,
+        n_pms in 8usize..32,
+        ratio in 1usize..4,
+        learning_rounds in 1usize..5,
+        aggregation_rounds in 0usize..5,
+        sleep_empties in any::<bool>(),
+        threads_idx in 0usize..2,
+    ) {
+        use glap_cluster::PmId;
+        let threads = [1usize, 4][threads_idx];
+        let cfg = GlapConfig {
+            learning_rounds,
+            aggregation_rounds,
+            learning_iterations: 6,
+            ..GlapConfig::default()
+        };
+        let build = || {
+            let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+            for _ in 0..n_pms * ratio {
+                dc.add_vm(VmSpec::EC2_MICRO);
+            }
+            dc.random_placement(&mut stream_rng(seed, Stream::Placement));
+            if sleep_empties {
+                let empty: Vec<PmId> =
+                    dc.pms().filter(|p| p.is_empty()).map(|p| p.id()).collect();
+                for pm in empty {
+                    dc.sleep_if_empty(pm);
+                }
+            }
+            dc
+        };
+        let mut trace = move |vm: VmId, r: u64| {
+            let x = 0.3 + 0.25 * ((r as f64 / 7.0) + f64::from(vm.0) + seed as f64).sin();
+            Resources::splat(x)
+        };
+        let (ref_tables, ref_report, _) = train_two_pass_reference(
+            &mut build(),
+            &mut trace,
+            &cfg,
+            seed,
+            false,
+            &Tracer::off(),
+            Some(1),
+            &Profiler::off(),
+        );
+        let want: Vec<Vec<u8>> = ref_tables.iter().map(pair_bytes).collect();
+        let (tables, report, _) = train_instrumented(
+            &mut build(),
+            &mut trace,
+            &cfg,
+            seed,
+            false,
+            &Tracer::off(),
+            Some(threads),
+            &Profiler::off(),
+        );
+        let got: Vec<Vec<u8>> = tables.iter().map(pair_bytes).collect();
+        prop_assert_eq!(got, want, "engines diverged at {} threads", threads);
+        prop_assert_eq!(report.pms_trained, ref_report.pms_trained);
+        prop_assert_eq!(report.updates, ref_report.updates);
+    }
+
+    /// The incremental (dirty-set) eligibility index agrees with a full
+    /// `is_eligible` scan after any interleaving of workload steps,
+    /// sleeps and wakes, at any threshold.
+    #[test]
+    fn dirty_set_eligibility_matches_full_scan(
+        seed in 0u64..1000,
+        n_pms in 4usize..32,
+        ratio in 0usize..3,
+        threshold_centi in 10u32..90,
+        ops in proptest::collection::vec((0u8..3, 0usize..64), 1..12),
+    ) {
+        use glap::is_eligible;
+        use glap_cluster::PmId;
+        let threshold = f64::from(threshold_centi) / 100.0;
+        let cfg = GlapConfig {
+            learning_threshold: threshold,
+            ..GlapConfig::default()
+        };
+        let mut dc = DataCenter::new(DataCenterConfig::paper(n_pms));
+        for _ in 0..n_pms * ratio {
+            dc.add_vm(VmSpec::EC2_MICRO);
+        }
+        dc.random_placement(&mut stream_rng(seed, Stream::Placement));
+        let mut trace = move |vm: VmId, r: u64| {
+            let x = 0.4 + 0.35 * ((r as f64 / 3.0) + f64::from(vm.0) + seed as f64).sin();
+            Resources::splat(x.clamp(0.0, 1.0))
+        };
+        for &(op, arg) in &ops {
+            match op {
+                0 => {
+                    dc.step(&mut trace);
+                }
+                1 => {
+                    dc.sleep_if_empty(PmId((arg % n_pms) as u32));
+                }
+                _ => {
+                    dc.wake(PmId((arg % n_pms) as u32));
+                }
+            }
+            // Refresh *every* iteration: the index must stay exact both
+            // right after a burst of dirt and when nothing changed.
+            dc.refresh_eligibility(threshold);
+            let flags = dc.eligible_flags();
+            for i in 0..n_pms {
+                prop_assert_eq!(
+                    flags[i],
+                    is_eligible(&dc, PmId(i as u32), &cfg),
+                    "PM {} after op {:?}",
+                    i,
+                    (op, arg)
+                );
+            }
+        }
     }
 
     /// Disabling the veto can only consolidate at least as aggressively

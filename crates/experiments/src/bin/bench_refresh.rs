@@ -6,10 +6,11 @@
 //! * `BENCH_hotpath.json`  — the four hot loops at 1024/4096 PMs;
 //! * `BENCH_snapshot.json` — checkpoint encode/decode/restore/CRC;
 //! * `BENCH_codec.json`    — gossip payload codec encode/exchange costs;
-//! * `BENCH_scale.json`    — the 1k→100k PM scale trajectory (per-round
-//!   phase costs; `perf_gate` prints a 100k/4k advisory from it). The
-//!   100k rows take minutes: `GLAP_BENCH_SKIP_SCALE=1` skips the suite
-//!   for a quick refresh of the others.
+//! * `BENCH_scale.json`    — the 1k→250k PM scale trajectory (per-round
+//!   phase costs, including the fused learn+aggregate round; `perf_gate`
+//!   prints a 100k/4k advisory from it). The 100k/250k rows take
+//!   minutes: `GLAP_BENCH_SKIP_SCALE=1` skips the suite for a quick
+//!   refresh of the others.
 //!
 //! ```text
 //! bench_refresh                       # all suites, 300ms budget each
@@ -67,7 +68,7 @@ fn main() {
         ("codec", codec_records(budget)),
     ];
     if std::env::var_os("GLAP_BENCH_SKIP_SCALE").is_none() {
-        eprintln!("measuring the scale trajectory (100k-PM rows take minutes)…");
+        eprintln!("measuring the scale trajectory (100k/250k-PM rows take minutes)…");
         suites.push(("scale", scale_records(budget)));
     } else {
         eprintln!("GLAP_BENCH_SKIP_SCALE set: leaving BENCH_scale.json untouched");

@@ -37,6 +37,9 @@ fn main() {
     let ratio = cli.grid.ratios.first().copied().unwrap_or(3);
     let rounds = cli.grid.rounds.min(240); // wall-clock study, not SLA study
 
+    // (size, allocs) of every GLAP cell, for the alloc-collapse guard
+    // asserted after the table renders.
+    let mut glap_alloc_cells: Vec<(usize, u64)> = Vec::new();
     let mut table = TextTable::new([
         "size",
         "algorithm",
@@ -105,7 +108,11 @@ fn main() {
                 tracer.counter_total("net.bytes_rx").to_string(),
                 {
                     let (allocs_after, _) = alloc_stats();
-                    (allocs_after - allocs_before).to_string()
+                    let allocs = allocs_after - allocs_before;
+                    if algorithm == Algorithm::Glap {
+                        glap_alloc_cells.push((size, allocs));
+                    }
+                    allocs.to_string()
                 },
                 {
                     let (_, alloc_bytes_after) = alloc_stats();
@@ -141,4 +148,31 @@ fn main() {
     let path = cli.out_dir.join("scalability_eval.csv");
     table.save_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
+
+    // Alloc-collapse regression guard: with the flat Q-table arena (one
+    // slab for the whole fleet) and the reused per-PM scratch buffers,
+    // a GLAP cell's allocator traffic is a handful of calls per PM per
+    // round — gossip descriptors and policy bookkeeping — not the
+    // per-PM/per-iteration churn of boxed tables and rebuilt profile
+    // lists (measured ~6 allocs per PM-round at 250–1000 PMs; per-
+    // iteration churn would sit at 40+). The bound is loose on purpose:
+    // it only trips when per-round allocation grows by an order of
+    // magnitude.
+    const MAX_ALLOCS_PER_PM_ROUND: f64 = 32.0;
+    let effective_rounds =
+        rounds + cli.grid.glap.learning_rounds as u64 + cli.grid.glap.aggregation_rounds as u64;
+    for &(size, allocs) in &glap_alloc_cells {
+        let per_pm_round = allocs as f64 / (size as f64 * effective_rounds as f64);
+        assert!(
+            per_pm_round <= MAX_ALLOCS_PER_PM_ROUND,
+            "GLAP at {size} PMs made {allocs} heap allocations \
+             ({per_pm_round:.1} per PM-round over {effective_rounds} train+measured rounds, \
+             budget {MAX_ALLOCS_PER_PM_ROUND}) — the arena's per-round allocation \
+             collapse regressed"
+        );
+    }
+    eprintln!(
+        "alloc guard ok: every GLAP cell under {MAX_ALLOCS_PER_PM_ROUND} allocations \
+         per PM-round"
+    );
 }

@@ -11,6 +11,9 @@
 use glap_experiments::scale_records_at;
 use std::time::Instant;
 
+use glap::prelude::*;
+use glap_cluster::{DataCenter, DataCenterConfig, Resources, VmId, VmSpec};
+
 #[test]
 #[ignore = "release-mode CI smoke (minutes in debug builds); run with --ignored"]
 fn sixteen_k_cell_stays_near_linear_within_budget() {
@@ -52,5 +55,80 @@ fn sixteen_k_cell_stays_near_linear_within_budget() {
     assert!(
         elapsed.as_secs() < 300,
         "scale smoke blew its wall-clock budget: {elapsed:?}"
+    );
+}
+
+/// Release memory smoke: one fused learn+aggregate round over a
+/// quarter-million PMs, end to end through [`train_arena`], must fit
+/// the CI memory budget.
+///
+/// The fleet's Q-tables are the memory story at this size: 250k PMs x
+/// ~105 KB of dense table values is ~26 GB of *virtual* arena slab
+/// (plus ~3 GB of visited flags) — but only pages a PM actually trains
+/// into get faulted in, so measured peak RSS is ~15 GB. The budget
+/// asserts the run stays within touched-slab + world + bounded per-PM
+/// scratch — an export copy (reads every page, then writes a boxed
+/// duplicate) or eager zero-fill of the slab faults the full ~30 GB+
+/// and trips this long before the OOM killer would.
+#[test]
+#[ignore = "release-mode CI smoke (~15 GB RSS, minutes); run with --ignored"]
+fn quarter_million_pm_fused_round_fits_memory_budget() {
+    const N: usize = 250_000;
+    /// Process peak-RSS ceiling: the touched part of the arena slabs
+    /// (~15 GB measured; ~30 GB virtual) + the world and per-PM
+    /// scratch, with margin for allocator slack — but under the
+    /// ~45-60 GB a full-fault, boxed-table, or export-copy regression
+    /// would reach.
+    const PEAK_RSS_BUDGET_BYTES: u64 = 40_000_000_000;
+
+    let t0 = Instant::now();
+    let mut wave = |vm: VmId, round: u64| {
+        let x = 0.3 + 0.25 * ((round as f64 / 7.0) + vm.0 as f64).sin();
+        Resources::splat(x)
+    };
+    let mut dc = DataCenter::new(DataCenterConfig::paper(N));
+    for _ in 0..N * 2 {
+        dc.add_vm(VmSpec::EC2_MICRO);
+    }
+    dc.random_placement(&mut stream_rng(7, Stream::Placement));
+    dc.step(&mut wave);
+
+    // Exactly one fused round: the last learning round and the first
+    // aggregation round in a single arena sweep.
+    let cfg = GlapConfig {
+        learning_rounds: 1,
+        aggregation_rounds: 1,
+        ..Default::default()
+    };
+    let profiler = Profiler::enabled();
+    let (arena, report) = train_arena(&mut dc, &mut wave, &cfg, 42, None, &profiler);
+    assert_eq!(arena.len(), N);
+    assert!(report.pms_trained > 0, "nobody trained at 250k PMs");
+    let snapshot = profiler.snapshot();
+    let fused = snapshot
+        .span("train/fused_round")
+        .expect("the uncoded 1+1 schedule runs exactly one fused round");
+    assert!(fused.count >= 1);
+
+    let peak = glap_profile::peak_rss_bytes().expect("peak RSS readable on this platform");
+    eprintln!(
+        "250k-PM fused round: {:.1}s total, peak RSS {:.1} GB (budget {:.0} GB)",
+        t0.elapsed().as_secs_f64(),
+        peak as f64 / 1e9,
+        PEAK_RSS_BUDGET_BYTES as f64 / 1e9,
+    );
+    assert!(
+        peak <= PEAK_RSS_BUDGET_BYTES,
+        "peak RSS {peak} bytes blew the {PEAK_RSS_BUDGET_BYTES}-byte budget \
+         — per-PM table storage stopped collapsing into the arena"
+    );
+    // Generous wall budget: this is a memory smoke, not a speed gate —
+    // on one core the run is dominated by first-touch faulting the
+    // ~30 GB arena. A hang or a quadratic sweep should still fail
+    // rather than wedge CI.
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs() < 1800,
+        "250k-PM fused-round smoke blew its wall-clock budget: {elapsed:?}"
     );
 }

@@ -19,15 +19,20 @@
 //! assert!(q.out.get(s, a) > 0.0);
 //! ```
 
+pub mod arena;
+pub mod kernel;
 pub mod level;
 pub mod reward;
+pub mod slab;
 pub mod state;
 pub mod table;
 
+pub use arena::{ArenaPair, ArenaPtr, PairCaches, QArena};
+pub use kernel::{RowMaxCache, TABLE_LEN};
 pub use level::{Level, NUM_LEVELS};
 pub use reward::{RewardIn, RewardOut};
 pub use state::{PmState, VmAction, NUM_STATES};
-pub use table::{QParams, QTable, QTablePair};
+pub use table::{QParams, QTable, QTablePair, TrainTarget};
 
 /// Convenient glob import.
 pub mod prelude {

@@ -68,6 +68,19 @@ impl QTable {
         s.index() * NUM_STATES + a.index()
     }
 
+    /// Crate-internal: rebuild a table from raw storage (arena export,
+    /// snapshot restore). Recounts the visited tally; `values` of
+    /// unvisited entries are kept verbatim so restored snapshots stay
+    /// byte-faithful.
+    pub(crate) fn from_raw_parts(values: Vec<f64>, visited: Vec<bool>) -> QTable {
+        let n_visited = visited.iter().filter(|&&v| v).count();
+        QTable {
+            values,
+            visited,
+            n_visited,
+        }
+    }
+
     /// Q(s, a); 0 for unvisited pairs.
     #[inline]
     pub fn get(&self, s: PmState, a: VmAction) -> f64 {
@@ -98,23 +111,10 @@ impl QTable {
 
     /// The greedy bootstrap term `max_a' Q(s', a')` over *visited* actions
     /// of `s'`; 0 when the row is untrained (optimistic-neutral init).
+    /// Delegates to the shared [`kernel`](crate::kernel) scan so the
+    /// boxed and the arena paths cannot drift.
     pub fn max_over_actions(&self, s: PmState) -> f64 {
-        let base = s.index() * NUM_STATES;
-        let mut best = f64::NEG_INFINITY;
-        let mut any = false;
-        for i in base..base + NUM_STATES {
-            if self.visited[i] {
-                any = true;
-                if self.values[i] > best {
-                    best = self.values[i];
-                }
-            }
-        }
-        if any {
-            best
-        } else {
-            0.0
-        }
+        crate::kernel::max_over_actions(&self.values, &self.visited, s.index())
     }
 
     /// One Bellman update (the paper's Eq. (1)):
@@ -137,14 +137,14 @@ impl QTable {
     /// systems use it to apply their own continuation semantics (terminal
     /// overload states, the recipient's option to reject).
     pub fn update_toward(&mut self, s: PmState, a: VmAction, target: f64, alpha: f64) {
-        let i = Self::idx(s, a);
-        let old = self.values[i];
-        let new = (1.0 - alpha) * old + alpha * target;
-        if !self.visited[i] {
-            self.visited[i] = true;
-            self.n_visited += 1;
-        }
-        self.values[i] = new;
+        crate::kernel::update_toward(
+            &mut self.values,
+            &mut self.visited,
+            &mut self.n_visited,
+            Self::idx(s, a),
+            target,
+            alpha,
+        );
     }
 
     /// `π_out`-style arg-max: the best action for `s` among `available`,
@@ -193,26 +193,16 @@ impl QTable {
     /// the clone-then-average formulation `a.merge_average(&b);
     /// b.clone_from(&a);`.
     pub fn merge_symmetric(a: &mut QTable, b: &mut QTable) {
-        for i in 0..a.values.len() {
-            match (a.visited[i], b.visited[i]) {
-                (true, true) => {
-                    let m = (a.values[i] + b.values[i]) / 2.0;
-                    a.values[i] = m;
-                    b.values[i] = m;
-                }
-                (false, true) => {
-                    a.values[i] = b.values[i];
-                    a.visited[i] = true;
-                    a.n_visited += 1;
-                }
-                (true, false) => {
-                    b.values[i] = a.values[i];
-                    b.visited[i] = true;
-                    b.n_visited += 1;
-                }
-                (false, false) => {}
-            }
-        }
+        let len = a.values.len();
+        crate::kernel::merge_symmetric_range(
+            &mut a.values,
+            &mut a.visited,
+            &mut a.n_visited,
+            &mut b.values,
+            &mut b.visited,
+            &mut b.n_visited,
+            0..len,
+        );
     }
 
     /// Cosine similarity with `other` over the union of visited entries
@@ -422,6 +412,31 @@ impl QTablePair {
     /// Total number of trained (state, action) pairs in both tables.
     pub fn trained_pairs(&self) -> usize {
         self.out.visited_count() + self.r#in.visited_count()
+    }
+}
+
+/// The two GLAP training updates, abstracted over storage — boxed
+/// [`QTablePair`]s or flat [`QArena`](crate::QArena) slot views — so the
+/// learning loop is written once and monomorphizes to both. Sharing the
+/// loop is what pins the RNG draw sequence and arithmetic expression
+/// order across the storage back ends; byte-identity of the two training
+/// paths follows by construction.
+pub trait TrainTarget {
+    /// Sender-mode update, exactly [`QTablePair::train_out`].
+    fn train_out(&mut self, s: PmState, a: VmAction, s_next: PmState);
+    /// Recipient-mode update, exactly [`QTablePair::train_in`].
+    fn train_in(&mut self, s: PmState, a: VmAction, s_next: PmState);
+}
+
+impl TrainTarget for QTablePair {
+    #[inline]
+    fn train_out(&mut self, s: PmState, a: VmAction, s_next: PmState) {
+        QTablePair::train_out(self, s, a, s_next)
+    }
+
+    #[inline]
+    fn train_in(&mut self, s: PmState, a: VmAction, s_next: PmState) {
+        QTablePair::train_in(self, s, a, s_next)
     }
 }
 
